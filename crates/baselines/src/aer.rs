@@ -1,0 +1,348 @@
+//! Qiskit-Aer-like baseline: array-based gate fusion, no batch support.
+//!
+//! Aer brings a strong cost-based **array-based** gate fusion (it merges
+//! consecutive gates into dense matrices of up to 5 qubits), but simulates
+//! one input per run. The paper therefore drives it with eight parallel
+//! processes (§4.1); per-run framework overhead dominates small circuits,
+//! which is why Aer's Table 2 times are hundreds of seconds even for
+//! 6-qubit circuits.
+
+use crate::cuq::BaselineRun;
+use crate::DenseGate;
+use bqsim_gpu::power::{cpu_average_power_w, PowerReport};
+use bqsim_gpu::{
+    CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, Kernel, KernelProfile,
+    LaunchMode, TaskGraph, Timeline,
+};
+use bqsim_num::Complex;
+use bqsim_qcir::{CMatrix, Circuit};
+use std::sync::Arc;
+
+/// Qiskit-Aer-style array-based cost-based gate fusion: greedily merge
+/// consecutive gates while (a) the combined qubit support stays within
+/// `max_qubits` (Aer's default fusion width is 5) and (b) the fused dense
+/// gate is estimated no more expensive than applying the members
+/// separately (`2^k_union ≤ Σ max(4, 2^k_i)` MACs per amplitude).
+///
+/// Returns dense gates over their (descending-sorted) support qubits.
+pub fn aer_fusion(circuit: &Circuit, max_qubits: usize) -> Vec<DenseGate> {
+    assert!(max_qubits >= 3, "Aer fuses at least up to its largest gate");
+    let mut out: Vec<DenseGate> = Vec::new();
+    let mut group: Vec<&bqsim_qcir::Gate> = Vec::new();
+    let mut support: u64 = 0;
+    let mut group_cost: u64 = 0; // Σ member MACs per amplitude
+
+    let flush = |group: &mut Vec<&bqsim_qcir::Gate>, support: &mut u64, out: &mut Vec<DenseGate>| {
+        if group.is_empty() {
+            return;
+        }
+        let qubits: Vec<usize> = (0..64usize)
+            .rev()
+            .filter(|q| *support >> q & 1 == 1)
+            .collect();
+        let k = qubits.len();
+        // Build the group's dense matrix by embedding each member into the
+        // compact k-qubit space.
+        let mut m = CMatrix::identity(1 << k);
+        for g in group.iter() {
+            let mapped: Vec<usize> = g
+                .qubits()
+                .iter()
+                .map(|q| {
+                    // Position from LSB: rank of q among support qubits.
+                    qubits.iter().rev().position(|s| s == q).expect("in support")
+                })
+                .collect();
+            let full = g.matrix().embed(k, &mapped);
+            m = full.mul(&m);
+        }
+        out.push(DenseGate::new(qubits, m));
+        group.clear();
+        *support = 0;
+    };
+
+    for g in circuit.gates() {
+        let gmask: u64 = g.qubits().iter().fold(0, |m, &q| m | (1 << q));
+        let gate_cost = 4u64.max(1 << g.qubits().len());
+        let union = support | gmask;
+        let fused_cost = 4u64.max(1u64 << union.count_ones());
+        let beneficial = fused_cost <= group_cost + gate_cost;
+        if union.count_ones() as usize > max_qubits || (!group.is_empty() && !beneficial) {
+            flush(&mut group, &mut support, &mut out);
+            support = gmask;
+            group_cost = gate_cost;
+        } else {
+            support = union;
+            group_cost = fused_cost.min(group_cost + gate_cost);
+        }
+        group.push(g);
+    }
+    flush(&mut group, &mut support, &mut out);
+    out
+}
+
+/// Tunable constants of the Aer-like run model.
+#[derive(Debug, Clone)]
+pub struct AerOptions {
+    /// Per-simulation-run framework overhead (circuit build, transpile,
+    /// result assembly) in nanoseconds. Calibrated against Table 2's
+    /// small-circuit floor (≈57 ms per run: Routing n=6 takes 363.8 s for
+    /// 51 200 inputs over 8 processes).
+    pub per_run_overhead_ns: u64,
+    /// Concurrent simulation processes (paper: 8).
+    pub processes: u32,
+    /// Maximum fusion width in qubits (Aer default: 5).
+    pub max_fusion_qubits: usize,
+}
+
+impl Default for AerOptions {
+    fn default() -> Self {
+        AerOptions {
+            per_run_overhead_ns: 57_000_000,
+            processes: 8,
+            max_fusion_qubits: 5,
+        }
+    }
+}
+
+/// The Qiskit-Aer-like single-input GPU simulator.
+#[derive(Debug)]
+pub struct QiskitAerLike {
+    num_qubits: usize,
+    fused: Vec<DenseGate>,
+    device: DeviceSpec,
+    cpu: CpuSpec,
+    opts: AerOptions,
+}
+
+impl QiskitAerLike {
+    /// Compiles the circuit with Aer-style fusion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-qubit circuit.
+    pub fn compile(
+        circuit: &Circuit,
+        device: DeviceSpec,
+        cpu: CpuSpec,
+        opts: AerOptions,
+    ) -> Self {
+        assert!(circuit.num_qubits() > 0, "circuit has no qubits");
+        let fused = aer_fusion(circuit, opts.max_fusion_qubits);
+        QiskitAerLike {
+            num_qubits: circuit.num_qubits(),
+            fused,
+            device,
+            cpu,
+            opts,
+        }
+    }
+
+    /// The fused dense gates.
+    pub fn gates(&self) -> &[DenseGate] {
+        &self.fused
+    }
+
+    /// #MAC per simulated input: `Σ 2^n · 2^k` over fused gates (Table 3's
+    /// Aer accounting).
+    pub fn mac_per_input(&self) -> u64 {
+        self.fused
+            .iter()
+            .map(|g| (1u64 << self.num_qubits) * (1u64 << g.k()))
+            .sum()
+    }
+
+    /// Virtual GPU time of simulating **one** input (per-gate kernels plus
+    /// per-run H2D/D2H on a stream).
+    pub fn single_input_gpu_ns(&self) -> u64 {
+        let engine = Engine::new(self.device.clone());
+        let mut mem = DeviceMemory::new(&self.device);
+        let mut host = HostMemory::new();
+        let dim = 1usize << self.num_qubits;
+        let buf = mem.alloc(dim).expect("single state fits");
+        let h = host.alloc_zeroed(0);
+        let mut g = TaskGraph::new();
+        let bytes = (dim * 16) as u64;
+        let up = g.add_h2d("h2d", h, buf, bytes, &[]);
+        let mut last = up;
+        for (i, gate) in self.fused.iter().enumerate() {
+            last = g.add_kernel(
+                format!("g{i}"),
+                Arc::new(AerGateKernel {
+                    gate: gate.clone(),
+                    num_qubits: self.num_qubits,
+                }),
+                &[last],
+            );
+        }
+        g.add_d2h("d2h", buf, h, bytes, &[last]);
+        engine
+            .run(&g, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly)
+            .total_ns()
+    }
+
+    /// Models a run over `total_inputs` inputs: framework overhead
+    /// parallelises over processes; GPU work serialises on the one GPU.
+    pub fn run_synthetic(&self, total_inputs: usize) -> BaselineRun {
+        let overhead =
+            self.opts.per_run_overhead_ns * total_inputs as u64 / self.opts.processes as u64;
+        let gpu = self.single_input_gpu_ns() * total_inputs as u64;
+        // Framework overhead (CPU) overlaps GPU work across processes;
+        // the run ends when both finish.
+        let total_ns = overhead.max(gpu) + overhead.min(gpu) / 4;
+        let gpu_busy_frac = (gpu as f64 / total_ns as f64).min(1.0);
+        let power = PowerReport {
+            cpu_w: cpu_average_power_w(&self.cpu, self.opts.processes * 2, 0.8),
+            gpu_w: self.device.idle_power_w
+                + (self.device.max_power_w - self.device.idle_power_w) * 0.5 * gpu_busy_frac,
+            duration_ns: total_ns,
+        };
+        BaselineRun {
+            total_ns,
+            power,
+            timeline: Timeline::default(),
+        }
+    }
+
+    /// Functionally simulates explicit batches (per input, fused dense
+    /// gates applied in sequence).
+    pub fn simulate_batches(&self, batches: &[Vec<Vec<Complex>>]) -> Vec<Vec<Vec<Complex>>> {
+        batches
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .map(|input| {
+                        let mut s = input.clone();
+                        for g in &self.fused {
+                            g.apply(&mut s);
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// One fused dense gate applied to a single state vector.
+struct AerGateKernel {
+    gate: DenseGate,
+    num_qubits: usize,
+}
+
+impl Kernel for AerGateKernel {
+    fn name(&self) -> &str {
+        "aer_gate"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let dim = 1u64 << self.num_qubits;
+        let macs = dim * (1u64 << self.gate.k());
+        KernelProfile {
+            flops: macs * 8,
+            bytes_read: dim * 16 + self.gate.dense_bytes(),
+            bytes_written: dim * 16,
+            blocks: dim >> self.gate.k().min(8),
+            threads_per_block: 256,
+            divergence: 1.0,
+        }
+    }
+
+    fn execute(&self, _mem: &mut DeviceMemory) {
+        // Functional Aer runs use `simulate_batches` host-side; the kernel
+        // exists for the timing model only.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_num::approx::vectors_eq;
+    use bqsim_qcir::{dense, generators};
+
+    #[test]
+    fn fusion_respects_width_limit() {
+        let c = generators::vqe(8, 3);
+        let fused = aer_fusion(&c, 5);
+        assert!(fused.len() < c.num_gates());
+        for g in &fused {
+            assert!(g.k() <= 5, "fused gate too wide: {}", g.k());
+        }
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        for circuit in [
+            generators::vqe(6, 2),
+            generators::qnn(4, 2),
+            generators::graph_state(6),
+            generators::qft(5),
+        ] {
+            let fused = aer_fusion(&circuit, 5);
+            let mut got = dense::zero_state(circuit.num_qubits());
+            for g in &fused {
+                g.apply(&mut got);
+            }
+            let want = dense::simulate(&circuit);
+            assert!(
+                vectors_eq(&got, &want, 1e-9),
+                "{}: Aer fusion broke semantics",
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_mac_vs_unfused_dense() {
+        let c = generators::vqe(8, 1);
+        let sim = QiskitAerLike::compile(
+            &c,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            AerOptions::default(),
+        );
+        let unfused_mac: u64 = c
+            .gates()
+            .iter()
+            .map(|g| (1u64 << 8) * 4u64.max(1 << g.qubits().len()))
+            .sum();
+        assert!(sim.mac_per_input() < unfused_mac);
+    }
+
+    #[test]
+    fn per_run_overhead_dominates_small_circuits() {
+        let c = generators::routing(6, 1);
+        let sim = QiskitAerLike::compile(
+            &c,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            AerOptions::default(),
+        );
+        let run = sim.run_synthetic(51_200);
+        // Paper Table 2: 363 760 ms. The model must land within 2×.
+        let ms = run.total_ns as f64 / 1e6;
+        assert!(
+            (180_000.0..730_000.0).contains(&ms),
+            "Aer small-circuit time off: {ms} ms"
+        );
+    }
+
+    #[test]
+    fn functional_batches_match_oracle() {
+        let c = generators::tsp(5, 2);
+        let sim = QiskitAerLike::compile(
+            &c,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            AerOptions::default(),
+        );
+        let batches = vec![bqsim_core::random_input_batch(5, 3, 1)];
+        let out = sim.simulate_batches(&batches);
+        for (input, got) in batches[0].iter().zip(&out[0]) {
+            let mut want = input.clone();
+            dense::apply_circuit(&mut want, &c);
+            assert!(vectors_eq(got, &want, 1e-9));
+        }
+    }
+}

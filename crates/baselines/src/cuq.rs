@@ -1,0 +1,427 @@
+//! cuQuantum-like baseline: gate-level batched dense matrix application.
+//!
+//! Models `custatevecApplyMatrixBatched` (§4.1): the only baseline with
+//! real BQCS support, but (a) it performs **no fusion** — every gate is a
+//! full pass over the batched state — and (b) it accepts gates **only in
+//! dense format**, so plugging in a fusion algorithm (Table 4's
+//! `cuQuantum+B` / `cuQuantum+Q`) can inflate a fused gate to `2^k × 2^k`
+//! dense entries and overflow device memory (the "-" cells).
+
+use crate::{BaselineError, DenseGate};
+use bqsim_core::fusion::{self, FusedGate};
+use bqsim_gpu::power::{cpu_average_power_w, gpu_average_power_w, PowerReport};
+use bqsim_gpu::{
+    BufferId, CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, Kernel,
+    KernelProfile, LaunchMode, Timeline,
+};
+use bqsim_num::Complex;
+use bqsim_qcir::{CMatrix, Circuit};
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::{convert::matrix_entry, DdPackage};
+use std::sync::Arc;
+
+/// Where the cuQuantum-like baseline takes its gate list from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateSource {
+    /// The raw circuit, one dense gate per circuit gate (no fusion) — the
+    /// Table 2 configuration.
+    Unfused,
+    /// BQSim's BQCS-aware fusion, exported to dense (`cuQuantum+B`).
+    BqsimFusion,
+    /// Qiskit-Aer-style array-based fusion (`cuQuantum+Q`).
+    AerFusion,
+}
+
+/// The result of a (timing-only or functional) baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Virtual time of the run in nanoseconds.
+    pub total_ns: u64,
+    /// Power estimate.
+    pub power: PowerReport,
+    /// The device schedule (empty for analytically-modelled baselines).
+    pub timeline: Timeline,
+}
+
+/// The cuQuantum-like batch simulator.
+#[derive(Debug)]
+pub struct CuQuantumLike {
+    num_qubits: usize,
+    gates: Vec<DenseGate>,
+    device: DeviceSpec,
+    cpu: CpuSpec,
+}
+
+impl CuQuantumLike {
+    /// Compiles a circuit with the chosen gate source.
+    ///
+    /// With `materialize`, dense matrices are actually built (needed for
+    /// functional runs; only feasible for small fused supports). Without
+    /// it, gates above 2¹⁰ dimensions stay virtual and only their cost is
+    /// modelled.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::DeviceOom`] when a dense-format gate alone exceeds
+    /// device memory (Table 4 "-"), [`BaselineError::EmptyCircuit`] for
+    /// zero-qubit circuits.
+    pub fn compile(
+        circuit: &Circuit,
+        source: GateSource,
+        device: DeviceSpec,
+        cpu: CpuSpec,
+        materialize: bool,
+    ) -> Result<Self, BaselineError> {
+        let n = circuit.num_qubits();
+        if n == 0 {
+            return Err(BaselineError::EmptyCircuit);
+        }
+        let gates = match source {
+            GateSource::Unfused => circuit
+                .gates()
+                .iter()
+                .map(|g| DenseGate::new(g.qubits().to_vec(), g.matrix()))
+                .collect(),
+            GateSource::AerFusion => crate::aer::aer_fusion(circuit, 5),
+            GateSource::BqsimFusion => {
+                let mut dd = DdPackage::new();
+                let fused = fusion::bqcs_aware_fusion(&mut dd, n, &lower_circuit(circuit));
+                fused
+                    .iter()
+                    .map(|g| dense_from_fused(&dd, g, n, &device, materialize))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        // Every dense gate must fit in device memory next to the batch
+        // buffers; the largest single gate is the binding constraint.
+        for g in &gates {
+            if g.dense_bytes() > device.memory_bytes / 2 {
+                return Err(BaselineError::DeviceOom {
+                    gate_qubits: g.k(),
+                    required_bytes: g.dense_bytes(),
+                });
+            }
+        }
+        Ok(CuQuantumLike {
+            num_qubits: n,
+            gates,
+            device,
+            cpu,
+        })
+    }
+
+    /// The compiled dense gates.
+    pub fn gates(&self) -> &[DenseGate] {
+        &self.gates
+    }
+
+    /// #MAC per simulated input (Table 3's cuQuantum accounting).
+    pub fn mac_per_input(&self) -> u64 {
+        self.gates
+            .iter()
+            .map(|g| g.mac_per_input(self.num_qubits))
+            .sum()
+    }
+
+    /// Runs `num_batches × batch_size` inputs in timing-only mode.
+    pub fn run_synthetic(&self, num_batches: usize, batch_size: usize) -> BaselineRun {
+        let (timeline, _) = self.run_internal(&[], num_batches, batch_size);
+        self.finish(timeline)
+    }
+
+    /// Functionally simulates explicit batches, returning per-batch output
+    /// states alongside the timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate is virtual (compile with `materialize`).
+    pub fn simulate_batches(
+        &self,
+        batches: &[Vec<Vec<Complex>>],
+    ) -> (BaselineRun, Vec<Vec<Vec<Complex>>>) {
+        let batch_size = batches.first().map(|b| b.len()).unwrap_or(0);
+        let packed: Vec<Vec<Complex>> = batches.iter().map(|b| bqsim_ell::pack_batch(b)).collect();
+        let (timeline, outputs) = self.run_internal(&packed, batches.len(), batch_size);
+        (self.finish(timeline), outputs)
+    }
+
+    fn finish(&self, timeline: Timeline) -> BaselineRun {
+        let power = PowerReport {
+            cpu_w: cpu_average_power_w(&self.cpu, 1, 0.5),
+            gpu_w: gpu_average_power_w(&self.device, &timeline),
+            duration_ns: timeline.total_ns(),
+        };
+        BaselineRun {
+            total_ns: timeline.total_ns(),
+            power,
+            timeline,
+        }
+    }
+
+    fn run_internal(
+        &self,
+        packed: &[Vec<Complex>],
+        num_batches: usize,
+        batch_size: usize,
+    ) -> (Timeline, Vec<Vec<Vec<Complex>>>) {
+        let functional = !packed.is_empty();
+        let dim = 1usize << self.num_qubits;
+        let elems = dim * batch_size;
+        let bytes = (elems * 16) as u64;
+
+        let engine = Engine::new(self.device.clone());
+        let mut mem = DeviceMemory::new(&self.device);
+        let mut host = HostMemory::new();
+        let buf = mem.alloc(elems).expect("state buffer fits checked memory");
+
+        let mut graph = bqsim_gpu::TaskGraph::new();
+        let mut outputs_h = Vec::new();
+        let mut prev = Vec::new();
+        #[allow(clippy::needless_range_loop)] // b indexes packed batches
+        for b in 0..num_batches {
+            let h_in = if functional {
+                host.alloc_from(packed[b].clone())
+            } else {
+                host.alloc_zeroed(0)
+            };
+            let h_out = host.alloc_zeroed(if functional { elems } else { 0 });
+            outputs_h.push(h_out);
+            let up = graph.add_h2d(format!("h2d b{b}"), h_in, buf, bytes, &prev);
+            let mut last = up;
+            for (i, g) in self.gates.iter().enumerate() {
+                last = graph.add_kernel(
+                    format!("g{i} b{b}"),
+                    Arc::new(DenseApplyBatchedKernel {
+                        gate: g.clone(),
+                        buf,
+                        num_qubits: self.num_qubits,
+                        batch: batch_size,
+                    }),
+                    &[last],
+                );
+            }
+            let down = graph.add_d2h(format!("d2h b{b}"), buf, h_out, bytes, &[last]);
+            prev = vec![down];
+        }
+
+        // cuQuantum issues per-gate API calls on a stream: no CUDA graph.
+        let exec = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
+        let timeline = engine.run(&graph, &mut mem, &mut host, LaunchMode::Stream, exec);
+
+        let outputs = if functional {
+            outputs_h
+                .iter()
+                .map(|&h| bqsim_ell::unpack_batch(host.buffer(h), batch_size))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (timeline, outputs)
+    }
+}
+
+/// Exports a BQSim fused gate to dense format over its support qubits.
+fn dense_from_fused(
+    dd: &DdPackage,
+    g: &FusedGate,
+    n: usize,
+    device: &DeviceSpec,
+    materialize: bool,
+) -> Result<DenseGate, BaselineError> {
+    // Support qubits, most significant first (gate matrix bit order).
+    let qubits: Vec<usize> = (0..n).rev().filter(|q| g.support_mask >> q & 1 == 1).collect();
+    let k = qubits.len();
+    let dense_bytes = (1u64 << k) * (1u64 << k) * 16;
+    if dense_bytes > device.memory_bytes / 2 {
+        return Err(BaselineError::DeviceOom {
+            gate_qubits: k as u32,
+            required_bytes: dense_bytes,
+        });
+    }
+    if !materialize || k > 12 {
+        return Ok(DenseGate::virtual_gate(qubits));
+    }
+    // Read the 2^k × 2^k block with the non-support qubits fixed to 0;
+    // the fused unitary is identity outside its support, so this block is
+    // the gate.
+    let scatter = |compact: usize| -> usize {
+        let mut full = 0usize;
+        for (pos, &q) in qubits.iter().enumerate() {
+            let bit = (compact >> (k - 1 - pos)) & 1;
+            full |= bit << q;
+        }
+        full
+    };
+    let dim = 1usize << k;
+    let mut m = CMatrix::zeros(dim);
+    for r in 0..dim {
+        for c in 0..dim {
+            m.set(r, c, matrix_entry(dd, g.edge, n, scatter(r), scatter(c)));
+        }
+    }
+    Ok(DenseGate::new(qubits, m))
+}
+
+/// Lane-efficiency penalty of the generic dense-apply path: the kernel
+/// schedules FMA work for every dense matrix entry, including the zeros a
+/// structured gate carries, and its fixed tiling wastes SIMT lanes. The
+/// ALUs churn ~4× the useful MACs — this is both why cuQuantum's kernels
+/// are compute-bound and why its board power is far above BQSim's
+/// bandwidth-bound spMM (Fig. 11).
+const DENSE_LANE_INEFFICIENCY: u64 = 4;
+
+/// The batched dense-apply kernel modelling
+/// `custatevecApplyMatrixBatched`: one full pass over the batched state per
+/// gate, `max(4, 2^k)` MACs per amplitude.
+struct DenseApplyBatchedKernel {
+    gate: DenseGate,
+    buf: BufferId,
+    num_qubits: usize,
+    batch: usize,
+}
+
+impl Kernel for DenseApplyBatchedKernel {
+    fn name(&self) -> &str {
+        "dense_apply_batched"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let rows = 1u64 << self.num_qubits;
+        let macs = self.gate.mac_per_input(self.num_qubits) * self.batch as u64;
+        KernelProfile {
+            flops: macs * 8 * DENSE_LANE_INEFFICIENCY,
+            bytes_read: rows * self.batch as u64 * 16 + self.gate.dense_bytes().min(1 << 24),
+            bytes_written: rows * self.batch as u64 * 16,
+            blocks: rows,
+            threads_per_block: self.batch.min(256) as u32,
+            divergence: 1.0,
+        }
+    }
+
+    fn execute(&self, mem: &mut DeviceMemory) {
+        let batch = self.batch;
+        let data = mem.buffer_mut(self.buf);
+        let dim = data.len() / batch;
+        // Unpack each batch element, apply in place, repack.
+        let mut state = vec![Complex::ZERO; dim];
+        for b in 0..batch {
+            for r in 0..dim {
+                state[r] = data[r * batch + b];
+            }
+            self.gate.apply(&mut state);
+            for r in 0..dim {
+                data[r * batch + b] = state[r];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_num::approx::vectors_eq;
+    use bqsim_qcir::{dense, generators};
+
+    #[test]
+    fn unfused_mac_matches_table3_rule() {
+        // Routing n=6, 39 gates → 9 984 MACs per input (Table 3 divided by
+        // the paper's input count).
+        let c = generators::routing(6, 1);
+        let sim = CuQuantumLike::compile(
+            &c,
+            GateSource::Unfused,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(sim.mac_per_input(), 9984);
+    }
+
+    #[test]
+    fn functional_run_matches_dense_oracle() {
+        let c = generators::vqe(5, 11);
+        let sim = CuQuantumLike::compile(
+            &c,
+            GateSource::Unfused,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            true,
+        )
+        .unwrap();
+        let batches: Vec<_> = (0..2)
+            .map(|s| bqsim_core::random_input_batch(5, 3, s))
+            .collect();
+        let (_, outputs) = sim.simulate_batches(&batches);
+        for (batch_in, batch_out) in batches.iter().zip(&outputs) {
+            for (input, got) in batch_in.iter().zip(batch_out) {
+                let mut want = input.clone();
+                dense::apply_circuit(&mut want, &c);
+                assert!(vectors_eq(got, &want, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn bqsim_fusion_variant_matches_oracle_functionally() {
+        let c = generators::routing(5, 11);
+        let sim = CuQuantumLike::compile(
+            &c,
+            GateSource::BqsimFusion,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            true,
+        )
+        .unwrap();
+        let batches = vec![bqsim_core::random_input_batch(5, 4, 3)];
+        let (_, outputs) = sim.simulate_batches(&batches);
+        for (input, got) in batches[0].iter().zip(&outputs[0]) {
+            let mut want = input.clone();
+            dense::apply_circuit(&mut want, &c);
+            assert!(vectors_eq(got, &want, 1e-9));
+        }
+    }
+
+    #[test]
+    fn big_fused_dense_gate_ooms() {
+        // An all-diagonal 17-qubit circuit fuses (cheaply) into one gate
+        // whose support spans every qubit; its dense form is 2^17×2^17
+        // (256 GiB) — cuQuantum+B must fail like Table 4's "-" entries.
+        let mut c = Circuit::new(17);
+        for q in 0..17 {
+            c.rz(0.1 * q as f64, q);
+        }
+        for q in 0..16 {
+            c.cz(q, q + 1);
+        }
+        let err = CuQuantumLike::compile(
+            &c,
+            GateSource::BqsimFusion,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BaselineError::DeviceOom { .. }));
+    }
+
+    #[test]
+    fn timing_run_produces_positive_time() {
+        let c = generators::ghz(5);
+        let sim = CuQuantumLike::compile(
+            &c,
+            GateSource::Unfused,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            false,
+        )
+        .unwrap();
+        let run = sim.run_synthetic(3, 16);
+        assert!(run.total_ns > 0);
+        assert!(run.power.gpu_w > 0.0);
+    }
+}

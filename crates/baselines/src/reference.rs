@@ -1,0 +1,75 @@
+//! Dense reference semantics over batches — the ground truth every
+//! simulator in the workspace is validated against.
+
+use bqsim_num::Complex;
+use bqsim_qcir::{dense, Circuit};
+
+/// Simulates every input of every batch with the dense oracle.
+pub fn simulate_batches(
+    circuit: &Circuit,
+    batches: &[Vec<Vec<Complex>>],
+) -> Vec<Vec<Vec<Complex>>> {
+    batches
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|input| {
+                    let mut s = input.clone();
+                    dense::apply_circuit(&mut s, circuit);
+                    s
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts two batch outputs are amplitude-identical within `tol`,
+/// returning the worst component difference found.
+///
+/// # Panics
+///
+/// Panics if shapes differ or any amplitude deviates beyond `tol`.
+pub fn assert_batches_eq(
+    got: &[Vec<Vec<Complex>>],
+    want: &[Vec<Vec<Complex>>],
+    tol: f64,
+    context: &str,
+) -> f64 {
+    assert_eq!(got.len(), want.len(), "{context}: batch count differs");
+    let mut worst = 0.0f64;
+    for (bg, bw) in got.iter().zip(want) {
+        assert_eq!(bg.len(), bw.len(), "{context}: batch size differs");
+        for (g, w) in bg.iter().zip(bw) {
+            let d = bqsim_num::approx::max_abs_diff(g, w)
+                .unwrap_or_else(|| panic!("{context}: state length differs"));
+            assert!(d <= tol, "{context}: amplitudes deviate by {d}");
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_qcir::generators;
+
+    #[test]
+    fn oracle_batches_have_expected_shape() {
+        let c = generators::ghz(3);
+        let batches = vec![bqsim_core::random_input_batch(3, 4, 0)];
+        let out = simulate_batches(&c, &batches);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 4);
+        assert_eq!(out[0][0].len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitudes deviate")]
+    fn assert_batches_eq_catches_mismatch() {
+        let a = vec![vec![vec![Complex::ONE]]];
+        let b = vec![vec![vec![Complex::ZERO]]];
+        assert_batches_eq(&a, &b, 1e-12, "test");
+    }
+}

@@ -1,0 +1,96 @@
+//! Benches for the workspace's own design decisions (DESIGN.md §8),
+//! separate from the paper's figures:
+//!
+//! * canonical complex-value interning (tolerance-aware `CIdx` equality)
+//!   vs. a naive raw-bits hash map — the naive map is faster per lookup
+//!   but breaks value identification across operation orders, which is
+//!   what DD canonicity requires;
+//! * the engine's scheduling throughput over graph sizes.
+
+use bqsim_num::{Complex, ComplexTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+
+fn interning_workload() -> Vec<Complex> {
+    // Realistic weight stream: phases and rotation amplitudes with
+    // repeated values arrived at via different arithmetic paths.
+    let mut out = Vec::new();
+    for k in 0..64 {
+        let theta = k as f64 * std::f64::consts::PI / 32.0;
+        out.push(Complex::cis(theta));
+        out.push(Complex::real((theta / 2.0).cos()));
+        out.push(Complex::cis(theta) * Complex::cis(-theta) * Complex::real(0.5));
+    }
+    let copy = out.clone();
+    for (a, b) in copy.iter().zip(copy.iter().rev()) {
+        out.push(*a * *b); // products reproduce earlier values inexactly
+    }
+    out
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let values = interning_workload();
+    let mut group = c.benchmark_group("design_complex_interning");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_with_input(
+        BenchmarkId::new("canonical_table", values.len()),
+        &values,
+        |b, values| {
+            b.iter(|| {
+                let mut t = ComplexTable::new();
+                let mut acc = 0u32;
+                for v in values {
+                    acc = acc.wrapping_add(t.intern(*v).raw());
+                }
+                acc
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("raw_bits_map", values.len()),
+        &values,
+        |b, values| {
+            b.iter(|| {
+                // The naive alternative: exact-bits keys. Faster, but two
+                // values differing by 1 ULP get distinct ids — DD nodes
+                // stop deduplicating (correctness failure, not a win).
+                let mut map: HashMap<(u64, u64), u32> = HashMap::new();
+                let mut acc = 0u32;
+                for v in values {
+                    let key = (v.re.to_bits(), v.im.to_bits());
+                    let next = map.len() as u32;
+                    acc = acc.wrapping_add(*map.entry(key).or_insert(next));
+                }
+                acc
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_unique_table_sharing(c: &mut Criterion) {
+    // Quantify what interning buys: identical gate DDs built from
+    // differently-computed angles share nodes only with canonicalisation.
+    use bqsim_qdd::{convert::matrix_from_dense, DdPackage};
+    let mut group = c.benchmark_group("design_unique_table");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("rebuild_identical_gates", |b| {
+        b.iter(|| {
+            let mut dd = DdPackage::new();
+            for k in 0..16 {
+                let theta = (k as f64 * 0.25) - (k as f64 * 0.25 - 0.7) - 0.7 + 0.7;
+                let m = bqsim_qcir::GateKind::Ry(theta).matrix();
+                let _ = matrix_from_dense(&mut dd, &m);
+            }
+            dd.stats().matrix_nodes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interning, bench_unique_table_sharing);
+criterion_main!(benches);

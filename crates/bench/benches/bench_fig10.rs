@@ -1,0 +1,48 @@
+//! Criterion bench behind Figure 10: the BQCS kernel (ELL spMM) across
+//! batch sizes, with the CSR ablation (why the paper picks ELL) and the
+//! dense batched apply (what cuQuantum does per gate).
+
+use bqsim_ell::convert::ell_from_dd_cpu;
+use bqsim_ell::{pack_batch, CsrMatrix};
+use bqsim_core::random_input_batch;
+use bqsim_num::Complex;
+use bqsim_qcir::generators;
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::DdPackage;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_spmm(c: &mut Criterion) {
+    let n = 10usize;
+    // A realistic fused gate: product of one VQE layer.
+    let circuit = generators::vqe(n, 7);
+    let mut dd = DdPackage::new();
+    let mut product = dd.identity(n);
+    for g in lower_circuit(&circuit).into_iter().take(2 * n) {
+        let e = bqsim_qdd::gates::gate_dd(&mut dd, n, &g);
+        product = dd.mat_mul(e, product);
+    }
+    let ell = ell_from_dd_cpu(&mut dd, product, n);
+    let csr = CsrMatrix::from_ell(&ell);
+
+    let mut group = c.benchmark_group("fig10_spmm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for batch in [8usize, 32, 128] {
+        let input = pack_batch(&random_input_batch(n, batch, 3));
+        let mut output = vec![Complex::ZERO; input.len()];
+        group.throughput(Throughput::Elements(
+            (ell.mac_per_input() * batch as u64) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::new("ell", batch), &batch, |b, &batch| {
+            b.iter(|| ell.spmm(&input, &mut output, batch))
+        });
+        group.bench_with_input(BenchmarkId::new("csr", batch), &batch, |b, &batch| {
+            b.iter(|| csr.spmm(&input, &mut output, batch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Figure 11: the scheduler and power model — cost
+//! of building + scheduling a double-buffered batch task graph and of the
+//! power accounting over its timeline.
+
+use bqsim_core::{BqSimOptions, BqSimulator};
+use bqsim_gpu::power::gpu_average_power_w;
+use bqsim_gpu::DeviceSpec;
+use bqsim_qcir::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_schedule_and_power");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let circuit = generators::vqe(8, 7);
+    let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+    for batches in [10usize, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("build_and_schedule", batches),
+            &batches,
+            |b, &batches| b.iter(|| sim.run_synthetic(batches, 32).unwrap().timeline.total_ns()),
+        );
+    }
+    let timeline = sim.run_synthetic(50, 32).unwrap().timeline;
+    let spec = DeviceSpec::rtx_a6000();
+    group.bench_function("power_model", |b| {
+        b.iter(|| gpu_average_power_w(&spec, &timeline))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

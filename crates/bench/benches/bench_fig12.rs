@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 12: the one-time compile stages (fusion +
+//! conversion) vs the per-run simulation stage — real wall time of the
+//! algorithms whose amortisation the figure shows.
+
+use bqsim_core::{BqSimOptions, BqSimulator};
+use bqsim_qcir::generators::Family;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_stages");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (family, n) in [(Family::Routing, 6), (Family::PortfolioOpt, 8), (Family::Qnn, 8)] {
+        let circuit = family.build(n, 7);
+        group.bench_with_input(
+            BenchmarkId::new("compile", format!("{}_n{n}", family.name())),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    BqSimulator::compile(circuit, BqSimOptions::default())
+                        .unwrap()
+                        .mac_per_input()
+                })
+            },
+        );
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("simulate_20_batches", format!("{}_n{n}", family.name())),
+            &sim,
+            |b, sim| b.iter(|| sim.run_synthetic(20, 32).unwrap().timeline.total_ns()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 13: compiling and scheduling each
+//! ablation variant of the pipeline.
+
+use bqsim_core::{ablation, BqSimOptions, BqSimulator};
+use bqsim_qcir::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let circuit = generators::vqe(8, 7);
+    let base = BqSimOptions::default();
+    for variant in ablation::Variant::all() {
+        let sim = BqSimulator::compile(&circuit, variant.options(&base)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("{variant:?}")),
+            &sim,
+            |b, sim| b.iter(|| sim.run_synthetic(10, 32).unwrap().timeline.total_ns()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

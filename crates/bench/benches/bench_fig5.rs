@@ -1,0 +1,54 @@
+//! Criterion bench behind Figure 5: real wall-time of the two DD-to-ELL
+//! conversion implementations — CPU path enumeration vs the per-row
+//! Algorithm-1 iterative DFS — across qubit counts.
+
+use bqsim_ell::convert::ell_from_gpu_dd;
+use bqsim_ell::{EllMatrix, GpuDd};
+use bqsim_qcir::generators;
+use bqsim_qdd::convert::for_each_matrix_entry;
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::{nzrv, DdPackage};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_conversion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [6usize, 7, 8, 9] {
+        // Whole-circuit product: a structurally rich DD. (Capped at n=9:
+        // a dense random product approaches 4^n/3 DD nodes, and the chain
+        // of intermediates makes larger setups multi-GB.)
+        let circuit = generators::supremacy(n, 6, 7);
+        let mut dd = DdPackage::new();
+        let mut product = dd.identity(n);
+        for g in lower_circuit(&circuit) {
+            let e = bqsim_qdd::gates::gate_dd(&mut dd, n, &g);
+            product = dd.mat_mul(e, product);
+        }
+        let v = nzrv::nzrv(&mut dd, product, n);
+        let max_nzr = nzrv::max_entry(&dd, v);
+        let gdd = GpuDd::from_dd(&dd, product, n);
+
+        // Enumerate immutably so repeated iterations don't grow the DD
+        // package (the NZRV pass is hoisted out as `max_nzr` above).
+        group.bench_with_input(BenchmarkId::new("cpu_enumeration", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ell = EllMatrix::zeros(1 << n, max_nzr);
+                let mut cursor = vec![0usize; 1 << n];
+                for_each_matrix_entry(&dd, product, n, &mut |r, c, v| {
+                    ell.set_slot(r, cursor[r], c, v);
+                    cursor[r] += 1;
+                });
+                ell.stored_nonzeros()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1_per_row", n), &gdd, |b, gdd| {
+            b.iter(|| ell_from_gpu_dd(gdd, max_nzr).1.total_steps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

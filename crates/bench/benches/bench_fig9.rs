@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 9: the hybrid converter end to end
+//! (flatten DD → pick method by τ → produce ELL + timing model).
+
+use bqsim_core::{fusion, HybridConverter};
+use bqsim_qcir::generators::Family;
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::DdPackage;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_hybrid_conversion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (family, n) in [(Family::Qnn, 8), (Family::Vqe, 10), (Family::Tsp, 10)] {
+        let circuit = family.build(n, 7);
+        let mut dd = DdPackage::new();
+        let fused = fusion::bqcs_aware_fusion(&mut dd, n, &lower_circuit(&circuit));
+        let converter = HybridConverter::default();
+        group.bench_with_input(
+            BenchmarkId::new("convert_all", format!("{}_n{n}", family.name())),
+            &fused,
+            |b, fused| {
+                b.iter(|| {
+                    converter
+                        .convert_all(&mut dd, fused, n)
+                        .iter()
+                        .map(|g| g.conversion_ns)
+                        .sum::<u64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind Table 1: the DD-native NZRV algorithm and the
+//! NZR coefficient-of-variation computation (real wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bqsim_core::fusion;
+use bqsim_qcir::generators::Family;
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::{nzrv, DdPackage};
+
+fn bench_nzrv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_nzrv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (family, n) in [
+        (Family::Supremacy, 8),
+        (Family::Vqe, 10),
+        (Family::Qnn, 8),
+        (Family::Tsp, 10),
+    ] {
+        let circuit = family.build(n, 7);
+        let mut dd = DdPackage::new();
+        let fused = fusion::bqcs_aware_fusion(&mut dd, n, &lower_circuit(&circuit));
+        group.bench_with_input(
+            BenchmarkId::new("nzrv_max", format!("{}_n{n}", family.name())),
+            &fused,
+            |b, fused| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for g in fused {
+                        total += nzrv::bqcs_cost(&mut dd, g.edge, n);
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nzr_cv", format!("{}_n{n}", family.name())),
+            &fused,
+            |b, fused| {
+                b.iter(|| {
+                    fused
+                        .iter()
+                        .map(|g| nzrv::nzr_coefficient_of_variation(&mut dd, g.edge, n))
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nzrv);
+criterion_main!(benches);

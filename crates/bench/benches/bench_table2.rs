@@ -1,0 +1,54 @@
+//! Criterion bench behind Table 2: real wall-time of the four simulators'
+//! *functional* execution on a small batch (the algorithms themselves, not
+//! the virtual-time models).
+
+use bqsim_baselines::aer::{AerOptions, QiskitAerLike};
+use bqsim_baselines::cuq::{CuQuantumLike, GateSource};
+use bqsim_baselines::flatdd::FlatDdLike;
+use bqsim_core::{random_input_batch, BqSimOptions, BqSimulator};
+use bqsim_gpu::{CpuSpec, DeviceSpec};
+use bqsim_qcir::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 7;
+    let circuit = generators::vqe(n, 7);
+    let batches = vec![random_input_batch(n, 16, 1), random_input_batch(n, 16, 2)];
+
+    let bqsim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+    group.bench_function("bqsim_run", |b| {
+        b.iter(|| bqsim.run_batches(&batches).unwrap().outputs)
+    });
+
+    let cuq = CuQuantumLike::compile(
+        &circuit,
+        GateSource::Unfused,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        true,
+    )
+    .unwrap();
+    group.bench_function("cuquantum_run", |b| {
+        b.iter(|| cuq.simulate_batches(&batches).1)
+    });
+
+    let aer = QiskitAerLike::compile(
+        &circuit,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        AerOptions::default(),
+    );
+    group.bench_function("aer_run", |b| b.iter(|| aer.simulate_batches(&batches)));
+
+    let flatdd = FlatDdLike::compile(&circuit, CpuSpec::i7_11700(), 2);
+    group.bench_function("flatdd_run", |b| b.iter(|| flatdd.simulate_batches(&batches)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench behind Table 3: the fusion algorithms that produce the
+//! #MAC counts — BQSim's three-step fusion, FlatDD's greedy-only fusion,
+//! and Aer's array-based fusion.
+
+use bqsim_baselines::aer::aer_fusion;
+use bqsim_core::fusion;
+use bqsim_qcir::generators::Family;
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::DdPackage;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_fusion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (family, n) in [(Family::Vqe, 10), (Family::PortfolioOpt, 8), (Family::Qnn, 8)] {
+        let circuit = family.build(n, 7);
+        let lowered = lower_circuit(&circuit);
+        group.bench_with_input(
+            BenchmarkId::new("bqcs_aware", format!("{}_n{n}", family.name())),
+            &lowered,
+            |b, lowered| {
+                b.iter(|| {
+                    let mut dd = DdPackage::new();
+                    fusion::bqcs_aware_fusion(&mut dd, n, lowered).len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flatdd_greedy", format!("{}_n{n}", family.name())),
+            &lowered,
+            |b, lowered| {
+                b.iter(|| {
+                    let mut dd = DdPackage::new();
+                    let gates = fusion::classify_gates(&mut dd, n, lowered);
+                    fusion::greedy_fusion(&mut dd, gates, n).len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("aer_array", format!("{}_n{n}", family.name())),
+            &circuit,
+            |b, circuit| b.iter(|| aer_fusion(circuit, 5).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

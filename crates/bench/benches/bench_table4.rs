@@ -1,0 +1,39 @@
+//! Criterion bench behind Table 4: compiling the cuQuantum+B / +Q
+//! configurations — dense export of fused gates is the expensive step that
+//! makes dense-format fusion impractical.
+
+use bqsim_baselines::cuq::{CuQuantumLike, GateSource};
+use bqsim_gpu::{CpuSpec, DeviceSpec};
+use bqsim_qcir::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_compile_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_compile");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let circuit = generators::routing(6, 7);
+    for (label, source) in [
+        ("unfused", GateSource::Unfused),
+        ("plus_q", GateSource::AerFusion),
+        ("plus_b", GateSource::BqsimFusion),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                CuQuantumLike::compile(
+                    &circuit,
+                    source,
+                    DeviceSpec::rtx_a6000(),
+                    CpuSpec::i7_11700(),
+                    true,
+                )
+                .unwrap()
+                .mac_per_input()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_variants);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Runs every table/figure report in sequence — the output of this binary
+//! (with default scaled parameters) is what EXPERIMENTS.md records.
+
+use std::process::Command;
+
+fn main() {
+    let reports = [
+        "report_table1",
+        "report_table2",
+        "report_table3",
+        "report_table4",
+        "report_fig5",
+        "report_fig9",
+        "report_fig10",
+        "report_fig11",
+        "report_fig12",
+        "report_fig13",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for r in reports {
+        println!("\n{}\n", "=".repeat(78));
+        let status = Command::new(dir.join(r))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {r}: {e}"));
+        assert!(status.success(), "{r} failed");
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 10**: BQSim's speed-up over cuQuantum as the batch
+//! size grows from 32 to 1024 (QNN and VQE).
+
+use bqsim_baselines::cuq::{CuQuantumLike, GateSource};
+use bqsim_bench::runners::compile_bqsim;
+use bqsim_bench::table::Table;
+use bqsim_bench::ReportParams;
+use bqsim_gpu::{CpuSpec, DeviceSpec};
+use bqsim_qcir::generators::Family;
+
+fn main() {
+    let params = ReportParams::from_args();
+    println!("# Figure 10 — speed-up over cuQuantum vs batch size B\n");
+    let cases: Vec<(Family, usize)> = if params.paper_sizes {
+        vec![(Family::Qnn, 17), (Family::Vqe, 16)]
+    } else {
+        vec![(Family::Qnn, 13), (Family::Vqe, 14)]
+    };
+    for (family, n) in cases {
+        let circuit = family.build(n, params.seed);
+        let sim = compile_bqsim(&circuit);
+        let cuq = CuQuantumLike::compile(
+            &circuit,
+            GateSource::Unfused,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            false,
+        )
+        .expect("unfused fits");
+        let mut t = Table::new(&["B", "BQSim ms", "cuQuantum ms", "speed-up"]);
+        for b in [32usize, 64, 128, 256, 512, 1024] {
+            // End-to-end: compile cost included, as in Table 2 — its
+            // amortisation over growing batches is what drives the rising
+            // speed-up curve.
+            let t_b = sim
+                .run_synthetic(params.batches, b)
+                .expect("fits device")
+                .breakdown
+                .total_ns();
+            let t_c = cuq.run_synthetic(params.batches, b).total_ns;
+            t.add(vec![
+                b.to_string(),
+                format!("{:.3}", t_b as f64 / 1e6),
+                format!("{:.3}", t_c as f64 / 1e6),
+                format!("{:.2}x", t_c as f64 / t_b as f64),
+            ]);
+        }
+        println!("## {} (n={n})\n", family.name());
+        print!("{}", t.render());
+        println!();
+    }
+    println!(
+        "Expected shape (paper Fig. 10): speed-up grows with B and saturates near B=1024 \
+         as data movement reaches the bandwidth limit."
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table 2**: overall runtime of BQSim vs cuQuantum, Qiskit
+//! Aer, and FlatDD on the 16-circuit suite, with per-circuit speed-ups and
+//! the geometric-mean summary the paper's abstract quotes
+//! (3.25× / 159.06× / 311.42×).
+
+use bqsim_bench::runners::{build_circuit, table2_times};
+use bqsim_bench::table::{ms, speedup, Table};
+use bqsim_bench::{geomean, ReportParams};
+use bqsim_qcir::generators;
+
+fn main() {
+    let params = ReportParams::from_args();
+    println!(
+        "# Table 2 — overall runtime (virtual ms), N={} batches × B={} inputs\n",
+        params.batches, params.batch_size
+    );
+    let mut t = Table::new(&[
+        "circuit", "n", "gates", "cuQuantum", "Qiskit Aer", "FlatDD", "BQSim",
+        "vs cuQ", "vs Aer", "vs FlatDD",
+    ]);
+    let (mut s_cuq, mut s_aer, mut s_flat) = (Vec::new(), Vec::new(), Vec::new());
+    for entry in generators::paper_suite() {
+        let circuit = build_circuit(&entry, &params);
+        let times = table2_times(&circuit, &params);
+        s_cuq.push(times.cuquantum_ns as f64 / times.bqsim_ns as f64);
+        s_aer.push(times.aer_ns as f64 / times.bqsim_ns as f64);
+        s_flat.push(times.flatdd_ns as f64 / times.bqsim_ns as f64);
+        t.add(vec![
+            entry.family.name().to_string(),
+            circuit.num_qubits().to_string(),
+            circuit.num_gates().to_string(),
+            ms(times.cuquantum_ns),
+            ms(times.aer_ns),
+            ms(times.flatdd_ns),
+            ms(times.bqsim_ns),
+            speedup(times.cuquantum_ns, times.bqsim_ns),
+            speedup(times.aer_ns, times.bqsim_ns),
+            speedup(times.flatdd_ns, times.bqsim_ns),
+        ]);
+        eprintln!("done: {} n={}", entry.family.name(), circuit.num_qubits());
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngeomean speed-ups: vs cuQuantum {:.2}x (paper 3.25x), vs Qiskit Aer {:.2}x \
+         (paper 159.06x), vs FlatDD {:.2}x (paper 311.42x)",
+        geomean(&s_cuq),
+        geomean(&s_aer),
+        geomean(&s_flat)
+    );
+}

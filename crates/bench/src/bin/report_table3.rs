@@ -1,0 +1,46 @@
+//! Regenerates **Table 3**: #MAC per simulated input for BQSim and the
+//! three baselines, with improvement ratios. These counts come from the
+//! real fusion algorithms, so they are exact (machine-independent).
+
+use bqsim_bench::runners::{build_circuit, table3_macs};
+use bqsim_bench::table::{speedup, Table};
+use bqsim_bench::{geomean, ReportParams};
+use bqsim_qcir::generators;
+
+fn main() {
+    let params = ReportParams::from_args();
+    println!("# Table 3 — #MAC per input (smaller is better)\n");
+    let mut t = Table::new(&[
+        "circuit", "n", "gates", "cuQuantum", "Qiskit Aer", "FlatDD", "BQSim",
+        "vs cuQ", "vs Aer", "vs FlatDD",
+    ]);
+    let (mut r_cuq, mut r_aer, mut r_flat) = (Vec::new(), Vec::new(), Vec::new());
+    for entry in generators::paper_suite() {
+        let circuit = build_circuit(&entry, &params);
+        let m = table3_macs(&circuit);
+        r_cuq.push(m.cuquantum as f64 / m.bqsim as f64);
+        r_aer.push(m.aer as f64 / m.bqsim as f64);
+        r_flat.push(m.flatdd as f64 / m.bqsim as f64);
+        t.add(vec![
+            entry.family.name().to_string(),
+            circuit.num_qubits().to_string(),
+            circuit.num_gates().to_string(),
+            m.cuquantum.to_string(),
+            m.aer.to_string(),
+            m.flatdd.to_string(),
+            m.bqsim.to_string(),
+            speedup(m.cuquantum, m.bqsim),
+            speedup(m.aer, m.bqsim),
+            speedup(m.flatdd, m.bqsim),
+        ]);
+        eprintln!("done: {} n={}", entry.family.name(), circuit.num_qubits());
+    }
+    print!("{}", t.render());
+    println!(
+        "\ngeomean #MAC improvements: vs cuQuantum {:.2}x (paper 10.76x), vs Qiskit Aer \
+         {:.2}x (paper 3.85x), vs FlatDD {:.2}x (paper 1.23x)",
+        geomean(&r_cuq),
+        geomean(&r_aer),
+        geomean(&r_flat)
+    );
+}

@@ -1,0 +1,37 @@
+//! Shared infrastructure for the report binaries and Criterion benches.
+//!
+//! Each `report_*` binary regenerates one table or figure of the BQSim
+//! paper (see DESIGN.md §5 for the index). Reports print markdown tables
+//! with the paper's reference values alongside, so EXPERIMENTS.md can be
+//! produced by capturing `report_all`'s output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod runners;
+pub mod table;
+
+pub use params::ReportParams;
+
+/// Geometric mean of a series (the paper's averaging rule for data with
+/// exponential spread, §4).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-300).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Report parameters, overridable from the command line.
+
+/// Shared knobs of every report binary.
+///
+/// Defaults are the scaled sizes of DESIGN.md §6 (N=20 batches × B=64 on
+/// scaled qubit counts); `--paper-sizes` switches the circuit widths to
+/// the paper's originals and `--batches`/`--batch-size` restore the
+/// paper's N=200 × B=256 when the machine allows.
+#[derive(Debug, Clone)]
+pub struct ReportParams {
+    /// Number of input batches (paper: 200).
+    pub batches: usize,
+    /// Inputs per batch (paper: 256).
+    pub batch_size: usize,
+    /// Use the paper's original qubit counts instead of scaled ones.
+    pub paper_sizes: bool,
+    /// Seed for circuit parameters and inputs.
+    pub seed: u64,
+}
+
+impl Default for ReportParams {
+    fn default() -> Self {
+        ReportParams {
+            batches: 20,
+            batch_size: 64,
+            paper_sizes: false,
+            seed: 42,
+        }
+    }
+}
+
+impl ReportParams {
+    /// Parses parameters from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<usize> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        let mut p = ReportParams::default();
+        if let Some(b) = get("--batches") {
+            p.batches = b;
+        }
+        if let Some(b) = get("--batch-size") {
+            p.batch_size = b;
+        }
+        if let Some(s) = get("--seed") {
+            p.seed = s as u64;
+        }
+        p.paper_sizes = args.iter().any(|a| a == "--paper-sizes");
+        p
+    }
+
+    /// Total inputs across all batches.
+    pub fn total_inputs(&self) -> usize {
+        self.batches * self.batch_size
+    }
+
+    /// The qubit count to use for a suite entry under these parameters.
+    pub fn qubits_for(&self, entry: &bqsim_qcir::generators::SuiteEntry) -> usize {
+        if self.paper_sizes {
+            entry.paper_qubits
+        } else {
+            entry.scaled_qubits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_scaled() {
+        let p = ReportParams::default();
+        assert_eq!(p.total_inputs(), 20 * 64);
+        assert!(!p.paper_sizes);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared simulator runners for the report binaries.
+
+use crate::ReportParams;
+use bqsim_baselines::aer::{AerOptions, QiskitAerLike};
+use bqsim_baselines::cuq::{CuQuantumLike, GateSource};
+use bqsim_baselines::flatdd::FlatDdLike;
+use bqsim_core::{BqSimOptions, BqSimulator};
+use bqsim_gpu::{CpuSpec, DeviceSpec};
+use bqsim_qcir::generators::SuiteEntry;
+use bqsim_qcir::Circuit;
+
+/// Builds the circuit of a suite entry under the report parameters.
+pub fn build_circuit(entry: &SuiteEntry, params: &ReportParams) -> Circuit {
+    entry.family.build(params.qubits_for(entry), params.seed)
+}
+
+/// Compiles BQSim with default options.
+///
+/// # Panics
+///
+/// Panics if compilation fails (suite circuits are never empty).
+pub fn compile_bqsim(circuit: &Circuit) -> BqSimulator {
+    BqSimulator::compile(circuit, BqSimOptions::default()).expect("suite circuit compiles")
+}
+
+/// All four simulators' end-to-end virtual times for one circuit.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatorTimes {
+    /// BQSim total pipeline time (fusion + conversion + simulation).
+    pub bqsim_ns: u64,
+    /// cuQuantum-like (unfused, batched) time.
+    pub cuquantum_ns: u64,
+    /// Qiskit-Aer-like (fused, per-input ×8 processes) time.
+    pub aer_ns: u64,
+    /// FlatDD-like (CPU) time.
+    pub flatdd_ns: u64,
+}
+
+/// Runs the Table 2 comparison for one circuit.
+pub fn table2_times(circuit: &Circuit, params: &ReportParams) -> SimulatorTimes {
+    let sim = compile_bqsim(circuit);
+    let run = sim
+        .run_synthetic(params.batches, params.batch_size)
+        .expect("synthetic run fits device");
+    let bqsim_ns = run.breakdown.total_ns();
+
+    let cuq = CuQuantumLike::compile(
+        circuit,
+        GateSource::Unfused,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        false,
+    )
+    .expect("unfused gates always fit");
+    let cuquantum_ns = cuq.run_synthetic(params.batches, params.batch_size).total_ns;
+
+    let aer = QiskitAerLike::compile(
+        circuit,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        AerOptions::default(),
+    );
+    let aer_ns = aer.run_synthetic(params.total_inputs()).total_ns;
+
+    let flatdd = FlatDdLike::compile(circuit, CpuSpec::i7_11700(), 16);
+    let flatdd_ns = flatdd.run_synthetic(params.total_inputs()).total_ns;
+
+    SimulatorTimes {
+        bqsim_ns,
+        cuquantum_ns,
+        aer_ns,
+        flatdd_ns,
+    }
+}
+
+/// All four simulators' #MAC per input for one circuit (Table 3).
+#[derive(Debug, Clone, Copy)]
+pub struct MacCounts {
+    /// BQSim after BQCS-aware fusion.
+    pub bqsim: u64,
+    /// cuQuantum, unfused dense.
+    pub cuquantum: u64,
+    /// Aer after array-based fusion.
+    pub aer: u64,
+    /// FlatDD after greedy DD fusion.
+    pub flatdd: u64,
+}
+
+/// Computes Table 3's per-input #MAC for one circuit.
+pub fn table3_macs(circuit: &Circuit) -> MacCounts {
+    let sim = compile_bqsim(circuit);
+    let cuq = CuQuantumLike::compile(
+        circuit,
+        GateSource::Unfused,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        false,
+    )
+    .expect("unfused gates always fit");
+    let aer = QiskitAerLike::compile(
+        circuit,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        AerOptions::default(),
+    );
+    let flatdd = FlatDdLike::compile(circuit, CpuSpec::i7_11700(), 16);
+    MacCounts {
+        bqsim: sim.mac_per_input(),
+        cuquantum: cuq.mac_per_input(),
+        aer: aer.mac_per_input(),
+        flatdd: flatdd.mac_per_input(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_qcir::generators;
+
+    #[test]
+    fn table2_times_order_correctly_on_a_small_circuit() {
+        let params = ReportParams {
+            batches: 4,
+            batch_size: 16,
+            ..ReportParams::default()
+        };
+        let circuit = generators::routing(6, 1);
+        let t = table2_times(&circuit, &params);
+        assert!(t.bqsim_ns < t.cuquantum_ns);
+        assert!(t.bqsim_ns < t.aer_ns);
+        assert!(t.bqsim_ns < t.flatdd_ns);
+    }
+
+    #[test]
+    fn table3_macs_match_paper_for_routing6() {
+        let circuit = generators::routing(6, 1);
+        let m = table3_macs(&circuit);
+        // Paper Table 3, Routing n=6: cuQuantum 9 984, BQSim 3 072.
+        assert_eq!(m.cuquantum, 9984);
+        assert!(m.bqsim <= m.flatdd);
+    }
+}

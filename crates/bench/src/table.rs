@@ -1,0 +1,96 @@
+//! Minimal markdown table builder for report output.
+
+use std::fmt::Write as _;
+
+/// A markdown table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn add(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(row.len(), self.header.len(), "table row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&dashes, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{}", format_args!("({} columns × {} rows)\n", cols, self.rows.len()));
+        out
+    }
+}
+
+/// Formats virtual nanoseconds as milliseconds with 3 decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Formats a speed-up ratio like the paper's tables (`12.34x`).
+pub fn speedup(slow_ns: u64, fast_ns: u64) -> String {
+    format!("{:.2}x", slow_ns as f64 / fast_ns.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.add(vec!["x".into(), "y".into()]);
+        let s = t.render();
+        assert!(s.contains("| a | bbbb |"));
+        assert!(s.contains("| x | y    |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a"]).add(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn speedup_formats() {
+        assert_eq!(speedup(200, 100), "2.00x");
+        assert_eq!(ms(2_500_000), "2.500");
+    }
+}

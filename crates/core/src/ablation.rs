@@ -1,0 +1,140 @@
+//! Ablation harness for the paper's §4.9 study (Fig. 13).
+
+use crate::simulator::{BqSimOptions, BqSimulator, RunResult};
+use crate::BqsimError;
+use bqsim_gpu::LaunchMode;
+use bqsim_qcir::Circuit;
+
+/// One ablated variant of the BQSim pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The full pipeline.
+    Full,
+    /// Stage ① removed: one ELL gate per (lowered) circuit gate.
+    WithoutFusion,
+    /// Stage ② removed: BQCS runs directly on GPU-resident DDs.
+    WithoutEll,
+    /// Stage ③ removed: per-kernel stream launches, no copy overlap.
+    WithoutTaskGraph,
+}
+
+impl Variant {
+    /// All variants in Fig. 13's order.
+    pub fn all() -> [Variant; 4] {
+        [
+            Variant::Full,
+            Variant::WithoutFusion,
+            Variant::WithoutEll,
+            Variant::WithoutTaskGraph,
+        ]
+    }
+
+    /// The variant's display label as used in Fig. 13.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Full => "Original BQSim",
+            Variant::WithoutFusion => "BQSim without BQCS-aware gate fusion",
+            Variant::WithoutEll => "BQSim without DD-to-ELL conversion",
+            Variant::WithoutTaskGraph => "BQSim without task graph",
+        }
+    }
+
+    /// Builds the options implementing this variant on top of `base`.
+    pub fn options(self, base: &BqSimOptions) -> BqSimOptions {
+        let mut opts = base.clone();
+        match self {
+            Variant::Full => {}
+            Variant::WithoutFusion => opts.skip_fusion = true,
+            Variant::WithoutEll => opts.skip_ell = true,
+            Variant::WithoutTaskGraph => opts.launch_mode = LaunchMode::Stream,
+        }
+        opts
+    }
+}
+
+/// Result of one ablation cell: the variant and its simulated run.
+#[derive(Debug)]
+pub struct AblationCell {
+    /// Which variant ran.
+    pub variant: Variant,
+    /// The run (timing-only).
+    pub run: RunResult,
+}
+
+/// Runs all four variants on a circuit with `num_batches × batch_size`
+/// synthetic inputs, timing-only.
+///
+/// # Errors
+///
+/// Propagates compile/run errors of any variant.
+pub fn run_ablation(
+    circuit: &Circuit,
+    base: &BqSimOptions,
+    num_batches: usize,
+    batch_size: usize,
+) -> Result<Vec<AblationCell>, BqsimError> {
+    Variant::all()
+        .into_iter()
+        .map(|variant| {
+            let sim = BqSimulator::compile(circuit, variant.options(base))?;
+            let run = sim.run_synthetic(num_batches, batch_size)?;
+            Ok(AblationCell { variant, run })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_qcir::generators;
+
+    #[test]
+    fn every_ablation_slows_the_pipeline() {
+        let circuit = generators::vqe(6, 5);
+        let base = BqSimOptions::default();
+        let cells = run_ablation(&circuit, &base, 10, 32).unwrap();
+        assert_eq!(cells.len(), 4);
+        let full = cells[0].run.timeline.total_ns();
+        for cell in &cells[1..] {
+            let t = cell.run.timeline.total_ns();
+            assert!(
+                t > full,
+                "{}: ablated {} !> full {}",
+                cell.variant.label(),
+                t,
+                full
+            );
+        }
+    }
+
+    #[test]
+    fn without_ell_is_the_biggest_regression_on_rotation_heavy_circuits() {
+        // Paper §4.9: DD-to-ELL conversion contributes 5.5×–35×, the
+        // largest factor of the three stages.
+        let circuit = generators::tsp(6, 5);
+        let base = BqSimOptions::default();
+        let cells = run_ablation(&circuit, &base, 10, 32).unwrap();
+        let by = |v: Variant| {
+            cells
+                .iter()
+                .find(|c| c.variant == v)
+                .unwrap()
+                .run
+                .timeline
+                .total_ns()
+        };
+        let full = by(Variant::Full);
+        let no_ell = by(Variant::WithoutEll) as f64 / full as f64;
+        let no_graph = by(Variant::WithoutTaskGraph) as f64 / full as f64;
+        assert!(no_ell > no_graph, "no_ell {no_ell} !> no_graph {no_graph}");
+        assert!(no_ell > 3.0, "no-ELL slowdown too small: {no_ell}");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<_> = Variant::all().iter().map(|v| v.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+}

@@ -1,0 +1,227 @@
+//! `bqsim` — command-line front end: simulate an OpenQASM 2.0 circuit
+//! against batches of random input states and report results + timing.
+//!
+//! ```sh
+//! bqsim circuit.qasm --batches 4 --batch-size 64 --shots 1000
+//! bqsim --family vqe --qubits 10 --gantt
+//! ```
+
+use bqsim_core::{random_input_batch, BqSimOptions, BqSimulator};
+use bqsim_gpu::LaunchMode;
+use bqsim_qcir::observable::{expectation, sample_counts, PauliString};
+use bqsim_qcir::{dense, generators, qasm, Circuit};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+struct Args {
+    source: Option<String>,
+    family: Option<String>,
+    qubits: usize,
+    batches: usize,
+    batch_size: usize,
+    tau: usize,
+    seed: u64,
+    stream: bool,
+    skip_fusion: bool,
+    gantt: bool,
+    shots: usize,
+    observable: Option<String>,
+    zero_input: bool,
+    optimize: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        source: None,
+        family: None,
+        qubits: 8,
+        batches: 2,
+        batch_size: 32,
+        tau: 2000,
+        seed: 42,
+        stream: false,
+        skip_fusion: false,
+        gantt: false,
+        shots: 0,
+        observable: None,
+        zero_input: false,
+        optimize: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--family" => args.family = Some(value(&mut i)?),
+            "--qubits" => args.qubits = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--batches" => args.batches = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--batch-size" => {
+                args.batch_size = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tau" => args.tau = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--shots" => args.shots = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--observable" => args.observable = Some(value(&mut i)?),
+            "--stream" => args.stream = true,
+            "--skip-fusion" => args.skip_fusion = true,
+            "--gantt" => args.gantt = true,
+            "--zero-input" => args.zero_input = true,
+            "--optimize" => args.optimize = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            path if !path.starts_with('-') => args.source = Some(path.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "bqsim — batch quantum circuit simulator (BQSim reproduction)
+
+USAGE:
+    bqsim [circuit.qasm] [OPTIONS]
+
+OPTIONS:
+    --family <name>      built-in circuit instead of a QASM file
+                         (qnn|vqe|portfolio|graph|tsp|routing|supremacy|ghz|qft)
+    --qubits <n>         width for --family circuits        [default: 8]
+    --batches <N>        number of input batches            [default: 2]
+    --batch-size <B>     inputs per batch                   [default: 32]
+    --tau <edges>        hybrid conversion threshold        [default: 2000]
+    --seed <s>           RNG seed for inputs/parameters     [default: 42]
+    --stream             disable the task graph (stream launches)
+    --skip-fusion        disable BQCS-aware gate fusion
+    --zero-input         use |0…0> inputs instead of random states
+    --optimize           run peephole optimisation before compiling
+    --shots <k>          sample k measurements from the first output
+    --observable <P>     report <P> (Pauli string, e.g. ZZIZ) per output
+    --gantt              print the device schedule as ASCII Gantt"
+    );
+}
+
+fn build_circuit(args: &Args) -> Result<Circuit, String> {
+    if let Some(path) = &args.source {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return qasm::parse(&text).map_err(|e| e.to_string());
+    }
+    let family = args.family.as_deref().unwrap_or("vqe");
+    let n = args.qubits;
+    let c = match family {
+        "qnn" => generators::qnn(n, args.seed),
+        "vqe" => generators::vqe(n, args.seed),
+        "portfolio" => generators::portfolio_opt(n, args.seed),
+        "graph" => generators::graph_state(n),
+        "tsp" => generators::tsp(n, args.seed),
+        "routing" => generators::routing(n, args.seed),
+        "supremacy" => generators::supremacy(n, 8, args.seed),
+        "ghz" => generators::ghz(n),
+        "qft" => generators::qft(n),
+        other => return Err(format!("unknown family `{other}` (see --help)")),
+    };
+    Ok(c)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut circuit = build_circuit(&args)?;
+    if args.optimize {
+        let (opt, stats) = bqsim_qcir::optimize::optimize(&circuit);
+        println!(
+            "peephole optimisation: {} -> {} gates ({} cancelled, {} merged)",
+            stats.gates_before, stats.gates_after, stats.pairs_cancelled, stats.rotations_merged
+        );
+        circuit = opt;
+    }
+    let n = circuit.num_qubits();
+    println!(
+        "circuit: {} — {} qubits, {} gates, depth {}",
+        if circuit.name().is_empty() { "<qasm>" } else { circuit.name() },
+        n,
+        circuit.num_gates(),
+        circuit.depth()
+    );
+
+    let opts = BqSimOptions {
+        tau: args.tau,
+        launch_mode: if args.stream {
+            LaunchMode::Stream
+        } else {
+            LaunchMode::Graph
+        },
+        skip_fusion: args.skip_fusion,
+        ..BqSimOptions::default()
+    };
+    let sim = BqSimulator::compile(&circuit, opts).map_err(|e| e.to_string())?;
+    println!(
+        "compiled: {} fused gates, {} MAC/input, fusion {:.3} ms + conversion {:.3} ms (virtual)",
+        sim.gates().len(),
+        sim.mac_per_input(),
+        sim.compile_breakdown().fusion_ns as f64 / 1e6,
+        sim.compile_breakdown().conversion_ns as f64 / 1e6,
+    );
+
+    let batches: Vec<_> = (0..args.batches)
+        .map(|b| {
+            if args.zero_input {
+                vec![dense::zero_state(n); args.batch_size]
+            } else {
+                random_input_batch(n, args.batch_size, args.seed ^ b as u64)
+            }
+        })
+        .collect();
+    let result = sim.run_batches(&batches).map_err(|e| e.to_string())?;
+    println!(
+        "simulated {} inputs in {:.3} ms virtual device time ({:.0} W GPU avg)",
+        args.batches * args.batch_size,
+        result.timeline.total_ms(),
+        result.power.gpu_w,
+    );
+
+    if args.gantt {
+        println!("\ndevice schedule:\n{}", result.timeline.render_gantt(72));
+    }
+
+    if let Some(p) = &args.observable {
+        let obs = PauliString::parse(p).map_err(|c| format!("bad Pauli `{c}` in {p}"))?;
+        let values: Vec<f64> = result.outputs[0]
+            .iter()
+            .map(|s| expectation(&obs, s))
+            .collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        println!("<{obs}> over batch 0: mean {mean:+.6}");
+    }
+
+    if args.shots > 0 {
+        let mut rng = SmallRng::seed_from_u64(args.seed);
+        let counts = sample_counts(&result.outputs[0][0], args.shots, &mut rng);
+        println!("\ntop outcomes of output state 0 ({} shots):", args.shots);
+        let mut ranked: Vec<(usize, usize)> =
+            counts.into_iter().enumerate().filter(|(_, c)| *c > 0).collect();
+        ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+        for (state, count) in ranked.into_iter().take(8) {
+            println!("  |{state:0width$b}⟩  {count}", width = n);
+        }
+    }
+    Ok(())
+}

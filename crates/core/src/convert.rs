@@ -1,0 +1,268 @@
+//! Hybrid DD-to-ELL conversion (paper §3.2).
+//!
+//! GPU-based conversion (Algorithm 1) wins for structurally simple DDs;
+//! CPU path enumeration wins once the DD has many edges (more branches →
+//! more thread divergence, Fig. 5). The hybrid converter picks per gate:
+//! CPU when the DD has more than τ edges, GPU otherwise (§3.2, τ = 2000 in
+//! the paper's evaluation).
+
+use crate::fusion::FusedGate;
+use crate::kernels::DdToEllKernel;
+use bqsim_ell::convert::{ell_from_dd_cpu, ell_from_gpu_dd};
+use bqsim_ell::{EllMatrix, GpuDd};
+use bqsim_gpu::{CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, LaunchMode, TaskGraph};
+use std::sync::Arc;
+
+/// Which conversion path produced an ELL gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConversionMethod {
+    /// CPU path enumeration.
+    Cpu,
+    /// Algorithm-1 GPU kernel.
+    Gpu,
+}
+
+/// A fused gate after conversion: the ELL matrix plus provenance and the
+/// modelled conversion time.
+#[derive(Debug, Clone)]
+pub struct ConvertedGate {
+    /// The gate in ELL format (input to the BQCS kernel).
+    pub ell: Arc<EllMatrix>,
+    /// The flattened DD (kept for the no-ELL ablation kernel).
+    pub gpu_dd: Arc<GpuDd>,
+    /// BQCS cost (max NZR).
+    pub cost: usize,
+    /// Which path converted it.
+    pub method: ConversionMethod,
+    /// Modelled conversion time in virtual nanoseconds.
+    pub conversion_ns: u64,
+    /// DD edge count (the τ discriminator).
+    pub dd_edges: usize,
+    /// Algorithm-1 DFS work counters.
+    pub work: bqsim_ell::convert::ConversionWork,
+}
+
+/// Per-entry cost of CPU path enumeration in nanoseconds (recursion,
+/// hash-consed weight multiplication, scattered stores).
+const CPU_NS_PER_ENTRY: f64 = 150.0;
+/// Fixed per-gate CPU conversion overhead (allocation, NZRV pass), ns.
+const CPU_BASE_NS: f64 = 5_000.0;
+
+/// The hybrid DD-to-ELL converter.
+///
+/// # Examples
+///
+/// ```
+/// use bqsim_core::{fusion, HybridConverter};
+/// use bqsim_qdd::{gates, DdPackage};
+/// use bqsim_qcir::generators;
+///
+/// let c = generators::vqe(5, 1);
+/// let mut dd = DdPackage::new();
+/// let fused = fusion::bqcs_aware_fusion(&mut dd, 5, &gates::lower_circuit(&c));
+/// let converter = HybridConverter::default();
+/// let gates = converter.convert_all(&mut dd, &fused, 5);
+/// assert_eq!(gates.len(), fused.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridConverter {
+    /// DD-edge threshold: more than τ edges → CPU conversion.
+    pub tau: usize,
+    device: DeviceSpec,
+    cpu: CpuSpec,
+}
+
+impl HybridConverter {
+    /// Creates a converter with the paper's default τ = 2000 and the
+    /// default device/CPU specs.
+    pub fn new(tau: usize, device: DeviceSpec, cpu: CpuSpec) -> Self {
+        HybridConverter { tau, device, cpu }
+    }
+
+    /// Converts one fused gate, picking the method by τ.
+    pub fn convert(
+        &self,
+        dd: &mut bqsim_qdd::DdPackage,
+        gate: &FusedGate,
+        n: usize,
+    ) -> ConvertedGate {
+        let gdd = GpuDd::from_dd(dd, gate.edge, n);
+        let method = if gdd.num_edges() > self.tau {
+            ConversionMethod::Cpu
+        } else {
+            ConversionMethod::Gpu
+        };
+        self.convert_with(dd, gate, n, method)
+    }
+
+    /// Converts with a forced method (used by the Fig. 5 / Fig. 9
+    /// experiments that compare GPU-only, CPU-only, and hybrid).
+    pub fn convert_with(
+        &self,
+        dd: &mut bqsim_qdd::DdPackage,
+        gate: &FusedGate,
+        n: usize,
+        method: ConversionMethod,
+    ) -> ConvertedGate {
+        let gdd = Arc::new(GpuDd::from_dd(dd, gate.edge, n));
+        // Functional result always comes from the reference CPU path (both
+        // paths are proven equivalent in bqsim-ell's tests); only the
+        // *timing* differs by method.
+        let ell = Arc::new(ell_from_dd_cpu(dd, gate.edge, n));
+        let (_, work) = ell_from_gpu_dd(&gdd, ell.max_nzr());
+        let conversion_ns = match method {
+            ConversionMethod::Cpu => self.cpu_conversion_ns(&ell),
+            ConversionMethod::Gpu => self.gpu_conversion_ns(&gdd, work, &ell),
+        };
+        ConvertedGate {
+            cost: ell.max_nzr(),
+            dd_edges: gdd.num_edges(),
+            gpu_dd: gdd,
+            ell,
+            method,
+            conversion_ns,
+            work,
+        }
+    }
+
+    /// Converts a whole fused-gate sequence.
+    pub fn convert_all(
+        &self,
+        dd: &mut bqsim_qdd::DdPackage,
+        gates: &[FusedGate],
+        n: usize,
+    ) -> Vec<ConvertedGate> {
+        gates.iter().map(|g| self.convert(dd, g, n)).collect()
+    }
+
+    /// Modelled CPU conversion time: proportional to the non-zero entry
+    /// count (one DFS visit each), scaled by single-thread CPU throughput.
+    fn cpu_conversion_ns(&self, ell: &EllMatrix) -> u64 {
+        let entries = ell.stored_nonzeros() as f64 + ell.num_rows() as f64 * 0.1;
+        let clock_scale = 2.5 / self.cpu.clock_ghz; // calibrated at 2.5 GHz
+        (CPU_BASE_NS + entries * CPU_NS_PER_ENTRY * clock_scale) as u64
+    }
+
+    /// Modelled GPU conversion time: run the Algorithm-1 kernel through the
+    /// engine's timing model.
+    fn gpu_conversion_ns(
+        &self,
+        gdd: &GpuDd,
+        work: bqsim_ell::convert::ConversionWork,
+        ell: &EllMatrix,
+    ) -> u64 {
+        let engine = Engine::new(self.device.clone());
+        let mut graph = TaskGraph::new();
+        graph.add_kernel(
+            "dd_to_ell",
+            Arc::new(DdToEllKernel::new(gdd, work, ell)),
+            &[],
+        );
+        let mut mem = DeviceMemory::new(&self.device);
+        let mut host = HostMemory::new();
+        engine
+            .run(&graph, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly)
+            .total_ns()
+    }
+}
+
+impl Default for HybridConverter {
+    fn default() -> Self {
+        HybridConverter::new(2000, DeviceSpec::rtx_a6000(), CpuSpec::i7_11700())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::{bqcs_aware_fusion, classify_gates};
+    use bqsim_qcir::{generators, Circuit};
+    use bqsim_qdd::gates::lower_circuit;
+    use bqsim_qdd::DdPackage;
+
+    #[test]
+    fn small_dds_go_to_gpu_large_to_cpu() {
+        let converter = HybridConverter::new(20, DeviceSpec::rtx_a6000(), CpuSpec::i7_11700());
+        // A single CX gate: tiny DD → GPU.
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        let mut dd = DdPackage::new();
+        let gates = classify_gates(&mut dd, 6, &lower_circuit(&c));
+        let conv = converter.convert(&mut dd, &gates[0], 6);
+        assert_eq!(conv.method, ConversionMethod::Gpu);
+
+        // The full supremacy circuit multiplied into one dense product is
+        // a complex DD; under the tiny τ=20 it must route to the CPU.
+        let sup = generators::supremacy(6, 8, 3);
+        let mut dd = DdPackage::new();
+        let mut product = dd.identity(6);
+        for g in lower_circuit(&sup) {
+            let e = bqsim_qdd::gates::gate_dd(&mut dd, 6, &g);
+            product = dd.mat_mul(e, product);
+        }
+        let heavy = crate::fusion::FusedGate::classify(&mut dd, product, 6, 1);
+        let conv = converter.convert(&mut dd, &heavy, 6);
+        assert!(conv.dd_edges > 20, "edges = {}", conv.dd_edges);
+        assert_eq!(conv.method, ConversionMethod::Cpu);
+    }
+
+    #[test]
+    fn forced_methods_share_functional_result() {
+        let c = generators::vqe(5, 2);
+        let mut dd = DdPackage::new();
+        let fused = bqcs_aware_fusion(&mut dd, 5, &lower_circuit(&c));
+        let converter = HybridConverter::default();
+        for g in &fused {
+            let a = converter.convert_with(&mut dd, g, 5, ConversionMethod::Cpu);
+            let b = converter.convert_with(&mut dd, g, 5, ConversionMethod::Gpu);
+            assert_eq!(a.ell, b.ell, "functional ELL must not depend on method");
+            assert!(a.conversion_ns > 0 && b.conversion_ns > 0);
+        }
+    }
+
+    #[test]
+    fn gpu_faster_for_simple_dd_cpu_faster_for_complex_dd() {
+        let converter = HybridConverter::default();
+        // Simple structure, many rows: GPU parallelism wins.
+        let c = generators::vqe(10, 1);
+        let mut dd = DdPackage::new();
+        let fused = bqcs_aware_fusion(&mut dd, 10, &lower_circuit(&c));
+        let g = fused.iter().find(|g| g.cost >= 2).expect("rotation gate");
+        let cpu = converter.convert_with(&mut dd, g, 10, ConversionMethod::Cpu);
+        let gpu = converter.convert_with(&mut dd, g, 10, ConversionMethod::Gpu);
+        assert!(
+            gpu.conversion_ns < cpu.conversion_ns,
+            "simple DD: GPU {} !< CPU {}",
+            gpu.conversion_ns,
+            cpu.conversion_ns
+        );
+
+        // Complex diagonal (supremacy fused chunk) with many edges: CPU
+        // conversion must become competitive or better (Fig. 5b).
+        let sup = generators::supremacy(10, 10, 7);
+        let mut dd = DdPackage::new();
+        let fused = bqcs_aware_fusion(&mut dd, 10, &lower_circuit(&sup));
+        let heavy = fused.iter().max_by_key(|g| {
+            let gdd = GpuDd::from_dd(&dd, g.edge, 10);
+            gdd.num_edges()
+        });
+        if let Some(h) = heavy {
+            let cpu = converter.convert_with(&mut dd, h, 10, ConversionMethod::Cpu);
+            let gpu = converter.convert_with(&mut dd, h, 10, ConversionMethod::Gpu);
+            if cpu.dd_edges > 4000 {
+                assert!(
+                    cpu.conversion_ns < gpu.conversion_ns,
+                    "complex DD ({} edges): CPU {} !< GPU {}",
+                    cpu.dd_edges,
+                    cpu.conversion_ns,
+                    gpu.conversion_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_tau_matches_paper() {
+        assert_eq!(HybridConverter::default().tau, 2000);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type of the BQSim pipeline.
+
+use bqsim_gpu::AllocDeviceError;
+use core::fmt;
+use std::error::Error;
+
+/// Errors produced while compiling or running a batch simulation.
+#[derive(Debug)]
+pub enum BqsimError {
+    /// The circuit has no qubits.
+    EmptyCircuit,
+    /// A batch input vector has the wrong length for the circuit width.
+    BadInputLength {
+        /// Expected amplitudes per input (`2^n`).
+        expected: usize,
+        /// Length actually provided.
+        got: usize,
+    },
+    /// The simulated device ran out of memory (the failure mode behind the
+    /// paper's Table 4 "-" entries).
+    DeviceOom(AllocDeviceError),
+}
+
+impl fmt::Display for BqsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BqsimError::EmptyCircuit => write!(f, "circuit has no qubits"),
+            BqsimError::BadInputLength { expected, got } => write!(
+                f,
+                "batch input has {got} amplitudes, expected {expected}"
+            ),
+            BqsimError::DeviceOom(e) => write!(f, "device out of memory: {e}"),
+        }
+    }
+}
+
+impl Error for BqsimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BqsimError::DeviceOom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocDeviceError> for BqsimError {
+    fn from(e: AllocDeviceError) -> Self {
+        BqsimError::DeviceOom(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(BqsimError::EmptyCircuit.to_string(), "circuit has no qubits");
+        let e = BqsimError::BadInputLength {
+            expected: 8,
+            got: 4,
+        };
+        assert!(e.to_string().contains("expected 8"));
+    }
+}

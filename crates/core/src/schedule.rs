@@ -1,0 +1,212 @@
+//! Double-buffered batch task graph (paper §3.3.2, Fig. 8).
+//!
+//! Four device buffers hold in-flight batches: `D[0]`/`D[1]` ping-pong the
+//! even-indexed batches, `D[2]`/`D[3]` the odd-indexed ones. Kernel `I_k`
+//! of batch `I_B` reads `D[2(I_B%2) + (⌊I_B/2⌋·(L+1) + I_k)%2]` and writes
+//! the complementary buffer of its pair, so while one batch computes, the
+//! other pair's buffers upload the next input and download the previous
+//! result.
+//!
+//! Dependencies are derived with classic hazard tracking (RAW/WAR/WAW per
+//! buffer), which reproduces exactly the edges of Fig. 8b.
+
+use bqsim_gpu::{BufferId, HostBufId, TaskGraph, TaskId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The buffer-index formula of §3.3.2 for kernel `kernel` of batch `batch`
+/// in a schedule with `kernels_per_batch` kernels: returns
+/// `(input_index, output_index)` into `D[0..4)`.
+pub fn buffer_indices(batch: usize, kernel: usize, kernels_per_batch: usize) -> (usize, usize) {
+    let l = kernels_per_batch;
+    let base = 2 * (batch % 2);
+    let phase = (batch / 2) * (l + 1) + kernel;
+    (base + phase % 2, base + (phase + 1) % 2)
+}
+
+/// The buffer holding batch `batch`'s initial input (target of its H2D).
+pub fn input_buffer_index(batch: usize, kernels_per_batch: usize) -> usize {
+    buffer_indices(batch, 0, kernels_per_batch).0
+}
+
+/// The buffer holding batch `batch`'s final output (source of its D2H).
+pub fn output_buffer_index(batch: usize, kernels_per_batch: usize) -> usize {
+    buffer_indices(batch, kernels_per_batch - 1, kernels_per_batch).1
+}
+
+/// Tracks per-buffer readers/writers and inserts hazard edges.
+#[derive(Debug, Default)]
+struct HazardTracker {
+    last_writer: HashMap<BufferId, TaskId>,
+    readers_since_write: HashMap<BufferId, Vec<TaskId>>,
+}
+
+impl HazardTracker {
+    /// Dependencies a task that *reads* `buf` must wait for (RAW).
+    fn read_deps(&self, buf: BufferId) -> Vec<TaskId> {
+        self.last_writer.get(&buf).copied().into_iter().collect()
+    }
+
+    /// Dependencies a task that *writes* `buf` must wait for (WAW + WAR).
+    fn write_deps(&self, buf: BufferId) -> Vec<TaskId> {
+        let mut deps: Vec<TaskId> = self.last_writer.get(&buf).copied().into_iter().collect();
+        if let Some(readers) = self.readers_since_write.get(&buf) {
+            deps.extend(readers.iter().copied());
+        }
+        deps
+    }
+
+    fn record_read(&mut self, buf: BufferId, task: TaskId) {
+        self.readers_since_write.entry(buf).or_default().push(task);
+    }
+
+    fn record_write(&mut self, buf: BufferId, task: TaskId) {
+        self.last_writer.insert(buf, task);
+        self.readers_since_write.insert(buf, Vec::new());
+    }
+}
+
+/// One gate application in the built schedule: an opaque kernel factory so
+/// the builder works for both the ELL pipeline and the no-ELL ablation.
+pub type KernelFactory<'a> =
+    dyn Fn(usize, BufferId, BufferId) -> Arc<dyn bqsim_gpu::Kernel> + 'a;
+
+/// Builds the §3.3.2 task graph.
+///
+/// * `buffers` — the four device buffers `D[0..4)`.
+/// * `inputs[b]` / `outputs[b]` — host buffers per batch.
+/// * `bytes_per_batch` — payload of each H2D/D2H copy.
+/// * `make_kernel(k, input, output)` — creates the kernel applying gate `k`.
+///
+/// # Panics
+///
+/// Panics if `kernels_per_batch` is 0 or fewer than 4 buffers are given.
+pub fn build_batch_graph(
+    buffers: &[BufferId],
+    inputs: &[HostBufId],
+    outputs: &[HostBufId],
+    kernels_per_batch: usize,
+    bytes_per_batch: u64,
+    make_kernel: &KernelFactory<'_>,
+) -> TaskGraph {
+    assert!(kernels_per_batch > 0, "need at least one kernel per batch");
+    assert!(buffers.len() >= 4, "the schedule uses four device buffers");
+    assert_eq!(inputs.len(), outputs.len(), "inputs/outputs length mismatch");
+
+    let mut graph = TaskGraph::new();
+    let mut hazards = HazardTracker::default();
+    let num_batches = inputs.len();
+
+    for b in 0..num_batches {
+        // Upload this batch's input.
+        let in_buf = buffers[input_buffer_index(b, kernels_per_batch)];
+        let h2d_deps = hazards.write_deps(in_buf);
+        let h2d = graph.add_h2d(
+            format!("h2d b{b}"),
+            inputs[b],
+            in_buf,
+            bytes_per_batch,
+            &h2d_deps,
+        );
+        hazards.record_write(in_buf, h2d);
+
+        // The gate chain.
+        for k in 0..kernels_per_batch {
+            let (i, o) = buffer_indices(b, k, kernels_per_batch);
+            let (src, dst) = (buffers[i], buffers[o]);
+            let mut deps = hazards.read_deps(src);
+            deps.extend(hazards.write_deps(dst));
+            deps.sort_unstable();
+            deps.dedup();
+            let t = graph.add_kernel(
+                format!("k{k} b{b}"),
+                make_kernel(k, src, dst),
+                &deps,
+            );
+            hazards.record_read(src, t);
+            hazards.record_write(dst, t);
+        }
+
+        // Download this batch's output.
+        let out_buf = buffers[output_buffer_index(b, kernels_per_batch)];
+        let d2h_deps = hazards.read_deps(out_buf);
+        let d2h = graph.add_d2h(
+            format!("d2h b{b}"),
+            out_buf,
+            outputs[b],
+            bytes_per_batch,
+            &d2h_deps,
+        );
+        hazards.record_read(out_buf, d2h);
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_buffer_walk() {
+        // Fig. 8b: four batches, two kernels each (L = 2).
+        // Batch 0: k0 reads D[0] writes D[1]; k1 reads D[1] writes D[0].
+        assert_eq!(buffer_indices(0, 0, 2), (0, 1));
+        assert_eq!(buffer_indices(0, 1, 2), (1, 0));
+        // Batch 1 uses the odd pair: k0 reads D[2] writes D[3]; k1 back.
+        assert_eq!(buffer_indices(1, 0, 2), (2, 3));
+        assert_eq!(buffer_indices(1, 1, 2), (3, 2));
+        // Batch 2 (⌊2/2⌋·3 = 3, odd phase): input lands in D[1].
+        assert_eq!(input_buffer_index(2, 2), 1);
+        assert_eq!(buffer_indices(2, 0, 2), (1, 0));
+        // Batch 0's result stays in D[0] for its D2H.
+        assert_eq!(output_buffer_index(0, 2), 0);
+        assert_eq!(output_buffer_index(1, 2), 2);
+    }
+
+    #[test]
+    fn input_and_output_buffers_alternate_within_pair() {
+        // With any L, consecutive even batches must alternate their input
+        // buffer so the upload of batch b+2 can overlap compute of batch b.
+        for l in 1..6 {
+            for b in (0..8).step_by(2) {
+                let a = input_buffer_index(b, l);
+                let c = input_buffer_index(b + 2, l);
+                assert!(a < 2 && c < 2);
+                if l % 2 == 0 {
+                    // Even L: final output returns to the input buffer, and
+                    // the next even batch must use the other one.
+                    assert_ne!(a, c, "L={l} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_io_buffers_always_differ() {
+        for l in 1..8 {
+            for b in 0..8 {
+                for k in 0..l {
+                    let (i, o) = buffer_indices(b, k, l);
+                    assert_ne!(i, o, "b={b} k={k} L={l}");
+                    // Both in the batch's own pair.
+                    assert_eq!(i / 2, b % 2);
+                    assert_eq!(o / 2, b % 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_kernels_connect() {
+        // Kernel k's output buffer is kernel k+1's input buffer.
+        for l in 2..8 {
+            for b in 0..4 {
+                for k in 0..l - 1 {
+                    let (_, o) = buffer_indices(b, k, l);
+                    let (i, _) = buffer_indices(b, k + 1, l);
+                    assert_eq!(o, i, "b={b} k={k} L={l}");
+                }
+            }
+        }
+    }
+}

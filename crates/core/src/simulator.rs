@@ -1,0 +1,558 @@
+//! The top-level BQSim simulator API.
+
+use crate::convert::{ConversionMethod, ConvertedGate, HybridConverter};
+use crate::error::BqsimError;
+use crate::fusion::{self, FusedGate};
+use crate::kernels::{DdSpmvKernel, EllSpmmKernel};
+use crate::schedule;
+use bqsim_gpu::power::{cpu_average_power_w, gpu_average_power_w, PowerReport};
+use bqsim_gpu::{
+    CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, Kernel, LaunchMode, Timeline,
+};
+use bqsim_num::Complex;
+use bqsim_qcir::Circuit;
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::DdPackage;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Virtual nanoseconds charged per DD operation (node construction or
+/// compute-cache miss) when modelling the fusion stage: a hash probe, a
+/// unique-table insert, and a few interned-complex multiplies.
+const FUSION_NS_PER_DD_OP: u64 = 60;
+
+/// Configuration of a BQSim compilation.
+#[derive(Debug, Clone)]
+pub struct BqSimOptions {
+    /// Hybrid-conversion threshold τ (paper default 2000).
+    pub tau: usize,
+    /// Simulated GPU.
+    pub device: DeviceSpec,
+    /// Simulated host CPU (for conversion timing and power).
+    pub cpu: CpuSpec,
+    /// Task-graph vs. per-kernel stream launching (the latter is the
+    /// "without task graph" ablation).
+    pub launch_mode: LaunchMode,
+    /// Whether kernels actually produce amplitudes.
+    pub exec_mode: ExecMode,
+    /// Force one conversion path (Fig. 9's GPU-only / CPU-only bars).
+    pub force_conversion: Option<ConversionMethod>,
+    /// Skip BQCS-aware gate fusion (ablation).
+    pub skip_fusion: bool,
+    /// Simulate straight from DDs, skipping ELL (ablation).
+    pub skip_ell: bool,
+}
+
+impl Default for BqSimOptions {
+    fn default() -> Self {
+        BqSimOptions {
+            tau: 2000,
+            device: DeviceSpec::rtx_a6000(),
+            cpu: CpuSpec::i7_11700(),
+            launch_mode: LaunchMode::Graph,
+            exec_mode: ExecMode::Functional,
+            force_conversion: None,
+            skip_fusion: false,
+            skip_ell: false,
+        }
+    }
+}
+
+/// Stage times of one compiled simulation (paper Fig. 12's breakdown).
+///
+/// All three stages are reported in the same **virtual-time** domain:
+/// fusion time is modelled from the DD package's real operation counts
+/// (node constructions + compute-cache misses — the algorithm's true work,
+/// independent of this host's speed), conversion from the §3.2 hybrid
+/// models, and simulation from the device schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBreakdown {
+    /// BQCS-aware gate fusion (modelled from real DD operation counts).
+    pub fusion_ns: u64,
+    /// DD-to-ELL conversion (modelled, per §3.2 method).
+    pub conversion_ns: u64,
+    /// Batch simulation (virtual device time of the task graph).
+    pub simulation_ns: u64,
+}
+
+impl RunBreakdown {
+    /// Total pipeline time.
+    pub fn total_ns(&self) -> u64 {
+        self.fusion_ns + self.conversion_ns + self.simulation_ns
+    }
+
+    /// Fraction of the total spent in each stage:
+    /// `(fusion, conversion, simulation)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_ns().max(1) as f64;
+        (
+            self.fusion_ns as f64 / t,
+            self.conversion_ns as f64 / t,
+            self.simulation_ns as f64 / t,
+        )
+    }
+}
+
+/// The result of running batches through a compiled simulator.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Output states per batch (empty in timing-only mode), each a vector
+    /// of `batch_size` state vectors.
+    pub outputs: Vec<Vec<Vec<Complex>>>,
+    /// The device schedule.
+    pub timeline: Timeline,
+    /// Stage breakdown including this run's simulation time.
+    pub breakdown: RunBreakdown,
+    /// Power/energy estimate for the run (Fig. 11).
+    pub power: PowerReport,
+}
+
+/// A circuit compiled by the BQSim pipeline into reusable ELL gates.
+///
+/// Compile once, run any number of batches — the paper's key amortisation
+/// argument (§4.8).
+#[derive(Debug)]
+pub struct BqSimulator {
+    num_qubits: usize,
+    gates: Vec<ConvertedGate>,
+    opts: BqSimOptions,
+    fusion_ns: u64,
+    fusion_wall_ns: u64,
+    conversion_ns: u64,
+}
+
+impl BqSimulator {
+    /// Runs stages ① and ② of the pipeline: fusion and hybrid conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BqsimError::EmptyCircuit`] for a zero-qubit circuit.
+    pub fn compile(circuit: &Circuit, opts: BqSimOptions) -> Result<Self, BqsimError> {
+        let n = circuit.num_qubits();
+        if n == 0 {
+            return Err(BqsimError::EmptyCircuit);
+        }
+        let mut dd = DdPackage::new();
+        let lowered = lower_circuit(circuit);
+
+        let fusion_wall = Instant::now();
+        let fused: Vec<FusedGate> = if lowered.is_empty() {
+            let id = dd.identity(n);
+            vec![FusedGate::classify(&mut dd, id, n, 0)]
+        } else if opts.skip_fusion {
+            fusion::classify_gates(&mut dd, n, &lowered)
+        } else {
+            fusion::bqcs_aware_fusion(&mut dd, n, &lowered)
+        };
+        let fusion_wall_ns = fusion_wall.elapsed().as_nanos() as u64;
+        // Model fusion time from the work the algorithm actually did:
+        // every DD node construction and compute-cache miss is a bounded
+        // unit of hashing + interned-complex arithmetic on the host CPU.
+        let stats = dd.stats();
+        let fusion_ops = stats.matrix_nodes as u64 + stats.vector_nodes as u64 + stats.cache_misses;
+        let fusion_ns = fusion_ops * FUSION_NS_PER_DD_OP;
+
+        let converter = HybridConverter::new(opts.tau, opts.device.clone(), opts.cpu.clone());
+        let gates: Vec<ConvertedGate> = fused
+            .iter()
+            .map(|g| match opts.force_conversion {
+                Some(m) => converter.convert_with(&mut dd, g, n, m),
+                None => converter.convert(&mut dd, g, n),
+            })
+            .collect();
+        let conversion_ns = gates.iter().map(|g| g.conversion_ns).sum();
+
+        Ok(BqSimulator {
+            num_qubits: n,
+            gates,
+            opts,
+            fusion_ns,
+            fusion_wall_ns,
+            conversion_ns,
+        })
+    }
+
+    /// The compiled fused gates.
+    pub fn gates(&self) -> &[ConvertedGate] {
+        &self.gates
+    }
+
+    /// Circuit width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The simulated device's name.
+    pub fn device_name(&self) -> &str {
+        &self.opts.device.name
+    }
+
+    /// Real wall-clock the fusion stage took on this host (informational;
+    /// the breakdown uses the modelled virtual time).
+    pub fn fusion_wall_ns(&self) -> u64 {
+        self.fusion_wall_ns
+    }
+
+    /// Compile-time stage durations (both in modelled virtual time).
+    pub fn compile_breakdown(&self) -> RunBreakdown {
+        RunBreakdown {
+            fusion_ns: self.fusion_ns,
+            conversion_ns: self.conversion_ns,
+            simulation_ns: 0,
+        }
+    }
+
+    /// #MAC per simulated input after fusion (Table 3 row for BQSim).
+    pub fn mac_per_input(&self) -> u64 {
+        self.gates.iter().map(|g| g.ell.mac_per_input()).sum()
+    }
+
+    /// Runs the given batches through the simulation task graph.
+    ///
+    /// Every batch must contain the same number of state vectors, each of
+    /// length `2^n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BqsimError::BadInputLength`] on malformed inputs and
+    /// [`BqsimError::DeviceOom`] if buffers exceed device memory.
+    pub fn run_batches(&self, batches: &[Vec<Vec<Complex>>]) -> Result<RunResult, BqsimError> {
+        let dim = 1usize << self.num_qubits;
+        let batch_size = batches.first().map(|b| b.len()).unwrap_or(0);
+        for batch in batches {
+            if batch.len() != batch_size {
+                return Err(BqsimError::BadInputLength {
+                    expected: batch_size,
+                    got: batch.len(),
+                });
+            }
+            for v in batch {
+                if v.len() != dim {
+                    return Err(BqsimError::BadInputLength {
+                        expected: dim,
+                        got: v.len(),
+                    });
+                }
+            }
+        }
+        let packed: Vec<Vec<Complex>> = batches.iter().map(|b| bqsim_ell::pack_batch(b)).collect();
+        self.run_packed(&packed, batches.len(), batch_size)
+    }
+
+    /// Runs `num_batches` synthetic batches of `batch_size` inputs in
+    /// timing-only mode (no amplitudes materialised) — used by the
+    /// large-circuit report experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BqsimError::DeviceOom`] if buffers exceed device memory.
+    pub fn run_synthetic(
+        &self,
+        num_batches: usize,
+        batch_size: usize,
+    ) -> Result<RunResult, BqsimError> {
+        self.run_packed(&[], num_batches, batch_size)
+    }
+
+    fn run_packed(
+        &self,
+        packed: &[Vec<Complex>],
+        num_batches: usize,
+        batch_size: usize,
+    ) -> Result<RunResult, BqsimError> {
+        assert!(num_batches > 0 && batch_size > 0, "empty batch run");
+        let dim = 1usize << self.num_qubits;
+        let elems = dim * batch_size;
+        let bytes_per_batch = (elems * 16) as u64;
+        let functional = !packed.is_empty() && self.opts.exec_mode == ExecMode::Functional;
+
+        let engine = Engine::new(self.opts.device.clone());
+        let mut mem = DeviceMemory::new(&self.opts.device);
+        let mut host = HostMemory::new();
+
+        // Device residency: four state buffers plus the gate tables.
+        let buffers = [
+            mem.alloc(elems)?,
+            mem.alloc(elems)?,
+            mem.alloc(elems)?,
+            mem.alloc(elems)?,
+        ];
+        let gate_bytes: u64 = self
+            .gates
+            .iter()
+            .map(|g| {
+                if self.opts.skip_ell {
+                    g.gpu_dd.byte_size()
+                } else {
+                    g.ell.byte_size()
+                }
+            })
+            .sum();
+        mem.reserve_bytes(gate_bytes)?;
+
+        let inputs: Vec<_> = (0..num_batches)
+            .map(|b| {
+                if functional {
+                    host.alloc_from(packed[b].clone())
+                } else {
+                    host.alloc_zeroed(if functional { elems } else { 0 })
+                }
+            })
+            .collect();
+        let outputs: Vec<_> = (0..num_batches)
+            .map(|_| host.alloc_zeroed(if functional { elems } else { 0 }))
+            .collect();
+
+        let graph = schedule::build_batch_graph(
+            &buffers,
+            &inputs,
+            &outputs,
+            self.gates.len(),
+            bytes_per_batch,
+            &|k, src, dst| -> Arc<dyn Kernel> {
+                let g = &self.gates[k];
+                if self.opts.skip_ell {
+                    Arc::new(DdSpmvKernel::new(
+                        Arc::clone(&g.gpu_dd),
+                        g.cost,
+                        g.work,
+                        src,
+                        dst,
+                        batch_size,
+                    ))
+                } else {
+                    Arc::new(EllSpmmKernel::new(Arc::clone(&g.ell), src, dst, batch_size))
+                }
+            },
+        );
+
+        let exec = if functional {
+            ExecMode::Functional
+        } else {
+            ExecMode::TimingOnly
+        };
+        let timeline = engine.run(&graph, &mut mem, &mut host, self.opts.launch_mode, exec);
+
+        let outputs_data: Vec<Vec<Vec<Complex>>> = if functional {
+            outputs
+                .iter()
+                .map(|&h| bqsim_ell::unpack_batch(host.buffer(h), batch_size))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let breakdown = RunBreakdown {
+            fusion_ns: self.fusion_ns,
+            conversion_ns: self.conversion_ns,
+            simulation_ns: timeline.total_ns(),
+        };
+        let power = PowerReport {
+            // BQSim's host CPU only orchestrates during simulation: one
+            // submission thread, mostly waiting.
+            cpu_w: cpu_average_power_w(&self.opts.cpu, 1, 0.3),
+            gpu_w: gpu_average_power_w(&self.opts.device, &timeline),
+            duration_ns: timeline.total_ns(),
+        };
+        Ok(RunResult {
+            outputs: outputs_data,
+            timeline,
+            breakdown,
+            power,
+        })
+    }
+}
+
+/// Generates `batch` random normalised input state vectors over `n` qubits
+/// (the paper's randomly generated inputs, §4).
+pub fn random_input_batch(n: usize, batch: usize, seed: u64) -> Vec<Vec<Complex>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..batch)
+        .map(|_| {
+            let mut v: Vec<Complex> = (0..1usize << n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let norm = bqsim_num::approx::l2_norm(&v);
+            for z in &mut v {
+                *z = z.scale(1.0 / norm);
+            }
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_num::approx::vectors_eq;
+    use bqsim_qcir::{dense, generators};
+
+    fn reference_outputs(
+        circuit: &Circuit,
+        batches: &[Vec<Vec<Complex>>],
+    ) -> Vec<Vec<Vec<Complex>>> {
+        batches
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .map(|input| {
+                        let mut s = input.clone();
+                        dense::apply_circuit(&mut s, circuit);
+                        s
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_outputs_match(circuit: &Circuit, opts: BqSimOptions) {
+        let n = circuit.num_qubits();
+        let sim = BqSimulator::compile(circuit, opts).unwrap();
+        let batches: Vec<_> = (0..3).map(|b| random_input_batch(n, 4, b as u64)).collect();
+        let run = sim.run_batches(&batches).unwrap();
+        let want = reference_outputs(circuit, &batches);
+        assert_eq!(run.outputs.len(), want.len());
+        for (batch_got, batch_want) in run.outputs.iter().zip(&want) {
+            for (got, want) in batch_got.iter().zip(batch_want) {
+                assert!(
+                    vectors_eq(got, want, 1e-9),
+                    "{}: BQSim amplitudes diverge from dense oracle",
+                    circuit.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bqsim_matches_dense_oracle_on_families() {
+        for circuit in [
+            generators::vqe(5, 3),
+            generators::qnn(4, 3),
+            generators::graph_state(5),
+            generators::routing(5, 3),
+            generators::qft(5),
+        ] {
+            assert_outputs_match(&circuit, BqSimOptions::default());
+        }
+    }
+
+    #[test]
+    fn ablation_variants_are_functionally_identical() {
+        let circuit = generators::vqe(5, 9);
+        for opts in [
+            BqSimOptions {
+                skip_fusion: true,
+                ..BqSimOptions::default()
+            },
+            BqSimOptions {
+                skip_ell: true,
+                ..BqSimOptions::default()
+            },
+            BqSimOptions {
+                launch_mode: LaunchMode::Stream,
+                ..BqSimOptions::default()
+            },
+        ] {
+            assert_outputs_match(&circuit, opts);
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_simulated_time() {
+        let circuit = generators::portfolio_opt(6, 1);
+        let fused = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let unfused = BqSimulator::compile(
+            &circuit,
+            BqSimOptions {
+                skip_fusion: true,
+                ..BqSimOptions::default()
+            },
+        )
+        .unwrap();
+        let t_fused = fused.run_synthetic(10, 32).unwrap().timeline.total_ns();
+        let t_unfused = unfused.run_synthetic(10, 32).unwrap().timeline.total_ns();
+        assert!(
+            t_fused < t_unfused,
+            "fusion must speed up simulation: {t_fused} !< {t_unfused}"
+        );
+        assert!(fused.mac_per_input() <= unfused.mac_per_input());
+    }
+
+    #[test]
+    fn graph_mode_beats_stream_mode() {
+        let circuit = generators::vqe(6, 2);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let stream_sim = BqSimulator::compile(
+            &circuit,
+            BqSimOptions {
+                launch_mode: LaunchMode::Stream,
+                ..BqSimOptions::default()
+            },
+        )
+        .unwrap();
+        let tg = sim.run_synthetic(20, 64).unwrap().timeline;
+        let ts = stream_sim.run_synthetic(20, 64).unwrap().timeline;
+        assert!(
+            tg.total_ns() < ts.total_ns(),
+            "task graph must beat stream: {} !< {}",
+            tg.total_ns(),
+            ts.total_ns()
+        );
+        assert!(tg.overlap_ns() > 0, "task graph must overlap copies");
+    }
+
+    #[test]
+    fn breakdown_amortises_with_batches() {
+        let circuit = generators::routing(6, 1);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let small = sim.run_synthetic(2, 16).unwrap();
+        let large = sim.run_synthetic(100, 16).unwrap();
+        let (f_small, _, _) = small.breakdown.fractions();
+        let (f_large, _, _) = large.breakdown.fractions();
+        assert!(
+            f_large < f_small,
+            "fusion fraction must shrink as batches grow"
+        );
+        assert!(large.breakdown.simulation_ns > small.breakdown.simulation_ns);
+    }
+
+    #[test]
+    fn error_paths() {
+        let circuit = Circuit::new(0);
+        assert!(matches!(
+            BqSimulator::compile(&circuit, BqSimOptions::default()),
+            Err(BqsimError::EmptyCircuit)
+        ));
+        let circuit = generators::ghz(3);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let bad = vec![vec![vec![Complex::ONE; 4]]]; // wrong dim (4 != 8)
+        assert!(matches!(
+            sim.run_batches(&bad),
+            Err(BqsimError::BadInputLength { expected: 8, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn power_report_is_populated() {
+        let circuit = generators::vqe(5, 4);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let run = sim.run_synthetic(5, 32).unwrap();
+        assert!(run.power.gpu_w > 0.0);
+        assert!(run.power.cpu_w > 0.0);
+        assert!(run.power.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn random_inputs_are_normalised() {
+        let batch = random_input_batch(4, 3, 7);
+        for v in &batch {
+            assert!((bqsim_num::approx::l2_norm(v) - 1.0).abs() < 1e-9);
+        }
+        // Deterministic per seed.
+        assert_eq!(batch, random_input_batch(4, 3, 7));
+        assert_ne!(batch, random_input_batch(4, 3, 8));
+    }
+}

@@ -1,0 +1,216 @@
+//! CSR sparse format — the ablation comparator for ELL (DESIGN.md §8).
+//!
+//! The paper chooses ELL over CSR/COO because quantum gate matrices have
+//! near-uniform NZR (§3.2, Table 1). The ablation bench uses this CSR
+//! implementation to quantify the difference: CSR needs an extra
+//! indirection (`row_ptr`) per row and its per-row trip counts vary, which
+//! on a real GPU causes divergence — modelled in the GPU cost model.
+
+use crate::EllMatrix;
+use bqsim_num::Complex;
+use bqsim_qdd::{convert::for_each_matrix_entry, DdPackage, MEdge};
+
+/// A square sparse matrix in compressed-sparse-row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    row_ptr: Vec<u32>,
+    cols: Vec<u32>,
+    values: Vec<Complex>,
+}
+
+impl CsrMatrix {
+    /// Converts a matrix DD to CSR by path enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is the zero edge.
+    pub fn from_dd(dd: &mut DdPackage, e: MEdge, n: usize) -> Self {
+        assert!(!e.is_zero(), "cannot convert the zero matrix");
+        let rows = 1usize << n;
+        let mut triples: Vec<(usize, u32, Complex)> = Vec::new();
+        for_each_matrix_entry(dd, e, n, &mut |r, c, v| {
+            triples.push((r, c as u32, v));
+        });
+        triples.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0u32; rows + 1];
+        let mut cols = Vec::with_capacity(triples.len());
+        let mut values = Vec::with_capacity(triples.len());
+        for (r, c, v) in triples {
+            row_ptr[r + 1] += 1;
+            cols.push(c);
+            values.push(v);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            rows,
+            row_ptr,
+            cols,
+            values,
+        }
+    }
+
+    /// Converts from ELL (drops padding).
+    pub fn from_ell(ell: &EllMatrix) -> Self {
+        let rows = ell.num_rows();
+        let mut row_ptr = vec![0u32; rows + 1];
+        let mut cols = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
+            for (v, c) in ell.row_values(r).iter().zip(ell.row_cols(r)) {
+                if *v != Complex::ZERO {
+                    row_ptr[r + 1] += 1;
+                    cols.push(*c);
+                    values.push(*v);
+                }
+            }
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            rows,
+            row_ptr,
+            cols,
+            values,
+        }
+    }
+
+    /// Number of rows (= columns).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Stored non-zero count (no padding in CSR).
+    #[inline]
+    pub fn num_nonzeros(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Non-zeros in a given row.
+    #[inline]
+    pub fn row_nnz(&self, row: usize) -> usize {
+        (self.row_ptr[row + 1] - self.row_ptr[row]) as usize
+    }
+
+    /// Device byte footprint for the cost model.
+    pub fn byte_size(&self) -> u64 {
+        (self.values.len() * 16 + self.cols.len() * 4 + self.row_ptr.len() * 4) as u64
+    }
+
+    /// Reference spMV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // r is a matrix row index
+    pub fn spmv(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.rows, "input length mismatch");
+        let mut y = vec![Complex::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for k in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                acc += self.values[k] * x[self.cols[k] as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Reference batched spMM with the same amplitude-major layout as
+    /// [`EllMatrix::spmm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes don't equal `rows × batch`.
+    pub fn spmm(&self, input: &[Complex], output: &mut [Complex], batch: usize) {
+        assert_eq!(input.len(), self.rows * batch, "input size mismatch");
+        assert_eq!(output.len(), self.rows * batch, "output size mismatch");
+        for r in 0..self.rows {
+            let out_row = &mut output[r * batch..(r + 1) * batch];
+            out_row.fill(Complex::ZERO);
+            for k in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                let v = self.values[k];
+                let src = self.cols[k] as usize * batch;
+                for b in 0..batch {
+                    out_row[b] += v * input[src + b];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ell_from_dd_cpu;
+    use bqsim_qcir::GateKind;
+    use bqsim_qdd::convert::matrix_from_dense;
+
+    #[test]
+    fn csr_matches_ell_semantics() {
+        let mut dd = DdPackage::new();
+        let m = GateKind::H.matrix().kron(&GateKind::Cx.matrix());
+        let e = matrix_from_dense(&mut dd, &m);
+        let ell = ell_from_dd_cpu(&mut dd, e, 3);
+        let csr = CsrMatrix::from_dd(&mut dd, e, 3);
+        let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 1.0)).collect();
+        assert!(bqsim_num::approx::vectors_eq(
+            &csr.spmv(&x),
+            &ell.spmv(&x),
+            1e-12
+        ));
+        assert_eq!(csr.num_nonzeros(), ell.stored_nonzeros());
+    }
+
+    #[test]
+    fn from_ell_roundtrip() {
+        let mut dd = DdPackage::new();
+        let m = GateKind::Ccx.matrix();
+        let e = matrix_from_dense(&mut dd, &m);
+        let ell = ell_from_dd_cpu(&mut dd, e, 3);
+        let a = CsrMatrix::from_dd(&mut dd, e, 3);
+        let b = CsrMatrix::from_ell(&ell);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spmm_matches_spmv() {
+        let mut dd = DdPackage::new();
+        let m = GateKind::Swap.matrix().kron(&GateKind::T.matrix());
+        let e = matrix_from_dense(&mut dd, &m);
+        let csr = CsrMatrix::from_dd(&mut dd, e, 3);
+        let batch = 3;
+        let vectors: Vec<Vec<Complex>> = (0..batch)
+            .map(|b| (0..8).map(|i| Complex::new(i as f64, b as f64)).collect())
+            .collect();
+        let input = crate::format::pack_batch(&vectors);
+        let mut output = vec![Complex::ZERO; input.len()];
+        csr.spmm(&input, &mut output, batch);
+        let out = crate::format::unpack_batch(&output, batch);
+        for (b, v) in vectors.iter().enumerate() {
+            assert!(bqsim_num::approx::vectors_eq(&out[b], &csr.spmv(v), 1e-12));
+        }
+    }
+
+    #[test]
+    fn row_nnz_varies_unlike_ell() {
+        let mut dd = DdPackage::new();
+        // Fig. 3-style matrix with alternating 2/1 rows.
+        let mut m = bqsim_qcir::CMatrix::zeros(4);
+        m.set(0, 0, Complex::ONE);
+        m.set(0, 3, Complex::ONE);
+        m.set(1, 1, Complex::ONE);
+        m.set(2, 0, Complex::ONE);
+        m.set(2, 3, Complex::ONE);
+        m.set(3, 2, Complex::ONE);
+        let e = matrix_from_dense(&mut dd, &m);
+        let csr = CsrMatrix::from_dd(&mut dd, e, 2);
+        assert_eq!(csr.row_nnz(0), 2);
+        assert_eq!(csr.row_nnz(1), 1);
+        assert_eq!(csr.row_nnz(3), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! The ELL matrix format and its reference spMV/spMM semantics.
+
+use bqsim_num::Complex;
+use core::fmt;
+
+/// A square sparse matrix in ELL format (paper Fig. 7a).
+///
+/// Every row stores exactly [`EllMatrix::max_nzr`] `(value, column)` slots;
+/// rows with fewer non-zeros are padded with zero values (whose column
+/// index is 0 and never contributes). The per-row slot count is what makes
+/// the BQCS kernel's work per output amplitude uniform: `#MAC = maxNZR`
+/// (§3.1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    rows: usize,
+    max_nzr: usize,
+    values: Vec<Complex>,
+    cols: Vec<u32>,
+}
+
+impl EllMatrix {
+    /// Creates an all-padding (zero) matrix with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is 0 or not a power of two, or if the shape
+    /// overflows `u32` column indices.
+    pub fn zeros(rows: usize, max_nzr: usize) -> Self {
+        assert!(rows.is_power_of_two(), "row count must be a power of two");
+        assert!(u32::try_from(rows).is_ok(), "row count exceeds u32 range");
+        EllMatrix {
+            rows,
+            max_nzr,
+            values: vec![Complex::ZERO; rows * max_nzr],
+            cols: vec![0; rows * max_nzr],
+        }
+    }
+
+    /// Number of rows (= columns).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of qubits spanned (`log2(rows)`).
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.rows.trailing_zeros() as usize
+    }
+
+    /// The padded slot count per row — the BQCS cost of this gate.
+    #[inline]
+    pub fn max_nzr(&self) -> usize {
+        self.max_nzr
+    }
+
+    /// Value slots of `row`.
+    #[inline]
+    pub fn row_values(&self, row: usize) -> &[Complex] {
+        &self.values[row * self.max_nzr..(row + 1) * self.max_nzr]
+    }
+
+    /// Column-index slots of `row`.
+    #[inline]
+    pub fn row_cols(&self, row: usize) -> &[u32] {
+        &self.cols[row * self.max_nzr..(row + 1) * self.max_nzr]
+    }
+
+    /// Writes slot `slot` of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= max_nzr` or `col >= rows`.
+    pub fn set_slot(&mut self, row: usize, slot: usize, col: usize, value: Complex) {
+        assert!(slot < self.max_nzr, "slot out of range");
+        assert!(col < self.rows, "column out of range");
+        let at = row * self.max_nzr + slot;
+        self.values[at] = value;
+        self.cols[at] = col as u32;
+    }
+
+    /// Total number of multiply-accumulate operations one application to a
+    /// single state vector performs: `rows × maxNZR` (the paper's #MAC per
+    /// input).
+    #[inline]
+    pub fn mac_per_input(&self) -> u64 {
+        self.rows as u64 * self.max_nzr as u64
+    }
+
+    /// Device memory footprint in bytes (values + column indices), used by
+    /// the GPU cost model.
+    #[inline]
+    pub fn byte_size(&self) -> u64 {
+        (self.values.len() * 16 + self.cols.len() * 4) as u64
+    }
+
+    /// Count of genuinely non-zero stored values (excludes padding).
+    pub fn stored_nonzeros(&self) -> usize {
+        self.values.iter().filter(|v| **v != Complex::ZERO).count()
+    }
+
+    /// Reference sparse matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // r is a matrix row index
+    pub fn spmv(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.rows, "input length mismatch");
+        let mut y = vec![Complex::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            let base = r * self.max_nzr;
+            for k in 0..self.max_nzr {
+                let v = self.values[base + k];
+                acc += v * x[self.cols[base + k] as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Reference sparse matrix–matrix product over a **batch** of state
+    /// vectors — the functional semantics of the paper's BQCS kernel
+    /// (§3.3.1).
+    ///
+    /// `input` and `output` hold `batch` state vectors in amplitude-major
+    /// layout: amplitude `r` of batch element `b` lives at
+    /// `r * batch + b` (the coalescing-friendly layout of the GPU kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes don't equal `rows × batch`.
+    pub fn spmm(&self, input: &[Complex], output: &mut [Complex], batch: usize) {
+        assert_eq!(input.len(), self.rows * batch, "input size mismatch");
+        assert_eq!(output.len(), self.rows * batch, "output size mismatch");
+        for r in 0..self.rows {
+            let base = r * self.max_nzr;
+            let out_row = &mut output[r * batch..(r + 1) * batch];
+            out_row.fill(Complex::ZERO);
+            for k in 0..self.max_nzr {
+                let v = self.values[base + k];
+                if v == Complex::ZERO {
+                    continue;
+                }
+                let src = self.cols[base + k] as usize * batch;
+                for b in 0..batch {
+                    out_row[b] += v * input[src + b];
+                }
+            }
+        }
+    }
+
+    /// Exports to a dense matrix (tests only).
+    pub fn to_dense(&self) -> bqsim_qcir::CMatrix {
+        let mut m = bqsim_qcir::CMatrix::zeros(self.rows);
+        for r in 0..self.rows {
+            let base = r * self.max_nzr;
+            for k in 0..self.max_nzr {
+                let v = self.values[base + k];
+                if v != Complex::ZERO {
+                    let c = self.cols[base + k] as usize;
+                    m.set(r, c, m.get(r, c) + v);
+                }
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Display for EllMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ELL {}x{} maxNZR={}", self.rows, self.rows, self.max_nzr)
+    }
+}
+
+/// Packs a batch of state vectors into the amplitude-major layout consumed
+/// by [`EllMatrix::spmm`].
+///
+/// # Panics
+///
+/// Panics if the vectors have differing lengths.
+pub fn pack_batch(vectors: &[Vec<Complex>]) -> Vec<Complex> {
+    let batch = vectors.len();
+    assert!(batch > 0, "empty batch");
+    let dim = vectors[0].len();
+    assert!(
+        vectors.iter().all(|v| v.len() == dim),
+        "ragged batch vectors"
+    );
+    let mut out = vec![Complex::ZERO; dim * batch];
+    for (b, v) in vectors.iter().enumerate() {
+        for (r, &a) in v.iter().enumerate() {
+            out[r * batch + b] = a;
+        }
+    }
+    out
+}
+
+/// Unpacks the amplitude-major batch layout back into separate vectors.
+pub fn unpack_batch(data: &[Complex], batch: usize) -> Vec<Vec<Complex>> {
+    assert!(batch > 0 && data.len().is_multiple_of(batch), "bad batch layout");
+    let dim = data.len() / batch;
+    (0..batch)
+        .map(|b| (0..dim).map(|r| data[r * batch + b]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_qcir::GateKind;
+
+    fn ell_of_dense(m: &bqsim_qcir::CMatrix) -> EllMatrix {
+        let rows = m.dim();
+        let nzr = m.max_nzr(1e-12);
+        let mut e = EllMatrix::zeros(rows, nzr);
+        for r in 0..rows {
+            let mut slot = 0;
+            for c in 0..rows {
+                let v = m.get(r, c);
+                if !v.is_zero(1e-12) {
+                    e.set_slot(r, slot, c, v);
+                    slot += 1;
+                }
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = GateKind::H.matrix().kron(&GateKind::Cx.matrix());
+        let ell = ell_of_dense(&m);
+        let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let want = m.mul_vec(&x);
+        let got = ell.spmv(&x);
+        assert!(bqsim_num::approx::vectors_eq(&got, &want, 1e-12));
+    }
+
+    #[test]
+    fn spmm_matches_repeated_spmv() {
+        let m = GateKind::Swap.matrix().kron(&GateKind::H.matrix());
+        let ell = ell_of_dense(&m);
+        let batch = 5;
+        let vectors: Vec<Vec<Complex>> = (0..batch)
+            .map(|b| {
+                (0..8)
+                    .map(|i| Complex::new((i + b) as f64, (b as f64) * 0.5))
+                    .collect()
+            })
+            .collect();
+        let input = pack_batch(&vectors);
+        let mut output = vec![Complex::ZERO; input.len()];
+        ell.spmm(&input, &mut output, batch);
+        let unpacked = unpack_batch(&output, batch);
+        for (b, v) in vectors.iter().enumerate() {
+            let want = ell.spmv(v);
+            assert!(bqsim_num::approx::vectors_eq(&unpacked[b], &want, 1e-12));
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let vectors = vec![
+            vec![Complex::ONE, Complex::I],
+            vec![Complex::ZERO, Complex::new(2.0, 3.0)],
+        ];
+        let packed = pack_batch(&vectors);
+        assert_eq!(unpack_batch(&packed, 2), vectors);
+    }
+
+    #[test]
+    fn mac_per_input_is_rows_times_nzr() {
+        let ell = EllMatrix::zeros(16, 3);
+        assert_eq!(ell.mac_per_input(), 48);
+    }
+
+    #[test]
+    fn padding_is_inert() {
+        // A permutation row padded up to nzr=2 must behave identically.
+        let mut ell = EllMatrix::zeros(2, 2);
+        ell.set_slot(0, 0, 1, Complex::ONE);
+        ell.set_slot(1, 0, 0, Complex::ONE);
+        let y = ell.spmv(&[Complex::new(3.0, 0.0), Complex::new(5.0, 0.0)]);
+        assert_eq!(y[0], Complex::new(5.0, 0.0));
+        assert_eq!(y[1], Complex::new(3.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row count must be a power of two")]
+    fn non_pow2_rows_panics() {
+        let _ = EllMatrix::zeros(6, 1);
+    }
+
+    #[test]
+    fn stored_nonzeros_excludes_padding() {
+        let mut ell = EllMatrix::zeros(2, 2);
+        ell.set_slot(0, 0, 0, Complex::ONE);
+        assert_eq!(ell.stored_nonzeros(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Hardware descriptors for the execution model.
+
+/// Parameters of a simulated GPU.
+///
+/// Defaults come from the paper's evaluation machine (RTX A6000, §4); all
+/// timing in the engine derives from these numbers, so swapping the spec
+/// re-targets every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub num_sms: u32,
+    /// FP64-capable lanes per SM used by the cost model.
+    ///
+    /// Complex amplitude arithmetic is double precision; consumer Ampere
+    /// executes FP64 at 1/32 FP32 rate, but spMM is bandwidth-bound so the
+    /// effective number matters little; we use the FP32 lane count scaled
+    /// by an efficiency factor folded into `flops_per_clock_per_lane`.
+    pub lanes_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained FLOPs per clock per lane (FMA = 2, derated for FP64 mix).
+    pub flops_per_clock_per_lane: f64,
+    /// Device memory bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Host→device PCIe bandwidth, GB/s.
+    pub pcie_h2d_gbps: f64,
+    /// Device→host PCIe bandwidth, GB/s.
+    pub pcie_d2h_gbps: f64,
+    /// Per-kernel launch overhead when launched individually on a stream,
+    /// nanoseconds.
+    pub kernel_launch_overhead_ns: u64,
+    /// Per-task overhead inside a captured/instantiated task graph,
+    /// nanoseconds (CUDA Graph amortises launch cost).
+    pub graph_task_overhead_ns: u64,
+    /// One-time overhead of launching an instantiated graph, nanoseconds.
+    pub graph_launch_overhead_ns: u64,
+    /// Fixed per-copy DMA setup cost, nanoseconds.
+    pub copy_setup_ns: u64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Idle board power, watts.
+    pub idle_power_w: f64,
+    /// Power at full utilization, watts.
+    pub max_power_w: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's GPU: NVIDIA RTX A6000 48 GB.
+    pub fn rtx_a6000() -> Self {
+        DeviceSpec {
+            name: "RTX A6000 (simulated)".to_string(),
+            num_sms: 84,
+            lanes_per_sm: 128,
+            clock_ghz: 1.80,
+            // FMA counts as 2 flops; derate ×0.25 for the FP64/complex mix
+            // and issue inefficiencies → ~9.7 Tflop/s effective.
+            flops_per_clock_per_lane: 0.5,
+            mem_bandwidth_gbps: 768.0,
+            pcie_h2d_gbps: 22.0,
+            pcie_d2h_gbps: 20.0,
+            kernel_launch_overhead_ns: 6_000,
+            graph_task_overhead_ns: 700,
+            graph_launch_overhead_ns: 12_000,
+            copy_setup_ns: 1_500,
+            memory_bytes: 48 * (1 << 30),
+            idle_power_w: 25.0,
+            max_power_w: 300.0,
+        }
+    }
+
+    /// A deliberately small GPU for tests that want to see saturation.
+    pub fn tiny_test_gpu() -> Self {
+        DeviceSpec {
+            name: "test GPU".to_string(),
+            num_sms: 4,
+            lanes_per_sm: 32,
+            clock_ghz: 1.0,
+            flops_per_clock_per_lane: 1.0,
+            mem_bandwidth_gbps: 10.0,
+            pcie_h2d_gbps: 1.0,
+            pcie_d2h_gbps: 1.0,
+            kernel_launch_overhead_ns: 1_000,
+            graph_task_overhead_ns: 100,
+            graph_launch_overhead_ns: 2_000,
+            copy_setup_ns: 200,
+            memory_bytes: 1 << 30,
+            idle_power_w: 5.0,
+            max_power_w: 50.0,
+        }
+    }
+
+    /// Peak arithmetic throughput in FLOPs per nanosecond.
+    pub fn flops_per_ns(&self) -> f64 {
+        self.num_sms as f64 * self.lanes_per_sm as f64 * self.clock_ghz
+            * self.flops_per_clock_per_lane
+    }
+
+    /// Device-memory bandwidth in bytes per nanosecond.
+    pub fn mem_bytes_per_ns(&self) -> f64 {
+        self.mem_bandwidth_gbps
+    }
+
+    /// PCIe bandwidth in bytes per nanosecond for the given direction.
+    pub fn pcie_bytes_per_ns(&self, h2d: bool) -> f64 {
+        if h2d {
+            self.pcie_h2d_gbps
+        } else {
+            self.pcie_d2h_gbps
+        }
+    }
+}
+
+/// Parameters of the simulated host CPU (the paper's i7-11700, 16 threads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Hardware threads available.
+    pub threads: u32,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained FLOPs per cycle per thread (SIMD + FMA, derated).
+    pub flops_per_cycle: f64,
+    /// Memory bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Idle package power, watts.
+    pub idle_power_w: f64,
+    /// Additional power per active thread, watts.
+    pub active_power_per_thread_w: f64,
+}
+
+impl CpuSpec {
+    /// The paper's CPU: Intel i7-11700 @ 2.5 GHz, 16 threads.
+    pub fn i7_11700() -> Self {
+        CpuSpec {
+            name: "i7-11700 (simulated)".to_string(),
+            threads: 16,
+            clock_ghz: 2.5,
+            flops_per_cycle: 4.0,
+            mem_bandwidth_gbps: 40.0,
+            idle_power_w: 15.0,
+            active_power_per_thread_w: 7.0,
+        }
+    }
+
+    /// Peak arithmetic throughput of `threads` active threads, in FLOPs
+    /// per nanosecond.
+    pub fn flops_per_ns(&self, threads: u32) -> f64 {
+        threads.min(self.threads) as f64 * self.clock_ghz * self.flops_per_cycle
+    }
+
+    /// Average package power with `threads` busy, watts.
+    pub fn power_w(&self, threads: u32) -> f64 {
+        self.idle_power_w + threads.min(self.threads) as f64 * self.active_power_per_thread_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a6000_throughputs_are_sane() {
+        let d = DeviceSpec::rtx_a6000();
+        // ~9.7 Tflop/s → 9.7e3 flop/ns.
+        let f = d.flops_per_ns();
+        assert!(f > 5_000.0 && f < 20_000.0, "flops/ns = {f}");
+        assert_eq!(d.mem_bytes_per_ns(), 768.0);
+        assert!(d.pcie_bytes_per_ns(true) > d.pcie_bytes_per_ns(false));
+    }
+
+    #[test]
+    fn cpu_power_scales_with_threads() {
+        let c = CpuSpec::i7_11700();
+        assert!(c.power_w(16) > c.power_w(1));
+        // Clamped at the hardware thread count.
+        assert_eq!(c.power_w(64), c.power_w(16));
+        assert!(c.flops_per_ns(8) < c.flops_per_ns(16));
+    }
+}

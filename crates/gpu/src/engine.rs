@@ -1,0 +1,560 @@
+//! Event-driven scheduler: maps a task graph onto the device's compute and
+//! DMA engines and produces a timeline.
+
+use crate::device::DeviceSpec;
+use crate::memory::{DeviceMemory, HostMemory};
+use crate::task::{TaskGraph, TaskId, TaskKind};
+
+/// How the task graph is launched on the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchMode {
+    /// Each task is issued individually on one in-order stream: full
+    /// per-kernel launch overhead, **no** copy/compute overlap. This is the
+    /// execution model BQSim's task graph replaces (ablation of Fig. 13).
+    Stream,
+    /// CUDA-Graph-style execution: one launch overhead for the whole graph,
+    /// small per-task overhead, and copies overlap kernels on independent
+    /// DMA engines (§3.3).
+    Graph,
+}
+
+/// Whether kernels actually compute on buffer data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Only simulate time; kernel bodies and copies are skipped. Used for
+    /// large-circuit experiments where amplitudes are not inspected.
+    TimingOnly,
+    /// Move data and run kernel bodies so host output buffers hold real
+    /// amplitudes (used by all validation tests).
+    Functional,
+}
+
+/// The execution engines of the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// Kernel execution.
+    Compute,
+    /// Host→device DMA engine.
+    CopyH2D,
+    /// Device→host DMA engine.
+    CopyD2H,
+}
+
+impl Resource {
+    fn index(self) -> usize {
+        match self {
+            Resource::Compute => 0,
+            Resource::CopyH2D => 1,
+            Resource::CopyD2H => 2,
+        }
+    }
+}
+
+/// One scheduled task occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// The task.
+    pub task: TaskId,
+    /// Task label (copied from the graph).
+    pub label: String,
+    /// Engine the task ran on.
+    pub resource: Resource,
+    /// Start time, ns of virtual device time.
+    pub start_ns: u64,
+    /// End time, ns.
+    pub end_ns: u64,
+}
+
+/// The schedule produced by [`Engine::run`].
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    records: Vec<TaskRecord>,
+    total_ns: u64,
+    busy_ns: [u64; 3],
+    kernel_flops: u64,
+    kernel_bytes: u64,
+}
+
+impl Timeline {
+    /// Wall time of the whole schedule in virtual nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Wall time in virtual milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Busy nanoseconds of one engine.
+    pub fn busy_ns(&self, r: Resource) -> u64 {
+        self.busy_ns[r.index()]
+    }
+
+    /// Busy fraction of one engine over the schedule length.
+    pub fn utilization(&self, r: Resource) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns(r) as f64 / self.total_ns as f64
+        }
+    }
+
+    /// All task records in schedule order.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Total arithmetic work (FLOPs) executed by all kernels — drives the
+    /// dynamic-power model (more redundant work → more power, Fig. 11).
+    pub fn kernel_flops(&self) -> u64 {
+        self.kernel_flops
+    }
+
+    /// Total device-memory traffic (bytes) of all kernels.
+    pub fn kernel_bytes(&self) -> u64 {
+        self.kernel_bytes
+    }
+
+    /// Nanoseconds during which a copy engine and the compute engine were
+    /// simultaneously busy — a direct measure of the overlap the task graph
+    /// buys (§3.3).
+    pub fn overlap_ns(&self) -> u64 {
+        // Sweep compute intervals against copy intervals.
+        let computes: Vec<(u64, u64)> = self
+            .records
+            .iter()
+            .filter(|r| r.resource == Resource::Compute)
+            .map(|r| (r.start_ns, r.end_ns))
+            .collect();
+        let copies: Vec<(u64, u64)> = self
+            .records
+            .iter()
+            .filter(|r| r.resource != Resource::Compute)
+            .map(|r| (r.start_ns, r.end_ns))
+            .collect();
+        let mut overlap = 0u64;
+        for &(cs, ce) in &computes {
+            for &(ps, pe) in &copies {
+                let s = cs.max(ps);
+                let e = ce.min(pe);
+                if e > s {
+                    overlap += e - s;
+                }
+            }
+        }
+        overlap
+    }
+
+    /// Renders the schedule as an ASCII Gantt chart with one lane per
+    /// engine, `width` characters across the whole run.
+    ///
+    /// ```text
+    /// compute |   ██████░░████████
+    /// h2d     |███      ███
+    /// d2h     |        ███      ███
+    /// ```
+    ///
+    /// Intended for debugging and documentation; alternating shades mark
+    /// adjacent tasks on the same engine.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let total = self.total_ns.max(1);
+        let mut lanes = [
+            vec![' '; width],
+            vec![' '; width],
+            vec![' '; width],
+        ];
+        for (i, r) in self.records.iter().enumerate() {
+            let lane = &mut lanes[r.resource.index()];
+            let a = (r.start_ns as u128 * width as u128 / total as u128) as usize;
+            let b = ((r.end_ns as u128 * width as u128).div_ceil(total as u128) as usize)
+                .clamp(a + 1, width);
+            let ch = if i % 2 == 0 { '█' } else { '░' };
+            for cell in lane[a..b].iter_mut() {
+                *cell = ch;
+            }
+        }
+        let mut out = String::new();
+        for (label, lane) in ["compute", "h2d    ", "d2h    "].iter().zip(&lanes) {
+            out.push_str(label);
+            out.push_str(" |");
+            out.extend(lane.iter());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Appends another timeline after this one (used to chain repeated
+    /// graph launches) shifting its records by the current total.
+    pub fn extend_after(&mut self, other: &Timeline) {
+        let shift = self.total_ns;
+        for r in &other.records {
+            self.records.push(TaskRecord {
+                start_ns: r.start_ns + shift,
+                end_ns: r.end_ns + shift,
+                ..r.clone()
+            });
+        }
+        for i in 0..3 {
+            self.busy_ns[i] += other.busy_ns[i];
+        }
+        self.kernel_flops += other.kernel_flops;
+        self.kernel_bytes += other.kernel_bytes;
+        self.total_ns += other.total_ns;
+    }
+}
+
+/// The simulated device's execution engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    spec: DeviceSpec,
+}
+
+impl Engine {
+    /// Creates an engine for a device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Engine { spec }
+    }
+
+    /// The device spec this engine models.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Duration of one task in nanoseconds under `mode`.
+    pub fn task_duration_ns(&self, graph: &TaskGraph, id: TaskId, mode: LaunchMode) -> u64 {
+        let spec = &self.spec;
+        match &graph.tasks[id.0].kind {
+            TaskKind::H2D { bytes, .. } => {
+                spec.copy_setup_ns + (*bytes as f64 / spec.pcie_bytes_per_ns(true)).ceil() as u64
+            }
+            TaskKind::D2H { bytes, .. } => {
+                spec.copy_setup_ns + (*bytes as f64 / spec.pcie_bytes_per_ns(false)).ceil() as u64
+            }
+            TaskKind::Kernel(k) => {
+                let p = k.profile();
+                let overhead = match mode {
+                    LaunchMode::Stream => spec.kernel_launch_overhead_ns,
+                    LaunchMode::Graph => spec.graph_task_overhead_ns,
+                };
+                let total_lanes = (spec.num_sms * spec.lanes_per_sm) as f64;
+                let launched = (p.blocks as f64 * p.threads_per_block as f64).max(1.0);
+                let occupancy = (launched / total_lanes).min(1.0).max(1.0 / total_lanes);
+                let compute_ns =
+                    p.flops as f64 / (spec.flops_per_ns() * occupancy) * p.divergence.max(1.0);
+                let mem_ns =
+                    (p.bytes_read + p.bytes_written) as f64 / spec.mem_bytes_per_ns();
+                overhead + compute_ns.max(mem_ns).ceil() as u64
+            }
+        }
+    }
+
+    /// Schedules (and in [`ExecMode::Functional`] executes) the task graph.
+    ///
+    /// Tasks must be added in a topological order (enforced by
+    /// [`TaskGraph`]'s constructors). In [`LaunchMode::Graph`] each task
+    /// runs on its engine, serialised per engine, starting when its
+    /// predecessors finish; in [`LaunchMode::Stream`] every task runs
+    /// back-to-back on a single logical queue.
+    pub fn run(
+        &self,
+        graph: &TaskGraph,
+        mem: &mut DeviceMemory,
+        host: &mut HostMemory,
+        mode: LaunchMode,
+        exec: ExecMode,
+    ) -> Timeline {
+        let n = graph.tasks.len();
+        let start0 = match mode {
+            LaunchMode::Graph => self.spec.graph_launch_overhead_ns,
+            LaunchMode::Stream => 0,
+        };
+        let mut engine_free = [start0; 3];
+        let mut stream_free = start0;
+        let mut finish = vec![0u64; n];
+        let mut timeline = Timeline::default();
+
+        for (i, task) in graph.tasks.iter().enumerate() {
+            let id = TaskId(i);
+            let resource = match &task.kind {
+                TaskKind::H2D { .. } => Resource::CopyH2D,
+                TaskKind::D2H { .. } => Resource::CopyD2H,
+                TaskKind::Kernel(_) => Resource::Compute,
+            };
+            let ready = task
+                .preds
+                .iter()
+                .map(|p| finish[p.0])
+                .max()
+                .unwrap_or(start0);
+            let start = match mode {
+                LaunchMode::Graph => ready.max(engine_free[resource.index()]),
+                LaunchMode::Stream => ready.max(stream_free),
+            };
+            let dur = self.task_duration_ns(graph, id, mode);
+            let end = start + dur;
+            finish[i] = end;
+            match mode {
+                LaunchMode::Graph => engine_free[resource.index()] = end,
+                LaunchMode::Stream => stream_free = end,
+            }
+            timeline.busy_ns[resource.index()] += dur;
+            if let TaskKind::Kernel(k) = &task.kind {
+                let p = k.profile();
+                timeline.kernel_flops += p.flops;
+                timeline.kernel_bytes += p.bytes_read + p.bytes_written;
+            }
+            timeline.total_ns = timeline.total_ns.max(end);
+            timeline.records.push(TaskRecord {
+                task: id,
+                label: task.label.clone(),
+                resource,
+                start_ns: start,
+                end_ns: end,
+            });
+
+            if exec == ExecMode::Functional {
+                match &task.kind {
+                    TaskKind::H2D { host: h, dev, .. } => {
+                        let src = host.buffer(*h).to_vec();
+                        let dst = mem.buffer_mut(*dev);
+                        let len = src.len().min(dst.len());
+                        dst[..len].copy_from_slice(&src[..len]);
+                    }
+                    TaskKind::D2H { dev, host: h, .. } => {
+                        let src = mem.buffer(*dev).to_vec();
+                        let dst = host.buffer_mut(*h);
+                        let len = src.len().min(dst.len());
+                        dst[..len].copy_from_slice(&src[..len]);
+                    }
+                    TaskKind::Kernel(k) => k.execute(mem),
+                }
+            }
+        }
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Kernel, KernelProfile};
+    use bqsim_num::Complex;
+    use std::sync::Arc;
+
+    struct FlopKernel {
+        flops: u64,
+    }
+    impl Kernel for FlopKernel {
+        fn name(&self) -> &str {
+            "flops"
+        }
+        fn profile(&self) -> KernelProfile {
+            KernelProfile {
+                flops: self.flops,
+                bytes_read: 0,
+                bytes_written: 0,
+                blocks: 1_000_000,
+                threads_per_block: 128,
+                divergence: 1.0,
+            }
+        }
+        fn execute(&self, _mem: &mut DeviceMemory) {}
+    }
+
+    struct ScaleKernel {
+        buf: crate::BufferId,
+        factor: f64,
+    }
+    impl Kernel for ScaleKernel {
+        fn name(&self) -> &str {
+            "scale"
+        }
+        fn profile(&self) -> KernelProfile {
+            KernelProfile::empty()
+        }
+        fn execute(&self, mem: &mut DeviceMemory) {
+            for z in mem.buffer_mut(self.buf) {
+                *z = z.scale(self.factor);
+            }
+        }
+    }
+
+    fn setup() -> (Engine, DeviceMemory, HostMemory) {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mem = DeviceMemory::new(&spec);
+        (Engine::new(spec), mem, HostMemory::new())
+    }
+
+    #[test]
+    fn graph_mode_overlaps_independent_copy_and_kernel() {
+        let (engine, mut mem, mut host) = setup();
+        let h1 = host.alloc_zeroed(1 << 16);
+        let h2 = host.alloc_zeroed(1 << 16);
+        let d1 = mem.alloc(1 << 16).unwrap();
+        let d2 = mem.alloc(1 << 16).unwrap();
+
+        let mut g = TaskGraph::new();
+        let up1 = g.add_h2d("up1", h1, d1, (1 << 16) * 16, &[]);
+        let _k = g.add_kernel("work", Arc::new(FlopKernel { flops: 5_000_000 }), &[up1]);
+        // Independent upload for the *next* batch can overlap the kernel.
+        let _up2 = g.add_h2d("up2", h2, d2, (1 << 16) * 16, &[]);
+
+        let tg = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let ts = engine.run(&g, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly);
+        assert!(
+            tg.total_ns() < ts.total_ns(),
+            "graph {} !< stream {}",
+            tg.total_ns(),
+            ts.total_ns()
+        );
+        assert!(tg.overlap_ns() > 0, "expected copy/compute overlap");
+        assert_eq!(ts.overlap_ns(), 0, "stream mode must not overlap");
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let (engine, mut mem, mut host) = setup();
+        let h = host.alloc_zeroed(16);
+        let d = mem.alloc(16).unwrap();
+        let mut g = TaskGraph::new();
+        let a = g.add_h2d("up", h, d, 256, &[]);
+        let b = g.add_kernel("k", Arc::new(FlopKernel { flops: 1000 }), &[a]);
+        let c = g.add_d2h("down", d, h, 256, &[b]);
+        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let rec = t.records();
+        assert!(rec[0].end_ns <= rec[1].start_ns);
+        assert!(rec[1].end_ns <= rec[2].start_ns);
+        assert_eq!(rec[2].task, c);
+    }
+
+    #[test]
+    fn same_engine_serialises() {
+        let (engine, mut mem, mut host) = setup();
+        let h = host.alloc_zeroed(1 << 12);
+        let d1 = mem.alloc(1 << 12).unwrap();
+        let d2 = mem.alloc(1 << 12).unwrap();
+        let mut g = TaskGraph::new();
+        let bytes = (1u64 << 12) * 16;
+        g.add_h2d("a", h, d1, bytes, &[]);
+        g.add_h2d("b", h, d2, bytes, &[]);
+        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let rec = t.records();
+        assert!(
+            rec[0].end_ns <= rec[1].start_ns,
+            "independent H2D copies still share one DMA engine"
+        );
+    }
+
+    #[test]
+    fn functional_mode_moves_data_and_computes() {
+        let (engine, mut mem, mut host) = setup();
+        let h_in = host.alloc_from(vec![Complex::new(2.0, 1.0); 8]);
+        let h_out = host.alloc_zeroed(8);
+        let d = mem.alloc(8).unwrap();
+        let mut g = TaskGraph::new();
+        let up = g.add_h2d("up", h_in, d, 128, &[]);
+        let k = g.add_kernel("scale", Arc::new(ScaleKernel { buf: d, factor: 3.0 }), &[up]);
+        g.add_d2h("down", d, h_out, 128, &[k]);
+        engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::Functional);
+        assert_eq!(host.buffer(h_out)[0], Complex::new(6.0, 3.0));
+        assert_eq!(host.buffer(h_out)[7], Complex::new(6.0, 3.0));
+    }
+
+    #[test]
+    fn timing_only_leaves_buffers_untouched() {
+        let (engine, mut mem, mut host) = setup();
+        let h_in = host.alloc_from(vec![Complex::ONE; 4]);
+        let d = mem.alloc(4).unwrap();
+        let mut g = TaskGraph::new();
+        g.add_h2d("up", h_in, d, 64, &[]);
+        engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        assert_eq!(mem.buffer(d)[0], Complex::ZERO);
+    }
+
+    #[test]
+    fn stream_overhead_exceeds_graph_overhead_for_many_kernels() {
+        let (engine, mut mem, mut host) = setup();
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<crate::TaskId> = vec![];
+        for i in 0..100 {
+            let t = g.add_kernel(
+                format!("k{i}"),
+                Arc::new(FlopKernel { flops: 10 }),
+                &prev,
+            );
+            prev = vec![t];
+        }
+        let tg = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let ts = engine.run(&g, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly);
+        // 100 kernels × (1000 − 100) ns overhead difference minus the one-time
+        // graph launch cost.
+        assert!(ts.total_ns() > tg.total_ns() + 80_000);
+    }
+
+    #[test]
+    fn divergence_slows_kernels() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let engine = Engine::new(spec);
+        struct Div(f64);
+        impl Kernel for Div {
+            fn name(&self) -> &str {
+                "div"
+            }
+            fn profile(&self) -> KernelProfile {
+                KernelProfile {
+                    flops: 1_000_000,
+                    bytes_read: 0,
+                    bytes_written: 0,
+                    blocks: 1_000_000,
+                    threads_per_block: 32,
+                    divergence: self.0,
+                }
+            }
+            fn execute(&self, _mem: &mut DeviceMemory) {}
+        }
+        let mut g1 = TaskGraph::new();
+        g1.add_kernel("a", Arc::new(Div(1.0)), &[]);
+        let mut g4 = TaskGraph::new();
+        g4.add_kernel("b", Arc::new(Div(4.0)), &[]);
+        let mut mem = DeviceMemory::new(engine.spec());
+        let mut host = HostMemory::new();
+        let t1 = engine.run(&g1, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t4 = engine.run(&g4, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        assert!(t4.total_ns() > t1.total_ns() * 2);
+    }
+
+    #[test]
+    fn gantt_shows_all_lanes() {
+        let (engine, mut mem, mut host) = setup();
+        let h = host.alloc_zeroed(1 << 12);
+        let d = mem.alloc(1 << 12).unwrap();
+        let mut g = TaskGraph::new();
+        let bytes = (1u64 << 12) * 16;
+        let up = g.add_h2d("up", h, d, bytes, &[]);
+        let k = g.add_kernel("k", Arc::new(FlopKernel { flops: 100_000 }), &[up]);
+        g.add_d2h("down", d, h, bytes, &[k]);
+        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let gantt = t.render_gantt(40);
+        assert_eq!(gantt.lines().count(), 3);
+        assert!(gantt.contains("compute |"));
+        assert!(gantt.contains('█'));
+        // Every line has the same width.
+        let widths: Vec<usize> = gantt.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.iter().all(|w| *w == widths[0]));
+    }
+
+    #[test]
+    fn extend_after_shifts_records() {
+        let (engine, mut mem, mut host) = setup();
+        let mut g = TaskGraph::new();
+        g.add_kernel("k", Arc::new(FlopKernel { flops: 100 }), &[]);
+        let t1 = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let mut total = t1.clone();
+        total.extend_after(&t1);
+        assert_eq!(total.total_ns(), 2 * t1.total_ns());
+        assert_eq!(total.records().len(), 2);
+        assert!(total.records()[1].start_ns >= t1.total_ns());
+    }
+}

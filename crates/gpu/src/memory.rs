@@ -1,0 +1,223 @@
+//! Device and host buffer arenas.
+
+use crate::DeviceSpec;
+use bqsim_num::Complex;
+use core::fmt;
+use std::error::Error;
+
+/// Handle to a device buffer inside a [`DeviceMemory`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// Handle to a host buffer inside a [`HostMemory`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostBufId(usize);
+
+/// Error returned when a device allocation exceeds the device's capacity —
+/// the failure mode behind the paper's Table 4 "-" entries (fused dense
+/// gates overflow cuQuantum's memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocDeviceError {
+    requested_bytes: u64,
+    free_bytes: u64,
+}
+
+impl AllocDeviceError {
+    /// Bytes the failed allocation asked for.
+    pub fn requested_bytes(&self) -> u64 {
+        self.requested_bytes
+    }
+}
+
+impl fmt::Display for AllocDeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device allocation of {} bytes exceeds free device memory ({} bytes)",
+            self.requested_bytes, self.free_bytes
+        )
+    }
+}
+
+impl Error for AllocDeviceError {}
+
+/// Arena of simulated device buffers holding complex amplitudes.
+///
+/// Capacity accounting follows the device spec so out-of-memory behaviour
+/// (and only that) is simulated; the actual data lives in host RAM.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    buffers: Vec<Vec<Complex>>,
+    capacity_bytes: u64,
+    used_bytes: u64,
+}
+
+impl DeviceMemory {
+    /// Creates an arena with the capacity of the given device.
+    pub fn new(spec: &DeviceSpec) -> Self {
+        DeviceMemory {
+            buffers: Vec::new(),
+            capacity_bytes: spec.memory_bytes,
+            used_bytes: 0,
+        }
+    }
+
+    /// Allocates a zero-filled buffer of `len` complex amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocDeviceError`] if the allocation would exceed device
+    /// capacity.
+    pub fn alloc(&mut self, len: usize) -> Result<BufferId, AllocDeviceError> {
+        let bytes = len as u64 * 16;
+        if self.used_bytes + bytes > self.capacity_bytes {
+            return Err(AllocDeviceError {
+                requested_bytes: bytes,
+                free_bytes: self.capacity_bytes - self.used_bytes,
+            });
+        }
+        self.used_bytes += bytes;
+        self.buffers.push(vec![Complex::ZERO; len]);
+        Ok(BufferId(self.buffers.len() - 1))
+    }
+
+    /// Reserves capacity accounting for non-amplitude device data (gate
+    /// tables etc.) without backing storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocDeviceError`] on overflow, like [`DeviceMemory::alloc`].
+    pub fn reserve_bytes(&mut self, bytes: u64) -> Result<(), AllocDeviceError> {
+        if self.used_bytes + bytes > self.capacity_bytes {
+            return Err(AllocDeviceError {
+                requested_bytes: bytes,
+                free_bytes: self.capacity_bytes - self.used_bytes,
+            });
+        }
+        self.used_bytes += bytes;
+        Ok(())
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Read access to a buffer.
+    pub fn buffer(&self, id: BufferId) -> &[Complex] {
+        &self.buffers[id.0]
+    }
+
+    /// Write access to a buffer.
+    pub fn buffer_mut(&mut self, id: BufferId) -> &mut [Complex] {
+        &mut self.buffers[id.0]
+    }
+
+    /// Write access to two distinct buffers at once (kernel input/output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn buffer_pair_mut(&mut self, a: BufferId, b: BufferId) -> (&[Complex], &mut [Complex]) {
+        assert_ne!(a, b, "kernel input and output buffers must differ");
+        if a.0 < b.0 {
+            let (lo, hi) = self.buffers.split_at_mut(b.0);
+            (&lo[a.0], &mut hi[0])
+        } else {
+            let (lo, hi) = self.buffers.split_at_mut(a.0);
+            (&hi[0], &mut lo[b.0])
+        }
+    }
+}
+
+/// Arena of host (pageable/pinned) buffers used as copy sources and sinks.
+#[derive(Debug, Default)]
+pub struct HostMemory {
+    buffers: Vec<Vec<Complex>>,
+}
+
+impl HostMemory {
+    /// Creates an empty host arena.
+    pub fn new() -> Self {
+        HostMemory::default()
+    }
+
+    /// Allocates a zero-filled host buffer of `len` amplitudes.
+    pub fn alloc_zeroed(&mut self, len: usize) -> HostBufId {
+        self.buffers.push(vec![Complex::ZERO; len]);
+        HostBufId(self.buffers.len() - 1)
+    }
+
+    /// Allocates a host buffer initialised with `data`.
+    pub fn alloc_from(&mut self, data: Vec<Complex>) -> HostBufId {
+        self.buffers.push(data);
+        HostBufId(self.buffers.len() - 1)
+    }
+
+    /// Read access.
+    pub fn buffer(&self, id: HostBufId) -> &[Complex] {
+        &self.buffers[id.0]
+    }
+
+    /// Write access.
+    pub fn buffer_mut(&mut self, id: HostBufId) -> &mut [Complex] {
+        &mut self.buffers[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_tracks_capacity() {
+        let spec = DeviceSpec::tiny_test_gpu(); // 1 GiB
+        let mut mem = DeviceMemory::new(&spec);
+        let a = mem.alloc(1024).unwrap();
+        assert_eq!(mem.used_bytes(), 1024 * 16);
+        assert_eq!(mem.buffer(a).len(), 1024);
+        // A 2 GiB ask must fail.
+        let err = mem.alloc(1 << 27).unwrap_err();
+        assert!(err.requested_bytes() == (1u64 << 27) * 16);
+        assert!(err.to_string().contains("exceeds free device memory"));
+    }
+
+    #[test]
+    fn reserve_bytes_counts_against_capacity() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        mem.reserve_bytes(1 << 29).unwrap();
+        mem.reserve_bytes(1 << 29).unwrap();
+        assert!(mem.reserve_bytes(1).is_err());
+    }
+
+    #[test]
+    fn buffer_pair_mut_disjoint() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        let a = mem.alloc(4).unwrap();
+        let b = mem.alloc(4).unwrap();
+        mem.buffer_mut(a)[0] = Complex::ONE;
+        let (src, dst) = mem.buffer_pair_mut(a, b);
+        dst[0] = src[0];
+        assert_eq!(mem.buffer(b)[0], Complex::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn buffer_pair_same_panics() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        let a = mem.alloc(4).unwrap();
+        let _ = mem.buffer_pair_mut(a, a);
+    }
+
+    #[test]
+    fn host_roundtrip() {
+        let mut host = HostMemory::new();
+        let h = host.alloc_from(vec![Complex::I; 3]);
+        assert_eq!(host.buffer(h)[2], Complex::I);
+        host.buffer_mut(h)[0] = Complex::ONE;
+        assert_eq!(host.buffer(h)[0], Complex::ONE);
+    }
+}

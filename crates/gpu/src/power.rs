@@ -1,0 +1,193 @@
+//! Utilization-driven power and energy accounting (paper Fig. 11).
+//!
+//! The paper measures board power with `nvidia-smi` and package power with
+//! `powerstat`; this module substitutes an analytic model: average power is
+//! idle power plus dynamic power scaled by engine utilization. The model's
+//! purpose is *relative* comparisons — a simulator that keeps the GPU busy
+//! with redundant work draws more power than one that fused it away.
+
+use crate::{CpuSpec, DeviceSpec, Resource, Timeline};
+
+/// Watts drawn per sustained flop/ns of arithmetic throughput.
+///
+/// Dynamic GPU power is dominated by ALU/FMA switching: a kernel stream
+/// that executes more MACs per unit time draws proportionally more board
+/// power. (At the A6000's ~9.7k flop/ns peak this term alone would exceed
+/// the TDP — real silicon throttles; the model caps at `max_power_w`.)
+const WATTS_PER_FLOP_NS: f64 = 0.16;
+
+/// Watts drawn per sustained byte/ns of device-memory traffic.
+const WATTS_PER_BYTE_NS: f64 = 0.09;
+
+/// Average GPU board power over a timeline, in watts.
+///
+/// Rate-based model: idle power plus arithmetic-rate and memory-rate
+/// terms, capped at the board's power limit. Because the rates divide by
+/// the schedule's *total* time, a simulator that performs redundant MACs
+/// per output amplitude (cuQuantum's dense unfused passes: ~1 flop/byte)
+/// draws more power than one that fused the work away (BQSim's ELL spMM:
+/// ~0.3 flop/byte), even when both saturate memory bandwidth — the effect
+/// behind Fig. 11.
+pub fn gpu_average_power_w(spec: &DeviceSpec, timeline: &Timeline) -> f64 {
+    if timeline.total_ns() == 0 {
+        return spec.idle_power_w;
+    }
+    let total = timeline.total_ns() as f64;
+    let flop_rate = timeline.kernel_flops() as f64 / total;
+    let byte_rate = timeline.kernel_bytes() as f64 / total;
+    let copies = 0.5
+        * (timeline.utilization(Resource::CopyH2D) + timeline.utilization(Resource::CopyD2H));
+    let p = spec.idle_power_w
+        + WATTS_PER_FLOP_NS * flop_rate
+        + WATTS_PER_BYTE_NS * byte_rate
+        + 10.0 * copies;
+    p.min(spec.max_power_w)
+}
+
+/// GPU energy over a timeline, in joules.
+pub fn gpu_energy_j(spec: &DeviceSpec, timeline: &Timeline) -> f64 {
+    gpu_average_power_w(spec, timeline) * timeline.total_ns() as f64 / 1e9
+}
+
+/// Average CPU package power with `active_threads` busy for `busy_fraction`
+/// of the run, in watts.
+pub fn cpu_average_power_w(spec: &CpuSpec, active_threads: u32, busy_fraction: f64) -> f64 {
+    spec.idle_power_w
+        + spec.active_power_per_thread_w
+            * active_threads.min(spec.threads) as f64
+            * busy_fraction.clamp(0.0, 1.0)
+}
+
+/// A combined CPU+GPU power report for one simulator run (one bar group of
+/// Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Average CPU package power, watts.
+    pub cpu_w: f64,
+    /// Average GPU board power, watts (0 for CPU-only simulators).
+    pub gpu_w: f64,
+    /// Run duration in virtual nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl PowerReport {
+    /// Combined average power.
+    pub fn total_w(&self) -> f64 {
+        self.cpu_w + self.gpu_w
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.total_w() * self.duration_ns as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceMemory, Engine, ExecMode, HostMemory, Kernel, KernelProfile, LaunchMode, TaskGraph};
+    use std::sync::Arc;
+
+    struct Busy;
+    impl Kernel for Busy {
+        fn name(&self) -> &str {
+            "busy"
+        }
+        fn profile(&self) -> KernelProfile {
+            KernelProfile {
+                // Saturate both the ALUs and the memory system: the tiny
+                // test GPU does 128 flop/ns and 10 B/ns, so this kernel is
+                // compute-bound with ~full memory overlap.
+                flops: 100_000_000,
+                bytes_read: 4_000_000,
+                bytes_written: 3_500_000,
+                blocks: 1 << 20,
+                threads_per_block: 128,
+                divergence: 1.0,
+            }
+        }
+        fn execute(&self, _mem: &mut DeviceMemory) {}
+    }
+
+    #[test]
+    fn empty_timeline_draws_idle_power() {
+        let spec = DeviceSpec::rtx_a6000();
+        let t = Timeline::default();
+        assert_eq!(gpu_average_power_w(&spec, &t), spec.idle_power_w);
+    }
+
+    #[test]
+    fn busy_compute_approaches_max_power() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let engine = Engine::new(spec.clone());
+        let mut g = TaskGraph::new();
+        g.add_kernel("k", Arc::new(Busy), &[]);
+        let mut mem = DeviceMemory::new(&spec);
+        let mut host = HostMemory::new();
+        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let p = gpu_average_power_w(&spec, &t);
+        // Tiny GPU: 128 flop/ns × 0.16 + ~9.6 B/ns × 0.09 + idle ≈ 27 W.
+        assert!(p > 0.5 * spec.max_power_w, "p = {p}");
+        assert!(p <= spec.max_power_w);
+        assert!(gpu_energy_j(&spec, &t) > 0.0);
+    }
+
+    #[test]
+    fn redundant_work_draws_more_power_than_lean_work() {
+        // Two schedules of equal length; one executes 8x the arithmetic
+        // (cuQuantum-style redundancy) — it must draw more power.
+        struct Work(u64);
+        impl Kernel for Work {
+            fn name(&self) -> &str {
+                "work"
+            }
+            fn profile(&self) -> KernelProfile {
+                KernelProfile {
+                    flops: self.0,
+                    bytes_read: 1_000_000,
+                    bytes_written: 0,
+                    blocks: 1 << 20,
+                    threads_per_block: 128,
+                    divergence: 1.0,
+                }
+            }
+            fn execute(&self, _mem: &mut DeviceMemory) {}
+        }
+        let spec = DeviceSpec::tiny_test_gpu();
+        let engine = Engine::new(spec.clone());
+        let mut mem = DeviceMemory::new(&spec);
+        let mut host = HostMemory::new();
+        let mut lean = TaskGraph::new();
+        lean.add_kernel("lean", Arc::new(Work(1_000_000)), &[]);
+        let mut fat = TaskGraph::new();
+        fat.add_kernel("fat", Arc::new(Work(8_000_000)), &[]);
+        let t_lean = engine.run(&lean, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t_fat = engine.run(&fat, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        assert!(
+            gpu_average_power_w(&spec, &t_fat) > gpu_average_power_w(&spec, &t_lean),
+            "more arithmetic per unit time must draw more power"
+        );
+    }
+
+    #[test]
+    fn cpu_power_model() {
+        let c = CpuSpec::i7_11700();
+        let idle = cpu_average_power_w(&c, 0, 1.0);
+        assert_eq!(idle, c.idle_power_w);
+        let full = cpu_average_power_w(&c, 16, 1.0);
+        assert!(full > idle + 100.0);
+        let half = cpu_average_power_w(&c, 16, 0.5);
+        assert!(half < full && half > idle);
+    }
+
+    #[test]
+    fn power_report_energy() {
+        let r = PowerReport {
+            cpu_w: 50.0,
+            gpu_w: 150.0,
+            duration_ns: 2_000_000_000,
+        };
+        assert_eq!(r.total_w(), 200.0);
+        assert!((r.energy_j() - 400.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Approximate-comparison helpers for floating-point test assertions and
+//! amplitude validation.
+
+use crate::Complex;
+
+/// Whether two floats are within absolute tolerance `tol` of each other.
+///
+/// ```
+/// assert!(bqsim_num::approx::eq_f64(1.0, 1.0 + 1e-12, 1e-10));
+/// ```
+#[inline]
+pub fn eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Maximum absolute component difference between two complex slices, or
+/// `None` if their lengths differ.
+///
+/// This is the metric used throughout the test suites to assert that two
+/// simulators produced "identical state amplitudes" (paper §4).
+pub fn max_abs_diff(a: &[Complex], b: &[Complex]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut worst = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        worst = worst.max((x.re - y.re).abs()).max((x.im - y.im).abs());
+    }
+    Some(worst)
+}
+
+/// Whether two amplitude vectors are equal within `tol` in every component.
+pub fn vectors_eq(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+    matches!(max_abs_diff(a, b), Some(d) if d <= tol)
+}
+
+/// The L2 norm of an amplitude vector (should be 1 for a physical state).
+pub fn l2_norm(v: &[Complex]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_diff_basics() {
+        let a = [Complex::ONE, Complex::I];
+        let b = [Complex::new(1.0, 1e-3), Complex::I];
+        assert_eq!(max_abs_diff(&a, &b), Some(1e-3));
+        assert_eq!(max_abs_diff(&a, &b[..1]), None);
+    }
+
+    #[test]
+    fn vectors_eq_respects_tol() {
+        let a = [Complex::ONE];
+        let b = [Complex::new(1.0 + 1e-9, 0.0)];
+        assert!(vectors_eq(&a, &b, 1e-8));
+        assert!(!vectors_eq(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn l2_norm_of_plus_state() {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let v = [Complex::real(h), Complex::real(h)];
+        assert!(eq_f64(l2_norm(&v), 1.0, 1e-12));
+    }
+}

@@ -1,0 +1,232 @@
+//! Reference dense state-vector semantics.
+//!
+//! This module is the behavioural oracle of the workspace: every simulator
+//! (BQSim's fused/ELL pipeline and all baselines) is validated against the
+//! amplitudes produced here. It favours obvious correctness over speed.
+
+use crate::{CMatrix, Circuit, Gate};
+use bqsim_num::Complex;
+
+/// Returns `|0…0⟩` over `num_qubits` qubits.
+pub fn zero_state(num_qubits: usize) -> Vec<Complex> {
+    let mut v = vec![Complex::ZERO; 1usize << num_qubits];
+    v[0] = Complex::ONE;
+    v
+}
+
+/// Returns the computational basis state `|index⟩`.
+///
+/// # Panics
+///
+/// Panics if `index >= 2^num_qubits`.
+pub fn basis_state(num_qubits: usize, index: usize) -> Vec<Complex> {
+    let dim = 1usize << num_qubits;
+    assert!(index < dim, "basis index out of range");
+    let mut v = vec![Complex::ZERO; dim];
+    v[index] = Complex::ONE;
+    v
+}
+
+/// Applies `gate` in place to `state` (length `2^n`).
+///
+/// Implements Equation 2/3 of the paper generalised to `k`-qubit gates:
+/// amplitudes are updated in groups addressed by the gate's qubits, without
+/// materialising the `2^n × 2^n` matrix.
+///
+/// # Panics
+///
+/// Panics if `state.len()` is not a power of two or the gate exceeds the
+/// state's qubit count.
+pub fn apply_gate(state: &mut [Complex], gate: &Gate) {
+    assert!(state.len().is_power_of_two(), "state length not a power of two");
+    let n = state.len().trailing_zeros() as usize;
+    assert!(gate.max_qubit() < n, "gate exceeds state width");
+    let m = gate.matrix();
+    apply_matrix(state, &m, gate.qubits());
+}
+
+/// Applies a `2^k × 2^k` matrix to the given `k` qubits of `state`.
+///
+/// `qubits[0]` is the most significant bit of the matrix index (QASM
+/// argument order), matching [`CMatrix::embed`].
+pub fn apply_matrix(state: &mut [Complex], m: &CMatrix, qubits: &[usize]) {
+    let k = qubits.len();
+    let dk = 1usize << k;
+    assert_eq!(m.dim(), dk, "matrix size does not match qubit count");
+    let n = state.len().trailing_zeros() as usize;
+    debug_assert!(qubits.iter().all(|&q| q < n));
+
+    // Mask of the gate's qubits in full-index space.
+    let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+    let mut gathered = vec![Complex::ZERO; dk];
+
+    for base in 0..state.len() {
+        if base & mask != 0 {
+            continue; // not a group representative
+        }
+        // Gather the 2^k amplitudes of this group.
+        for (g, slot) in gathered.iter_mut().enumerate() {
+            *slot = state[expand(base, qubits, g)];
+        }
+        // Multiply and scatter.
+        for r in 0..dk {
+            let mut acc = Complex::ZERO;
+            for (c, &amp) in gathered.iter().enumerate() {
+                let a = m.get(r, c);
+                if a != Complex::ZERO {
+                    acc += a * amp;
+                }
+            }
+            state[expand(base, qubits, r)] = acc;
+        }
+    }
+}
+
+/// Inserts the bits of compact gate-space index `g` into `base` at the
+/// positions given by `qubits` (MSB of gate space first).
+#[inline]
+fn expand(base: usize, qubits: &[usize], g: usize) -> usize {
+    let k = qubits.len();
+    let mut idx = base;
+    for (pos, &q) in qubits.iter().enumerate() {
+        let bit = (g >> (k - 1 - pos)) & 1;
+        idx |= bit << q;
+    }
+    idx
+}
+
+/// Simulates `circuit` on `state` in place.
+pub fn apply_circuit(state: &mut [Complex], circuit: &Circuit) {
+    assert_eq!(
+        state.len(),
+        1usize << circuit.num_qubits(),
+        "state length does not match circuit width"
+    );
+    for g in circuit.gates() {
+        apply_gate(state, g);
+    }
+}
+
+/// Simulates `circuit` starting from `|0…0⟩`, returning the final state.
+///
+/// ```
+/// use bqsim_qcir::{dense, Circuit};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let out = dense::simulate(&bell);
+/// assert!((out[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// assert!((out[3].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+pub fn simulate(circuit: &Circuit) -> Vec<Complex> {
+    let mut state = zero_state(circuit.num_qubits());
+    apply_circuit(&mut state, circuit);
+    state
+}
+
+/// Builds the full `2^n × 2^n` unitary of `circuit` (small `n` only; used as
+/// a matrix oracle in DD and fusion tests).
+pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
+    let mut u = CMatrix::identity(1usize << circuit.num_qubits());
+    for g in circuit.gates() {
+        let full = g.matrix().embed(circuit.num_qubits(), g.qubits());
+        u = full.mul(&u);
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+    use bqsim_num::approx::{l2_norm, vectors_eq};
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let out = simulate(&c);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((out[0].re - h).abs() < 1e-12);
+        assert!(out[1].is_zero(1e-12));
+        assert!(out[2].is_zero(1e-12));
+        assert!((out[3].re - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let out = simulate(&c);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((out[0].re - h).abs() < 1e-12);
+        assert!((out[7].re - h).abs() < 1e-12);
+        assert!((l2_norm(&out) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_matches_embedded_unitary() {
+        let mut c = Circuit::new(3);
+        c.h(0).ry(0.37, 1).cx(1, 2).rz(1.1, 0).cz(0, 2).swap(0, 1);
+        let u = circuit_unitary(&c);
+        let direct = simulate(&c);
+        let via_matrix = u.mul_vec(&zero_state(3));
+        assert!(vectors_eq(&direct, &via_matrix, 1e-10));
+    }
+
+    #[test]
+    fn circuit_preserves_norm_on_random_input() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).cx(0, 2).rzz(0.4, 1, 3).ry(0.9, 2).ccx(0, 1, 3);
+        let mut state = zero_state(4);
+        // A non-trivial but simple input: H on everything first.
+        for q in 0..4 {
+            apply_gate(&mut state, &Gate::new(GateKind::H, vec![q]));
+        }
+        apply_circuit(&mut state, &c);
+        assert!((l2_norm(&state) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn basis_state_one_hot() {
+        let v = basis_state(3, 5);
+        assert_eq!(v[5], Complex::ONE);
+        assert_eq!(v.iter().filter(|z| **z != Complex::ZERO).count(), 1);
+    }
+
+    #[test]
+    fn x_flips_target_bit() {
+        let mut v = basis_state(3, 0b010);
+        apply_gate(&mut v, &Gate::new(GateKind::X, vec![2]));
+        assert_eq!(v[0b110], Complex::ONE);
+    }
+
+    #[test]
+    fn cx_respects_control() {
+        // control qubit 1, target qubit 0
+        let mut v = basis_state(2, 0b10);
+        apply_gate(&mut v, &Gate::new(GateKind::Cx, vec![1, 0]));
+        assert_eq!(v[0b11], Complex::ONE);
+        let mut v = basis_state(2, 0b00);
+        apply_gate(&mut v, &Gate::new(GateKind::Cx, vec![1, 0]));
+        assert_eq!(v[0b00], Complex::ONE);
+    }
+
+    #[test]
+    fn inverse_circuit_roundtrips() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).cx(0, 1).ry(0.73, 2).cp(0.31, 2, 0).rzz(0.21, 0, 2);
+        let mut state = simulate(&c);
+        apply_circuit(&mut state, &c.inverse());
+        let zero = zero_state(3);
+        assert!(vectors_eq(&state, &zero, 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match circuit width")]
+    fn wrong_state_length_panics() {
+        let c = Circuit::new(2);
+        let mut v = zero_state(3);
+        apply_circuit(&mut v, &c);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quantum circuit intermediate representation for BQSim-RS.
+//!
+//! This crate is the "front end" substrate of the workspace: every simulator
+//! (BQSim itself and the three baselines) consumes circuits expressed in the
+//! types defined here.
+//!
+//! It provides:
+//!
+//! * [`GateKind`] / [`Gate`] — a gate library covering the families used by
+//!   the BQSim paper's benchmark circuits (rotations, Cliffords, controlled
+//!   and diagonal gates), each with an exact dense unitary matrix.
+//! * [`CMatrix`] — a small dense complex matrix with Kronecker products and
+//!   qubit-embedding, used as ground truth in tests and by the array-based
+//!   (Qiskit-Aer-style) gate-fusion baseline.
+//! * [`Circuit`] — the circuit container with a fluent builder API.
+//! * [`qasm`] — an OpenQASM 2.0 subset parser and writer (the paper's input
+//!   format, Fig. 2).
+//! * [`generators`] — from-scratch generators for the MQT-Bench circuit
+//!   families evaluated in the paper (QNN, VQE, portfolio optimisation,
+//!   graph state, TSP, routing) plus Google-style supremacy circuits.
+//! * [`dense`] — a reference dense state-vector gate application used as the
+//!   behavioural oracle across the workspace.
+//!
+//! # Qubit ordering
+//!
+//! Basis-state index bit `k` corresponds to qubit `k`; qubit `n-1` is the
+//! most significant bit, matching the paper's DD "qubit level" convention
+//! (Fig. 1: level 2 = `q2` splits the top/bottom halves of an 8-vector).
+//!
+//! # Examples
+//!
+//! ```
+//! use bqsim_qcir::{Circuit, GateKind};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! assert_eq!(c.num_gates(), 2);
+//! assert_eq!(c.gates()[1].kind(), &GateKind::Cx);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod gate;
+mod matrix;
+
+pub mod dense;
+pub mod generators;
+pub mod observable;
+pub mod optimize;
+pub mod qasm;
+pub mod stats;
+
+pub use circuit::Circuit;
+pub use gate::{Gate, GateKind};
+pub use matrix::CMatrix;

@@ -1,0 +1,411 @@
+//! A small dense complex matrix.
+
+use bqsim_num::Complex;
+use core::fmt;
+
+/// A dense, square, row-major complex matrix.
+///
+/// Dimensions are powers of two in practice (gate unitaries), but the type
+/// itself only requires squareness. It is the ground-truth representation
+/// for tests, the DD package's dense export target, and the working format
+/// of the array-based (Qiskit-Aer-style) gate-fusion baseline.
+///
+/// # Examples
+///
+/// ```
+/// use bqsim_qcir::{CMatrix, GateKind};
+///
+/// let h = GateKind::H.matrix();
+/// let hh = h.mul(&h);
+/// assert!(hh.approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    dim: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a `dim × dim` zero matrix.
+    pub fn zeros(dim: usize) -> Self {
+        CMatrix {
+            dim,
+            data: vec![Complex::ZERO; dim * dim],
+        }
+    }
+
+    /// Creates the `dim × dim` identity.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = CMatrix::zeros(dim);
+        for i in 0..dim {
+            m.set(i, i, Complex::ONE);
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() != dim * dim`.
+    pub fn from_rows(dim: usize, entries: &[Complex]) -> Self {
+        assert_eq!(entries.len(), dim * dim, "row-major entry count mismatch");
+        CMatrix {
+            dim,
+            data: entries.to_vec(),
+        }
+    }
+
+    /// Creates a diagonal matrix from its diagonal entries.
+    pub fn diagonal(diag: &[Complex]) -> Self {
+        let mut m = CMatrix::zeros(diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// The matrix dimension (number of rows = columns).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of qubits this matrix spans (`log2(dim)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension is not a power of two.
+    pub fn num_qubits(&self) -> usize {
+        assert!(self.dim.is_power_of_two(), "dimension is not a power of two");
+        self.dim.trailing_zeros() as usize
+    }
+
+    /// Element at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        self.data[row * self.dim + col]
+    }
+
+    /// Sets element at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: Complex) {
+        self.data[row * self.dim + col] = v;
+    }
+
+    /// The raw row-major entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.dim, rhs.dim, "matrix dimension mismatch");
+        let n = self.dim;
+        let mut out = CMatrix::zeros(n);
+        for r in 0..n {
+            for k in 0..n {
+                let a = self.get(r, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for c in 0..n {
+                    let v = out.get(r, c) + a * rhs.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    #[allow(clippy::needless_range_loop)] // row/col indices read clearer
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.dim, "vector length mismatch");
+        let mut out = vec![Complex::ZERO; self.dim];
+        for r in 0..self.dim {
+            let mut acc = Complex::ZERO;
+            for c in 0..self.dim {
+                acc += self.get(r, c) * v[c];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs` (self supplies the more significant
+    /// index bits).
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let n = self.dim * rhs.dim;
+        let mut out = CMatrix::zeros(n);
+        for ar in 0..self.dim {
+            for ac in 0..self.dim {
+                let a = self.get(ar, ac);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for br in 0..rhs.dim {
+                    for bc in 0..rhs.dim {
+                        out.set(ar * rhs.dim + br, ac * rhs.dim + bc, a * rhs.get(br, bc));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.dim);
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                out.set(c, r, self.get(r, c).conj());
+            }
+        }
+        out
+    }
+
+    /// Component-wise approximate equality.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Maximum number of non-zero entries (with tolerance `tol`) over all
+    /// rows — the paper's BQCS cost when evaluated on a dense matrix. Used
+    /// as the oracle against the DD-native NZRV algorithm.
+    pub fn max_nzr(&self, tol: f64) -> usize {
+        (0..self.dim)
+            .map(|r| {
+                (0..self.dim)
+                    .filter(|&c| !self.get(r, c).is_zero(tol))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Non-zeros per row, as a vector (dense NZRV oracle for Fig. 3 tests).
+    pub fn nzr_per_row(&self, tol: f64) -> Vec<usize> {
+        (0..self.dim)
+            .map(|r| {
+                (0..self.dim)
+                    .filter(|&c| !self.get(r, c).is_zero(tol))
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Whether the matrix is diagonal within tolerance.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        (0..self.dim)
+            .all(|r| (0..self.dim).all(|c| r == c || self.get(r, c).is_zero(tol)))
+    }
+
+    /// Whether every row and every column has exactly one non-zero entry
+    /// (a weighted permutation matrix).
+    pub fn is_permutation(&self, tol: f64) -> bool {
+        let rows_ok = (0..self.dim).all(|r| {
+            (0..self.dim)
+                .filter(|&c| !self.get(r, c).is_zero(tol))
+                .count()
+                == 1
+        });
+        let cols_ok = (0..self.dim).all(|c| {
+            (0..self.dim)
+                .filter(|&r| !self.get(r, c).is_zero(tol))
+                .count()
+                == 1
+        });
+        rows_ok && cols_ok
+    }
+
+    /// Expands this `k`-qubit gate matrix into the full `2^n × 2^n` unitary
+    /// acting on `qubits` of an `n`-qubit system.
+    ///
+    /// `qubits[0]` corresponds to the most significant index bit of this
+    /// matrix (the first QASM argument, e.g. the control of `cx`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square power-of-two sized, if
+    /// `qubits.len()` disagrees with the matrix size, or if any qubit index
+    /// is out of range.
+    pub fn embed(&self, num_qubits: usize, qubits: &[usize]) -> CMatrix {
+        let k = self.num_qubits();
+        assert_eq!(qubits.len(), k, "qubit count mismatch");
+        assert!(
+            qubits.iter().all(|&q| q < num_qubits),
+            "qubit index out of range"
+        );
+        let n = 1usize << num_qubits;
+        let mut out = CMatrix::zeros(n);
+        // For each full-space column, decompose into (gate bits, rest bits).
+        for col in 0..n {
+            let gcol = gather_bits(col, qubits);
+            for grow in 0..(1usize << k) {
+                let a = self.get(grow, gcol);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                let row = scatter_bits(col, qubits, grow);
+                let v = out.get(row, col) + a;
+                out.set(row, col, v);
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the bits of `index` at positions `qubits` (MSB of the gate space
+/// first) into a compact gate-space index.
+fn gather_bits(index: usize, qubits: &[usize]) -> usize {
+    let k = qubits.len();
+    let mut out = 0usize;
+    for (pos, &q) in qubits.iter().enumerate() {
+        let bit = (index >> q) & 1;
+        out |= bit << (k - 1 - pos);
+    }
+    out
+}
+
+/// Replaces the bits of `index` at positions `qubits` with the bits of the
+/// compact gate-space index `gate_index`.
+fn scatter_bits(index: usize, qubits: &[usize], gate_index: usize) -> usize {
+    let k = qubits.len();
+    let mut out = index;
+    for (pos, &q) in qubits.iter().enumerate() {
+        let bit = (gate_index >> (k - 1 - pos)) & 1;
+        out = (out & !(1usize << q)) | (bit << q);
+    }
+    out
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let h = GateKind::H.matrix();
+        let id = CMatrix::identity(2);
+        assert!(h.mul(&id).approx_eq(&h, 0.0));
+        assert!(id.mul(&h).approx_eq(&h, 0.0));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = GateKind::X.matrix();
+        let id = CMatrix::identity(2);
+        let m = id.kron(&x); // X on least significant qubit
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.get(0, 1), Complex::ONE);
+        assert_eq!(m.get(2, 3), Complex::ONE);
+    }
+
+    #[test]
+    fn embed_single_qubit_matches_kron() {
+        // X on qubit 1 of a 2-qubit system: kron(X, I) since qubit 1 is MSB.
+        let x = GateKind::X.matrix();
+        let id = CMatrix::identity(2);
+        let want = x.kron(&id);
+        let got = x.embed(2, &[1]);
+        assert!(got.approx_eq(&want, 0.0));
+    }
+
+    #[test]
+    fn embed_cx_control_msb() {
+        // cx control=1 target=0 on 2 qubits equals the raw CX matrix.
+        let cx = GateKind::Cx.matrix();
+        let got = cx.embed(2, &[1, 0]);
+        assert!(got.approx_eq(&cx, 0.0));
+    }
+
+    #[test]
+    fn embed_cx_reversed() {
+        // cx control=0 target=1: |01> -> |11>, i.e. column 1 maps to row 3.
+        let cx = GateKind::Cx.matrix();
+        let got = cx.embed(2, &[0, 1]);
+        assert_eq!(got.get(3, 1), Complex::ONE);
+        assert_eq!(got.get(1, 3), Complex::ONE);
+        assert_eq!(got.get(0, 0), Complex::ONE);
+        assert_eq!(got.get(2, 2), Complex::ONE);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = GateKind::H.matrix().kron(&GateKind::H.matrix());
+        let v = vec![Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
+        let got = m.mul_vec(&v);
+        assert!((got[0].re - 0.5).abs() < 1e-12);
+        assert!(got.iter().all(|z| (z.re - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn max_nzr_of_h_kron_h() {
+        let m = GateKind::H.matrix().kron(&GateKind::H.matrix());
+        assert_eq!(m.max_nzr(1e-12), 4);
+        let cx = GateKind::Cx.matrix();
+        assert_eq!(cx.max_nzr(1e-12), 1);
+    }
+
+    #[test]
+    fn permutation_and_diagonal_predicates() {
+        assert!(GateKind::Cx.matrix().is_permutation(1e-12));
+        assert!(!GateKind::Cx.matrix().is_diagonal(1e-12));
+        assert!(GateKind::Rzz(0.3).matrix().is_diagonal(1e-12));
+        assert!(!GateKind::H.matrix().is_permutation(1e-12));
+    }
+
+    #[test]
+    fn dagger_of_unitary_is_inverse() {
+        let u = GateKind::U(0.3, 0.2, 0.9).matrix();
+        let prod = u.mul(&u.dagger());
+        assert!(prod.approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn nzr_per_row_matches_structure() {
+        let h = GateKind::H.matrix();
+        assert_eq!(h.nzr_per_row(1e-12), vec![2, 2]);
+        let s = GateKind::S.matrix();
+        assert_eq!(s.nzr_per_row(1e-12), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_dim_mismatch_panics() {
+        let a = CMatrix::identity(2);
+        let b = CMatrix::identity(4);
+        let _ = a.mul(&b);
+    }
+}

@@ -1,0 +1,266 @@
+//! Observables and measurement sampling over state vectors.
+//!
+//! The state-analysis applications that motivate BQCS (§1: QNN analysis,
+//! noise studies, variational workflows) reduce batches of output states to
+//! scalar quantities — Pauli expectation values and measurement samples.
+//! This module provides both, directly over dense amplitude vectors.
+
+use bqsim_num::Complex;
+use core::fmt;
+use rand::Rng;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A Pauli string: one Pauli per qubit (qubit `k` = index `k`).
+///
+/// # Examples
+///
+/// ```
+/// use bqsim_qcir::observable::{expectation, PauliString};
+/// use bqsim_qcir::dense;
+///
+/// // ⟨Z₀⟩ of |0⟩ is +1.
+/// let obs = PauliString::parse("Z").unwrap();
+/// let state = dense::zero_state(1);
+/// assert!((expectation(&obs, &state) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Builds a Pauli string from per-qubit operators (index = qubit).
+    pub fn new(paulis: Vec<Pauli>) -> Self {
+        PauliString { paulis }
+    }
+
+    /// Parses a string like `"ZZI"` or `"xyz"`. Character 0 acts on qubit
+    /// 0 (the least significant basis bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending character on anything outside `IXYZ`.
+    pub fn parse(s: &str) -> Result<Self, char> {
+        let paulis = s
+            .chars()
+            .map(|c| match c.to_ascii_uppercase() {
+                'I' => Ok(Pauli::I),
+                'X' => Ok(Pauli::X),
+                'Y' => Ok(Pauli::Y),
+                'Z' => Ok(Pauli::Z),
+                other => Err(other),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PauliString { paulis })
+    }
+
+    /// Number of qubits covered.
+    pub fn num_qubits(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// The operator on qubit `q` (identity beyond the string's length).
+    pub fn pauli(&self, q: usize) -> Pauli {
+        self.paulis.get(q).copied().unwrap_or(Pauli::I)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.paulis {
+            let c = match p {
+                Pauli::I => 'I',
+                Pauli::X => 'X',
+                Pauli::Y => 'Y',
+                Pauli::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Applies a Pauli string to a state, returning `P|ψ⟩`.
+fn apply_pauli(obs: &PauliString, state: &[Complex]) -> Vec<Complex> {
+    let n = state.len().trailing_zeros() as usize;
+    let mut out = state.to_vec();
+    for q in 0..n {
+        match obs.pauli(q) {
+            Pauli::I => {}
+            Pauli::X => {
+                for i in 0..state.len() {
+                    if i & (1 << q) == 0 {
+                        out.swap(i, i | (1 << q));
+                    }
+                }
+            }
+            Pauli::Y => {
+                for i in 0..state.len() {
+                    if i & (1 << q) == 0 {
+                        let j = i | (1 << q);
+                        let (a, b) = (out[i], out[j]);
+                        out[i] = Complex::new(0.0, -1.0) * b;
+                        out[j] = Complex::I * a;
+                    }
+                }
+            }
+            Pauli::Z => {
+                for (i, z) in out.iter_mut().enumerate() {
+                    if i & (1 << q) != 0 {
+                        *z = -*z;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The expectation value `⟨ψ|P|ψ⟩` (real for Hermitian `P`).
+///
+/// # Panics
+///
+/// Panics if the state length is not a power of two or the observable
+/// covers more qubits than the state.
+pub fn expectation(obs: &PauliString, state: &[Complex]) -> f64 {
+    assert!(state.len().is_power_of_two(), "state length not a power of two");
+    let n = state.len().trailing_zeros() as usize;
+    assert!(obs.num_qubits() <= n, "observable wider than state");
+    let applied = apply_pauli(obs, state);
+    state
+        .iter()
+        .zip(&applied)
+        .map(|(a, b)| (a.conj() * *b).re)
+        .sum()
+}
+
+/// Measurement probabilities of every basis state.
+pub fn probabilities(state: &[Complex]) -> Vec<f64> {
+    state.iter().map(|z| z.norm_sqr()).collect()
+}
+
+/// Samples `shots` computational-basis measurements from a state.
+///
+/// # Panics
+///
+/// Panics if the state norm deviates grossly from 1 (malformed input).
+pub fn sample<R: Rng>(state: &[Complex], shots: usize, rng: &mut R) -> Vec<usize> {
+    let probs = probabilities(state);
+    let total: f64 = probs.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "state is not normalised (norm² = {total})"
+    );
+    (0..shots)
+        .map(|_| {
+            let mut x: f64 = rng.gen_range(0.0..total);
+            for (i, p) in probs.iter().enumerate() {
+                if x < *p {
+                    return i;
+                }
+                x -= p;
+            }
+            probs.len() - 1
+        })
+        .collect()
+}
+
+/// Histogram of sampled outcomes: `counts[basis_index] = occurrences`.
+pub fn sample_counts<R: Rng>(state: &[Complex], shots: usize, rng: &mut R) -> Vec<usize> {
+    let mut counts = vec![0usize; state.len()];
+    for outcome in sample(state, shots, rng) {
+        counts[outcome] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dense, Circuit};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z_expectation_of_basis_states() {
+        let z0 = PauliString::parse("Z").unwrap();
+        assert!((expectation(&z0, &dense::basis_state(2, 0)) - 1.0).abs() < 1e-12);
+        assert!((expectation(&z0, &dense::basis_state(2, 1)) + 1.0).abs() < 1e-12);
+        // Z on qubit 1:
+        let z1 = PauliString::parse("IZ").unwrap();
+        assert!((expectation(&z1, &dense::basis_state(2, 2)) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_of_plus_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let plus = dense::simulate(&c);
+        let x = PauliString::parse("X").unwrap();
+        assert!((expectation(&x, &plus) - 1.0).abs() < 1e-12);
+        let z = PauliString::parse("Z").unwrap();
+        assert!(expectation(&z, &plus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_of_y_eigenstate() {
+        // |+i⟩ = (|0⟩ + i|1⟩)/√2 is the +1 eigenstate of Y.
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let state = vec![Complex::real(h), Complex::new(0.0, h)];
+        let y = PauliString::parse("Y").unwrap();
+        assert!((expectation(&y, &state) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_correlation_of_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let bell = dense::simulate(&c);
+        let zz = PauliString::parse("ZZ").unwrap();
+        assert!((expectation(&zz, &bell) - 1.0).abs() < 1e-12);
+        let zi = PauliString::parse("ZI").unwrap();
+        assert!(expectation(&zi, &bell).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let bell = dense::simulate(&c);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let counts = sample_counts(&bell, 10_000, &mut rng);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 0);
+        let frac = counts[0] as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(PauliString::parse("XQZ"), Err('Q'));
+        assert_eq!(
+            PauliString::parse("xyz").unwrap().to_string(),
+            "XYZ"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalised")]
+    fn sampling_unnormalised_panics() {
+        let state = vec![Complex::ONE, Complex::ONE];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = sample(&state, 1, &mut rng);
+    }
+}

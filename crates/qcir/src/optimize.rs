@@ -1,0 +1,242 @@
+//! Peephole circuit optimisation: the gate-level rewrites (§2.3, §5 of the
+//! paper's related work: gate cancellation and pattern matching) that
+//! front-ends typically run *before* DD-based fusion.
+//!
+//! Three passes, iterated to a fixpoint:
+//!
+//! 1. **Identity removal** — drop `id` gates and zero-angle rotations.
+//! 2. **Inverse cancellation** — drop adjacent `g · g⁻¹` pairs acting on
+//!    the same qubits (with no interposed gate touching them).
+//! 3. **Rotation merging** — combine adjacent same-axis rotations on the
+//!    same qubit(s) into one (`rz(a)·rz(b) → rz(a+b)`).
+//!
+//! All rewrites are exact (no global-phase slack).
+
+use crate::{Circuit, Gate, GateKind};
+
+/// Statistics of one optimisation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Gates in the input circuit.
+    pub gates_before: usize,
+    /// Gates in the optimised circuit.
+    pub gates_after: usize,
+    /// Identity-like gates removed.
+    pub identities_removed: usize,
+    /// Inverse pairs cancelled.
+    pub pairs_cancelled: usize,
+    /// Rotation pairs merged.
+    pub rotations_merged: usize,
+}
+
+/// Whether a gate is the identity (exactly, not up to phase).
+fn is_identity_gate(kind: &GateKind) -> bool {
+    match kind {
+        GateKind::I => true,
+        GateKind::Rx(a) | GateKind::Ry(a) | GateKind::Rz(a) | GateKind::Phase(a)
+        | GateKind::Cp(a) | GateKind::Crz(a) | GateKind::Cry(a) | GateKind::Crx(a)
+        | GateKind::Rzz(a) | GateKind::Rxx(a) => *a == 0.0,
+        GateKind::U(t, p, l) => *t == 0.0 && *p + *l == 0.0,
+        _ => false,
+    }
+}
+
+/// Whether `b` is exactly the inverse of `a` (same kind family).
+fn are_inverse_kinds(a: &GateKind, b: &GateKind) -> bool {
+    use GateKind::*;
+    match (a, b) {
+        // Self-inverse gates.
+        (H, H) | (X, X) | (Y, Y) | (Z, Z) | (Cx, Cx) | (Cz, Cz) | (Swap, Swap)
+        | (Ccx, Ccx) | (Cswap, Cswap) => true,
+        // Named inverse pairs.
+        (S, Sdg) | (Sdg, S) | (T, Tdg) | (Tdg, T) | (Sx, Sxdg) | (Sxdg, Sx)
+        | (Sy, Sydg) | (Sydg, Sy) | (Sw, Swdg) | (Swdg, Sw) => true,
+        // Parametrised inverses.
+        (Rx(p), Rx(q)) | (Ry(p), Ry(q)) | (Rz(p), Rz(q)) | (Phase(p), Phase(q))
+        | (Cp(p), Cp(q)) | (Crz(p), Crz(q)) | (Cry(p), Cry(q)) | (Crx(p), Crx(q))
+        | (Rzz(p), Rzz(q)) | (Rxx(p), Rxx(q)) => p + q == 0.0,
+        _ => false,
+    }
+}
+
+/// Tries to merge two adjacent same-qubit gates into one; `None` if the
+/// pair is not mergeable.
+fn merge_kinds(a: &GateKind, b: &GateKind) -> Option<GateKind> {
+    use GateKind::*;
+    let merged = match (a, b) {
+        (Rx(p), Rx(q)) => Rx(p + q),
+        (Ry(p), Ry(q)) => Ry(p + q),
+        (Rz(p), Rz(q)) => Rz(p + q),
+        (Phase(p), Phase(q)) => Phase(p + q),
+        (Cp(p), Cp(q)) => Cp(p + q),
+        (Crz(p), Crz(q)) => Crz(p + q),
+        (Cry(p), Cry(q)) => Cry(p + q),
+        (Crx(p), Crx(q)) => Crx(p + q),
+        (Rzz(p), Rzz(q)) => Rzz(p + q),
+        (Rxx(p), Rxx(q)) => Rxx(p + q),
+        (S, S) => Z,
+        (T, T) => S,
+        (Tdg, Tdg) => Sdg,
+        (Sdg, Sdg) => Z,
+        (Sx, Sx) => X,
+        (Sxdg, Sxdg) => X,
+        _ => return None,
+    };
+    Some(merged)
+}
+
+/// One fixpoint pass: returns the rewritten gate list and whether anything
+/// changed.
+fn pass(gates: &[Gate], stats: &mut OptimizeStats) -> (Vec<Gate>, bool) {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    let mut changed = false;
+    for g in gates {
+        if is_identity_gate(g.kind()) {
+            stats.identities_removed += 1;
+            changed = true;
+            continue;
+        }
+        if let Some(prev) = out.last() {
+            if prev.qubits() == g.qubits() {
+                if are_inverse_kinds(prev.kind(), g.kind()) {
+                    out.pop();
+                    stats.pairs_cancelled += 1;
+                    changed = true;
+                    continue;
+                }
+                if let Some(merged) = merge_kinds(prev.kind(), g.kind()) {
+                    let qubits = prev.qubits().to_vec();
+                    out.pop();
+                    if !is_identity_gate(&merged) {
+                        out.push(Gate::new(merged, qubits));
+                    } else {
+                        stats.identities_removed += 1;
+                    }
+                    stats.rotations_merged += 1;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        out.push(g.clone());
+    }
+    (out, changed)
+}
+
+/// Optimises a circuit to fixpoint, returning the rewritten circuit and
+/// statistics.
+///
+/// The rewrites are exact: the optimised circuit implements the same
+/// unitary (including global phase).
+///
+/// # Examples
+///
+/// ```
+/// use bqsim_qcir::{optimize, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).h(0).t(1).t(1).cx(0, 1).cx(0, 1);
+/// let (opt, stats) = optimize::optimize(&c);
+/// assert_eq!(opt.num_gates(), 1); // only `s q[1]` (= t·t) survives
+/// assert_eq!(stats.pairs_cancelled, 2);
+/// ```
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut stats = OptimizeStats {
+        gates_before: circuit.num_gates(),
+        ..OptimizeStats::default()
+    };
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    loop {
+        let (next, changed) = pass(&gates, &mut stats);
+        gates = next;
+        if !changed {
+            break;
+        }
+    }
+    stats.gates_after = gates.len();
+    let mut out = Circuit::with_name(format!("{}_opt", circuit.name()), circuit.num_qubits());
+    out.extend(gates);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dense, generators};
+    use bqsim_num::approx::vectors_eq;
+
+    #[test]
+    fn cancels_inverse_pairs() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(0).cx(0, 1).cx(0, 1).s(2).apply(GateKind::Sdg, &[2]);
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.num_gates(), 0);
+        assert_eq!(stats.pairs_cancelled, 3);
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0).rz(0.4, 0).ry(0.1, 1).ry(-0.1, 1);
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.num_gates(), 1);
+        assert!(stats.rotations_merged + stats.pairs_cancelled >= 2);
+        match opt.gates()[0].kind() {
+            GateKind::Rz(a) => assert!((a - 0.7).abs() < 1e-12),
+            other => panic!("expected rz, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cascading_cancellation_via_fixpoint() {
+        // t·t → s, then s·sdg cancels: needs two passes.
+        let mut c = Circuit::new(1);
+        c.t(0).t(0).apply(GateKind::Sdg, &[0]);
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.num_gates(), 0);
+    }
+
+    #[test]
+    fn does_not_cancel_across_interfering_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0); // h...h do NOT cancel across the cx
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.num_gates(), 3);
+        assert_eq!(stats.pairs_cancelled, 0);
+    }
+
+    #[test]
+    fn reversed_qubit_order_is_not_cancelled() {
+        // cx(0,1) and cx(1,0) are different gates.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.num_gates(), 2);
+    }
+
+    #[test]
+    fn semantics_preserved_on_random_circuits() {
+        for seed in 0..10u64 {
+            let mut c = generators::random_circuit(5, 40, seed);
+            // Inject redundancy so passes have work to do.
+            c.h(0).h(0).rz(0.5, 1).rz(-0.5, 1).t(2).t(2);
+            let (opt, stats) = optimize(&c);
+            assert!(stats.gates_after < stats.gates_before);
+            let want = dense::simulate(&c);
+            let got = dense::simulate(&opt);
+            assert!(
+                vectors_eq(&got, &want, 1e-10),
+                "seed {seed}: optimisation changed semantics"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_angle_rotations_removed() {
+        let mut c = Circuit::new(2);
+        c.rx(0.0, 0).apply(GateKind::I, &[1]).rzz(0.0, 0, 1).h(0);
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.num_gates(), 1);
+        assert_eq!(stats.identities_removed, 3);
+    }
+}

@@ -1,0 +1,101 @@
+//! Circuit statistics used by reports and fusion heuristics.
+
+use crate::Circuit;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of a circuit.
+///
+/// ```
+/// use bqsim_qcir::{stats::CircuitStats, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).rz(0.1, 1);
+/// let s = CircuitStats::of(&c);
+/// assert_eq!(s.total, 3);
+/// assert_eq!(s.two_qubit, 1);
+/// assert_eq!(s.diagonal_or_permutation, 2); // cx and rz
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Total gate count.
+    pub total: usize,
+    /// Number of single-qubit gates.
+    pub single_qubit: usize,
+    /// Number of two-qubit gates.
+    pub two_qubit: usize,
+    /// Number of gates on three or more qubits.
+    pub multi_qubit: usize,
+    /// Gates whose unitary is diagonal.
+    pub diagonal: usize,
+    /// Gates whose unitary is diagonal or a permutation (BQCS cost 1;
+    /// candidates for fusion step ① of the paper).
+    pub diagonal_or_permutation: usize,
+    /// ASAP depth.
+    pub depth: usize,
+    /// Count per gate mnemonic.
+    pub by_name: BTreeMap<&'static str, usize>,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut s = CircuitStats {
+            depth: circuit.depth(),
+            ..CircuitStats::default()
+        };
+        for g in circuit.gates() {
+            s.total += 1;
+            match g.kind().arity() {
+                1 => s.single_qubit += 1,
+                2 => s.two_qubit += 1,
+                _ => s.multi_qubit += 1,
+            }
+            if g.kind().is_diagonal() {
+                s.diagonal += 1;
+            }
+            if g.kind().is_permutation() {
+                s.diagonal_or_permutation += 1;
+            }
+            *s.by_name.entry(g.kind().name()).or_insert(0) += 1;
+        }
+        s
+    }
+
+    /// Fraction of gates that are diagonal or permutation (drives how much
+    /// fusion step ① can compress a circuit).
+    pub fn cheap_gate_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.diagonal_or_permutation as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cx(0, 1).ccx(0, 1, 2).rz(0.2, 0);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.total, 5);
+        assert_eq!(s.single_qubit, 3);
+        assert_eq!(s.two_qubit, 1);
+        assert_eq!(s.multi_qubit, 1);
+        assert_eq!(s.by_name["h"], 2);
+        assert_eq!(s.by_name["ccx"], 1);
+    }
+
+    #[test]
+    fn cheap_gate_fraction_bounds() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cz(0, 1).rz(0.5, 0).s(1);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.cheap_gate_fraction(), 1.0);
+        let empty = CircuitStats::of(&Circuit::new(1));
+        assert_eq!(empty.cheap_gate_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Node identifiers and weighted edges.
+
+use bqsim_num::CIdx;
+use core::fmt;
+
+/// Identifier of a matrix-DD node inside a [`DdPackage`](crate::DdPackage)
+/// arena, or the terminal.
+///
+/// The *terminal* ([`MNodeId::TERMINAL`]) is the paper's "constant-one
+/// node": an edge pointing at it with weight `w` denotes the 1×1 matrix
+/// `(w)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MNodeId(pub(crate) u32);
+
+impl MNodeId {
+    /// The terminal ("constant one") node.
+    pub const TERMINAL: MNodeId = MNodeId(u32::MAX);
+
+    /// Whether this is the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == MNodeId::TERMINAL
+    }
+
+    /// The raw arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the terminal.
+    #[inline]
+    pub fn index(self) -> usize {
+        assert!(!self.is_terminal(), "terminal node has no arena index");
+        self.0 as usize
+    }
+}
+
+/// Identifier of a vector-DD node, or the terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VNodeId(pub(crate) u32);
+
+impl VNodeId {
+    /// The terminal ("constant one") node.
+    pub const TERMINAL: VNodeId = VNodeId(u32::MAX);
+
+    /// Whether this is the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == VNodeId::TERMINAL
+    }
+
+    /// The raw arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the terminal.
+    #[inline]
+    pub fn index(self) -> usize {
+        assert!(!self.is_terminal(), "terminal node has no arena index");
+        self.0 as usize
+    }
+}
+
+/// A weighted edge into a matrix DD.
+///
+/// The canonical **zero edge** has weight [`CIdx::ZERO`] and points at the
+/// terminal; it denotes an all-zero block of whatever size context implies
+/// (the paper's "constant-zero edge").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MEdge {
+    /// Target node.
+    pub node: MNodeId,
+    /// Interned complex weight.
+    pub w: CIdx,
+}
+
+impl MEdge {
+    /// The canonical zero edge.
+    pub const ZERO: MEdge = MEdge {
+        node: MNodeId::TERMINAL,
+        w: CIdx::ZERO,
+    };
+
+    /// The terminal edge with weight one (the 1×1 identity).
+    pub const ONE: MEdge = MEdge {
+        node: MNodeId::TERMINAL,
+        w: CIdx::ONE,
+    };
+
+    /// An edge to the terminal with the given weight.
+    #[inline]
+    pub fn terminal(w: CIdx) -> MEdge {
+        if w.is_zero() {
+            MEdge::ZERO
+        } else {
+            MEdge {
+                node: MNodeId::TERMINAL,
+                w,
+            }
+        }
+    }
+
+    /// Whether this is the canonical zero edge.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.w.is_zero()
+    }
+
+    /// Whether the edge points at the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
+}
+
+impl fmt::Display for MEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node.is_terminal() {
+            write!(f, "[T, {}]", self.w)
+        } else {
+            write!(f, "[m{}, {}]", self.node.0, self.w)
+        }
+    }
+}
+
+/// A weighted edge into a vector DD. See [`MEdge`] for conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VEdge {
+    /// Target node.
+    pub node: VNodeId,
+    /// Interned complex weight.
+    pub w: CIdx,
+}
+
+impl VEdge {
+    /// The canonical zero edge.
+    pub const ZERO: VEdge = VEdge {
+        node: VNodeId::TERMINAL,
+        w: CIdx::ZERO,
+    };
+
+    /// The terminal edge with weight one.
+    pub const ONE: VEdge = VEdge {
+        node: VNodeId::TERMINAL,
+        w: CIdx::ONE,
+    };
+
+    /// An edge to the terminal with the given weight.
+    #[inline]
+    pub fn terminal(w: CIdx) -> VEdge {
+        if w.is_zero() {
+            VEdge::ZERO
+        } else {
+            VEdge {
+                node: VNodeId::TERMINAL,
+                w,
+            }
+        }
+    }
+
+    /// Whether this is the canonical zero edge.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.w.is_zero()
+    }
+
+    /// Whether the edge points at the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
+}
+
+impl fmt::Display for VEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node.is_terminal() {
+            write!(f, "[T, {}]", self.w)
+        } else {
+            write!(f, "[v{}, {}]", self.node.0, self.w)
+        }
+    }
+}
+
+/// A matrix-DD node: qubit level plus four child edges in row-major block
+/// order `[top-left, top-right, bottom-left, bottom-right]` (the paper's
+/// Fig. 1a edge order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct MNode {
+    pub level: u8,
+    pub children: [MEdge; 4],
+}
+
+/// A vector-DD node: qubit level plus `[top, bottom]` child edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct VNode {
+    pub level: u8,
+    pub children: [VEdge; 2],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_edge_is_terminal_zero() {
+        assert!(MEdge::ZERO.is_zero());
+        assert!(MEdge::ZERO.is_terminal());
+        assert!(VEdge::ZERO.is_zero());
+        assert_eq!(MEdge::terminal(CIdx::ZERO), MEdge::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal node has no arena index")]
+    fn terminal_index_panics() {
+        let _ = MNodeId::TERMINAL.index();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MEdge::ONE.to_string(), "[T, c1]");
+        assert_eq!(VEdge::ZERO.to_string(), "[T, c0]");
+    }
+}

@@ -1,0 +1,64 @@
+//! Circuit zoo: print the paper's benchmark suite with fusion statistics —
+//! how far BQCS-aware fusion compresses each family and what each fused
+//! gate costs.
+//!
+//! ```sh
+//! cargo run -p bqsim-examples --release --bin circuit_zoo
+//! cargo run -p bqsim-examples --release --bin circuit_zoo -- --qasm   # dump OpenQASM
+//! ```
+
+use bqsim_core::{BqSimOptions, BqSimulator};
+use bqsim_examples::{has_flag, row};
+use bqsim_qcir::stats::CircuitStats;
+use bqsim_qcir::{generators, qasm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dump_qasm = has_flag("--qasm");
+    let suite = generators::paper_suite();
+
+    println!(
+        "{}",
+        row(&[
+            "circuit".into(),
+            "n".into(),
+            "gates".into(),
+            "depth".into(),
+            "cheap %".into(),
+            "fused gates".into(),
+            "MAC/input".into(),
+            "methods".into(),
+        ])
+    );
+    println!("{}", row(&vec!["---".to_string(); 8]));
+
+    for entry in suite {
+        let n = entry.scaled_qubits;
+        let circuit = entry.family.build(n, 42);
+        if dump_qasm {
+            println!("// ===== {} =====\n{}", circuit.name(), qasm::write(&circuit));
+            continue;
+        }
+        let stats = CircuitStats::of(&circuit);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default())?;
+        let gpu = sim
+            .gates()
+            .iter()
+            .filter(|g| g.method == bqsim_core::ConversionMethod::Gpu)
+            .count();
+        let cpu = sim.gates().len() - gpu;
+        println!(
+            "{}",
+            row(&[
+                format!("{} (paper n={})", entry.family.name(), entry.paper_qubits),
+                n.to_string(),
+                circuit.num_gates().to_string(),
+                stats.depth.to_string(),
+                format!("{:.0}%", stats.cheap_gate_fraction() * 100.0),
+                sim.gates().len().to_string(),
+                sim.mac_per_input().to_string(),
+                format!("{gpu} gpu / {cpu} cpu"),
+            ])
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the runnable examples: tiny CLI-argument parsing and
+//! table printing, kept dependency-free.
+
+/// Returns the value of `--flag <value>` from the process arguments,
+/// parsed, or `default`.
+pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare `--flag` is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Formats a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Formats nanoseconds as engineering-readable milliseconds.
+pub fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(1_500_000), "1.500");
+    }
+
+    #[test]
+    fn row_formats() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+}

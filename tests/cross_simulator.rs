@@ -1,0 +1,176 @@
+//! Cross-simulator amplitude validation (paper §4: "We validate BQSim by
+//! comparing our simulation results with the baselines, where we observe
+//! identical state amplitudes in the output").
+//!
+//! Every simulator in the workspace — BQSim's full pipeline, all three
+//! ablated variants, cuQuantum-like (unfused and +B), Aer-like, and
+//! FlatDD-like — must produce the same amplitudes as the dense oracle on
+//! the same random input batches.
+
+use bqsim_baselines::aer::{AerOptions, QiskitAerLike};
+use bqsim_baselines::cuq::{CuQuantumLike, GateSource};
+use bqsim_baselines::flatdd::FlatDdLike;
+use bqsim_baselines::reference;
+use bqsim_core::{random_input_batch, BqSimOptions, BqSimulator};
+use bqsim_gpu::{CpuSpec, DeviceSpec, LaunchMode};
+use bqsim_qcir::{generators, Circuit};
+
+const TOL: f64 = 1e-9;
+
+fn suite() -> Vec<Circuit> {
+    vec![
+        generators::vqe(6, 10),
+        generators::qnn(5, 10),
+        generators::portfolio_opt(5, 10),
+        generators::graph_state(6),
+        generators::tsp(5, 10),
+        generators::routing(6, 10),
+        generators::supremacy(5, 6, 10),
+        generators::qft(6),
+        generators::ghz(6),
+        generators::random_circuit(6, 60, 10),
+    ]
+}
+
+fn inputs_for(n: usize) -> Vec<Vec<Vec<bqsim_num::Complex>>> {
+    (0..3)
+        .map(|b| random_input_batch(n, 6, 1000 + b as u64))
+        .collect()
+}
+
+#[test]
+fn bqsim_matches_oracle_on_all_suite_circuits() {
+    for circuit in suite() {
+        let n = circuit.num_qubits();
+        let batches = inputs_for(n);
+        let want = reference::simulate_batches(&circuit, &batches);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let run = sim.run_batches(&batches).unwrap();
+        reference::assert_batches_eq(&run.outputs, &want, TOL, circuit.name());
+    }
+}
+
+#[test]
+fn ablated_bqsim_variants_match_oracle() {
+    let circuit = generators::supremacy(5, 6, 3);
+    let batches = inputs_for(5);
+    let want = reference::simulate_batches(&circuit, &batches);
+    for (label, opts) in [
+        (
+            "no-fusion",
+            BqSimOptions {
+                skip_fusion: true,
+                ..BqSimOptions::default()
+            },
+        ),
+        (
+            "no-ell",
+            BqSimOptions {
+                skip_ell: true,
+                ..BqSimOptions::default()
+            },
+        ),
+        (
+            "no-task-graph",
+            BqSimOptions {
+                launch_mode: LaunchMode::Stream,
+                ..BqSimOptions::default()
+            },
+        ),
+    ] {
+        let sim = BqSimulator::compile(&circuit, opts).unwrap();
+        let run = sim.run_batches(&batches).unwrap();
+        reference::assert_batches_eq(&run.outputs, &want, TOL, label);
+    }
+}
+
+#[test]
+fn cuquantum_like_matches_oracle() {
+    for circuit in [generators::vqe(5, 2), generators::qft(5)] {
+        let batches = inputs_for(5);
+        let want = reference::simulate_batches(&circuit, &batches);
+        for source in [GateSource::Unfused, GateSource::BqsimFusion, GateSource::AerFusion] {
+            let sim = CuQuantumLike::compile(
+                &circuit,
+                source,
+                DeviceSpec::rtx_a6000(),
+                CpuSpec::i7_11700(),
+                true,
+            )
+            .unwrap();
+            let (_, outputs) = sim.simulate_batches(&batches);
+            reference::assert_batches_eq(&outputs, &want, TOL, circuit.name());
+        }
+    }
+}
+
+#[test]
+fn aer_like_matches_oracle() {
+    for circuit in suite().into_iter().take(5) {
+        let n = circuit.num_qubits();
+        let batches = inputs_for(n);
+        let want = reference::simulate_batches(&circuit, &batches);
+        let sim = QiskitAerLike::compile(
+            &circuit,
+            DeviceSpec::rtx_a6000(),
+            CpuSpec::i7_11700(),
+            AerOptions::default(),
+        );
+        let outputs = sim.simulate_batches(&batches);
+        reference::assert_batches_eq(&outputs, &want, TOL, circuit.name());
+    }
+}
+
+#[test]
+fn flatdd_like_matches_oracle() {
+    for circuit in suite().into_iter().take(5) {
+        let n = circuit.num_qubits();
+        let batches = inputs_for(n);
+        let want = reference::simulate_batches(&circuit, &batches);
+        let sim = FlatDdLike::compile(&circuit, CpuSpec::i7_11700(), 4);
+        let outputs = sim.simulate_batches(&batches);
+        reference::assert_batches_eq(&outputs, &want, TOL, circuit.name());
+    }
+}
+
+#[test]
+fn all_simulators_agree_pairwise_on_one_circuit() {
+    // The strongest form of the paper's validation claim: run everything
+    // on identical inputs and compare all outputs against each other.
+    let circuit = generators::qnn(4, 77);
+    let batches = inputs_for(4);
+    let oracle = reference::simulate_batches(&circuit, &batches);
+
+    let bqsim = BqSimulator::compile(&circuit, BqSimOptions::default())
+        .unwrap()
+        .run_batches(&batches)
+        .unwrap()
+        .outputs;
+    let cuq = CuQuantumLike::compile(
+        &circuit,
+        GateSource::Unfused,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        true,
+    )
+    .unwrap()
+    .simulate_batches(&batches)
+    .1;
+    let aer = QiskitAerLike::compile(
+        &circuit,
+        DeviceSpec::rtx_a6000(),
+        CpuSpec::i7_11700(),
+        AerOptions::default(),
+    )
+    .simulate_batches(&batches);
+    let flatdd = FlatDdLike::compile(&circuit, CpuSpec::i7_11700(), 2).simulate_batches(&batches);
+
+    for (label, got) in [
+        ("bqsim", &bqsim),
+        ("cuquantum", &cuq),
+        ("aer", &aer),
+        ("flatdd", &flatdd),
+    ] {
+        reference::assert_batches_eq(got, &oracle, TOL, label);
+    }
+}

@@ -1,0 +1,113 @@
+//! Algebraic laws of the DD package, property-tested against the dense
+//! oracle on randomly generated gate DDs.
+
+use bqsim_num::approx::vectors_eq;
+use bqsim_qcir::{dense, generators, CMatrix};
+use bqsim_qdd::gates::{gate_dd, lower_circuit};
+use bqsim_qdd::{convert as ddc, DdPackage, MEdge};
+use proptest::prelude::*;
+
+/// Builds `count` random gate DDs over `n` qubits.
+fn random_gate_dds(dd: &mut DdPackage, n: usize, count: usize, seed: u64) -> Vec<MEdge> {
+    let circuit = generators::random_circuit(n, count, seed);
+    lower_circuit(&circuit)
+        .iter()
+        .take(count)
+        .map(|g| gate_dd(dd, n, g))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Matrix multiplication is associative: (AB)C = A(BC).
+    #[test]
+    fn mat_mul_is_associative(seed in 0u64..500, n in 2usize..5) {
+        let mut dd = DdPackage::new();
+        let gates = random_gate_dds(&mut dd, n, 3, seed);
+        let (a, b, c) = (gates[0], gates[1], gates[2]);
+        let ab = dd.mat_mul(a, b);
+        let bc = dd.mat_mul(b, c);
+        let left = dd.mat_mul(ab, c);
+        let right = dd.mat_mul(a, bc);
+        let dl = ddc::matrix_to_dense(&dd, left, n);
+        let dr = ddc::matrix_to_dense(&dd, right, n);
+        prop_assert!(dl.approx_eq(&dr, 1e-9));
+    }
+
+    /// Conjugate-transpose is an anti-homomorphism: (AB)† = B†A†.
+    #[test]
+    fn dagger_is_antihomomorphic(seed in 0u64..500, n in 2usize..5) {
+        let mut dd = DdPackage::new();
+        let gates = random_gate_dds(&mut dd, n, 2, seed);
+        let (a, b) = (gates[0], gates[1]);
+        let ab = dd.mat_mul(a, b);
+        let ab_dag = dd.mat_conj_transpose(ab);
+        let a_dag = dd.mat_conj_transpose(a);
+        let b_dag = dd.mat_conj_transpose(b);
+        let prod = dd.mat_mul(b_dag, a_dag);
+        prop_assert_eq!(ab_dag, prod, "canonical DDs must be identical");
+    }
+
+    /// Applying gates one at a time equals applying their product:
+    /// A·(B·v) = (AB)·v.
+    #[test]
+    fn mat_vec_composes(seed in 0u64..500, n in 2usize..5, idx in 0usize..4) {
+        let mut dd = DdPackage::new();
+        let gates = random_gate_dds(&mut dd, n, 2, seed);
+        let (a, b) = (gates[0], gates[1]);
+        let v = dd.vec_basis(n, idx % (1 << n));
+        let bv = dd.mat_vec(b, v);
+        let step = dd.mat_vec(a, bv);
+        let ab = dd.mat_mul(a, b);
+        let direct = dd.mat_vec(ab, v);
+        prop_assert_eq!(step, direct, "canonical vector DDs must be identical");
+    }
+
+    /// Unitarity through DDs: U·U† = I for every gate DD.
+    #[test]
+    fn gate_dds_are_unitary(seed in 0u64..500, n in 2usize..5) {
+        let mut dd = DdPackage::new();
+        for e in random_gate_dds(&mut dd, n, 4, seed) {
+            let edag = dd.mat_conj_transpose(e);
+            let prod = dd.mat_mul(e, edag);
+            let got = ddc::matrix_to_dense(&dd, prod, n);
+            prop_assert!(got.approx_eq(&CMatrix::identity(1 << n), 1e-9));
+        }
+    }
+
+    /// Garbage collection is semantically transparent for arbitrary
+    /// product roots.
+    #[test]
+    fn gc_preserves_arbitrary_products(seed in 0u64..500, n in 2usize..5) {
+        let mut dd = DdPackage::new();
+        let circuit = generators::random_circuit(n, 15, seed);
+        let mut product = dd.identity(n);
+        for g in lower_circuit(&circuit) {
+            let e = gate_dd(&mut dd, n, &g);
+            product = dd.mat_mul(e, product);
+        }
+        let before = ddc::matrix_to_dense(&dd, product, n);
+        let mut roots = [product];
+        dd.collect_garbage(&mut roots, &mut []);
+        let after = ddc::matrix_to_dense(&dd, roots[0], n);
+        prop_assert!(after.approx_eq(&before, 0.0));
+        // And the package still multiplies correctly post-GC.
+        let id = dd.identity(n);
+        let same = dd.mat_mul(roots[0], id);
+        prop_assert_eq!(same, roots[0]);
+    }
+
+    /// DD simulation of a circuit equals the dense oracle (end-to-end
+    /// algebra sanity, independent of the BQSim pipeline).
+    #[test]
+    fn dd_simulation_equals_oracle(seed in 0u64..500, n in 2usize..5) {
+        let circuit = generators::random_circuit(n, 20, seed);
+        let mut dd = DdPackage::new();
+        let init = dd.vec_basis(n, 0);
+        let out = bqsim_qdd::gates::simulate_dd(&mut dd, &circuit, init);
+        let got = ddc::vector_to_dense(&dd, out, n);
+        let want = dense::simulate(&circuit);
+        prop_assert!(vectors_eq(&got, &want, 1e-9));
+    }
+}

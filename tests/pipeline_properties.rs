@@ -1,0 +1,131 @@
+//! Property-based tests over the whole pipeline: random circuits, random
+//! inputs, random schedules.
+
+use bqsim_core::{fusion, random_input_batch, BqSimOptions, BqSimulator};
+use bqsim_ell::convert::{ell_from_dd_cpu, ell_from_gpu_dd};
+use bqsim_ell::GpuDd;
+use bqsim_num::approx::{l2_norm, vectors_eq};
+use bqsim_qcir::{dense, generators};
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::{convert as ddconvert, nzrv, DdPackage};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full BQSim pipeline equals the dense oracle on random circuits.
+    #[test]
+    fn bqsim_equals_oracle_on_random_circuits(
+        seed in 0u64..1_000,
+        n in 3usize..6,
+        gates in 5usize..40,
+    ) {
+        let circuit = generators::random_circuit(n, gates, seed);
+        let batches = vec![random_input_batch(n, 4, seed ^ 0xbeef)];
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let run = sim.run_batches(&batches).unwrap();
+        for (input, got) in batches[0].iter().zip(&run.outputs[0]) {
+            let mut want = input.clone();
+            dense::apply_circuit(&mut want, &circuit);
+            prop_assert!(vectors_eq(got, &want, 1e-8));
+        }
+    }
+
+    /// Unitarity: BQSim preserves the L2 norm of every input.
+    #[test]
+    fn bqsim_preserves_norm(seed in 0u64..1_000, n in 3usize..6) {
+        let circuit = generators::random_circuit(n, 25, seed);
+        let batches = vec![random_input_batch(n, 3, seed)];
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let run = sim.run_batches(&batches).unwrap();
+        for out in &run.outputs[0] {
+            prop_assert!((l2_norm(out) - 1.0).abs() < 1e-8);
+        }
+    }
+
+    /// Fusion is #MAC-monotone: the fused sequence never costs more than
+    /// the per-gate sequence.
+    #[test]
+    fn fusion_is_mac_monotone(seed in 0u64..1_000, n in 3usize..6, gates in 4usize..30) {
+        let circuit = generators::random_circuit(n, gates, seed);
+        let mut dd = DdPackage::new();
+        let lowered = lower_circuit(&circuit);
+        let before = fusion::classify_gates(&mut dd, n, &lowered);
+        let mac_before = fusion::total_mac_per_input(&before, n);
+        let fused = fusion::bqcs_aware_fusion(&mut dd, n, &lowered);
+        let mac_after = fusion::total_mac_per_input(&fused, n);
+        prop_assert!(mac_after <= mac_before);
+        // Fused gate count never exceeds the lowered gate count.
+        prop_assert!(fused.len() <= lowered.len());
+    }
+
+    /// The DD-native NZRV equals the dense per-row non-zero counts for
+    /// arbitrary fused products.
+    #[test]
+    fn nzrv_matches_dense_on_fused_products(seed in 0u64..1_000, n in 2usize..5) {
+        let circuit = generators::random_circuit(n, 12, seed);
+        let mut dd = DdPackage::new();
+        let mut product = dd.identity(n);
+        for g in lower_circuit(&circuit) {
+            let e = bqsim_qdd::gates::gate_dd(&mut dd, n, &g);
+            product = dd.mat_mul(e, product);
+        }
+        let dense_m = ddconvert::matrix_to_dense(&dd, product, n);
+        let v = nzrv::nzrv(&mut dd, product, n);
+        prop_assert_eq!(
+            nzrv::counts_to_dense(&dd, v, n),
+            dense_m.nzr_per_row(1e-10)
+        );
+        prop_assert_eq!(nzrv::max_entry(&dd, v), dense_m.max_nzr(1e-10));
+    }
+
+    /// Both DD-to-ELL conversion paths agree on arbitrary circuit products.
+    #[test]
+    fn conversion_paths_agree(seed in 0u64..1_000, n in 2usize..5) {
+        let circuit = generators::random_circuit(n, 10, seed);
+        let mut dd = DdPackage::new();
+        let mut product = dd.identity(n);
+        for g in lower_circuit(&circuit) {
+            let e = bqsim_qdd::gates::gate_dd(&mut dd, n, &g);
+            product = dd.mat_mul(e, product);
+        }
+        let cpu = ell_from_dd_cpu(&mut dd, product, n);
+        let gdd = GpuDd::from_dd(&dd, product, n);
+        let (gpu, work) = ell_from_gpu_dd(&gdd, cpu.max_nzr());
+        prop_assert!(gpu.to_dense().approx_eq(&cpu.to_dense(), 1e-9));
+        prop_assert!(work.total_steps >= work.max_row_steps);
+    }
+
+    /// The §3.3.2 double-buffer formula is hazard-free by construction:
+    /// a kernel's input differs from its output, chains connect, and the
+    /// pairs assigned to even/odd batches never collide.
+    #[test]
+    fn double_buffer_formula_invariants(l in 1usize..12, batches in 1usize..24) {
+        use bqsim_core::schedule::{buffer_indices, input_buffer_index, output_buffer_index};
+        for b in 0..batches {
+            prop_assert!(input_buffer_index(b, l) / 2 == b % 2);
+            prop_assert!(output_buffer_index(b, l) / 2 == b % 2);
+            for k in 0..l {
+                let (i, o) = buffer_indices(b, k, l);
+                prop_assert!(i != o);
+                prop_assert!(i / 2 == b % 2 && o / 2 == b % 2);
+                if k + 1 < l {
+                    prop_assert_eq!(o, buffer_indices(b, k + 1, l).0);
+                }
+            }
+        }
+    }
+}
+
+/// Non-proptest determinism check: compiling twice yields identical #MAC
+/// and the same per-gate costs (canonical DDs → canonical pipeline).
+#[test]
+fn compilation_is_deterministic() {
+    let circuit = generators::portfolio_opt(6, 5);
+    let a = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+    let b = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+    assert_eq!(a.mac_per_input(), b.mac_per_input());
+    let costs_a: Vec<usize> = a.gates().iter().map(|g| g.cost).collect();
+    let costs_b: Vec<usize> = b.gates().iter().map(|g| g.cost).collect();
+    assert_eq!(costs_a, costs_b);
+}

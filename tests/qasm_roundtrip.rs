@@ -1,0 +1,72 @@
+//! QASM writer/parser roundtrips across the full benchmark suite, checked
+//! semantically: the reparsed circuit must simulate to the same state.
+
+use bqsim_num::approx::vectors_eq;
+use bqsim_qcir::{dense, generators, qasm};
+
+#[test]
+fn suite_circuits_roundtrip_through_qasm() {
+    let circuits = vec![
+        generators::vqe(6, 1),
+        generators::qnn(5, 1),
+        generators::portfolio_opt(5, 1),
+        generators::graph_state(6),
+        generators::tsp(5, 1),
+        generators::routing(6, 1),
+        generators::supremacy(5, 6, 1),
+        generators::qft(6),
+        generators::ghz(6),
+    ];
+    for c in circuits {
+        let text = qasm::write(&c);
+        let back = qasm::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", c.name()));
+        assert_eq!(back.num_qubits(), c.num_qubits(), "{}", c.name());
+        assert_eq!(back.num_gates(), c.num_gates(), "{}", c.name());
+        let want = dense::simulate(&c);
+        let got = dense::simulate(&back);
+        assert!(
+            vectors_eq(&got, &want, 1e-10),
+            "{}: roundtrip changed semantics",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn parsed_qasm_runs_through_bqsim() {
+    // End-to-end: QASM text → parser → BQSim pipeline → amplitudes.
+    let src = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[4];
+        h q[0];
+        cx q[0],q[1];
+        ry(0.5*pi) q[2];
+        rzz(0.25*pi) q[1],q[3];
+        ccx q[0],q[1],q[3];
+        p(-pi/8) q[2];
+        swap q[0],q[3];
+    "#;
+    let circuit = qasm::parse(src).unwrap();
+    let sim =
+        bqsim_core::BqSimulator::compile(&circuit, bqsim_core::BqSimOptions::default()).unwrap();
+    let batches = vec![bqsim_core::random_input_batch(4, 4, 5)];
+    let run = sim.run_batches(&batches).unwrap();
+    for (input, got) in batches[0].iter().zip(&run.outputs[0]) {
+        let mut want = input.clone();
+        dense::apply_circuit(&mut want, &circuit);
+        assert!(vectors_eq(got, &want, 1e-9));
+    }
+}
+
+#[test]
+fn random_circuits_roundtrip() {
+    for seed in 0..10u64 {
+        let c = generators::random_circuit(5, 40, seed);
+        let back = qasm::parse(&qasm::write(&c)).unwrap();
+        let want = dense::simulate(&c);
+        let got = dense::simulate(&back);
+        assert!(vectors_eq(&got, &want, 1e-10), "seed {seed}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Round-trips of the serde-enabled data types (C-SERDE): circuits and
+//! complex numbers serialise to JSON and back without loss.
+
+use bqsim_num::approx::vectors_eq;
+use bqsim_num::Complex;
+use bqsim_qcir::{dense, generators, Circuit};
+
+#[test]
+fn complex_roundtrip() {
+    let z = Complex::new(0.125, -3.5);
+    let json = serde_json::to_string(&z).unwrap();
+    let back: Complex = serde_json::from_str(&json).unwrap();
+    assert_eq!(z, back);
+}
+
+#[test]
+fn circuit_roundtrip_preserves_semantics() {
+    for circuit in [
+        generators::vqe(5, 3),
+        generators::qft(5),
+        generators::supremacy(4, 6, 3),
+        generators::random_circuit(5, 30, 3),
+    ] {
+        let json = serde_json::to_string(&circuit).unwrap();
+        let back: Circuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_qubits(), circuit.num_qubits());
+        assert_eq!(back.num_gates(), circuit.num_gates());
+        let want = dense::simulate(&circuit);
+        let got = dense::simulate(&back);
+        assert!(
+            vectors_eq(&got, &want, 1e-12),
+            "{}: serde roundtrip changed semantics",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn circuit_json_is_stable_enough_to_diff() {
+    // The JSON form should carry names and qubit lists readably; this
+    // guards against accidental opaque encodings.
+    let mut c = Circuit::with_name("bell", 2);
+    c.h(0).cx(0, 1);
+    let json = serde_json::to_string(&c).unwrap();
+    assert!(json.contains("bell"));
+    assert!(json.contains("Cx") || json.contains("cx"));
+}
