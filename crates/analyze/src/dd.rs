@@ -1,0 +1,566 @@
+//! QMDD well-formedness checking.
+//!
+//! `DdPackage` maintains canonicity invariants (§2.2: normalised edge
+//! weights + unique tables give each function a unique representative).
+//! This pass re-verifies them from outside: it snapshots a DD into plain
+//! [`DdFacts`] and checks every invariant structurally, so a bug in the
+//! package's own normalisation or table maintenance cannot also hide the
+//! evidence. [`check_nzrv_consistency`] additionally cross-checks the
+//! DD-native NZRV algorithm (paper Fig. 3) against row counts enumerated
+//! from the dense export.
+
+use crate::diag::Diagnostics;
+use bqsim_num::Complex;
+use bqsim_qdd::convert::matrix_to_dense;
+use bqsim_qdd::nzrv::{counts_to_dense, max_entry, nzrv};
+use bqsim_qdd::{DdPackage, MEdge, VEdge};
+
+/// Plain-data view of one DD edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdEdgeFacts {
+    /// The resolved complex weight.
+    pub weight: Complex,
+    /// Index of the target node in [`DdFacts::nodes`]; `None` for the
+    /// terminal.
+    pub target: Option<usize>,
+}
+
+/// Plain-data view of one DD node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdNodeFacts {
+    /// Qubit level (0-based; a node at level `l` spans `l + 1` levels).
+    pub level: u8,
+    /// Child edges: 4 for matrix nodes, 2 for vector nodes.
+    pub children: Vec<DdEdgeFacts>,
+}
+
+/// Plain-data view of a whole DD rooted at one edge.
+#[derive(Debug, Clone, Default)]
+pub struct DdFacts {
+    /// Number of qubit levels the root edge spans.
+    pub num_levels: usize,
+    /// The root edge.
+    pub root: Option<DdEdgeFacts>,
+    /// Nodes, referenced by index from edge facts.
+    pub nodes: Vec<DdNodeFacts>,
+    /// Weight-comparison tolerance (the package's complex-table tolerance).
+    pub tolerance: f64,
+}
+
+impl DdFacts {
+    fn name(&self, i: usize) -> String {
+        format!("node {i} (level {})", self.nodes[i].level)
+    }
+}
+
+/// Snapshots a matrix DD rooted at `e` (spanning `n` levels) into facts,
+/// visiting exactly the nodes reachable from the root. Node indices are
+/// remapped to visit order.
+pub fn matrix_dd_facts(dd: &DdPackage, e: MEdge, n: usize) -> DdFacts {
+    let mut facts = DdFacts {
+        num_levels: n,
+        root: None,
+        nodes: Vec::new(),
+        tolerance: dd.ctab().tolerance(),
+    };
+    let mut remap = std::collections::HashMap::new();
+    let root = matrix_edge_facts(dd, e, &mut facts, &mut remap);
+    facts.root = Some(root);
+    facts
+}
+
+fn matrix_edge_facts(
+    dd: &DdPackage,
+    e: MEdge,
+    facts: &mut DdFacts,
+    remap: &mut std::collections::HashMap<usize, usize>,
+) -> DdEdgeFacts {
+    let weight = dd.value(e.w);
+    if e.node.is_terminal() {
+        return DdEdgeFacts {
+            weight,
+            target: None,
+        };
+    }
+    let raw = e.node.index();
+    if let Some(&mapped) = remap.get(&raw) {
+        return DdEdgeFacts {
+            weight,
+            target: Some(mapped),
+        };
+    }
+    // Reserve the slot before recursing so shared children resolve to one
+    // facts node (the DD is acyclic by construction: children strictly
+    // descend in level).
+    let mapped = facts.nodes.len();
+    remap.insert(raw, mapped);
+    facts.nodes.push(DdNodeFacts {
+        level: dd.mat_level(e.node),
+        children: Vec::new(),
+    });
+    let children = dd
+        .mat_children(e.node)
+        .into_iter()
+        .map(|c| matrix_edge_facts(dd, c, facts, remap))
+        .collect();
+    facts.nodes[mapped].children = children;
+    DdEdgeFacts {
+        weight,
+        target: Some(mapped),
+    }
+}
+
+/// Snapshots a vector DD rooted at `e` (spanning `n` levels) into facts.
+pub fn vector_dd_facts(dd: &DdPackage, e: VEdge, n: usize) -> DdFacts {
+    let mut facts = DdFacts {
+        num_levels: n,
+        root: None,
+        nodes: Vec::new(),
+        tolerance: dd.ctab().tolerance(),
+    };
+    let mut remap = std::collections::HashMap::new();
+    let root = vector_edge_facts(dd, e, &mut facts, &mut remap);
+    facts.root = Some(root);
+    facts
+}
+
+fn vector_edge_facts(
+    dd: &DdPackage,
+    e: VEdge,
+    facts: &mut DdFacts,
+    remap: &mut std::collections::HashMap<usize, usize>,
+) -> DdEdgeFacts {
+    let weight = dd.value(e.w);
+    if e.node.is_terminal() {
+        return DdEdgeFacts {
+            weight,
+            target: None,
+        };
+    }
+    let raw = e.node.index();
+    if let Some(&mapped) = remap.get(&raw) {
+        return DdEdgeFacts {
+            weight,
+            target: Some(mapped),
+        };
+    }
+    let mapped = facts.nodes.len();
+    remap.insert(raw, mapped);
+    facts.nodes.push(DdNodeFacts {
+        level: dd.vec_level(e.node),
+        children: Vec::new(),
+    });
+    let children = dd
+        .vec_children(e.node)
+        .into_iter()
+        .map(|c| vector_edge_facts(dd, c, facts, remap))
+        .collect();
+    facts.nodes[mapped].children = children;
+    DdEdgeFacts {
+        weight,
+        target: Some(mapped),
+    }
+}
+
+/// Checks every structural and normalisation invariant of a DD snapshot:
+///
+/// * no dangling node references;
+/// * a non-terminal child sits exactly one level below its parent, and
+///   non-zero terminal children appear only under level-0 nodes;
+/// * zero-weight edges are the canonical zero edge (terminal target);
+/// * per-node normalisation — the largest child-weight magnitude is 1
+///   (within tolerance), no child exceeds magnitude 1, and no node has all
+///   children zero (the constructors collapse that case to the zero edge);
+/// * canonicity — no two structurally identical nodes (a unique-table
+///   violation);
+/// * the root spans exactly [`DdFacts::num_levels`], and every node is
+///   reachable from it.
+pub fn analyze_dd(facts: &DdFacts) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let n = facts.nodes.len();
+    // Magnitude comparisons use a looser bound than the complex table's
+    // interning tolerance: weights are products/quotients of interned
+    // values, so error accumulates a little beyond it.
+    let tol = (facts.tolerance * 1e3).max(1e-9);
+
+    let check_edge = |diags: &mut Diagnostics, owner: String, e: &DdEdgeFacts| {
+        if let Some(t) = e.target {
+            if t >= n {
+                diags.error(
+                    "dd-structure",
+                    owner.clone(),
+                    format!("dangling edge to node {t} (DD has {n} nodes)"),
+                );
+                return false;
+            }
+            if e.weight.abs() == 0.0 {
+                diags.error(
+                    "dd-normalisation",
+                    owner,
+                    format!(
+                        "zero-weight edge points at node {t} — the canonical \
+                         zero edge must target the terminal"
+                    ),
+                );
+            }
+        }
+        true
+    };
+
+    // Root checks.
+    match &facts.root {
+        Some(root) => {
+            if check_edge(&mut diags, "root".into(), root) {
+                match root.target {
+                    Some(t) => {
+                        let span = facts.nodes[t].level as usize + 1;
+                        if span != facts.num_levels {
+                            diags.error(
+                                "dd-structure",
+                                "root".to_string(),
+                                format!(
+                                    "root spans {span} levels (target at level \
+                                     {}), expected {}",
+                                    facts.nodes[t].level, facts.num_levels
+                                ),
+                            );
+                        }
+                    }
+                    None => {
+                        if facts.num_levels > 0 && root.weight.abs() != 0.0 {
+                            diags.error(
+                                "dd-structure",
+                                "root".to_string(),
+                                format!(
+                                    "non-zero terminal root cannot span {} levels",
+                                    facts.num_levels
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        None => diags.error("dd-structure", "root", "facts have no root edge"),
+    }
+
+    // Per-node checks.
+    for (i, node) in facts.nodes.iter().enumerate() {
+        let mut max_mag = 0.0f64;
+        for (ci, c) in node.children.iter().enumerate() {
+            let owner = format!("{} child {ci}", facts.name(i));
+            if !check_edge(&mut diags, owner.clone(), c) {
+                continue;
+            }
+            let mag = c.weight.abs();
+            max_mag = max_mag.max(mag);
+            if mag > 1.0 + tol {
+                diags.error(
+                    "dd-normalisation",
+                    owner.clone(),
+                    format!("child weight magnitude {mag} exceeds 1 — node is denormalised"),
+                );
+            }
+            match c.target {
+                Some(t) => {
+                    let want = node.level.checked_sub(1);
+                    if Some(facts.nodes[t].level) != want {
+                        diags.error(
+                            "dd-structure",
+                            owner,
+                            format!(
+                                "child at level {} under parent at level {} — \
+                                 this package does not skip levels",
+                                facts.nodes[t].level, node.level
+                            ),
+                        );
+                    }
+                }
+                None => {
+                    if node.level > 0 && mag != 0.0 {
+                        diags.error(
+                            "dd-structure",
+                            owner,
+                            format!(
+                                "non-zero terminal child under a level-{} node \
+                                 (only level-0 nodes may have terminal children)",
+                                node.level
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if max_mag == 0.0 {
+            diags.error(
+                "dd-normalisation",
+                facts.name(i),
+                "all children are zero — the constructors collapse this to the zero edge",
+            );
+        } else if (max_mag - 1.0).abs() > tol {
+            diags.error(
+                "dd-normalisation",
+                facts.name(i),
+                format!(
+                    "largest child weight magnitude is {max_mag}, expected 1 \
+                     (normalisation moves the factor onto the incoming edge)"
+                ),
+            );
+        }
+    }
+
+    // Canonicity: no structural duplicates. Weights are compared by their
+    // exact bit patterns — canonical interning makes shared values
+    // bit-identical.
+    let mut seen: std::collections::HashMap<Vec<u64>, usize> = Default::default();
+    for (i, node) in facts.nodes.iter().enumerate() {
+        let mut key: Vec<u64> = vec![u64::from(node.level)];
+        for c in &node.children {
+            key.push(c.weight.re.to_bits());
+            key.push(c.weight.im.to_bits());
+            key.push(c.target.map_or(u64::MAX, |t| t as u64));
+        }
+        if let Some(&first) = seen.get(&key) {
+            diags.error(
+                "dd-canonicity",
+                facts.name(i),
+                format!(
+                    "structurally identical to {} — the unique table should \
+                     have shared one node",
+                    facts.name(first)
+                ),
+            );
+        } else {
+            seen.insert(key, i);
+        }
+    }
+
+    // Reachability from the root.
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<usize> = facts
+        .root
+        .iter()
+        .filter_map(|r| r.target)
+        .filter(|&t| t < n)
+        .collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut reachable[i], true) {
+            continue;
+        }
+        for c in &facts.nodes[i].children {
+            if let Some(t) = c.target {
+                if t < n && !reachable[t] {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    for (i, &r) in reachable.iter().enumerate() {
+        if !r {
+            diags.warning(
+                "dd-structure",
+                facts.name(i),
+                "unreachable from the root edge",
+            );
+        }
+    }
+    diags
+}
+
+/// Cross-checks the DD-native NZRV (paper Fig. 3) against the dense
+/// export: for a matrix DD spanning `n` levels, the per-row non-zero
+/// counts enumerated from the dense matrix must equal the NZRV entries,
+/// and the dense max NZR must equal the DD-native maximum.
+///
+/// Dense enumeration is `O(4^n)`, so callers should gate this on small `n`
+/// (the `debug_assert!` hook in `bqsim-core` uses `n <= 6`).
+pub fn check_nzrv_consistency(dd: &mut DdPackage, e: MEdge, n: usize) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let v = nzrv(dd, e, n);
+    let from_dd = counts_to_dense(dd, v, n);
+    let dense = matrix_to_dense(dd, e, n);
+    let tol = dd.ctab().tolerance();
+    let from_dense = dense.nzr_per_row(tol);
+    for (row, (&got, &want)) in from_dd.iter().zip(&from_dense).enumerate() {
+        if got != want {
+            diags.error(
+                "nzrv",
+                format!("row {row}"),
+                format!("DD-native NZRV says {got} non-zeros, dense enumeration says {want}"),
+            );
+        }
+    }
+    let dd_max = max_entry(dd, v);
+    let dense_max = dense.max_nzr(tol);
+    if dd_max != dense_max {
+        diags.error(
+            "nzrv",
+            "max NZR".to_string(),
+            format!("DD-native max NZR is {dd_max}, dense enumeration says {dense_max}"),
+        );
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_qcir::GateKind;
+    use bqsim_qdd::convert::matrix_from_dense;
+
+    #[test]
+    fn package_built_dds_are_clean() {
+        let mut dd = DdPackage::new();
+        let cases: Vec<(bqsim_qcir::CMatrix, usize)> = vec![
+            (GateKind::H.matrix(), 1),
+            (GateKind::Cx.matrix(), 2),
+            (GateKind::H.matrix().kron(&GateKind::Cx.matrix()), 3),
+            (GateKind::Ccx.matrix(), 3),
+            (GateKind::Rzz(0.37).matrix().kron(&GateKind::T.matrix()), 3),
+        ];
+        for (m, n) in cases {
+            let e = matrix_from_dense(&mut dd, &m);
+            let facts = matrix_dd_facts(&dd, e, n);
+            let diags = analyze_dd(&facts);
+            assert!(diags.is_clean(), "n={n}:\n{diags}");
+        }
+        let b = dd.vec_basis(4, 9);
+        let facts = vector_dd_facts(&dd, b, 4);
+        assert!(analyze_dd(&facts).is_clean());
+    }
+
+    #[test]
+    fn denormalised_weight_is_caught() {
+        let mut dd = DdPackage::new();
+        let e = matrix_from_dense(&mut dd, &GateKind::H.matrix());
+        let mut facts = matrix_dd_facts(&dd, e, 1);
+        // Scale one child weight: the node is no longer normalised.
+        facts.nodes[0].children[0].weight = Complex::real(2.0);
+        let diags = analyze_dd(&facts);
+        assert!(diags.error_count() > 0, "{diags}");
+        assert!(diags.mentions("denormalised"), "{diags}");
+    }
+
+    #[test]
+    fn below_one_max_weight_is_caught() {
+        let mut dd = DdPackage::new();
+        let e = matrix_from_dense(&mut dd, &GateKind::Cx.matrix());
+        let mut facts = matrix_dd_facts(&dd, e, 2);
+        for c in &mut facts.nodes[0].children {
+            c.weight *= Complex::real(0.5);
+        }
+        let diags = analyze_dd(&facts);
+        assert!(diags.mentions("expected 1"), "{diags}");
+    }
+
+    #[test]
+    fn dangling_reference_is_caught() {
+        let mut dd = DdPackage::new();
+        let e = matrix_from_dense(&mut dd, &GateKind::Cx.matrix());
+        let mut facts = matrix_dd_facts(&dd, e, 2);
+        facts.nodes[0].children[3].target = Some(99);
+        let diags = analyze_dd(&facts);
+        assert!(diags.mentions("dangling"), "{diags}");
+    }
+
+    #[test]
+    fn level_skip_is_caught() {
+        // A level-2 node whose child is at level 0.
+        let facts = DdFacts {
+            num_levels: 3,
+            root: Some(DdEdgeFacts {
+                weight: Complex::ONE,
+                target: Some(0),
+            }),
+            nodes: vec![
+                DdNodeFacts {
+                    level: 2,
+                    children: vec![
+                        DdEdgeFacts {
+                            weight: Complex::ONE,
+                            target: Some(1),
+                        };
+                        4
+                    ],
+                },
+                DdNodeFacts {
+                    level: 0,
+                    children: vec![
+                        DdEdgeFacts {
+                            weight: Complex::ONE,
+                            target: None,
+                        };
+                        4
+                    ],
+                },
+            ],
+            tolerance: 1e-10,
+        };
+        let diags = analyze_dd(&facts);
+        assert!(diags.mentions("skip levels"), "{diags}");
+    }
+
+    #[test]
+    fn duplicate_nodes_are_caught() {
+        let mut dd = DdPackage::new();
+        let e = matrix_from_dense(&mut dd, &GateKind::Cx.matrix());
+        let mut facts = matrix_dd_facts(&dd, e, 2);
+        // Clone a node; point one root child at the copy. The two are now
+        // structural duplicates the unique table should have shared.
+        let copy = facts.nodes[1].clone();
+        let dup = facts.nodes.len();
+        facts.nodes.push(copy);
+        facts.nodes[0].children[3].target = Some(dup);
+        let diags = analyze_dd(&facts);
+        assert!(diags.mentions("structurally identical"), "{diags}");
+    }
+
+    #[test]
+    fn unreachable_node_warns() {
+        let mut dd = DdPackage::new();
+        let e = matrix_from_dense(&mut dd, &GateKind::H.matrix());
+        let mut facts = matrix_dd_facts(&dd, e, 1);
+        facts.nodes.push(DdNodeFacts {
+            level: 0,
+            children: vec![
+                DdEdgeFacts {
+                    weight: Complex::ONE,
+                    target: None,
+                };
+                4
+            ],
+        });
+        let diags = analyze_dd(&facts);
+        assert_eq!(diags.error_count(), 0, "{diags}");
+        assert!(diags.mentions("unreachable"), "{diags}");
+    }
+
+    #[test]
+    fn zero_weight_edge_must_be_terminal() {
+        let mut dd = DdPackage::new();
+        let e = matrix_from_dense(&mut dd, &GateKind::Cx.matrix());
+        let mut facts = matrix_dd_facts(&dd, e, 2);
+        let zero_target = facts.nodes[0].children[0].target;
+        facts.nodes[0].children[1] = DdEdgeFacts {
+            weight: Complex::ZERO,
+            target: zero_target,
+        };
+        let diags = analyze_dd(&facts);
+        assert!(diags.mentions("must target the terminal"), "{diags}");
+    }
+
+    #[test]
+    fn nzrv_consistency_on_standard_gates() {
+        let mut dd = DdPackage::new();
+        for (m, n) in [
+            (GateKind::H.matrix(), 1),
+            (GateKind::Cx.matrix(), 2),
+            (GateKind::Ccx.matrix(), 3),
+            (GateKind::Swap.matrix().kron(&GateKind::H.matrix()), 3),
+        ] {
+            let e = matrix_from_dense(&mut dd, &m);
+            let diags = check_nzrv_consistency(&mut dd, e, n);
+            assert!(diags.is_clean(), "n={n}:\n{diags}");
+        }
+    }
+}

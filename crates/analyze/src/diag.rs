@@ -1,0 +1,178 @@
+//! The diagnostics report type shared by every analysis pass.
+
+use core::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably incorrect (e.g. a buffer overwritten
+    /// while holding a result nothing ever read).
+    Warning,
+    /// A violated invariant: a data race, a denormalised DD node, an
+    /// out-of-bounds ELL column.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding of one analysis pass.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Short name of the pass that produced it (e.g. `races`).
+    pub pass: &'static str,
+    /// Where in the analysed artifact the finding points (task label,
+    /// node id, row/slot).
+    pub location: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.pass, self.location, self.message
+        )
+    }
+}
+
+/// The report produced by an analysis run: an ordered list of findings.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty report.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Records a finding.
+    pub fn push(
+        &mut self,
+        severity: Severity,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.items.push(Diagnostic {
+            severity,
+            pass,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Records an [`Severity::Error`] finding.
+    pub fn error(
+        &mut self,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Severity::Error, pass, location, message);
+    }
+
+    /// Records a [`Severity::Warning`] finding.
+    pub fn warning(
+        &mut self,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Severity::Warning, pass, location, message);
+    }
+
+    /// Appends all findings of `other`.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Whether the report has no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Total number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the report is empty (alias of [`Diagnostics::is_clean`]).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the findings.
+    pub fn iter(&self) -> core::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Whether any finding's message contains `needle` (test helper).
+    pub fn mentions(&self, needle: &str) -> bool {
+        self.items
+            .iter()
+            .any(|d| d.message.contains(needle) || d.location.contains(needle))
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.items.is_empty() {
+            return writeln!(f, "no findings");
+        }
+        for item in &self.items {
+            writeln!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_counts() {
+        let mut d = Diagnostics::new();
+        assert!(d.is_clean());
+        d.error("races", "task 3", "unordered write pair");
+        d.warning("lifetime", "D[1]", "overwritten while unread");
+        assert!(!d.is_clean());
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.warning_count(), 1);
+        assert_eq!(d.len(), 2);
+        let text = d.to_string();
+        assert!(text.contains("error[races] task 3"));
+        assert!(text.contains("warning[lifetime]"));
+        assert!(d.mentions("unordered"));
+        assert!(!d.mentions("nonexistent"));
+    }
+}

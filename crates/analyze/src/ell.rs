@@ -1,0 +1,257 @@
+//! ELL tensor validation.
+//!
+//! `EllMatrix`'s constructors reject malformed shapes eagerly, so this
+//! pass works on [`EllFacts`] — a plain-data snapshot that tests can also
+//! build by hand to represent tensors a buggy converter *could* have
+//! produced (out-of-bounds columns, unsorted rows, padding that disagrees
+//! with the declared max NZR).
+
+use crate::diag::Diagnostics;
+use bqsim_ell::EllMatrix;
+use bqsim_num::Complex;
+
+/// Plain-data view of an ELL tensor.
+#[derive(Debug, Clone, Default)]
+pub struct EllFacts {
+    /// Number of rows (= columns; must be `2^num_qubits`).
+    pub rows: usize,
+    /// Declared padded slot count per row.
+    pub max_nzr: usize,
+    /// Declared qubit count.
+    pub num_qubits: usize,
+    /// Row-major value slots, `rows × max_nzr`.
+    pub values: Vec<Complex>,
+    /// Row-major column-index slots, `rows × max_nzr`.
+    pub cols: Vec<u32>,
+}
+
+/// Snapshots a live [`EllMatrix`].
+pub fn ell_facts(ell: &EllMatrix) -> EllFacts {
+    let rows = ell.num_rows();
+    let max_nzr = ell.max_nzr();
+    let mut values = Vec::with_capacity(rows * max_nzr);
+    let mut cols = Vec::with_capacity(rows * max_nzr);
+    for r in 0..rows {
+        values.extend_from_slice(ell.row_values(r));
+        cols.extend_from_slice(ell.row_cols(r));
+    }
+    EllFacts {
+        rows,
+        max_nzr,
+        num_qubits: ell.num_qubits(),
+        values,
+        cols,
+    }
+}
+
+/// Checks an ELL snapshot:
+///
+/// * the shape is consistent — `rows == 2^num_qubits` and both slot arrays
+///   have exactly `rows × max_nzr` entries;
+/// * every column index is in `[0, rows)`;
+/// * each row is a prefix of non-zero slots with strictly ascending column
+///   indices followed by padding (zero value, column 0) — the layout
+///   `ell_from_dd_cpu` produces and the GPU kernels assume;
+/// * warns if no row uses all `max_nzr` slots (the declared max NZR is not
+///   tight, so every row pays for padding that no row needs).
+pub fn analyze_ell(facts: &EllFacts) -> Diagnostics {
+    const PASS: &str = "ell";
+    let mut diags = Diagnostics::new();
+    if !facts.rows.is_power_of_two() || facts.rows != 1usize << facts.num_qubits {
+        diags.error(
+            PASS,
+            "shape".to_string(),
+            format!(
+                "{} rows is inconsistent with {} qubits (expected {})",
+                facts.rows,
+                facts.num_qubits,
+                1usize << facts.num_qubits
+            ),
+        );
+    }
+    let slots = facts.rows * facts.max_nzr;
+    if facts.values.len() != slots || facts.cols.len() != slots {
+        diags.error(
+            PASS,
+            "shape".to_string(),
+            format!(
+                "slot arrays hold {} values / {} columns, expected {} × {} = {slots}",
+                facts.values.len(),
+                facts.cols.len(),
+                facts.rows,
+                facts.max_nzr
+            ),
+        );
+        return diags; // row-wise checks would index out of bounds
+    }
+    let mut any_full_row = facts.max_nzr == 0;
+    for r in 0..facts.rows {
+        let base = r * facts.max_nzr;
+        let vals = &facts.values[base..base + facts.max_nzr];
+        let cols = &facts.cols[base..base + facts.max_nzr];
+        let mut in_padding = false;
+        let mut prev_col: Option<u32> = None;
+        for (k, (&v, &c)) in vals.iter().zip(cols).enumerate() {
+            let loc = || format!("row {r} slot {k}");
+            if (c as usize) >= facts.rows {
+                diags.error(
+                    PASS,
+                    loc(),
+                    format!("column index {c} out of bounds for {} columns", facts.rows),
+                );
+                continue;
+            }
+            if v == Complex::ZERO {
+                in_padding = true;
+                if c != 0 {
+                    diags.error(
+                        PASS,
+                        loc(),
+                        format!("padding slot has column index {c}, expected 0"),
+                    );
+                }
+            } else {
+                if in_padding {
+                    diags.error(
+                        PASS,
+                        loc(),
+                        "non-zero value after a padding slot — non-zeros must \
+                         form a row prefix",
+                    );
+                }
+                if let Some(p) = prev_col {
+                    if c <= p {
+                        diags.error(
+                            PASS,
+                            loc(),
+                            format!(
+                                "column index {c} not strictly greater than \
+                                 previous column {p} — rows must be sorted"
+                            ),
+                        );
+                    }
+                }
+                prev_col = Some(c);
+            }
+        }
+        if !in_padding {
+            any_full_row = true;
+        }
+    }
+    if !any_full_row {
+        diags.warning(
+            PASS,
+            "shape".to_string(),
+            format!(
+                "no row uses all {} slots — the declared max NZR is not tight",
+                facts.max_nzr
+            ),
+        );
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h_kron_cx_facts() -> EllFacts {
+        // H ⊗ I on 2 qubits: row r couples columns r&1 and (r&1)|2, with a
+        // sign flip in the lower-right block. Every row is full (max NZR 2).
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let mut facts = EllFacts {
+            rows: 4,
+            max_nzr: 2,
+            num_qubits: 2,
+            values: vec![Complex::ZERO; 8],
+            cols: vec![0; 8],
+        };
+        for r in 0..4usize {
+            let lo = r & 1;
+            facts.values[r * 2] = Complex::real(s);
+            facts.cols[r * 2] = lo as u32;
+            facts.values[r * 2 + 1] = Complex::real(if r >= 2 { -s } else { s });
+            facts.cols[r * 2 + 1] = (lo | 2) as u32;
+        }
+        facts
+    }
+
+    #[test]
+    fn well_formed_facts_are_clean() {
+        let diags = analyze_ell(&h_kron_cx_facts());
+        assert!(diags.is_clean(), "{diags}");
+    }
+
+    #[test]
+    fn live_matrix_snapshot_is_clean() {
+        let mut ell = EllMatrix::zeros(4, 2);
+        ell.set_slot(0, 0, 0, Complex::ONE);
+        ell.set_slot(1, 0, 1, Complex::ONE);
+        ell.set_slot(2, 0, 2, Complex::real(0.5));
+        ell.set_slot(2, 1, 3, Complex::real(0.5));
+        ell.set_slot(3, 0, 2, Complex::I);
+        let diags = analyze_ell(&ell_facts(&ell));
+        assert!(diags.is_clean(), "{diags}");
+    }
+
+    #[test]
+    fn out_of_bounds_column_is_caught() {
+        let mut facts = h_kron_cx_facts();
+        facts.cols[3] = 9;
+        let diags = analyze_ell(&facts);
+        assert!(diags.error_count() > 0, "{diags}");
+        assert!(diags.mentions("out of bounds"), "{diags}");
+    }
+
+    #[test]
+    fn unsorted_row_is_caught() {
+        let mut facts = h_kron_cx_facts();
+        facts.cols.swap(2, 3);
+        facts.values.swap(2, 3);
+        let diags = analyze_ell(&facts);
+        assert!(diags.mentions("sorted"), "{diags}");
+    }
+
+    #[test]
+    fn nonzero_after_padding_is_caught() {
+        let mut facts = h_kron_cx_facts();
+        facts.values[0] = Complex::ZERO;
+        facts.cols[0] = 0;
+        let diags = analyze_ell(&facts);
+        assert!(diags.mentions("padding"), "{diags}");
+    }
+
+    #[test]
+    fn dirty_padding_column_is_caught() {
+        let mut ell = EllMatrix::zeros(2, 2);
+        ell.set_slot(0, 0, 1, Complex::ONE);
+        ell.set_slot(1, 0, 0, Complex::ONE);
+        let mut facts = ell_facts(&ell);
+        facts.cols[1] = 1; // padding slot with a stray column index
+        let diags = analyze_ell(&facts);
+        assert!(diags.mentions("padding slot has column index"), "{diags}");
+    }
+
+    #[test]
+    fn loose_max_nzr_warns() {
+        // Every row has one non-zero but max_nzr is 2.
+        let mut ell = EllMatrix::zeros(2, 2);
+        ell.set_slot(0, 0, 1, Complex::ONE);
+        ell.set_slot(1, 0, 0, Complex::ONE);
+        let diags = analyze_ell(&ell_facts(&ell));
+        assert_eq!(diags.error_count(), 0, "{diags}");
+        assert!(diags.mentions("not tight"), "{diags}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_caught() {
+        let mut facts = h_kron_cx_facts();
+        facts.num_qubits = 3;
+        let diags = analyze_ell(&facts);
+        assert!(diags.mentions("inconsistent"), "{diags}");
+        facts.num_qubits = 2;
+        facts.values.pop();
+        let diags = analyze_ell(&facts);
+        assert!(diags.mentions("slot arrays"), "{diags}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Static race/hazard/invariant analysis for BQSim artifacts.
+//!
+//! Three families of passes, none of which execute the artifact under
+//! analysis:
+//!
+//! * **Task graphs** ([`analyze_graph`], [`check_double_buffer_discipline`])
+//!   — recomputes happens-before from the dependency edges and reports
+//!   data races, cycles (with a witness), topological-order violations,
+//!   and buffer-lifetime hazards; plus a conformance check that the
+//!   double-buffered schedule matches the paper's §3.3.2 formula (Fig. 8b).
+//! * **QMDDs** ([`analyze_dd`], [`check_nzrv_consistency`]) — normalisation
+//!   and canonicity invariants (§2.2), checked structurally on a snapshot
+//!   so a package bug cannot hide its own evidence; plus a dense
+//!   cross-check of the DD-native NZRV algorithm (Fig. 3).
+//! * **ELL tensors** ([`analyze_ell`]) — shape, column-bounds, row-sorting,
+//!   and padding discipline of the spMM operand layout (§3.2).
+//!
+//! Every pass consumes a plain-data *facts* snapshot ([`GraphFacts`],
+//! [`DdFacts`], [`EllFacts`]) extractable from the live structures, so
+//! tests can hand-build facts seeded with defects the validated
+//! constructors would reject. All passes report through one
+//! [`Diagnostics`] type.
+//!
+//! `bqsim-core` runs these passes in `debug_assert!`-gated hooks after
+//! building schedules and converting gates, and the `bqsim analyze` CLI
+//! subcommand runs all of them over a circuit's full pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dd;
+mod diag;
+mod ell;
+mod graph;
+
+pub use dd::{
+    analyze_dd, check_nzrv_consistency, matrix_dd_facts, vector_dd_facts, DdEdgeFacts, DdFacts,
+    DdNodeFacts,
+};
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use ell::{analyze_ell, ell_facts, EllFacts};
+pub use graph::{
+    analyze_graph, check_double_buffer_discipline, expected_buffer_indices, GraphFacts, Loc,
+    TaskFacts, TaskOp,
+};

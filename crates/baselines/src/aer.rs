@@ -32,34 +32,39 @@ pub fn aer_fusion(circuit: &Circuit, max_qubits: usize) -> Vec<DenseGate> {
     let mut support: u64 = 0;
     let mut group_cost: u64 = 0; // Σ member MACs per amplitude
 
-    let flush = |group: &mut Vec<&bqsim_qcir::Gate>, support: &mut u64, out: &mut Vec<DenseGate>| {
-        if group.is_empty() {
-            return;
-        }
-        let qubits: Vec<usize> = (0..64usize)
-            .rev()
-            .filter(|q| *support >> q & 1 == 1)
-            .collect();
-        let k = qubits.len();
-        // Build the group's dense matrix by embedding each member into the
-        // compact k-qubit space.
-        let mut m = CMatrix::identity(1 << k);
-        for g in group.iter() {
-            let mapped: Vec<usize> = g
-                .qubits()
-                .iter()
-                .map(|q| {
-                    // Position from LSB: rank of q among support qubits.
-                    qubits.iter().rev().position(|s| s == q).expect("in support")
-                })
+    let flush =
+        |group: &mut Vec<&bqsim_qcir::Gate>, support: &mut u64, out: &mut Vec<DenseGate>| {
+            if group.is_empty() {
+                return;
+            }
+            let qubits: Vec<usize> = (0..64usize)
+                .rev()
+                .filter(|q| *support >> q & 1 == 1)
                 .collect();
-            let full = g.matrix().embed(k, &mapped);
-            m = full.mul(&m);
-        }
-        out.push(DenseGate::new(qubits, m));
-        group.clear();
-        *support = 0;
-    };
+            let k = qubits.len();
+            // Build the group's dense matrix by embedding each member into the
+            // compact k-qubit space.
+            let mut m = CMatrix::identity(1 << k);
+            for g in group.iter() {
+                let mapped: Vec<usize> = g
+                    .qubits()
+                    .iter()
+                    .map(|q| {
+                        // Position from LSB: rank of q among support qubits.
+                        qubits
+                            .iter()
+                            .rev()
+                            .position(|s| s == q)
+                            .expect("in support")
+                    })
+                    .collect();
+                let full = g.matrix().embed(k, &mapped);
+                m = full.mul(&m);
+            }
+            out.push(DenseGate::new(qubits, m));
+            group.clear();
+            *support = 0;
+        };
 
     for g in circuit.gates() {
         let gmask: u64 = g.qubits().iter().fold(0, |m, &q| m | (1 << q));
@@ -121,12 +126,7 @@ impl QiskitAerLike {
     /// # Panics
     ///
     /// Panics on a zero-qubit circuit.
-    pub fn compile(
-        circuit: &Circuit,
-        device: DeviceSpec,
-        cpu: CpuSpec,
-        opts: AerOptions,
-    ) -> Self {
+    pub fn compile(circuit: &Circuit, device: DeviceSpec, cpu: CpuSpec, opts: AerOptions) -> Self {
         assert!(circuit.num_qubits() > 0, "circuit has no qubits");
         let fused = aer_fusion(circuit, opts.max_fusion_qubits);
         QiskitAerLike {
@@ -177,7 +177,13 @@ impl QiskitAerLike {
         }
         g.add_d2h("d2h", buf, h, bytes, &[last]);
         engine
-            .run(&g, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly)
+            .run(
+                &g,
+                &mut mem,
+                &mut host,
+                LaunchMode::Stream,
+                ExecMode::TimingOnly,
+            )
             .total_ns()
     }
 

@@ -233,7 +233,10 @@ fn dense_from_fused(
     materialize: bool,
 ) -> Result<DenseGate, BaselineError> {
     // Support qubits, most significant first (gate matrix bit order).
-    let qubits: Vec<usize> = (0..n).rev().filter(|q| g.support_mask >> q & 1 == 1).collect();
+    let qubits: Vec<usize> = (0..n)
+        .rev()
+        .filter(|q| g.support_mask >> q & 1 == 1)
+        .collect();
     let k = qubits.len();
     let dense_bytes = (1u64 << k) * (1u64 << k) * 16;
     if dense_bytes > device.memory_bytes / 2 {

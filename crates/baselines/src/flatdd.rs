@@ -115,10 +115,7 @@ impl FlatDdLike {
     /// #MAC per simulated input: `Σ 2^n · maxNZR` (Table 3's FlatDD
     /// accounting — same formula as BQSim but over greedy-only fusion).
     pub fn mac_per_input(&self) -> u64 {
-        self.gates
-            .iter()
-            .map(|(_, ell)| ell.mac_per_input())
-            .sum()
+        self.gates.iter().map(|(_, ell)| ell.mac_per_input()).sum()
     }
 
     /// Models a run over `total_inputs` inputs: all processes/threads
@@ -138,8 +135,7 @@ impl FlatDdLike {
             * total_inputs as f64
             + macs as f64 * 16.0;
         let compute_ns = flops / self.cpu.flops_per_ns(self.threads);
-        let memory_ns =
-            bytes / (self.cpu.mem_bandwidth_gbps * CPU_BANDWIDTH_EFFICIENCY);
+        let memory_ns = bytes / (self.cpu.mem_bandwidth_gbps * CPU_BANDWIDTH_EFFICIENCY);
         let total_ns = compute_ns.max(memory_ns).ceil() as u64;
         let power = PowerReport {
             cpu_w: cpu_average_power_w(&self.cpu, self.threads, 1.0),
@@ -163,9 +159,11 @@ impl FlatDdLike {
                 let mut outputs: Vec<Vec<Complex>> = batch.clone();
                 let workers = self.threads.max(1) as usize;
                 let chunk = outputs.len().div_ceil(workers);
-                crossbeam::thread::scope(|scope| {
+                // std::thread::scope joins all workers on exit and
+                // propagates any worker panic.
+                std::thread::scope(|scope| {
                     for slice in outputs.chunks_mut(chunk.max(1)) {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             for state in slice.iter_mut() {
                                 let mut cur = state.clone();
                                 let mut next = vec![Complex::ZERO; cur.len()];
@@ -177,8 +175,7 @@ impl FlatDdLike {
                             }
                         });
                     }
-                })
-                .expect("worker panicked");
+                });
                 outputs
             })
             .collect()
@@ -212,11 +209,7 @@ mod tests {
             let n = circuit.num_qubits();
             let flatdd = FlatDdLike::compile(&circuit, CpuSpec::i7_11700(), 4);
             let mut dd = DdPackage::new();
-            let fused = bqsim_core::fusion::bqcs_aware_fusion(
-                &mut dd,
-                n,
-                &lower_circuit(&circuit),
-            );
+            let fused = bqsim_core::fusion::bqcs_aware_fusion(&mut dd, n, &lower_circuit(&circuit));
             let bqsim_mac = bqsim_core::fusion::total_mac_per_input(&fused, n);
             assert!(
                 flatdd.mac_per_input() >= bqsim_mac,

@@ -2,9 +2,9 @@
 //! batch sizes, with the CSR ablation (why the paper picks ELL) and the
 //! dense batched apply (what cuQuantum does per gate).
 
+use bqsim_core::random_input_batch;
 use bqsim_ell::convert::ell_from_dd_cpu;
 use bqsim_ell::{pack_batch, CsrMatrix};
-use bqsim_core::random_input_batch;
 use bqsim_num::Complex;
 use bqsim_qcir::generators;
 use bqsim_qdd::gates::lower_circuit;

@@ -2,6 +2,9 @@
 //! of building + scheduling a double-buffered batch task graph and of the
 //! power accounting over its timeline.
 
+// Bench harness: a failed setup should panic, not propagate.
+#![allow(clippy::unwrap_used)]
+
 use bqsim_core::{BqSimOptions, BqSimulator};
 use bqsim_gpu::power::gpu_average_power_w;
 use bqsim_gpu::DeviceSpec;

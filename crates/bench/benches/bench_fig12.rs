@@ -2,6 +2,9 @@
 //! conversion) vs the per-run simulation stage — real wall time of the
 //! algorithms whose amortisation the figure shows.
 
+// Bench harness: a failed setup should panic, not propagate.
+#![allow(clippy::unwrap_used)]
+
 use bqsim_core::{BqSimOptions, BqSimulator};
 use bqsim_qcir::generators::Family;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -11,7 +14,11 @@ fn bench_stages(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (family, n) in [(Family::Routing, 6), (Family::PortfolioOpt, 8), (Family::Qnn, 8)] {
+    for (family, n) in [
+        (Family::Routing, 6),
+        (Family::PortfolioOpt, 8),
+        (Family::Qnn, 8),
+    ] {
         let circuit = family.build(n, 7);
         group.bench_with_input(
             BenchmarkId::new("compile", format!("{}_n{n}", family.name())),

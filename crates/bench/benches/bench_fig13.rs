@@ -1,6 +1,9 @@
 //! Criterion bench behind Figure 13: compiling and scheduling each
 //! ablation variant of the pipeline.
 
+// Bench harness: a failed setup should panic, not propagate.
+#![allow(clippy::unwrap_used)]
+
 use bqsim_core::{ablation, BqSimOptions, BqSimulator};
 use bqsim_qcir::generators;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

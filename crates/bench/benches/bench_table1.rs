@@ -1,11 +1,11 @@
 //! Criterion bench behind Table 1: the DD-native NZRV algorithm and the
 //! NZR coefficient-of-variation computation (real wall time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bqsim_core::fusion;
 use bqsim_qcir::generators::Family;
 use bqsim_qdd::gates::lower_circuit;
 use bqsim_qdd::{nzrv, DdPackage};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_nzrv(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_nzrv");

@@ -2,6 +2,9 @@
 //! *functional* execution on a small batch (the algorithms themselves, not
 //! the virtual-time models).
 
+// Bench harness: a failed setup should panic, not propagate.
+#![allow(clippy::unwrap_used)]
+
 use bqsim_baselines::aer::{AerOptions, QiskitAerLike};
 use bqsim_baselines::cuq::{CuQuantumLike, GateSource};
 use bqsim_baselines::flatdd::FlatDdLike;
@@ -45,7 +48,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.bench_function("aer_run", |b| b.iter(|| aer.simulate_batches(&batches)));
 
     let flatdd = FlatDdLike::compile(&circuit, CpuSpec::i7_11700(), 2);
-    group.bench_function("flatdd_run", |b| b.iter(|| flatdd.simulate_batches(&batches)));
+    group.bench_function("flatdd_run", |b| {
+        b.iter(|| flatdd.simulate_batches(&batches))
+    });
 
     group.finish();
 }

@@ -14,7 +14,11 @@ fn bench_fusion(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (family, n) in [(Family::Vqe, 10), (Family::PortfolioOpt, 8), (Family::Qnn, 8)] {
+    for (family, n) in [
+        (Family::Vqe, 10),
+        (Family::PortfolioOpt, 8),
+        (Family::Qnn, 8),
+    ] {
         let circuit = family.build(n, 7);
         let lowered = lower_circuit(&circuit);
         group.bench_with_input(

@@ -2,6 +2,9 @@
 //! configurations — dense export of fused gates is the expensive step that
 //! makes dense-format fusion impractical.
 
+// Bench harness: a failed setup should panic, not propagate.
+#![allow(clippy::unwrap_used)]
+
 use bqsim_baselines::cuq::{CuQuantumLike, GateSource};
 use bqsim_gpu::{CpuSpec, DeviceSpec};
 use bqsim_qcir::generators;

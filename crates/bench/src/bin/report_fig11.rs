@@ -21,9 +21,12 @@ fn main() {
     };
     let mut t = Table::new(&[
         "circuit",
-        "BQSim CPU", "BQSim GPU",
-        "cuQuantum CPU", "cuQuantum GPU",
-        "Aer CPU", "Aer GPU",
+        "BQSim CPU",
+        "BQSim GPU",
+        "cuQuantum CPU",
+        "cuQuantum GPU",
+        "Aer CPU",
+        "Aer GPU",
         "FlatDD CPU",
     ]);
     for (family, n) in cases {

@@ -33,8 +33,9 @@ fn main() {
     ]);
     for (family, n) in cases {
         let circuit = family.build(n, params.seed);
-        let cells = ablation::run_ablation(&circuit, &BqSimOptions::default(), 10, params.batch_size)
-            .expect("ablation runs fit device");
+        let cells =
+            ablation::run_ablation(&circuit, &BqSimOptions::default(), 10, params.batch_size)
+                .expect("ablation runs fit device");
         let full = cells
             .iter()
             .find(|c| c.variant == ablation::Variant::Full)

@@ -33,10 +33,20 @@ fn main() {
         (Family::Qnn, 17, 12, 0.0),
         (Family::Tsp, 16, 13, 0.0),
     ];
-    let mut t = Table::new(&["circuit", "n (paper)", "n (run)", "CV (paper)", "CV (measured)"]);
+    let mut t = Table::new(&[
+        "circuit",
+        "n (paper)",
+        "n (run)",
+        "CV (paper)",
+        "CV (measured)",
+    ]);
     let mut measured = Vec::new();
     for (family, paper_n, scaled_n, paper_cv) in cases {
-        let n = if params.paper_sizes { paper_n } else { scaled_n };
+        let n = if params.paper_sizes {
+            paper_n
+        } else {
+            scaled_n
+        };
         let cv = average_cv(family, n, params.seed);
         measured.push(cv.max(1e-6));
         t.add(vec![

@@ -15,8 +15,16 @@ fn main() {
         params.batches, params.batch_size
     );
     let mut t = Table::new(&[
-        "circuit", "n", "gates", "cuQuantum", "Qiskit Aer", "FlatDD", "BQSim",
-        "vs cuQ", "vs Aer", "vs FlatDD",
+        "circuit",
+        "n",
+        "gates",
+        "cuQuantum",
+        "Qiskit Aer",
+        "FlatDD",
+        "BQSim",
+        "vs cuQ",
+        "vs Aer",
+        "vs FlatDD",
     ]);
     let (mut s_cuq, mut s_aer, mut s_flat) = (Vec::new(), Vec::new(), Vec::new());
     for entry in generators::paper_suite() {

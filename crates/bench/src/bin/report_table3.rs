@@ -11,8 +11,16 @@ fn main() {
     let params = ReportParams::from_args();
     println!("# Table 3 — #MAC per input (smaller is better)\n");
     let mut t = Table::new(&[
-        "circuit", "n", "gates", "cuQuantum", "Qiskit Aer", "FlatDD", "BQSim",
-        "vs cuQ", "vs Aer", "vs FlatDD",
+        "circuit",
+        "n",
+        "gates",
+        "cuQuantum",
+        "Qiskit Aer",
+        "FlatDD",
+        "BQSim",
+        "vs cuQ",
+        "vs Aer",
+        "vs FlatDD",
     ]);
     let (mut r_cuq, mut r_aer, mut r_flat) = (Vec::new(), Vec::new(), Vec::new());
     for entry in generators::paper_suite() {

@@ -12,11 +12,15 @@ use bqsim_qcir::generators;
 
 fn main() {
     let params = ReportParams::from_args();
-    println!(
-        "# Table 4 — BQCS runtime (virtual ms): BQSim vs cuQuantum+Q vs cuQuantum+B\n"
-    );
+    println!("# Table 4 — BQCS runtime (virtual ms): BQSim vs cuQuantum+Q vs cuQuantum+B\n");
     let mut t = Table::new(&[
-        "circuit", "n", "cuQuantum+Q", "cuQuantum+B", "BQSim", "vs +Q", "vs +B",
+        "circuit",
+        "n",
+        "cuQuantum+Q",
+        "cuQuantum+B",
+        "BQSim",
+        "vs +Q",
+        "vs +B",
     ]);
     let (mut s_q, mut s_b) = (Vec::new(), Vec::new());
     for entry in generators::paper_suite() {

@@ -52,7 +52,9 @@ pub fn table2_times(circuit: &Circuit, params: &ReportParams) -> SimulatorTimes 
         false,
     )
     .expect("unfused gates always fit");
-    let cuquantum_ns = cuq.run_synthetic(params.batches, params.batch_size).total_ns;
+    let cuquantum_ns = cuq
+        .run_synthetic(params.batches, params.batch_size)
+        .total_ns;
 
     let aer = QiskitAerLike::compile(
         circuit,

@@ -54,7 +54,11 @@ impl Table {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }
         let _ = writeln!(out);
-        let _ = write!(out, "{}", format_args!("({} columns × {} rows)\n", cols, self.rows.len()));
+        let _ = write!(
+            out,
+            "{}",
+            format_args!("({} columns × {} rows)\n", cols, self.rows.len())
+        );
         out
     }
 }

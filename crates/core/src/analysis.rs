@@ -1,0 +1,197 @@
+//! Whole-pipeline static analysis — the library behind `bqsim analyze`.
+//!
+//! Runs a circuit through every compile stage (fusion → conversion →
+//! schedule construction) and subjects each produced artifact to the
+//! corresponding `bqsim-analyze` pass: QMDD well-formedness and NZRV
+//! consistency per fused gate, ELL layout validity per converted gate, and
+//! race/lifetime/Fig.-8b conformance on the batch task graph. Nothing is
+//! executed; the report says whether the *artifacts* are sound.
+
+use crate::convert::HybridConverter;
+use crate::error::BqsimError;
+use crate::kernels::EllSpmmKernel;
+use crate::schedule;
+use crate::simulator::BqSimOptions;
+use bqsim_analyze as analyze;
+use bqsim_analyze::Diagnostics;
+use bqsim_gpu::{DeviceMemory, HostMemory, Kernel};
+use bqsim_qcir::Circuit;
+use bqsim_qdd::gates::lower_circuit;
+use bqsim_qdd::DdPackage;
+use std::sync::Arc;
+
+/// Dense NZRV cross-checking enumerates `O(4^n)` matrix entries, so it is
+/// gated to gates at or below this width.
+pub const NZRV_DENSE_CHECK_MAX_QUBITS: usize = 6;
+
+/// The outcome of [`analyze_pipeline`]: the merged findings plus coverage
+/// counters for the report.
+#[derive(Debug)]
+pub struct PipelineAnalysis {
+    /// All findings, in pipeline order (DD → ELL → task graph).
+    pub diagnostics: Diagnostics,
+    /// Fused gates whose DD and ELL artifacts were checked.
+    pub gates_checked: usize,
+    /// Gates that additionally ran the dense NZRV cross-check.
+    pub nzrv_checked: usize,
+    /// Tasks in the analysed batch graph.
+    pub tasks_checked: usize,
+    /// Matrix nodes alive in the DD package after compilation.
+    pub dd_nodes: usize,
+}
+
+/// Compiles `circuit` for `num_batches` batches of `batch_size` inputs and
+/// statically analyzes every pipeline artifact.
+///
+/// # Errors
+///
+/// Returns [`BqsimError::EmptyCircuit`] for a zero-qubit circuit and
+/// [`BqsimError::DeviceOom`] if the schedule's buffers exceed the simulated
+/// device memory.
+pub fn analyze_pipeline(
+    circuit: &Circuit,
+    opts: &BqSimOptions,
+    num_batches: usize,
+    batch_size: usize,
+) -> Result<PipelineAnalysis, BqsimError> {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return Err(BqsimError::EmptyCircuit);
+    }
+    let mut diags = Diagnostics::new();
+    let mut dd = DdPackage::new();
+    let lowered = lower_circuit(circuit);
+
+    // Stage ①: fusion (or bare classification in the ablation).
+    let fused = if lowered.is_empty() {
+        let id = dd.identity(n);
+        vec![crate::fusion::FusedGate::classify(&mut dd, id, n, 0)]
+    } else if opts.skip_fusion {
+        crate::fusion::classify_gates(&mut dd, n, &lowered)
+    } else {
+        crate::fusion::bqcs_aware_fusion(&mut dd, n, &lowered)
+    };
+
+    // Stage ②: per-gate DD invariants, NZRV consistency, ELL validity.
+    let converter = HybridConverter::new(opts.tau, opts.device.clone(), opts.cpu.clone());
+    let mut nzrv_checked = 0;
+    let mut converted = Vec::with_capacity(fused.len());
+    for (gi, g) in fused.iter().enumerate() {
+        let mut gate_diags = analyze::analyze_dd(&analyze::matrix_dd_facts(&dd, g.edge, n));
+        if n <= NZRV_DENSE_CHECK_MAX_QUBITS {
+            gate_diags.merge(analyze::check_nzrv_consistency(&mut dd, g.edge, n));
+            nzrv_checked += 1;
+        }
+        let conv = match opts.force_conversion {
+            Some(m) => converter.convert_with(&mut dd, g, n, m),
+            None => converter.convert(&mut dd, g, n),
+        };
+        gate_diags.merge(analyze::analyze_ell(&analyze::ell_facts(&conv.ell)));
+        for d in gate_diags.iter() {
+            diags.push(
+                d.severity,
+                d.pass,
+                format!("gate {gi}: {}", d.location),
+                d.message.clone(),
+            );
+        }
+        converted.push(conv);
+    }
+
+    // Stage ③: build the real batch schedule and analyse it.
+    let dim = 1usize << n;
+    let elems = dim * batch_size;
+    let mut mem = DeviceMemory::new(&opts.device);
+    let mut host = HostMemory::new();
+    let buffers = [
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+    ];
+    let inputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
+    let outputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
+    let graph = schedule::build_batch_graph(
+        &buffers,
+        &inputs,
+        &outputs,
+        converted.len(),
+        (elems * 16) as u64,
+        &|k, src, dst| -> Arc<dyn Kernel> {
+            Arc::new(EllSpmmKernel::new(
+                Arc::clone(&converted[k].ell),
+                src,
+                dst,
+                batch_size,
+            ))
+        },
+    );
+    let facts = schedule::schedule_graph_facts(&graph, &buffers);
+    diags.merge(analyze::analyze_graph(&facts));
+    diags.merge(analyze::check_double_buffer_discipline(
+        &facts,
+        num_batches,
+        converted.len(),
+    ));
+
+    Ok(PipelineAnalysis {
+        diagnostics: diags,
+        gates_checked: converted.len(),
+        nzrv_checked,
+        tasks_checked: graph.len(),
+        dd_nodes: dd.mat_node_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_qcir::generators;
+
+    #[test]
+    fn qft_pipeline_is_clean() {
+        // The acceptance scenario: 8-qubit QFT, 6 batches.
+        let circuit = generators::qft(8);
+        let report =
+            analyze_pipeline(&circuit, &BqSimOptions::default(), 6, 16).expect("analysis runs");
+        assert!(
+            report.diagnostics.is_clean(),
+            "expected a clean pipeline:\n{}",
+            report.diagnostics
+        );
+        assert!(report.gates_checked > 0);
+        assert_eq!(
+            report.tasks_checked,
+            6 * (report.gates_checked + 2),
+            "batch layout: H2D + kernels + D2H per batch"
+        );
+        assert_eq!(report.nzrv_checked, 0, "8 qubits exceeds the dense gate");
+    }
+
+    #[test]
+    fn small_circuits_get_the_dense_nzrv_check() {
+        let circuit = generators::ghz(4);
+        let report =
+            analyze_pipeline(&circuit, &BqSimOptions::default(), 2, 4).expect("analysis runs");
+        assert!(report.diagnostics.is_clean(), "{}", report.diagnostics);
+        assert_eq!(report.nzrv_checked, report.gates_checked);
+    }
+
+    #[test]
+    fn ablation_options_stay_clean() {
+        let circuit = generators::vqe(5, 11);
+        for opts in [
+            BqSimOptions {
+                skip_fusion: true,
+                ..BqSimOptions::default()
+            },
+            BqSimOptions {
+                force_conversion: Some(crate::convert::ConversionMethod::Cpu),
+                ..BqSimOptions::default()
+            },
+        ] {
+            let report = analyze_pipeline(&circuit, &opts, 3, 8).expect("analysis runs");
+            assert!(report.diagnostics.is_clean(), "{}", report.diagnostics);
+        }
+    }
+}

@@ -15,6 +15,7 @@ use rand::SeedableRng;
 use std::process::ExitCode;
 
 struct Args {
+    analyze: bool,
     source: Option<String>,
     family: Option<String>,
     qubits: usize,
@@ -33,6 +34,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        analyze: false,
         source: None,
         family: None,
         qubits: 8,
@@ -77,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
                 print_help();
                 std::process::exit(0);
             }
+            "analyze" if !args.analyze && args.source.is_none() => args.analyze = true,
             path if !path.starts_with('-') => args.source = Some(path.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -91,6 +94,13 @@ fn print_help() {
 
 USAGE:
     bqsim [circuit.qasm] [OPTIONS]
+    bqsim analyze [circuit.qasm] [OPTIONS]
+
+SUBCOMMANDS:
+    analyze              statically check every pipeline artifact (QMDD
+                         invariants, NZRV consistency, ELL layout, task-graph
+                         races + Fig. 8b conformance) without simulating;
+                         exits non-zero if any diagnostic is reported
 
 OPTIONS:
     --family <name>      built-in circuit instead of a QASM file
@@ -134,7 +144,7 @@ fn build_circuit(args: &Args) -> Result<Circuit, String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -142,9 +152,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
+/// `bqsim analyze`: run the whole compile pipeline and statically check
+/// every artifact it produces. Exit code 1 if anything is reported.
+fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
+    let opts = BqSimOptions {
+        tau: args.tau,
+        skip_fusion: args.skip_fusion,
+        ..BqSimOptions::default()
+    };
+    let report = bqsim_core::analyze_pipeline(circuit, &opts, args.batches, args.batch_size)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "analyzed {} fused gates ({} with dense NZRV cross-check), \
+         {} tasks over {} batches, {} DD nodes",
+        report.gates_checked,
+        report.nzrv_checked,
+        report.tasks_checked,
+        args.batches,
+        report.dd_nodes,
+    );
+    if report.diagnostics.is_clean() {
+        println!("analysis clean: no findings");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "\n{} error(s), {} warning(s):\n{}",
+            report.diagnostics.error_count(),
+            report.diagnostics.warning_count(),
+            report.diagnostics
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let mut circuit = build_circuit(&args)?;
+    if args.analyze {
+        return run_analysis(&args, &circuit);
+    }
     if args.optimize {
         let (opt, stats) = bqsim_qcir::optimize::optimize(&circuit);
         println!(
@@ -156,7 +202,11 @@ fn run() -> Result<(), String> {
     let n = circuit.num_qubits();
     println!(
         "circuit: {} — {} qubits, {} gates, depth {}",
-        if circuit.name().is_empty() { "<qasm>" } else { circuit.name() },
+        if circuit.name().is_empty() {
+            "<qasm>"
+        } else {
+            circuit.name()
+        },
         n,
         circuit.num_gates(),
         circuit.depth()
@@ -216,12 +266,15 @@ fn run() -> Result<(), String> {
         let mut rng = SmallRng::seed_from_u64(args.seed);
         let counts = sample_counts(&result.outputs[0][0], args.shots, &mut rng);
         println!("\ntop outcomes of output state 0 ({} shots):", args.shots);
-        let mut ranked: Vec<(usize, usize)> =
-            counts.into_iter().enumerate().filter(|(_, c)| *c > 0).collect();
+        let mut ranked: Vec<(usize, usize)> = counts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| *c > 0)
+            .collect();
         ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
         for (state, count) in ranked.into_iter().take(8) {
             println!("  |{state:0width$b}⟩  {count}", width = n);
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

@@ -10,7 +10,9 @@ use crate::fusion::FusedGate;
 use crate::kernels::DdToEllKernel;
 use bqsim_ell::convert::{ell_from_dd_cpu, ell_from_gpu_dd};
 use bqsim_ell::{EllMatrix, GpuDd};
-use bqsim_gpu::{CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, LaunchMode, TaskGraph};
+use bqsim_gpu::{
+    CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, LaunchMode, TaskGraph,
+};
 use std::sync::Arc;
 
 /// Which conversion path produced an ELL gate.
@@ -110,6 +112,8 @@ impl HybridConverter {
         // *timing* differs by method.
         let ell = Arc::new(ell_from_dd_cpu(dd, gate.edge, n));
         let (_, work) = ell_from_gpu_dd(&gdd, ell.max_nzr());
+        #[cfg(debug_assertions)]
+        verify_conversion(dd, gate.edge, n, &ell);
         let conversion_ns = match method {
             ConversionMethod::Cpu => self.cpu_conversion_ns(&ell),
             ConversionMethod::Gpu => self.gpu_conversion_ns(&gdd, work, &ell),
@@ -161,9 +165,39 @@ impl HybridConverter {
         let mut mem = DeviceMemory::new(&self.device);
         let mut host = HostMemory::new();
         engine
-            .run(&graph, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly)
+            .run(
+                &graph,
+                &mut mem,
+                &mut host,
+                LaunchMode::Stream,
+                ExecMode::TimingOnly,
+            )
             .total_ns()
     }
+}
+
+/// Debug-build cross-check of one gate conversion: the DD must satisfy
+/// every QMDD well-formedness invariant, the produced ELL must satisfy the
+/// layout the GPU kernels assume, and (for small gates, where the `O(4^n)`
+/// dense enumeration is affordable) the DD-native NZRV must agree with the
+/// dense row counts.
+#[cfg(debug_assertions)]
+fn verify_conversion(
+    dd: &mut bqsim_qdd::DdPackage,
+    edge: bqsim_qdd::MEdge,
+    n: usize,
+    ell: &EllMatrix,
+) {
+    use bqsim_analyze as analyze;
+    let mut diags = analyze::analyze_dd(&analyze::matrix_dd_facts(dd, edge, n));
+    diags.merge(analyze::analyze_ell(&analyze::ell_facts(ell)));
+    if n <= 6 {
+        diags.merge(analyze::check_nzrv_consistency(dd, edge, n));
+    }
+    debug_assert!(
+        diags.error_count() == 0,
+        "DD-to-ELL conversion produced an ill-formed artifact (n={n}):\n{diags}"
+    );
 }
 
 impl Default for HybridConverter {

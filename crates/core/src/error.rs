@@ -25,10 +25,9 @@ impl fmt::Display for BqsimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BqsimError::EmptyCircuit => write!(f, "circuit has no qubits"),
-            BqsimError::BadInputLength { expected, got } => write!(
-                f,
-                "batch input has {got} amplitudes, expected {expected}"
-            ),
+            BqsimError::BadInputLength { expected, got } => {
+                write!(f, "batch input has {got} amplitudes, expected {expected}")
+            }
             BqsimError::DeviceOom(e) => write!(f, "device out of memory: {e}"),
         }
     }
@@ -55,7 +54,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(BqsimError::EmptyCircuit.to_string(), "circuit has no qubits");
+        assert_eq!(
+            BqsimError::EmptyCircuit.to_string(),
+            "circuit has no qubits"
+        );
         let e = BqsimError::BadInputLength {
             expected: 8,
             got: 4,

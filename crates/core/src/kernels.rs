@@ -69,6 +69,14 @@ impl Kernel for EllSpmmKernel {
         let (input, output) = mem.buffer_pair_mut(self.input, self.output);
         self.gate.spmm(input, output, self.batch);
     }
+
+    fn buffer_reads(&self) -> Vec<BufferId> {
+        vec![self.input]
+    }
+
+    fn buffer_writes(&self) -> Vec<BufferId> {
+        vec![self.output]
+    }
 }
 
 /// The DD-to-ELL conversion kernel (Algorithm 1): one block per ELL row,
@@ -209,6 +217,14 @@ impl Kernel for DdSpmvKernel {
                 }
             }
         }
+    }
+
+    fn buffer_reads(&self) -> Vec<BufferId> {
+        vec![self.input]
+    }
+
+    fn buffer_writes(&self) -> Vec<BufferId> {
+        vec![self.output]
     }
 }
 

@@ -41,6 +41,7 @@
 mod error;
 
 pub mod ablation;
+pub mod analysis;
 pub mod convert;
 pub mod fusion;
 pub mod kernels;
@@ -48,9 +49,8 @@ pub mod multi_gpu;
 pub mod schedule;
 pub mod simulator;
 
+pub use analysis::{analyze_pipeline, PipelineAnalysis};
 pub use convert::{ConversionMethod, ConvertedGate, HybridConverter};
 pub use error::BqsimError;
 pub use fusion::{bqcs_aware_fusion, greedy_fusion, FusedGate};
-pub use simulator::{
-    random_input_batch, BqSimOptions, BqSimulator, RunBreakdown, RunResult,
-};
+pub use simulator::{random_input_batch, BqSimOptions, BqSimulator, RunBreakdown, RunResult};

@@ -198,7 +198,11 @@ mod tests {
         let runner =
             MultiGpuRunner::compile(&circuit, &BqSimOptions::default(), vec![fast, slow]).unwrap();
         let run = runner.run_synthetic(10, 16).unwrap();
-        let per: Vec<u64> = run.per_device.iter().map(|r| r.timeline.total_ns()).collect();
+        let per: Vec<u64> = run
+            .per_device
+            .iter()
+            .map(|r| r.timeline.total_ns())
+            .collect();
         assert_eq!(run.makespan_ns, *per.iter().max().unwrap());
         assert!(per[1] > per[0], "tiny GPU must be the straggler");
     }

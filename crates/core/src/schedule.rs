@@ -68,8 +68,7 @@ impl HazardTracker {
 
 /// One gate application in the built schedule: an opaque kernel factory so
 /// the builder works for both the ELL pipeline and the no-ELL ablation.
-pub type KernelFactory<'a> =
-    dyn Fn(usize, BufferId, BufferId) -> Arc<dyn bqsim_gpu::Kernel> + 'a;
+pub type KernelFactory<'a> = dyn Fn(usize, BufferId, BufferId) -> Arc<dyn bqsim_gpu::Kernel> + 'a;
 
 /// Builds the §3.3.2 task graph.
 ///
@@ -91,7 +90,11 @@ pub fn build_batch_graph(
 ) -> TaskGraph {
     assert!(kernels_per_batch > 0, "need at least one kernel per batch");
     assert!(buffers.len() >= 4, "the schedule uses four device buffers");
-    assert_eq!(inputs.len(), outputs.len(), "inputs/outputs length mismatch");
+    assert_eq!(
+        inputs.len(),
+        outputs.len(),
+        "inputs/outputs length mismatch"
+    );
 
     let mut graph = TaskGraph::new();
     let mut hazards = HazardTracker::default();
@@ -118,11 +121,7 @@ pub fn build_batch_graph(
             deps.extend(hazards.write_deps(dst));
             deps.sort_unstable();
             deps.dedup();
-            let t = graph.add_kernel(
-                format!("k{k} b{b}"),
-                make_kernel(k, src, dst),
-                &deps,
-            );
+            let t = graph.add_kernel(format!("k{k} b{b}"), make_kernel(k, src, dst), &deps);
             hazards.record_read(src, t);
             hazards.record_write(dst, t);
         }
@@ -139,7 +138,58 @@ pub fn build_batch_graph(
         );
         hazards.record_read(out_buf, d2h);
     }
+    #[cfg(debug_assertions)]
+    verify_schedule(&graph, buffers, num_batches, kernels_per_batch);
     graph
+}
+
+/// Extracts analyzer facts from a built schedule, remapping arena buffer
+/// ids to their schedule-relative position in `buffers` (the analyzer's
+/// Fig. 8b conformance pass speaks `D[0..4)` indices).
+pub fn schedule_graph_facts(graph: &TaskGraph, buffers: &[BufferId]) -> bqsim_analyze::GraphFacts {
+    use bqsim_analyze as analyze;
+    let mut facts = analyze::GraphFacts::from_task_graph(graph);
+    let pos: HashMap<usize, usize> = buffers
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.index(), i))
+        .collect();
+    for t in &mut facts.tasks {
+        for loc in t.reads.iter_mut().chain(t.writes.iter_mut()) {
+            if let analyze::Loc::Device(d) = loc {
+                if let Some(&p) = pos.get(d) {
+                    *loc = analyze::Loc::Device(p);
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// Debug-build cross-check: the static analyzer recomputes happens-before
+/// from the emitted edges and re-derives the §3.3.2 buffer walk, so a bug
+/// in either the [`HazardTracker`] or [`buffer_indices`] fails loudly at
+/// graph-build time instead of as a silent wrong answer.
+#[cfg(debug_assertions)]
+fn verify_schedule(
+    graph: &TaskGraph,
+    buffers: &[BufferId],
+    num_batches: usize,
+    kernels_per_batch: usize,
+) {
+    use bqsim_analyze as analyze;
+    let facts = schedule_graph_facts(graph, buffers);
+    let mut diags = analyze::analyze_graph(&facts);
+    diags.merge(analyze::check_double_buffer_discipline(
+        &facts,
+        num_batches,
+        kernels_per_batch,
+    ));
+    debug_assert!(
+        diags.is_clean(),
+        "build_batch_graph emitted a hazardous schedule \
+         ({num_batches} batches × {kernels_per_batch} kernels):\n{diags}"
+    );
 }
 
 #[cfg(test)]

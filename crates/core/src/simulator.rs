@@ -531,7 +531,10 @@ mod tests {
         let bad = vec![vec![vec![Complex::ONE; 4]]]; // wrong dim (4 != 8)
         assert!(matches!(
             sim.run_batches(&bad),
-            Err(BqsimError::BadInputLength { expected: 8, got: 4 })
+            Err(BqsimError::BadInputLength {
+                expected: 8,
+                got: 4
+            })
         ));
     }
 

@@ -255,7 +255,9 @@ mod tests {
         let perm = matrix_from_dense(&mut dd, &GateKind::Cx.matrix().kron(&CMatrix::identity(2)));
         let dense = matrix_from_dense(
             &mut dd,
-            &GateKind::H.matrix().kron(&GateKind::H.matrix().kron(&GateKind::H.matrix())),
+            &GateKind::H
+                .matrix()
+                .kron(&GateKind::H.matrix().kron(&GateKind::H.matrix())),
         );
         let gp = GpuDd::from_dd(&dd, perm, 3);
         let gd = GpuDd::from_dd(&dd, dense, 3);

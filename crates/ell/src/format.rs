@@ -199,7 +199,10 @@ pub fn pack_batch(vectors: &[Vec<Complex>]) -> Vec<Complex> {
 
 /// Unpacks the amplitude-major batch layout back into separate vectors.
 pub fn unpack_batch(data: &[Complex], batch: usize) -> Vec<Vec<Complex>> {
-    assert!(batch > 0 && data.len().is_multiple_of(batch), "bad batch layout");
+    assert!(
+        batch > 0 && data.len().is_multiple_of(batch),
+        "bad batch layout"
+    );
     let dim = data.len() / batch;
     (0..batch)
         .map(|b| (0..dim).map(|r| data[r * batch + b]).collect())
@@ -232,7 +235,9 @@ mod tests {
     fn spmv_matches_dense() {
         let m = GateKind::H.matrix().kron(&GateKind::Cx.matrix());
         let ell = ell_of_dense(&m);
-        let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let want = m.mul_vec(&x);
         let got = ell.spmv(&x);
         assert!(bqsim_num::approx::vectors_eq(&got, &want, 1e-12));

@@ -93,7 +93,9 @@ impl DeviceSpec {
 
     /// Peak arithmetic throughput in FLOPs per nanosecond.
     pub fn flops_per_ns(&self) -> f64 {
-        self.num_sms as f64 * self.lanes_per_sm as f64 * self.clock_ghz
+        self.num_sms as f64
+            * self.lanes_per_sm as f64
+            * self.clock_ghz
             * self.flops_per_clock_per_lane
     }
 

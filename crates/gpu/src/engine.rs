@@ -160,11 +160,7 @@ impl Timeline {
     pub fn render_gantt(&self, width: usize) -> String {
         let width = width.max(10);
         let total = self.total_ns.max(1);
-        let mut lanes = [
-            vec![' '; width],
-            vec![' '; width],
-            vec![' '; width],
-        ];
+        let mut lanes = [vec![' '; width], vec![' '; width], vec![' '; width]];
         for (i, r) in self.records.iter().enumerate() {
             let lane = &mut lanes[r.resource.index()];
             let a = (r.start_ns as u128 * width as u128 / total as u128) as usize;
@@ -243,8 +239,7 @@ impl Engine {
                 let occupancy = (launched / total_lanes).min(1.0).max(1.0 / total_lanes);
                 let compute_ns =
                     p.flops as f64 / (spec.flops_per_ns() * occupancy) * p.divergence.max(1.0);
-                let mem_ns =
-                    (p.bytes_read + p.bytes_written) as f64 / spec.mem_bytes_per_ns();
+                let mem_ns = (p.bytes_read + p.bytes_written) as f64 / spec.mem_bytes_per_ns();
                 overhead + compute_ns.max(mem_ns).ceil() as u64
             }
         }
@@ -401,8 +396,20 @@ mod tests {
         // Independent upload for the *next* batch can overlap the kernel.
         let _up2 = g.add_h2d("up2", h2, d2, (1 << 16) * 16, &[]);
 
-        let tg = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
-        let ts = engine.run(&g, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly);
+        let tg = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
+        let ts = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Stream,
+            ExecMode::TimingOnly,
+        );
         assert!(
             tg.total_ns() < ts.total_ns(),
             "graph {} !< stream {}",
@@ -422,7 +429,13 @@ mod tests {
         let a = g.add_h2d("up", h, d, 256, &[]);
         let b = g.add_kernel("k", Arc::new(FlopKernel { flops: 1000 }), &[a]);
         let c = g.add_d2h("down", d, h, 256, &[b]);
-        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         let rec = t.records();
         assert!(rec[0].end_ns <= rec[1].start_ns);
         assert!(rec[1].end_ns <= rec[2].start_ns);
@@ -439,7 +452,13 @@ mod tests {
         let bytes = (1u64 << 12) * 16;
         g.add_h2d("a", h, d1, bytes, &[]);
         g.add_h2d("b", h, d2, bytes, &[]);
-        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         let rec = t.records();
         assert!(
             rec[0].end_ns <= rec[1].start_ns,
@@ -455,9 +474,22 @@ mod tests {
         let d = mem.alloc(8).unwrap();
         let mut g = TaskGraph::new();
         let up = g.add_h2d("up", h_in, d, 128, &[]);
-        let k = g.add_kernel("scale", Arc::new(ScaleKernel { buf: d, factor: 3.0 }), &[up]);
+        let k = g.add_kernel(
+            "scale",
+            Arc::new(ScaleKernel {
+                buf: d,
+                factor: 3.0,
+            }),
+            &[up],
+        );
         g.add_d2h("down", d, h_out, 128, &[k]);
-        engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::Functional);
+        engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::Functional,
+        );
         assert_eq!(host.buffer(h_out)[0], Complex::new(6.0, 3.0));
         assert_eq!(host.buffer(h_out)[7], Complex::new(6.0, 3.0));
     }
@@ -469,7 +501,13 @@ mod tests {
         let d = mem.alloc(4).unwrap();
         let mut g = TaskGraph::new();
         g.add_h2d("up", h_in, d, 64, &[]);
-        engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         assert_eq!(mem.buffer(d)[0], Complex::ZERO);
     }
 
@@ -479,15 +517,23 @@ mod tests {
         let mut g = TaskGraph::new();
         let mut prev: Vec<crate::TaskId> = vec![];
         for i in 0..100 {
-            let t = g.add_kernel(
-                format!("k{i}"),
-                Arc::new(FlopKernel { flops: 10 }),
-                &prev,
-            );
+            let t = g.add_kernel(format!("k{i}"), Arc::new(FlopKernel { flops: 10 }), &prev);
             prev = vec![t];
         }
-        let tg = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
-        let ts = engine.run(&g, &mut mem, &mut host, LaunchMode::Stream, ExecMode::TimingOnly);
+        let tg = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
+        let ts = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Stream,
+            ExecMode::TimingOnly,
+        );
         // 100 kernels × (1000 − 100) ns overhead difference minus the one-time
         // graph launch cost.
         assert!(ts.total_ns() > tg.total_ns() + 80_000);
@@ -520,8 +566,20 @@ mod tests {
         g4.add_kernel("b", Arc::new(Div(4.0)), &[]);
         let mut mem = DeviceMemory::new(engine.spec());
         let mut host = HostMemory::new();
-        let t1 = engine.run(&g1, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
-        let t4 = engine.run(&g4, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t1 = engine.run(
+            &g1,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
+        let t4 = engine.run(
+            &g4,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         assert!(t4.total_ns() > t1.total_ns() * 2);
     }
 
@@ -535,7 +593,13 @@ mod tests {
         let up = g.add_h2d("up", h, d, bytes, &[]);
         let k = g.add_kernel("k", Arc::new(FlopKernel { flops: 100_000 }), &[up]);
         g.add_d2h("down", d, h, bytes, &[k]);
-        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         let gantt = t.render_gantt(40);
         assert_eq!(gantt.lines().count(), 3);
         assert!(gantt.contains("compute |"));
@@ -550,7 +614,13 @@ mod tests {
         let (engine, mut mem, mut host) = setup();
         let mut g = TaskGraph::new();
         g.add_kernel("k", Arc::new(FlopKernel { flops: 100 }), &[]);
-        let t1 = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t1 = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         let mut total = t1.clone();
         total.extend_after(&t1);
         assert_eq!(total.total_ns(), 2 * t1.total_ns());

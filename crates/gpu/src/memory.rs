@@ -9,9 +9,26 @@ use std::error::Error;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferId(usize);
 
+impl BufferId {
+    /// The buffer's allocation index in its arena (introspection for
+    /// analyzers and reports).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to a host buffer inside a [`HostMemory`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HostBufId(usize);
+
+impl HostBufId {
+    /// The buffer's allocation index in its arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Error returned when a device allocation exceeds the device's capacity —
 /// the failure mode behind the paper's Table 4 "-" entries (fused dense

@@ -35,8 +35,8 @@ pub fn gpu_average_power_w(spec: &DeviceSpec, timeline: &Timeline) -> f64 {
     let total = timeline.total_ns() as f64;
     let flop_rate = timeline.kernel_flops() as f64 / total;
     let byte_rate = timeline.kernel_bytes() as f64 / total;
-    let copies = 0.5
-        * (timeline.utilization(Resource::CopyH2D) + timeline.utilization(Resource::CopyD2H));
+    let copies =
+        0.5 * (timeline.utilization(Resource::CopyH2D) + timeline.utilization(Resource::CopyD2H));
     let p = spec.idle_power_w
         + WATTS_PER_FLOP_NS * flop_rate
         + WATTS_PER_BYTE_NS * byte_rate
@@ -85,7 +85,9 @@ impl PowerReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DeviceMemory, Engine, ExecMode, HostMemory, Kernel, KernelProfile, LaunchMode, TaskGraph};
+    use crate::{
+        DeviceMemory, Engine, ExecMode, HostMemory, Kernel, KernelProfile, LaunchMode, TaskGraph,
+    };
     use std::sync::Arc;
 
     struct Busy;
@@ -124,7 +126,13 @@ mod tests {
         g.add_kernel("k", Arc::new(Busy), &[]);
         let mut mem = DeviceMemory::new(&spec);
         let mut host = HostMemory::new();
-        let t = engine.run(&g, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         let p = gpu_average_power_w(&spec, &t);
         // Tiny GPU: 128 flop/ns × 0.16 + ~9.6 B/ns × 0.09 + idle ≈ 27 W.
         assert!(p > 0.5 * spec.max_power_w, "p = {p}");
@@ -161,8 +169,20 @@ mod tests {
         lean.add_kernel("lean", Arc::new(Work(1_000_000)), &[]);
         let mut fat = TaskGraph::new();
         fat.add_kernel("fat", Arc::new(Work(8_000_000)), &[]);
-        let t_lean = engine.run(&lean, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
-        let t_fat = engine.run(&fat, &mut mem, &mut host, LaunchMode::Graph, ExecMode::TimingOnly);
+        let t_lean = engine.run(
+            &lean,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
+        let t_fat = engine.run(
+            &fat,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
         assert!(
             gpu_average_power_w(&spec, &t_fat) > gpu_average_power_w(&spec, &t_lean),
             "more arithmetic per unit time must draw more power"

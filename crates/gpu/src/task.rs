@@ -55,11 +55,33 @@ pub trait Kernel: Send + Sync {
     /// [`ExecMode::Functional`](crate::ExecMode::Functional); timing-only
     /// runs skip it.
     fn execute(&self, mem: &mut DeviceMemory);
+
+    /// Device buffers [`Kernel::execute`] reads. The default (empty)
+    /// implementation declares nothing, which makes the kernel invisible
+    /// to static race analysis — override it for any kernel that touches
+    /// shared state buffers.
+    fn buffer_reads(&self) -> Vec<BufferId> {
+        Vec::new()
+    }
+
+    /// Device buffers [`Kernel::execute`] writes. See
+    /// [`Kernel::buffer_reads`].
+    fn buffer_writes(&self) -> Vec<BufferId> {
+        Vec::new()
+    }
 }
 
 /// Identifier of a task inside a [`TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// The task's insertion index in its graph.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// The kind of work a task performs.
 pub enum TaskKind {
@@ -194,6 +216,16 @@ impl TaskGraph {
     /// The predecessors of a task.
     pub fn preds(&self, id: TaskId) -> &[TaskId] {
         &self.tasks[id.0].preds
+    }
+
+    /// The kind of work a task performs (introspection for analyzers).
+    pub fn kind(&self, id: TaskId) -> &TaskKind {
+        &self.tasks[id.0].kind
+    }
+
+    /// Iterates over all task ids in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len()).map(TaskId)
     }
 }
 

@@ -19,7 +19,6 @@ use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAss
 /// assert_eq!(Complex::new(3.0, 4.0).abs(), 5.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -275,6 +274,29 @@ impl fmt::Display for Complex {
         } else {
             write!(f, "{}+{}i", self.re, self.im)
         }
+    }
+}
+
+// Hand-written (de)serialisation against the workspace serde shim's value
+// model, mirroring what `#[derive(Serialize, Deserialize)]` would emit:
+// a struct maps to `{"re": …, "im": …}`.
+#[cfg(feature = "serde")]
+impl serde::Serialize for Complex {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("re", serde::Serialize::to_value(&self.re)),
+            ("im", serde::Serialize::to_value(&self.im)),
+        ])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Complex {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Complex {
+            re: serde::field(v, "re")?,
+            im: serde::field(v, "im")?,
+        })
     }
 }
 

@@ -13,7 +13,6 @@ use std::fmt;
 /// The two most common weights have fixed, table-independent indices:
 /// [`CIdx::ZERO`] and [`CIdx::ONE`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CIdx(u32);
 
 impl CIdx {
@@ -271,6 +270,22 @@ impl ComplexTable {
 impl Default for ComplexTable {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+// Hand-written (de)serialisation against the workspace serde shim:
+// a newtype struct maps to its inner value, like serde's derive.
+#[cfg(feature = "serde")]
+impl serde::Serialize for CIdx {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for CIdx {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        serde::Deserialize::from_value(v).map(CIdx)
     }
 }
 

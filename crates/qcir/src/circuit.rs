@@ -20,7 +20,6 @@ use core::fmt;
 /// assert_eq!(bell.num_gates(), 2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Circuit {
     name: String,
     num_qubits: usize,
@@ -221,7 +220,13 @@ impl Circuit {
         let mut qubit_depth = vec![0usize; self.num_qubits];
         let mut depth = 0;
         for g in &self.gates {
-            let level = g.qubits().iter().map(|&q| qubit_depth[q]).max().unwrap() + 1;
+            let level = g
+                .qubits()
+                .iter()
+                .map(|&q| qubit_depth[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for &q in g.qubits() {
                 qubit_depth[q] = level;
             }
@@ -241,7 +246,11 @@ impl fmt::Display for Circuit {
         writeln!(
             f,
             "circuit {} (n={}, gates={})",
-            if self.name.is_empty() { "<anon>" } else { &self.name },
+            if self.name.is_empty() {
+                "<anon>"
+            } else {
+                &self.name
+            },
             self.num_qubits,
             self.gates.len()
         )?;
@@ -265,6 +274,30 @@ impl Extend<Gate> for Circuit {
         for g in iter {
             self.push(g);
         }
+    }
+}
+
+// Hand-written (de)serialisation against the workspace serde shim: the
+// struct-as-object encoding serde's derive would produce.
+#[cfg(feature = "serde")]
+impl serde::Serialize for Circuit {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("name", serde::Serialize::to_value(&self.name)),
+            ("num_qubits", serde::Serialize::to_value(&self.num_qubits)),
+            ("gates", serde::Serialize::to_value(&self.gates)),
+        ])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Circuit {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Circuit {
+            name: serde::field(v, "name")?,
+            num_qubits: serde::field(v, "num_qubits")?,
+            gates: serde::field(v, "gates")?,
+        })
     }
 }
 

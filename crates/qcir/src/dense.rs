@@ -38,7 +38,10 @@ pub fn basis_state(num_qubits: usize, index: usize) -> Vec<Complex> {
 /// Panics if `state.len()` is not a power of two or the gate exceeds the
 /// state's qubit count.
 pub fn apply_gate(state: &mut [Complex], gate: &Gate) {
-    assert!(state.len().is_power_of_two(), "state length not a power of two");
+    assert!(
+        state.len().is_power_of_two(),
+        "state length not a power of two"
+    );
     let n = state.len().trailing_zeros() as usize;
     assert!(gate.max_qubit() < n, "gate exceeds state width");
     let m = gate.matrix();
@@ -215,7 +218,12 @@ mod tests {
     #[test]
     fn inverse_circuit_roundtrips() {
         let mut c = Circuit::new(3);
-        c.h(0).t(1).cx(0, 1).ry(0.73, 2).cp(0.31, 2, 0).rzz(0.21, 0, 2);
+        c.h(0)
+            .t(1)
+            .cx(0, 1)
+            .ry(0.73, 2)
+            .cp(0.31, 2, 0)
+            .rzz(0.21, 0, 2);
         let mut state = simulate(&c);
         apply_circuit(&mut state, &c.inverse());
         let zero = zero_state(3);

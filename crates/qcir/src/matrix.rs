@@ -77,7 +77,10 @@ impl CMatrix {
     ///
     /// Panics if the dimension is not a power of two.
     pub fn num_qubits(&self) -> usize {
-        assert!(self.dim.is_power_of_two(), "dimension is not a power of two");
+        assert!(
+            self.dim.is_power_of_two(),
+            "dimension is not a power of two"
+        );
         self.dim.trailing_zeros() as usize
     }
 
@@ -211,8 +214,7 @@ impl CMatrix {
 
     /// Whether the matrix is diagonal within tolerance.
     pub fn is_diagonal(&self, tol: f64) -> bool {
-        (0..self.dim)
-            .all(|r| (0..self.dim).all(|c| r == c || self.get(r, c).is_zero(tol)))
+        (0..self.dim).all(|r| (0..self.dim).all(|c| r == c || self.get(r, c).is_zero(tol)))
     }
 
     /// Whether every row and every column has exactly one non-zero entry

@@ -135,7 +135,10 @@ fn apply_pauli(obs: &PauliString, state: &[Complex]) -> Vec<Complex> {
 /// Panics if the state length is not a power of two or the observable
 /// covers more qubits than the state.
 pub fn expectation(obs: &PauliString, state: &[Complex]) -> f64 {
-    assert!(state.len().is_power_of_two(), "state length not a power of two");
+    assert!(
+        state.len().is_power_of_two(),
+        "state length not a power of two"
+    );
     let n = state.len().trailing_zeros() as usize;
     assert!(obs.num_qubits() <= n, "observable wider than state");
     let applied = apply_pauli(obs, state);
@@ -250,10 +253,7 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert_eq!(PauliString::parse("XQZ"), Err('Q'));
-        assert_eq!(
-            PauliString::parse("xyz").unwrap().to_string(),
-            "XYZ"
-        );
+        assert_eq!(PauliString::parse("xyz").unwrap().to_string(), "XYZ");
     }
 
     #[test]

@@ -33,9 +33,16 @@ pub struct OptimizeStats {
 fn is_identity_gate(kind: &GateKind) -> bool {
     match kind {
         GateKind::I => true,
-        GateKind::Rx(a) | GateKind::Ry(a) | GateKind::Rz(a) | GateKind::Phase(a)
-        | GateKind::Cp(a) | GateKind::Crz(a) | GateKind::Cry(a) | GateKind::Crx(a)
-        | GateKind::Rzz(a) | GateKind::Rxx(a) => *a == 0.0,
+        GateKind::Rx(a)
+        | GateKind::Ry(a)
+        | GateKind::Rz(a)
+        | GateKind::Phase(a)
+        | GateKind::Cp(a)
+        | GateKind::Crz(a)
+        | GateKind::Cry(a)
+        | GateKind::Crx(a)
+        | GateKind::Rzz(a)
+        | GateKind::Rxx(a) => *a == 0.0,
         GateKind::U(t, p, l) => *t == 0.0 && *p + *l == 0.0,
         _ => false,
     }
@@ -46,15 +53,37 @@ fn are_inverse_kinds(a: &GateKind, b: &GateKind) -> bool {
     use GateKind::*;
     match (a, b) {
         // Self-inverse gates.
-        (H, H) | (X, X) | (Y, Y) | (Z, Z) | (Cx, Cx) | (Cz, Cz) | (Swap, Swap)
-        | (Ccx, Ccx) | (Cswap, Cswap) => true,
+        (H, H)
+        | (X, X)
+        | (Y, Y)
+        | (Z, Z)
+        | (Cx, Cx)
+        | (Cz, Cz)
+        | (Swap, Swap)
+        | (Ccx, Ccx)
+        | (Cswap, Cswap) => true,
         // Named inverse pairs.
-        (S, Sdg) | (Sdg, S) | (T, Tdg) | (Tdg, T) | (Sx, Sxdg) | (Sxdg, Sx)
-        | (Sy, Sydg) | (Sydg, Sy) | (Sw, Swdg) | (Swdg, Sw) => true,
+        (S, Sdg)
+        | (Sdg, S)
+        | (T, Tdg)
+        | (Tdg, T)
+        | (Sx, Sxdg)
+        | (Sxdg, Sx)
+        | (Sy, Sydg)
+        | (Sydg, Sy)
+        | (Sw, Swdg)
+        | (Swdg, Sw) => true,
         // Parametrised inverses.
-        (Rx(p), Rx(q)) | (Ry(p), Ry(q)) | (Rz(p), Rz(q)) | (Phase(p), Phase(q))
-        | (Cp(p), Cp(q)) | (Crz(p), Crz(q)) | (Cry(p), Cry(q)) | (Crx(p), Crx(q))
-        | (Rzz(p), Rzz(q)) | (Rxx(p), Rxx(q)) => p + q == 0.0,
+        (Rx(p), Rx(q))
+        | (Ry(p), Ry(q))
+        | (Rz(p), Rz(q))
+        | (Phase(p), Phase(q))
+        | (Cp(p), Cp(q))
+        | (Crz(p), Crz(q))
+        | (Cry(p), Cry(q))
+        | (Crx(p), Crx(q))
+        | (Rzz(p), Rzz(q))
+        | (Rxx(p), Rxx(q)) => p + q == 0.0,
         _ => false,
     }
 }
@@ -168,7 +197,12 @@ mod tests {
     #[test]
     fn cancels_inverse_pairs() {
         let mut c = Circuit::new(3);
-        c.h(0).h(0).cx(0, 1).cx(0, 1).s(2).apply(GateKind::Sdg, &[2]);
+        c.h(0)
+            .h(0)
+            .cx(0, 1)
+            .cx(0, 1)
+            .s(2)
+            .apply(GateKind::Sdg, &[2]);
         let (opt, stats) = optimize(&c);
         assert_eq!(opt.num_gates(), 0);
         assert_eq!(stats.pairs_cancelled, 3);

@@ -55,7 +55,11 @@ impl ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -108,9 +112,12 @@ pub fn parse(src: &str) -> Result<Circuit, ParseQasmError> {
                 continue;
             }
             // Gate application (built-in or custom).
-            let (name, params, qubits) = parse_application(stmt, lineno, &|arg| {
-                resolve_qubit(arg, &registers, &reg_index, lineno)
-            }, &HashMap::new())?;
+            let (name, params, qubits) = parse_application(
+                stmt,
+                lineno,
+                &|arg| resolve_qubit(arg, &registers, &reg_index, lineno),
+                &HashMap::new(),
+            )?;
             emit_gates(&name, &params, &qubits, &defs, lineno, 0, &mut gates)?;
         }
     }
@@ -140,14 +147,19 @@ struct GateDef {
 /// Maximum custom-gate expansion depth (guards against recursive defs).
 const MAX_EXPANSION_DEPTH: usize = 32;
 
+/// A statement paired with its 1-based source line number.
+type NumberedLine = (usize, String);
+/// A gate definition being collected: (start line, header, body lines).
+type OpenGateDef = (usize, String, Vec<NumberedLine>);
+
 /// Splits the source into non-definition statements (with line numbers)
 /// and a map of `gate name(params) args { body }` definitions.
 fn extract_gate_defs(
     src: &str,
-) -> Result<(Vec<(usize, String)>, HashMap<String, GateDef>), ParseQasmError> {
-    let mut main: Vec<(usize, String)> = Vec::new();
+) -> Result<(Vec<NumberedLine>, HashMap<String, GateDef>), ParseQasmError> {
+    let mut main: Vec<NumberedLine> = Vec::new();
     let mut defs: HashMap<String, GateDef> = HashMap::new();
-    let mut in_def: Option<(usize, String, Vec<(usize, String)>)> = None; // (line, header, body)
+    let mut in_def: Option<OpenGateDef> = None;
 
     for (lineno, raw_line) in src.lines().enumerate() {
         let lineno = lineno + 1;
@@ -180,7 +192,7 @@ fn extract_gate_defs(
                     rest = "";
                 }
             } else if rest.to_ascii_lowercase().starts_with("gate ")
-                || rest.to_ascii_lowercase() == "gate"
+                || rest.eq_ignore_ascii_case("gate")
             {
                 // Header runs until the opening brace (possibly next line).
                 if let Some(open) = rest.find('{') {
@@ -248,7 +260,14 @@ fn finish_gate_def(
             format!("gate `{name}` declares no qubit arguments"),
         ));
     }
-    Ok((name, GateDef { params, qargs, body }))
+    Ok((
+        name,
+        GateDef {
+            params,
+            qargs,
+            body,
+        },
+    ))
 }
 
 /// Parses one application statement into `(name, params, qubits)` using a
@@ -360,16 +379,28 @@ fn emit_gates(
             if sub.is_empty() || sub.to_ascii_lowercase().starts_with("barrier") {
                 continue;
             }
-            let (sub_name, sub_params, sub_qubits) =
-                parse_application(sub, *body_line, &|arg| {
+            let (sub_name, sub_params, sub_qubits) = parse_application(
+                sub,
+                *body_line,
+                &|arg| {
                     qmap.get(arg).copied().ok_or_else(|| {
                         ParseQasmError::new(
                             *body_line,
                             format!("unknown qubit argument `{arg}` in gate `{name}`"),
                         )
                     })
-                }, &vars)?;
-            emit_gates(&sub_name, &sub_params, &sub_qubits, defs, *body_line, depth + 1, out)?;
+                },
+                &vars,
+            )?;
+            emit_gates(
+                &sub_name,
+                &sub_params,
+                &sub_qubits,
+                defs,
+                *body_line,
+                depth + 1,
+                out,
+            )?;
         }
     }
     Ok(())

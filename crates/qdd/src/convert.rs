@@ -196,9 +196,7 @@ mod tests {
     #[test]
     fn dense_matrix_roundtrip() {
         let mut dd = DdPackage::new();
-        let m = GateKind::H
-            .matrix()
-            .kron(&GateKind::Cx.matrix());
+        let m = GateKind::H.matrix().kron(&GateKind::Cx.matrix());
         let e = matrix_from_dense(&mut dd, &m);
         let back = matrix_to_dense(&dd, e, 3);
         assert!(back.approx_eq(&m, 1e-12));
@@ -229,7 +227,10 @@ mod tests {
         for (r, c, v) in triples {
             assert!(m.get(r, c).approx_eq(v, 1e-12));
         }
-        assert_eq!(nonzero_entry_count(&dd, e, 3), m.nzr_per_row(1e-12).iter().sum::<usize>());
+        assert_eq!(
+            nonzero_entry_count(&dd, e, 3),
+            m.nzr_per_row(1e-12).iter().sum::<usize>()
+        );
     }
 
     #[test]

@@ -202,11 +202,7 @@ pub fn circuit_to_dds(dd: &mut DdPackage, circuit: &Circuit) -> Vec<MEdge> {
 }
 
 /// Simulates `circuit` on a vector DD starting from `initial`.
-pub fn simulate_dd(
-    dd: &mut DdPackage,
-    circuit: &Circuit,
-    initial: crate::VEdge,
-) -> crate::VEdge {
+pub fn simulate_dd(dd: &mut DdPackage, circuit: &Circuit, initial: crate::VEdge) -> crate::VEdge {
     let mut state = initial;
     for g in lower_circuit(circuit) {
         let m = gate_dd(dd, circuit.num_qubits(), &g);

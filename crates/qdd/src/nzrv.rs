@@ -205,10 +205,8 @@ fn diag_rec(dd: &DdPackage, e: MEdge, memo: &mut HashMap<MNodeId, bool>) -> bool
         return hit;
     }
     let c = dd.mat_children(e.node);
-    let ok = c[1].is_zero()
-        && c[2].is_zero()
-        && diag_rec(dd, c[0], memo)
-        && diag_rec(dd, c[3], memo);
+    let ok =
+        c[1].is_zero() && c[2].is_zero() && diag_rec(dd, c[0], memo) && diag_rec(dd, c[3], memo);
     memo.insert(e.node, ok);
     ok
 }

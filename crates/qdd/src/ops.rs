@@ -53,7 +53,11 @@ impl DdPackage {
             "mat_mul level mismatch"
         );
         let outer = self.ctab.mul(a.w, b.w);
-        let key = (CacheOp::MatMul, a.node.index() as u32, b.node.index() as u32);
+        let key = (
+            CacheOp::MatMul,
+            a.node.index() as u32,
+            b.node.index() as u32,
+        );
         if let Some(&hit) = self.cache_mm.get(&key) {
             self.hits += 1;
             return self.mat_scale(hit, outer);
@@ -133,11 +137,7 @@ impl DdPackage {
         // Order operands for cache symmetry (addition commutes).
         let (a, b) = if a.node <= b.node { (a, b) } else { (b, a) };
         let ratio = self.ctab.div(b.w, a.w);
-        let key = (
-            a.node.index() as u32,
-            b.node.index() as u32,
-            ratio.raw(),
-        );
+        let key = (a.node.index() as u32, b.node.index() as u32, ratio.raw());
         if let Some(&hit) = self.cache_madd.get(&key) {
             self.hits += 1;
             return self.mat_scale(hit, a.w);
@@ -176,11 +176,7 @@ impl DdPackage {
         debug_assert_eq!(self.vec_level(a.node), self.vec_level(b.node));
         let (a, b) = if a.node <= b.node { (a, b) } else { (b, a) };
         let ratio = self.ctab.div(b.w, a.w);
-        let key = (
-            a.node.index() as u32,
-            b.node.index() as u32,
-            ratio.raw(),
-        );
+        let key = (a.node.index() as u32, b.node.index() as u32, ratio.raw());
         if let Some(&hit) = self.cache_vadd.get(&key) {
             self.hits += 1;
             return self.vec_scale(hit, a.w);
@@ -422,13 +418,7 @@ mod tests {
         let dense = vector_to_dense(&dd, sum, 3);
         assert!((dense[1].re - 1.0).abs() < 1e-12);
         assert!((dense[6].re - 1.0).abs() < 1e-12);
-        assert_eq!(
-            dense
-                .iter()
-                .filter(|z| !z.is_zero(1e-12))
-                .count(),
-            2
-        );
+        assert_eq!(dense.iter().filter(|z| !z.is_zero(1e-12)).count(), 2);
     }
 
     #[test]
@@ -476,11 +466,7 @@ mod tests {
         let b = dd.mat_vec(me, a);
         let da = vector_to_dense(&dd, a, 2);
         let db = vector_to_dense(&dd, b, 2);
-        let want: bqsim_num::Complex = da
-            .iter()
-            .zip(&db)
-            .map(|(x, y)| x.conj() * *y)
-            .sum();
+        let want: bqsim_num::Complex = da.iter().zip(&db).map(|(x, y)| x.conj() * *y).sum();
         let got = dd.vec_inner_product(a, b);
         assert!(got.approx_eq(want, 1e-12), "{got} vs {want}");
     }

@@ -112,6 +112,21 @@ impl DdPackage {
 
     // -- node accessors ------------------------------------------------------
 
+    /// Number of matrix nodes in the arena (introspection for analyzers:
+    /// a reachable-node census over all live roots can be compared against
+    /// this to quantify garbage).
+    #[inline]
+    pub fn mat_node_count(&self) -> usize {
+        self.mnodes.len()
+    }
+
+    /// Number of vector nodes in the arena. See
+    /// [`DdPackage::mat_node_count`].
+    #[inline]
+    pub fn vec_node_count(&self) -> usize {
+        self.vnodes.len()
+    }
+
     /// The qubit level of a matrix node.
     ///
     /// # Panics
@@ -394,7 +409,9 @@ mod tests {
     #[test]
     fn make_mat_node_is_canonical() {
         let mut dd = DdPackage::new();
-        let h = dd.ctab.intern(Complex::real(std::f64::consts::FRAC_1_SQRT_2));
+        let h = dd
+            .ctab
+            .intern(Complex::real(std::f64::consts::FRAC_1_SQRT_2));
         let hneg = dd.ctab.neg(h);
         let e1 = dd.make_mat_node(
             0,

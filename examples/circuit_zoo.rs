@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let n = entry.scaled_qubits;
         let circuit = entry.family.build(n, 42);
         if dump_qasm {
-            println!("// ===== {} =====\n{}", circuit.name(), qasm::write(&circuit));
+            println!(
+                "// ===== {} =====\n{}",
+                circuit.name(),
+                qasm::write(&circuit)
+            );
             continue;
         }
         let stats = CircuitStats::of(&circuit);

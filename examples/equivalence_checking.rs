@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch = random_input_batch(n, 64, 9);
     let run = |c: &Circuit| -> Result<Vec<Vec<bqsim_num::Complex>>, Box<dyn std::error::Error>> {
         let sim = BqSimulator::compile(c, BqSimOptions::default())?;
-        Ok(sim.run_batches(std::slice::from_ref(&batch))?.outputs.remove(0))
+        Ok(sim
+            .run_batches(std::slice::from_ref(&batch))?
+            .outputs
+            .remove(0))
     };
     let out_base = run(&base)?;
     let worst = |outs: &[Vec<bqsim_num::Complex>]| {

@@ -19,7 +19,13 @@ fn expectation_z0(state: &[Complex]) -> f64 {
     state
         .iter()
         .enumerate()
-        .map(|(i, z)| if i & 1 == 0 { z.norm_sqr() } else { -z.norm_sqr() })
+        .map(|(i, z)| {
+            if i & 1 == 0 {
+                z.norm_sqr()
+            } else {
+                -z.norm_sqr()
+            }
+        })
         .sum()
 }
 
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One batch of candidate initial states shared by every sweep point.
     let batch = random_input_batch(n, batch_size, 99);
     println!("sweeping θ over {points} points, {batch_size} candidate states each\n");
-    println!("{:>8}  {:>12}  {:>12}  {:>10}", "theta", "mean <Z0>", "best <Z0>", "sim ms");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>10}",
+        "theta", "mean <Z0>", "best <Z0>", "sim ms"
+    );
 
     let mut best = (0.0f64, f64::INFINITY);
     for p in 0..points {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a change must pass before review.
+# Mirrors the order a hosted pipeline would use — cheap checks first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI gate passed."

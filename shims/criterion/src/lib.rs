@@ -1,0 +1,282 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — warm-up followed by a fixed sample
+//! of timed iterations, reporting mean and min — because the benches here
+//! are for relative comparisons during development, not publication-grade
+//! measurement. The output format is one line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    /// An id with only a parameter, used inside a named group.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: Some(param.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.param {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, param: None }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    warm_up_iters: u64,
+    sample_iters: u64,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    /// Minimum nanoseconds over all samples.
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean/min nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.warm_up_iters {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_iters {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.mean_ns = total.as_nanos() as f64 / self.sample_iters as f64;
+        self.min_ns = min.as_nanos() as f64;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        warm_up_iters: 3,
+        sample_iters: sample_size.clamp(1, 30),
+        mean_ns: 0.0,
+        min_ns: 0.0,
+    };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            format!("  {:.1} Melem/s", n as f64 / b.mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / b.mean_ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} mean {:>12}  min {:>12}{rate}",
+        human_ns(b.mean_ns),
+        human_ns(b.min_ns)
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (clamped to keep runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a fixed 3 iterations.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sample count controls duration.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into().to_string(), None, 10, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_pipeline_runs() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(1))
+                .throughput(Throughput::Elements(4));
+            g.bench_function(BenchmarkId::new("add", 4), |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            g.finish();
+        }
+        // 3 warm-up + 5 samples.
+        assert_eq!(calls, 8);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

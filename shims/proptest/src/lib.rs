@@ -1,0 +1,249 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors the slice of proptest the test suites use: the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, range strategies on primitive
+//! types, and the `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Semantics differ from upstream in one deliberate way: there is no
+//! shrinking. On failure the macro panics with the case number and the
+//! sampled arguments, which is enough to reproduce (sampling is
+//! deterministic per test name). Coverage is preserved: each `#[test]`
+//! runs `cases` iterations with independently sampled arguments.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` iterations per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property case (what `prop_assert!` returns).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Creates the deterministic RNG for a named property test.
+    ///
+    /// The seed is an FNV-1a hash of the test name, so each property gets
+    /// its own reproducible stream.
+    pub fn deterministic_rng(test_name: &str) -> SmallRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+pub mod strategy {
+    use core::fmt::Debug;
+    use core::ops::Range;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A source of random values for one property argument.
+    ///
+    /// Upstream proptest strategies produce shrinkable value trees; this
+    /// subset only needs plain sampling.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: Debug;
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::SampleUniform + Copy + Debug,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(args...) {}`
+/// items whose arguments are `ident in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test item.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::deterministic_rng(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )*
+                let __args = format!(
+                    concat!("{{ ", $(stringify!($arg), ": {:?}, ",)* "}}"),
+                    $(&$arg,)*
+                );
+                let __result: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!(
+                        "property {} failed at case {}/{} with args {}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __args,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, recording the failing
+/// expression and an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Sampled values stay inside their declared ranges.
+        #[test]
+        fn ranges_respected(a in 0u64..500, b in 2usize..5, x in -1.0f64..1.0) {
+            prop_assert!(a < 500);
+            prop_assert!((2..5).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert_eq!(b, b);
+        }
+    }
+
+    #[test]
+    fn failure_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            // No `#[test]` on the inner item: it is invoked directly below
+            // rather than collected by the harness.
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                fn always_fails(v in 0u32..10) {
+                    prop_assert!(v > 100, "v was {}", v);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property should have failed");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("case 1/4"), "got: {msg}");
+    }
+}

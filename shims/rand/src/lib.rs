@@ -1,0 +1,170 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the thin slice of `rand`'s API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`rngs::SmallRng`], and
+//! [`Rng::gen_range`] over half-open ranges of the primitive types that
+//! appear in the codebase.
+//!
+//! The generator is SplitMix64 — statistically solid for test-data and
+//! benchmark-input generation (the only uses here), tiny, and fully
+//! deterministic per seed. Streams differ from upstream `rand`'s
+//! `SmallRng`, which is fine: no golden files depend on exact streams, only
+//! on per-seed determinism.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// A random number generator that can be seeded from integers.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Deterministic: equal seeds
+    /// yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core RNG interface: raw 64-bit output plus range sampling.
+pub trait RngCore {
+    /// The next 64 raw bits from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open, `low..high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<Range<T>>,
+    {
+        let r = range.into();
+        T::sample_range(&r, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws one sample from `range` using `rng`.
+    fn sample_range<G: RngCore + ?Sized>(range: &Range<Self>, rng: &mut G) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<G: RngCore + ?Sized>(range: &Range<Self>, rng: &mut G) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u128;
+                // Multiply-shift rejection-free mapping is fine here: spans
+                // are tiny relative to 2^64, so bias is negligible for
+                // test-data generation.
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                range.start + v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<G: RngCore + ?Sized>(range: &Range<Self>, rng: &mut G) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<G: RngCore + ?Sized>(range: &Range<Self>, rng: &mut G) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Small, fast RNGs.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, seedable generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood; public-domain reference
+            // constants).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u8..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(0usize..5);
+            assert!(w < 5);
+        }
+    }
+
+    #[test]
+    fn float_ranges_in_bounds_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < -0.9 && hi > 0.9, "poor spread: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn small_ints_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0u8..3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -89,7 +89,11 @@ fn cuquantum_like_matches_oracle() {
     for circuit in [generators::vqe(5, 2), generators::qft(5)] {
         let batches = inputs_for(5);
         let want = reference::simulate_batches(&circuit, &batches);
-        for source in [GateSource::Unfused, GateSource::BqsimFusion, GateSource::AerFusion] {
+        for source in [
+            GateSource::Unfused,
+            GateSource::BqsimFusion,
+            GateSource::AerFusion,
+        ] {
             let sim = CuQuantumLike::compile(
                 &circuit,
                 source,

@@ -16,8 +16,11 @@ const BATCHES: usize = 10;
 const BATCH_SIZE: usize = 64;
 
 fn bqsim_time(circuit: &bqsim_qcir::Circuit) -> u64 {
-    let sim = BqSimulator::compile(circuit, BqSimOptions::default()).unwrap();
-    sim.run_synthetic(BATCHES, BATCH_SIZE).unwrap().timeline.total_ns()
+    let sim = BqSimulator::compile(circuit, BqSimOptions::default()).expect("compile");
+    sim.run_synthetic(BATCHES, BATCH_SIZE)
+        .expect("run")
+        .timeline
+        .total_ns()
 }
 
 #[test]
@@ -77,7 +80,11 @@ fn table2_shape_bqsim_beats_all_baselines() {
         let r_cuq = t_cuq as f64 / t_bqsim as f64;
         let r_aer = t_aer as f64 / t_bqsim as f64;
         let r_flat = t_flatdd as f64 / t_bqsim as f64;
-        assert!(r_cuq > 1.2 && r_cuq < 100.0, "{}: cuQuantum ratio {r_cuq}", circuit.name());
+        assert!(
+            r_cuq > 1.2 && r_cuq < 100.0,
+            "{}: cuQuantum ratio {r_cuq}",
+            circuit.name()
+        );
         assert!(r_aer > 10.0, "{}: Aer ratio {r_aer}", circuit.name());
         assert!(r_flat > 5.0, "{}: FlatDD ratio {r_flat}", circuit.name());
     }
@@ -183,7 +190,10 @@ fn fig13_shape_ablation_ordering() {
     // Paper §4.9 ranges: fusion 1.39–6.73×, ELL 5.55–35×, graph 1.46–1.73×.
     assert!(no_fusion > 1.1, "fusion ablation too cheap: {no_fusion}");
     assert!(no_ell > 3.0, "ELL ablation too cheap: {no_ell}");
-    assert!((1.05..8.0).contains(&no_graph), "graph ablation: {no_graph}");
+    assert!(
+        (1.05..8.0).contains(&no_graph),
+        "graph ablation: {no_graph}"
+    );
     assert!(no_ell > no_fusion && no_ell > no_graph, "ELL must dominate");
 }
 
@@ -203,9 +213,12 @@ fn fig11_shape_power_ordering() {
     )
     .unwrap()
     .run_synthetic(BATCHES, BATCH_SIZE);
-    let flatdd = FlatDdLike::compile(&circuit, CpuSpec::i7_11700(), 16)
-        .run_synthetic(BATCHES * BATCH_SIZE);
-    assert!(run.power.gpu_w < cuq.power.gpu_w, "BQSim must draw less GPU power");
+    let flatdd =
+        FlatDdLike::compile(&circuit, CpuSpec::i7_11700(), 16).run_synthetic(BATCHES * BATCH_SIZE);
+    assert!(
+        run.power.gpu_w < cuq.power.gpu_w,
+        "BQSim must draw less GPU power"
+    );
     assert_eq!(flatdd.power.gpu_w, 0.0);
     assert!(
         flatdd.power.cpu_w > run.power.cpu_w,

@@ -19,8 +19,8 @@ fn suite_circuits_roundtrip_through_qasm() {
     ];
     for c in circuits {
         let text = qasm::write(&c);
-        let back = qasm::parse(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", c.name()));
+        let back =
+            qasm::parse(&text).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", c.name()));
         assert_eq!(back.num_qubits(), c.num_qubits(), "{}", c.name());
         assert_eq!(back.num_gates(), c.num_gates(), "{}", c.name());
         let want = dense::simulate(&c);

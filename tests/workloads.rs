@@ -50,10 +50,7 @@ fn equivalence_checking_via_batches() {
     let batch = random_input_batch(n, 10, 11);
     let run = sim.run_batches(std::slice::from_ref(&batch)).unwrap();
     for (input, output) in batch.iter().zip(&run.outputs[0]) {
-        assert!(
-            vectors_eq(input, output, 1e-8),
-            "U·U† must act as identity"
-        );
+        assert!(vectors_eq(input, output, 1e-8), "U·U† must act as identity");
     }
 }
 
