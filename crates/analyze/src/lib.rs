@@ -14,6 +14,10 @@
 //!   cross-check of the DD-native NZRV algorithm (Fig. 3).
 //! * **ELL tensors** ([`analyze_ell`]) — shape, column-bounds, row-sorting,
 //!   and padding discipline of the spMM operand layout (§3.2).
+//! * **Recovery schedules** ([`check_recovery_schedule`]) — given the
+//!   executed timeline of a fault-injected run, verifies retry attempts
+//!   keep per-task discipline, preserve happens-before across
+//!   dependencies, and never overlap conflicting buffer accesses.
 //!
 //! Every pass consumes a plain-data *facts* snapshot ([`GraphFacts`],
 //! [`DdFacts`], [`EllFacts`]) extractable from the live structures, so
@@ -32,6 +36,7 @@ mod dd;
 mod diag;
 mod ell;
 mod graph;
+mod recovery;
 
 pub use dd::{
     analyze_dd, check_nzrv_consistency, matrix_dd_facts, vector_dd_facts, DdEdgeFacts, DdFacts,
@@ -43,3 +48,4 @@ pub use graph::{
     analyze_graph, check_double_buffer_discipline, expected_buffer_indices, GraphFacts, Loc,
     TaskFacts, TaskOp,
 };
+pub use recovery::{check_recovery_schedule, recovery_attempt_facts, AttemptFacts};

@@ -1,0 +1,383 @@
+//! Recovery-schedule analysis: does a fault-recovered execution still
+//! respect the dependency and buffer discipline of its task graph?
+//!
+//! Retries complicate the happens-before story: a task now occupies its
+//! engine several times, failed attempts really write (poisoned) data into
+//! their destination buffers, and a buggy retry scheduler could overlap a
+//! retry with a conflicting task that the original graph kept strictly
+//! ordered. This pass re-checks, on the *executed* timeline:
+//!
+//! * **attempt discipline** — attempts of one task are numbered
+//!   contiguously from 0, don't overlap each other, and at most the final
+//!   attempt completes;
+//! * **happens-before preservation** — no attempt of a task starts before
+//!   the last attempt of each of its predecessors has ended;
+//! * **buffer hazards** — no two attempts of conflicting tasks (same
+//!   location, at least one writer) overlap in time.
+//!
+//! Like the other passes, it consumes plain data: [`AttemptFacts`]
+//! extracted from the engine's `TaskRecord`s via
+//! [`recovery_attempt_facts`], joined with the [`GraphFacts`] of the graph
+//! that was executed.
+
+use crate::diag::Diagnostics;
+use crate::graph::GraphFacts;
+use bqsim_gpu::{TaskOutcome, TaskRecord};
+
+/// Plain-data view of one executed attempt of a task.
+#[derive(Debug, Clone)]
+pub struct AttemptFacts {
+    /// Index of the task in its graph.
+    pub task: usize,
+    /// Display label (from the timeline record).
+    pub label: String,
+    /// Attempt number (0 = first try).
+    pub attempt: u32,
+    /// Start of the attempt, virtual ns.
+    pub start_ns: u64,
+    /// End of the attempt, virtual ns.
+    pub end_ns: u64,
+    /// Whether the attempt ran to completion.
+    pub completed: bool,
+    /// Whether the task never ran at all (dead predecessor / lost device).
+    pub abandoned: bool,
+}
+
+/// Extracts attempt facts from an executed timeline's records.
+pub fn recovery_attempt_facts(records: &[TaskRecord]) -> Vec<AttemptFacts> {
+    records
+        .iter()
+        .map(|r| AttemptFacts {
+            task: r.task.index(),
+            label: r.label.clone(),
+            attempt: r.attempt,
+            start_ns: r.start_ns,
+            end_ns: r.end_ns,
+            completed: r.outcome == TaskOutcome::Completed,
+            abandoned: r.outcome == TaskOutcome::Abandoned,
+        })
+        .collect()
+}
+
+fn name(a: &AttemptFacts) -> String {
+    format!("task {} '{}' attempt {}", a.task, a.label, a.attempt)
+}
+
+/// Checks a recovered execution against the graph it claims to implement.
+///
+/// `facts` must describe the graph the timeline was produced from (task
+/// indices in the attempts index into `facts.tasks`). Errors use the
+/// passes `attempt-discipline`, `happens-before`, and `recovery-hazard`;
+/// the last one is what `bqsim analyze` gates its exit code on for fault
+/// plans.
+pub fn check_recovery_schedule(facts: &GraphFacts, attempts: &[AttemptFacts]) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let n = facts.tasks.len();
+
+    // Group attempts per task, preserving record order.
+    let mut per_task: Vec<Vec<&AttemptFacts>> = vec![Vec::new(); n];
+    for a in attempts {
+        if a.task >= n {
+            diags.error(
+                "attempt-discipline",
+                name(a),
+                format!("references task {} but the graph has {n} tasks", a.task),
+            );
+            continue;
+        }
+        per_task[a.task].push(a);
+    }
+
+    for (task, tries) in per_task.iter().enumerate() {
+        if tries.is_empty() {
+            diags.error(
+                "attempt-discipline",
+                format!("task {task} '{}'", facts.tasks[task].label),
+                "task never appears in the executed timeline".to_string(),
+            );
+            continue;
+        }
+        if tries.iter().any(|a| a.abandoned) {
+            // Abandoned tasks are zero-width markers; nothing to check.
+            continue;
+        }
+        for (k, a) in tries.iter().enumerate() {
+            if a.attempt != k as u32 {
+                diags.error(
+                    "attempt-discipline",
+                    name(a),
+                    format!("expected attempt {k} at this position (gaps or reordering)"),
+                );
+            }
+            if a.end_ns < a.start_ns {
+                diags.error(
+                    "attempt-discipline",
+                    name(a),
+                    "attempt ends before it starts".to_string(),
+                );
+            }
+            if k + 1 < tries.len() {
+                if a.completed {
+                    diags.error(
+                        "attempt-discipline",
+                        name(a),
+                        "completed attempt is followed by further attempts".to_string(),
+                    );
+                }
+                if tries[k + 1].start_ns < a.end_ns {
+                    diags.error(
+                        "attempt-discipline",
+                        name(tries[k + 1]),
+                        format!("starts before {} has ended", name(a)),
+                    );
+                }
+            }
+        }
+    }
+
+    // Happens-before preservation: no attempt of a task may start before
+    // the last attempt of each predecessor ends.
+    for (task, tries) in per_task.iter().enumerate() {
+        let Some(first) = tries.iter().find(|a| !a.abandoned) else {
+            continue;
+        };
+        for &p in &facts.tasks[task].preds {
+            if p >= n {
+                continue; // reported by the structural pass
+            }
+            let Some(pred_last) = per_task[p].iter().rfind(|a| !a.abandoned) else {
+                continue;
+            };
+            if first.start_ns < pred_last.end_ns {
+                diags.error(
+                    "happens-before",
+                    name(first),
+                    format!(
+                        "starts at {} ns, before its predecessor {} ends at {} ns \
+                         — recovery broke the dependency order",
+                        first.start_ns,
+                        name(pred_last),
+                        pred_last.end_ns
+                    ),
+                );
+            }
+        }
+    }
+
+    // Buffer hazards: attempts of conflicting tasks must not overlap.
+    // Failed attempts count — they really wrote (poisoned) data.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !conflicts(facts, i, j) {
+                continue;
+            }
+            for a in per_task[i].iter().filter(|a| !a.abandoned) {
+                for b in per_task[j].iter().filter(|b| !b.abandoned) {
+                    let s = a.start_ns.max(b.start_ns);
+                    let e = a.end_ns.min(b.end_ns);
+                    if e > s {
+                        diags.error(
+                            "recovery-hazard",
+                            name(a),
+                            format!(
+                                "buffer hazard: overlaps {} for {} ns while both \
+                                 touch a shared buffer with at least one writer",
+                                name(b),
+                                e - s
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Whether two tasks touch a common location with at least one writer.
+fn conflicts(facts: &GraphFacts, i: usize, j: usize) -> bool {
+    let (a, b) = (&facts.tasks[i], &facts.tasks[j]);
+    a.writes
+        .iter()
+        .any(|w| b.writes.contains(w) || b.reads.contains(w))
+        || b.writes.iter().any(|w| a.reads.contains(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Loc, TaskFacts, TaskOp};
+
+    fn chain_facts() -> GraphFacts {
+        // h2d -> kernel -> d2h over D[0], D[1].
+        GraphFacts {
+            tasks: vec![
+                TaskFacts {
+                    label: "up".into(),
+                    op: TaskOp::H2D,
+                    preds: vec![],
+                    reads: vec![Loc::Host(0)],
+                    writes: vec![Loc::Device(0)],
+                },
+                TaskFacts {
+                    label: "k".into(),
+                    op: TaskOp::Kernel,
+                    preds: vec![0],
+                    reads: vec![Loc::Device(0)],
+                    writes: vec![Loc::Device(1)],
+                },
+                TaskFacts {
+                    label: "down".into(),
+                    op: TaskOp::D2H,
+                    preds: vec![1],
+                    reads: vec![Loc::Device(1)],
+                    writes: vec![Loc::Host(1)],
+                },
+            ],
+        }
+    }
+
+    fn attempt(
+        task: usize,
+        attempt: u32,
+        start_ns: u64,
+        end_ns: u64,
+        completed: bool,
+    ) -> AttemptFacts {
+        AttemptFacts {
+            task,
+            label: format!("t{task}"),
+            attempt,
+            start_ns,
+            end_ns,
+            completed,
+            abandoned: false,
+        }
+    }
+
+    #[test]
+    fn clean_retry_schedule_passes() {
+        let attempts = vec![
+            attempt(0, 0, 0, 10, true),
+            // Kernel fails once, retries after backoff.
+            attempt(1, 0, 10, 20, false),
+            attempt(1, 1, 25, 35, true),
+            attempt(2, 0, 35, 45, true),
+        ];
+        let diags = check_recovery_schedule(&chain_facts(), &attempts);
+        assert!(diags.is_clean(), "{diags}");
+    }
+
+    #[test]
+    fn successor_starting_before_pred_ends_is_reported() {
+        let attempts = vec![
+            attempt(0, 0, 0, 10, true),
+            attempt(1, 0, 10, 20, false),
+            attempt(1, 1, 25, 35, true),
+            // d2h starts while the retry is still running.
+            attempt(2, 0, 30, 40, true),
+        ];
+        let diags = check_recovery_schedule(&chain_facts(), &attempts);
+        assert!(diags.mentions("happens-before") || diags.mentions("dependency order"));
+        // It also overlaps the kernel's write to D[1], which the d2h reads.
+        assert!(diags.mentions("buffer hazard"), "{diags}");
+    }
+
+    #[test]
+    fn overlapping_attempts_of_one_task_are_reported() {
+        let attempts = vec![
+            attempt(0, 0, 0, 10, true),
+            attempt(1, 0, 10, 20, false),
+            attempt(1, 1, 15, 30, true), // starts before attempt 0 ended
+            attempt(2, 0, 30, 40, true),
+        ];
+        let diags = check_recovery_schedule(&chain_facts(), &attempts);
+        assert!(diags.mentions("starts before"), "{diags}");
+    }
+
+    #[test]
+    fn completed_attempt_must_be_last() {
+        let attempts = vec![
+            attempt(0, 0, 0, 10, true),
+            attempt(1, 0, 10, 20, true),
+            attempt(1, 1, 25, 35, true),
+            attempt(2, 0, 35, 45, true),
+        ];
+        let diags = check_recovery_schedule(&chain_facts(), &attempts);
+        assert!(diags.mentions("followed by further attempts"), "{diags}");
+    }
+
+    #[test]
+    fn missing_task_is_reported() {
+        let attempts = vec![attempt(0, 0, 0, 10, true), attempt(1, 0, 10, 20, true)];
+        let diags = check_recovery_schedule(&chain_facts(), &attempts);
+        assert!(diags.mentions("never appears"), "{diags}");
+    }
+
+    #[test]
+    fn attempt_numbering_gaps_are_reported() {
+        let attempts = vec![
+            attempt(0, 0, 0, 10, true),
+            attempt(1, 0, 10, 20, false),
+            attempt(1, 2, 25, 35, true), // attempt 1 missing
+            attempt(2, 0, 35, 45, true),
+        ];
+        let diags = check_recovery_schedule(&chain_facts(), &attempts);
+        assert!(diags.mentions("expected attempt"), "{diags}");
+    }
+
+    #[test]
+    fn abandoned_tasks_are_exempt() {
+        let mut abandoned = attempt(2, 0, 20, 20, false);
+        abandoned.abandoned = true;
+        let attempts = vec![
+            attempt(0, 0, 0, 10, true),
+            attempt(1, 0, 10, 20, false), // exhausted (never completed)
+            abandoned,
+        ];
+        // The kernel never completing is the engine's business (reported in
+        // RunHealth); the schedule itself is still consistent.
+        let diags = check_recovery_schedule(&chain_facts(), &attempts);
+        assert!(diags.is_clean(), "{diags}");
+    }
+
+    #[test]
+    fn facts_extraction_maps_outcomes() {
+        use bqsim_gpu::{DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, LaunchMode};
+        use bqsim_gpu::{Kernel, KernelProfile, TaskGraph};
+        use std::sync::Arc;
+
+        struct Nop;
+        impl Kernel for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+            fn profile(&self) -> KernelProfile {
+                KernelProfile::empty()
+            }
+            fn execute(&self, _mem: &mut DeviceMemory) {}
+        }
+
+        let spec = DeviceSpec::tiny_test_gpu();
+        let engine = Engine::new(spec);
+        let mut mem = DeviceMemory::new(engine.spec());
+        let mut host = HostMemory::new();
+        let h = host.alloc_zeroed(4);
+        let d = mem.alloc(4).unwrap();
+        let mut g = TaskGraph::new();
+        let up = g.add_h2d("up", h, d, 64, &[]);
+        g.add_kernel("k", Arc::new(Nop), &[up]);
+        let t = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
+        let attempts = recovery_attempt_facts(t.records());
+        assert_eq!(attempts.len(), 2);
+        assert!(attempts.iter().all(|a| a.completed && !a.abandoned));
+        let diags = check_recovery_schedule(&GraphFacts::from_task_graph(&g), &attempts);
+        assert!(diags.is_clean(), "{diags}");
+    }
+}

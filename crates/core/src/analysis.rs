@@ -11,10 +11,11 @@ use crate::convert::HybridConverter;
 use crate::error::BqsimError;
 use crate::kernels::EllSpmmKernel;
 use crate::schedule;
-use crate::simulator::BqSimOptions;
+use crate::simulator::{BqSimOptions, BqSimulator};
 use bqsim_analyze as analyze;
 use bqsim_analyze::Diagnostics;
-use bqsim_gpu::{DeviceMemory, HostMemory, Kernel};
+use bqsim_faults::{FaultInjector, FaultPlan, RecoveryPolicy};
+use bqsim_gpu::{DeviceMemory, Engine, ExecMode, HostMemory, Kernel};
 use bqsim_qcir::Circuit;
 use bqsim_qdd::gates::lower_circuit;
 use bqsim_qdd::DdPackage;
@@ -143,6 +144,75 @@ pub fn analyze_pipeline(
     })
 }
 
+/// Builds the batch schedule, executes it (timing-only) under the faults of
+/// `plan` with recovery per `policy`, and statically verifies the
+/// *executed* recovery schedule: per-task attempt discipline, preserved
+/// happens-before across retries and backoff, and freedom from buffer
+/// hazards between overlapping attempts. This is the check behind
+/// `bqsim analyze --fault-plan …`.
+///
+/// # Errors
+///
+/// Returns [`BqsimError::EmptyCircuit`] for a zero-qubit circuit and
+/// [`BqsimError::DeviceOom`] if the schedule's buffers exceed the simulated
+/// device memory (injected OOM traps are *not* armed here — this pass
+/// inspects the retry schedule, not the allocation ladder).
+pub fn analyze_recovery(
+    circuit: &Circuit,
+    opts: &BqSimOptions,
+    num_batches: usize,
+    batch_size: usize,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> Result<Diagnostics, BqsimError> {
+    let sim = BqSimulator::compile(circuit, opts.clone())?;
+    let converted = sim.gates();
+
+    let dim = 1usize << circuit.num_qubits();
+    let elems = dim * batch_size;
+    let mut mem = DeviceMemory::new(&opts.device);
+    let mut host = HostMemory::new();
+    let buffers = [
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+    ];
+    let inputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
+    let outputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
+    let graph = schedule::build_batch_graph(
+        &buffers,
+        &inputs,
+        &outputs,
+        converted.len(),
+        (elems * 16) as u64,
+        &|k, src, dst| -> Arc<dyn Kernel> {
+            Arc::new(EllSpmmKernel::new(
+                Arc::clone(&converted[k].ell),
+                src,
+                dst,
+                batch_size,
+            ))
+        },
+    );
+
+    let engine = Engine::new(opts.device.clone());
+    let injector = FaultInjector::for_device(plan, 0);
+    let faulted = engine.run_faulted(
+        &graph,
+        &mut mem,
+        &mut host,
+        opts.launch_mode,
+        ExecMode::TimingOnly,
+        &injector,
+        policy,
+    );
+
+    let facts = schedule::schedule_graph_facts(&graph, &buffers);
+    let attempts = analyze::recovery_attempt_facts(faulted.timeline.records());
+    Ok(analyze::check_recovery_schedule(&facts, &attempts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +245,31 @@ mod tests {
             analyze_pipeline(&circuit, &BqSimOptions::default(), 2, 4).expect("analysis runs");
         assert!(report.diagnostics.is_clean(), "{}", report.diagnostics);
         assert_eq!(report.nzrv_checked, report.gates_checked);
+    }
+
+    #[test]
+    fn recovery_schedules_stay_hazard_free_under_seeded_faults() {
+        use bqsim_faults::{FaultBudget, FaultPlan};
+        let circuit = generators::vqe(5, 5);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let (num_batches, batch_size) = (4, 8);
+        let tasks = num_batches * schedule::tasks_per_batch(sim.gates().len());
+        for seed in [1u64, 7, 42] {
+            let plan = FaultPlan::seeded(seed, 1, tasks, 5, &FaultBudget::transient(2, 1, 1));
+            let diags = analyze_recovery(
+                &circuit,
+                &BqSimOptions::default(),
+                num_batches,
+                batch_size,
+                &plan,
+                &RecoveryPolicy::default(),
+            )
+            .expect("analysis runs");
+            assert!(
+                diags.is_clean(),
+                "seed {seed}: recovery schedule must be hazard-free:\n{diags}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! bqsim --family vqe --qubits 10 --gantt
 //! ```
 
-use bqsim_core::{random_input_batch, BqSimOptions, BqSimulator};
+use bqsim_core::{
+    random_input_batch, BqSimOptions, BqSimulator, FaultBudget, FaultPlan, RecoveryPolicy,
+};
 use bqsim_gpu::LaunchMode;
 use bqsim_qcir::observable::{expectation, sample_counts, PauliString};
 use bqsim_qcir::{dense, generators, qasm, Circuit};
@@ -14,8 +16,29 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
 
+/// Parsed `--fault-plan` spec: fault counts per kind plus recovery-policy
+/// overrides. The actual [`FaultPlan`] is seeded after compilation, when
+/// the task count is known.
+#[derive(Clone, Default)]
+struct FaultArgs {
+    seed: Option<u64>,
+    kernel: usize,
+    copy: usize,
+    hang: usize,
+    oom: usize,
+    loss: usize,
+    retries: Option<u32>,
+    backoff: Option<u64>,
+}
+
+/// Allocation-sequence sites per run: four state buffers plus the
+/// gate-table reservation (mirrors the simulator's residency layout).
+const ALLOCS_PER_RUN: usize = 5;
+
 struct Args {
     analyze: bool,
+    faults: bool,
+    fault_plan: Option<FaultArgs>,
     source: Option<String>,
     family: Option<String>,
     qubits: usize,
@@ -35,6 +58,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         analyze: false,
+        faults: false,
+        fault_plan: None,
         source: None,
         family: None,
         qubits: 8,
@@ -70,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--shots" => args.shots = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--observable" => args.observable = Some(value(&mut i)?),
+            "--fault-plan" => args.fault_plan = Some(parse_fault_plan(&value(&mut i)?)?),
             "--stream" => args.stream = true,
             "--skip-fusion" => args.skip_fusion = true,
             "--gantt" => args.gantt = true,
@@ -79,13 +105,82 @@ fn parse_args() -> Result<Args, String> {
                 print_help();
                 std::process::exit(0);
             }
-            "analyze" if !args.analyze && args.source.is_none() => args.analyze = true,
+            "analyze" if !args.analyze && !args.faults && args.source.is_none() => {
+                args.analyze = true
+            }
+            "faults" if !args.faults && !args.analyze && args.source.is_none() => {
+                args.faults = true
+            }
             path if !path.starts_with('-') => args.source = Some(path.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
     }
     Ok(args)
+}
+
+/// Parses a `--fault-plan` spec like `seed=7,kernel=2,hang=1,oom=1,retries=3`.
+/// An empty spec means the default transient mix (2 kernel faults, 1 copy
+/// corruption, 1 hang).
+fn parse_fault_plan(spec: &str) -> Result<FaultArgs, String> {
+    let mut fa = FaultArgs {
+        kernel: 2,
+        copy: 1,
+        hang: 1,
+        ..FaultArgs::default()
+    };
+    if spec.is_empty() || spec == "default" {
+        return Ok(fa);
+    }
+    for part in spec.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad fault-plan entry `{part}` (want key=value)"))?;
+        let num = || v.parse::<usize>().map_err(|e| format!("{k}: {e}"));
+        match k {
+            "seed" => fa.seed = Some(v.parse().map_err(|e| format!("seed: {e}"))?),
+            "kernel" => fa.kernel = num()?,
+            "copy" => fa.copy = num()?,
+            "hang" => fa.hang = num()?,
+            "oom" => fa.oom = num()?,
+            "loss" => fa.loss = num()?,
+            "retries" => fa.retries = Some(v.parse().map_err(|e| format!("retries: {e}"))?),
+            "backoff" => fa.backoff = Some(v.parse().map_err(|e| format!("backoff: {e}"))?),
+            other => return Err(format!("unknown fault-plan key `{other}`")),
+        }
+    }
+    Ok(fa)
+}
+
+/// Seeds the plan once the schedule size is known and applies any policy
+/// overrides from the spec.
+fn build_fault_setup(
+    fa: &FaultArgs,
+    tasks_per_device: usize,
+    default_seed: u64,
+) -> (FaultPlan, RecoveryPolicy) {
+    let budget = FaultBudget {
+        kernel_faults: fa.kernel,
+        copy_corruptions: fa.copy,
+        hangs: fa.hang,
+        ooms: fa.oom,
+        device_losses: fa.loss,
+    };
+    let plan = FaultPlan::seeded(
+        fa.seed.unwrap_or(default_seed),
+        1,
+        tasks_per_device,
+        ALLOCS_PER_RUN,
+        &budget,
+    );
+    let mut policy = RecoveryPolicy::default();
+    if let Some(r) = fa.retries {
+        policy.max_retries = r;
+    }
+    if let Some(b) = fa.backoff {
+        policy.backoff_base_ns = b;
+    }
+    (plan, policy)
 }
 
 fn print_help() {
@@ -95,12 +190,20 @@ fn print_help() {
 USAGE:
     bqsim [circuit.qasm] [OPTIONS]
     bqsim analyze [circuit.qasm] [OPTIONS]
+    bqsim faults [OPTIONS]
 
 SUBCOMMANDS:
     analyze              statically check every pipeline artifact (QMDD
                          invariants, NZRV consistency, ELL layout, task-graph
                          races + Fig. 8b conformance) without simulating;
-                         exits non-zero if any diagnostic is reported
+                         with --fault-plan, additionally executes the
+                         schedule under the plan and verifies the recovery
+                         schedule (attempt discipline, happens-before,
+                         buffer hazards); exits non-zero on any finding
+    faults               fault-injection demo: run fault-free, re-run under
+                         a seeded fault plan with recovery enabled, print
+                         the health report, and verify transient recovery
+                         reproduces the fault-free outputs bit-for-bit
 
 OPTIONS:
     --family <name>      built-in circuit instead of a QASM file
@@ -116,7 +219,18 @@ OPTIONS:
     --optimize           run peephole optimisation before compiling
     --shots <k>          sample k measurements from the first output
     --observable <P>     report <P> (Pauli string, e.g. ZZIZ) per output
-    --gantt              print the device schedule as ASCII Gantt"
+    --gantt              print the device schedule as ASCII Gantt
+    --fault-plan <spec>  inject a seeded fault plan and recover; <spec> is
+                         comma-separated key=value pairs:
+                           seed=<u64>    plan seed          [default: --seed]
+                           kernel=<n>    transient kernel faults  [default: 2]
+                           copy=<n>      ECC-style copy corruptions [default: 1]
+                           hang=<n>      task hangs/stragglers    [default: 1]
+                           oom=<n>       allocation failures      [default: 0]
+                           loss=<n>      whole-device losses      [default: 0]
+                           retries=<n>   max retries per task     [default: 3]
+                           backoff=<ns>  base retry backoff       [default: 5000]
+                         pass `default` for the default transient mix"
     );
 }
 
@@ -171,18 +285,130 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
         args.batches,
         report.dd_nodes,
     );
-    if report.diagnostics.is_clean() {
-        println!("analysis clean: no findings");
-        Ok(ExitCode::SUCCESS)
-    } else {
+    let mut clean = report.diagnostics.is_clean();
+    if !clean {
         println!(
             "\n{} error(s), {} warning(s):\n{}",
             report.diagnostics.error_count(),
             report.diagnostics.warning_count(),
             report.diagnostics
         );
+    }
+
+    // With a fault plan, also execute the schedule under injection and
+    // verify the *recovery* schedule introduces no hazards.
+    if let Some(fa) = &args.fault_plan {
+        let tasks_per_device = args.batches * (report.gates_checked + 2);
+        let (plan, policy) = build_fault_setup(fa, tasks_per_device, args.seed);
+        let diags = bqsim_core::analyze_recovery(
+            circuit,
+            &opts,
+            args.batches,
+            args.batch_size,
+            &plan,
+            &policy,
+        )
+        .map_err(|e| e.to_string())?;
+        if diags.is_clean() {
+            println!(
+                "recovery schedule under {} injected fault(s): hazard-free",
+                plan.len()
+            );
+        } else {
+            println!(
+                "\nrecovery schedule under {} injected fault(s) has findings:\n{diags}",
+                plan.len()
+            );
+            clean = false;
+        }
+    }
+
+    if clean {
+        println!("analysis clean: no findings");
+        Ok(ExitCode::SUCCESS)
+    } else {
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// `bqsim faults`: the fault-injection demo. Runs the circuit fault-free,
+/// re-runs it under a seeded plan with recovery enabled, prints the health
+/// report, and (for transient plans) verifies bit-identical recovery.
+fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
+    let n = circuit.num_qubits();
+    let opts = BqSimOptions {
+        tau: args.tau,
+        launch_mode: if args.stream {
+            LaunchMode::Stream
+        } else {
+            LaunchMode::Graph
+        },
+        skip_fusion: args.skip_fusion,
+        ..BqSimOptions::default()
+    };
+    let sim = BqSimulator::compile(circuit, opts).map_err(|e| e.to_string())?;
+    let batches: Vec<_> = (0..args.batches)
+        .map(|b| random_input_batch(n, args.batch_size, args.seed ^ b as u64))
+        .collect();
+    let clean = sim.run_batches(&batches).map_err(|e| e.to_string())?;
+    println!(
+        "fault-free run: {} batches x {} inputs in {:.3} ms virtual",
+        args.batches,
+        args.batch_size,
+        clean.timeline.total_ms()
+    );
+
+    let fa = args.fault_plan.clone().unwrap_or_else(|| FaultArgs {
+        kernel: 2,
+        copy: 1,
+        hang: 1,
+        ..FaultArgs::default()
+    });
+    let tasks_per_device = args.batches * (sim.gates().len() + 2);
+    let (plan, policy) = build_fault_setup(&fa, tasks_per_device, args.seed);
+    println!(
+        "\ninjecting {} fault(s) (seed {}), max {} retries:",
+        plan.len(),
+        fa.seed.unwrap_or(args.seed),
+        policy.max_retries
+    );
+    for spec in plan.specs() {
+        println!("  dev{} {:?}", spec.device, spec.kind);
+    }
+
+    let rec = sim
+        .run_batches_recovering(&batches, &plan, &policy)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "\nfaulted run: {:.3} ms virtual\nhealth: {}",
+        rec.run.timeline.total_ms(),
+        rec.health
+    );
+
+    if args.gantt {
+        println!("device schedule ('x' marks failed attempts):");
+        println!("{}", rec.run.timeline.render_gantt(72));
+    }
+
+    let ok = if plan.is_transient() {
+        let identical = rec.run.outputs == clean.outputs;
+        println!(
+            "recovered outputs bit-identical to fault-free run: {}",
+            if identical { "yes" } else { "NO" }
+        );
+        identical && rec.health.fault_count() == plan.len()
+    } else {
+        println!(
+            "plan is not all-transient; {} batch(es) recomputed via the degradation ladder",
+            rec.health.degraded_batches.len()
+        );
+        rec.health.failed_batches.is_empty()
+    };
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -190,6 +416,9 @@ fn run() -> Result<ExitCode, String> {
     let mut circuit = build_circuit(&args)?;
     if args.analyze {
         return run_analysis(&args, &circuit);
+    }
+    if args.faults {
+        return run_faults_demo(&args, &circuit);
     }
     if args.optimize {
         let (opt, stats) = bqsim_qcir::optimize::optimize(&circuit);
@@ -240,7 +469,17 @@ fn run() -> Result<ExitCode, String> {
             }
         })
         .collect();
-    let result = sim.run_batches(&batches).map_err(|e| e.to_string())?;
+    let result = if let Some(fa) = &args.fault_plan {
+        let tasks_per_device = args.batches * (sim.gates().len() + 2);
+        let (plan, policy) = build_fault_setup(fa, tasks_per_device, args.seed);
+        let rec = sim
+            .run_batches_recovering(&batches, &plan, &policy)
+            .map_err(|e| e.to_string())?;
+        println!("injected {} fault(s); health: {}", plan.len(), rec.health);
+        rec.run
+    } else {
+        sim.run_batches(&batches).map_err(|e| e.to_string())?
+    };
     println!(
         "simulated {} inputs in {:.3} ms virtual device time ({:.0} W GPU avg)",
         args.batches * args.batch_size,

@@ -44,6 +44,19 @@ pub struct ConvertedGate {
     pub work: bqsim_ell::convert::ConversionWork,
 }
 
+impl ConvertedGate {
+    /// Device-resident bytes this gate's table occupies during simulation:
+    /// the ELL tensor, or the flattened DD in the no-ELL ablation. The
+    /// OOM-degradation ladder compares these across compilations.
+    pub fn device_bytes(&self, skip_ell: bool) -> u64 {
+        if skip_ell {
+            self.gpu_dd.byte_size()
+        } else {
+            self.ell.byte_size()
+        }
+    }
+}
+
 /// Per-entry cost of CPU path enumeration in nanoseconds (recursion,
 /// hash-consed weight multiplication, scattered stores).
 const CPU_NS_PER_ENTRY: f64 = 150.0;

@@ -17,8 +17,38 @@ pub enum BqsimError {
         got: usize,
     },
     /// The simulated device ran out of memory (the failure mode behind the
-    /// paper's Table 4 "-" entries).
-    DeviceOom(AllocDeviceError),
+    /// paper's Table 4 "-" entries), and recovery was disabled or also
+    /// exhausted the degradation ladder.
+    DeviceOom {
+        /// Device the allocation failed on.
+        device: usize,
+        /// Batch being provisioned when the allocation failed, if the
+        /// failure is attributable to one (buffer and gate-table
+        /// allocations precede any batch, so this is usually `None`).
+        batch: Option<usize>,
+        /// The underlying allocator error (requested vs. free bytes).
+        source: AllocDeviceError,
+    },
+    /// A task kept faulting after every allowed retry and no fallback was
+    /// permitted by the [`RecoveryPolicy`](bqsim_faults::RecoveryPolicy).
+    RetriesExhausted {
+        /// Device the task ran on.
+        device: usize,
+        /// Batch the task belonged to.
+        batch: usize,
+        /// Label of the failing task (e.g. `"k2 b1"`).
+        task_label: String,
+        /// Attempts made, including the first try.
+        attempts: u32,
+    },
+    /// The device was lost mid-run and no fallback could absorb its work.
+    DeviceLost {
+        /// The lost device.
+        device: usize,
+    },
+    /// Every device in a multi-GPU run was lost; there is no survivor to
+    /// requeue the outstanding batches onto.
+    AllDevicesLost,
 }
 
 impl fmt::Display for BqsimError {
@@ -28,7 +58,33 @@ impl fmt::Display for BqsimError {
             BqsimError::BadInputLength { expected, got } => {
                 write!(f, "batch input has {got} amplitudes, expected {expected}")
             }
-            BqsimError::DeviceOom(e) => write!(f, "device out of memory: {e}"),
+            BqsimError::DeviceOom {
+                device,
+                batch,
+                source,
+            } => {
+                write!(f, "device {device}")?;
+                if let Some(b) = batch {
+                    write!(f, " (batch {b})")?;
+                }
+                write!(f, " out of memory: {source}")
+            }
+            BqsimError::RetriesExhausted {
+                device,
+                batch,
+                task_label,
+                attempts,
+            } => write!(
+                f,
+                "device {device}, batch {batch}: task '{task_label}' \
+                 still failing after {attempts} attempt(s)"
+            ),
+            BqsimError::DeviceLost { device } => {
+                write!(f, "device {device} was lost mid-run")
+            }
+            BqsimError::AllDevicesLost => {
+                write!(f, "all devices were lost; no survivor to requeue onto")
+            }
         }
     }
 }
@@ -36,15 +92,19 @@ impl fmt::Display for BqsimError {
 impl Error for BqsimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            BqsimError::DeviceOom(e) => Some(e),
+            BqsimError::DeviceOom { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
 impl From<AllocDeviceError> for BqsimError {
-    fn from(e: AllocDeviceError) -> Self {
-        BqsimError::DeviceOom(e)
+    fn from(source: AllocDeviceError) -> Self {
+        BqsimError::DeviceOom {
+            device: 0,
+            batch: None,
+            source,
+        }
     }
 }
 
@@ -63,5 +123,46 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("expected 8"));
+    }
+
+    #[test]
+    fn oom_display_includes_device_and_batch() {
+        let inner = AllocDeviceError::new(4096, 1024);
+        let e = BqsimError::DeviceOom {
+            device: 2,
+            batch: Some(7),
+            source: inner,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("device 2"), "{msg}");
+        assert!(msg.contains("batch 7"), "{msg}");
+        assert!(msg.contains("4096"), "{msg}");
+        let e: BqsimError = AllocDeviceError::new(10, 0).into();
+        assert!(!e.to_string().contains("batch"), "no batch by default");
+    }
+
+    #[test]
+    fn oom_source_chain_reaches_the_allocator_error() {
+        let e: BqsimError = AllocDeviceError::new(4096, 1024).into();
+        let src = e.source().expect("DeviceOom must expose its source");
+        assert!(src.downcast_ref::<AllocDeviceError>().is_some());
+    }
+
+    #[test]
+    fn recovery_error_displays_name_the_site() {
+        let e = BqsimError::RetriesExhausted {
+            device: 1,
+            batch: 3,
+            task_label: "k2 b3".to_string(),
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("device 1"), "{msg}");
+        assert!(msg.contains("batch 3"), "{msg}");
+        assert!(msg.contains("k2 b3"), "{msg}");
+        assert!(msg.contains("4 attempt"), "{msg}");
+        assert!(BqsimError::DeviceLost { device: 2 }
+            .to_string()
+            .contains("device 2"));
     }
 }

@@ -49,8 +49,17 @@ pub mod multi_gpu;
 pub mod schedule;
 pub mod simulator;
 
-pub use analysis::{analyze_pipeline, PipelineAnalysis};
+pub use analysis::{analyze_pipeline, analyze_recovery, PipelineAnalysis};
 pub use convert::{ConversionMethod, ConvertedGate, HybridConverter};
 pub use error::BqsimError;
 pub use fusion::{bqcs_aware_fusion, greedy_fusion, FusedGate};
-pub use simulator::{random_input_batch, BqSimOptions, BqSimulator, RunBreakdown, RunResult};
+pub use multi_gpu::{MultiGpuRecoveredRun, MultiGpuRun, MultiGpuRunner};
+pub use simulator::{
+    random_input_batch, BqSimOptions, BqSimulator, RecoveredRun, RunBreakdown, RunResult,
+};
+
+// Re-exported so downstream users (CLI, tests) can build fault plans and
+// policies without depending on `bqsim-faults` directly.
+pub use bqsim_faults::{
+    FaultBudget, FaultEvent, FaultKind, FaultPlan, FaultSpec, RecoveryPolicy, Resolution, RunHealth,
+};

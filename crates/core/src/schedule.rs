@@ -34,6 +34,19 @@ pub fn output_buffer_index(batch: usize, kernels_per_batch: usize) -> usize {
     buffer_indices(batch, kernels_per_batch - 1, kernels_per_batch).1
 }
 
+/// Tasks per batch in the built schedule: one H2D, `kernels_per_batch`
+/// kernels, one D2H.
+pub fn tasks_per_batch(kernels_per_batch: usize) -> usize {
+    kernels_per_batch + 2
+}
+
+/// The batch owning the task at `task_index` in graph-insertion order
+/// ([`build_batch_graph`] appends tasks batch-major), used by recovery to
+/// map a failed or abandoned task back to the batch it belongs to.
+pub fn batch_of_task(task_index: usize, kernels_per_batch: usize) -> usize {
+    task_index / tasks_per_batch(kernels_per_batch)
+}
+
 /// Tracks per-buffer readers/writers and inserts hazard edges.
 #[derive(Debug, Default)]
 struct HazardTracker {
@@ -244,6 +257,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_of_task_agrees_with_emitted_labels() {
+        use bqsim_gpu::DeviceSpec;
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = bqsim_gpu::DeviceMemory::new(&spec);
+        let mut host = bqsim_gpu::HostMemory::new();
+        let buffers: Vec<BufferId> = (0..4).map(|_| mem.alloc(8).unwrap()).collect();
+        let inputs: Vec<_> = (0..3).map(|_| host.alloc_zeroed(0)).collect();
+        let outputs: Vec<_> = (0..3).map(|_| host.alloc_zeroed(0)).collect();
+        let l = 2;
+        let graph = build_batch_graph(&buffers, &inputs, &outputs, l, 128, &|_, src, dst| {
+            struct Nop(BufferId, BufferId);
+            impl bqsim_gpu::Kernel for Nop {
+                fn name(&self) -> &str {
+                    "nop"
+                }
+                fn profile(&self) -> bqsim_gpu::KernelProfile {
+                    bqsim_gpu::KernelProfile::empty()
+                }
+                fn execute(&self, _mem: &mut bqsim_gpu::DeviceMemory) {}
+                fn buffer_reads(&self) -> Vec<BufferId> {
+                    vec![self.0]
+                }
+                fn buffer_writes(&self) -> Vec<BufferId> {
+                    vec![self.1]
+                }
+            }
+            Arc::new(Nop(src, dst))
+        });
+        for t in graph.task_ids() {
+            let want = format!("b{}", batch_of_task(t.index(), l));
+            assert!(
+                graph.label(t).ends_with(&want),
+                "task {} labelled {:?} but mapped to {}",
+                t.index(),
+                graph.label(t),
+                want
+            );
+        }
+        assert_eq!(tasks_per_batch(l), 4);
     }
 
     #[test]

@@ -5,12 +5,16 @@ use crate::error::BqsimError;
 use crate::fusion::{self, FusedGate};
 use crate::kernels::{DdSpmvKernel, EllSpmmKernel};
 use crate::schedule;
+use bqsim_faults::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryPolicy, Resolution, RunHealth,
+};
 use bqsim_gpu::power::{cpu_average_power_w, gpu_average_power_w, PowerReport};
 use bqsim_gpu::{
-    CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, Kernel, LaunchMode, Timeline,
+    CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, FaultedRun, HostMemory, Kernel,
+    LaunchMode, Timeline,
 };
 use bqsim_num::Complex;
-use bqsim_qcir::Circuit;
+use bqsim_qcir::{dense, Circuit};
 use bqsim_qdd::gates::lower_circuit;
 use bqsim_qdd::DdPackage;
 use rand::rngs::SmallRng;
@@ -117,10 +121,24 @@ pub struct RunResult {
 pub struct BqSimulator {
     num_qubits: usize,
     gates: Vec<ConvertedGate>,
+    // Kept for the recovery paths: the degradation ladder recompiles the
+    // circuit unfused, and the dense host fallback replays it per batch.
+    circuit: Circuit,
     opts: BqSimOptions,
     fusion_ns: u64,
     fusion_wall_ns: u64,
     conversion_ns: u64,
+}
+
+/// The result of a fault-injected run: the run itself plus a [`RunHealth`]
+/// account of every fault, retry, degradation, and failure.
+#[derive(Debug, Clone)]
+pub struct RecoveredRun {
+    /// The run. Outputs of batches that fell back to the host are the
+    /// dense-reference results; all others come off the (simulated) device.
+    pub run: RunResult,
+    /// What went wrong and how it was absorbed.
+    pub health: RunHealth,
 }
 
 impl BqSimulator {
@@ -167,6 +185,7 @@ impl BqSimulator {
         Ok(BqSimulator {
             num_qubits: n,
             gates,
+            circuit: circuit.clone(),
             opts,
             fusion_ns,
             fusion_wall_ns,
@@ -219,6 +238,14 @@ impl BqSimulator {
     /// Returns [`BqsimError::BadInputLength`] on malformed inputs and
     /// [`BqsimError::DeviceOom`] if buffers exceed device memory.
     pub fn run_batches(&self, batches: &[Vec<Vec<Complex>>]) -> Result<RunResult, BqsimError> {
+        let batch_size = self.validate_batches(batches)?;
+        let packed: Vec<Vec<Complex>> = batches.iter().map(|b| bqsim_ell::pack_batch(b)).collect();
+        self.run_packed(&packed, batches.len(), batch_size)
+    }
+
+    /// Checks every batch has one size and every vector has `2^n`
+    /// amplitudes; returns the batch size.
+    fn validate_batches(&self, batches: &[Vec<Vec<Complex>>]) -> Result<usize, BqsimError> {
         let dim = 1usize << self.num_qubits;
         let batch_size = batches.first().map(|b| b.len()).unwrap_or(0);
         for batch in batches {
@@ -237,8 +264,7 @@ impl BqSimulator {
                 }
             }
         }
-        let packed: Vec<Vec<Complex>> = batches.iter().map(|b| bqsim_ell::pack_batch(b)).collect();
-        self.run_packed(&packed, batches.len(), batch_size)
+        Ok(batch_size)
     }
 
     /// Runs `num_batches` synthetic batches of `batch_size` inputs in
@@ -262,6 +288,34 @@ impl BqSimulator {
         num_batches: usize,
         batch_size: usize,
     ) -> Result<RunResult, BqsimError> {
+        self.run_gates_faulted(
+            &self.gates,
+            packed,
+            num_batches,
+            batch_size,
+            0,
+            &FaultInjector::none(),
+            &[],
+            &RecoveryPolicy::no_recovery(),
+        )
+        .map(|(run, _, _)| run)
+    }
+
+    /// One engine pass over `gates` with fault hooks armed. Returns the
+    /// run, the engine's fault account, and the device memory high-water
+    /// mark. The fault-free paths call this with an empty injector.
+    #[allow(clippy::too_many_arguments)]
+    fn run_gates_faulted(
+        &self,
+        gates: &[ConvertedGate],
+        packed: &[Vec<Complex>],
+        num_batches: usize,
+        batch_size: usize,
+        device: usize,
+        injector: &FaultInjector,
+        oom_allocs: &[usize],
+        policy: &RecoveryPolicy,
+    ) -> Result<(RunResult, FaultedRun, u64), BqsimError> {
         assert!(num_batches > 0 && batch_size > 0, "empty batch run");
         let dim = 1usize << self.num_qubits;
         let elems = dim * batch_size;
@@ -270,27 +324,26 @@ impl BqSimulator {
 
         let engine = Engine::new(self.opts.device.clone());
         let mut mem = DeviceMemory::new(&self.opts.device);
+        mem.inject_oom_at(oom_allocs);
         let mut host = HostMemory::new();
 
+        let oom = |source| BqsimError::DeviceOom {
+            device,
+            batch: None,
+            source,
+        };
         // Device residency: four state buffers plus the gate tables.
         let buffers = [
-            mem.alloc(elems)?,
-            mem.alloc(elems)?,
-            mem.alloc(elems)?,
-            mem.alloc(elems)?,
+            mem.alloc(elems).map_err(oom)?,
+            mem.alloc(elems).map_err(oom)?,
+            mem.alloc(elems).map_err(oom)?,
+            mem.alloc(elems).map_err(oom)?,
         ];
-        let gate_bytes: u64 = self
-            .gates
+        let gate_bytes: u64 = gates
             .iter()
-            .map(|g| {
-                if self.opts.skip_ell {
-                    g.gpu_dd.byte_size()
-                } else {
-                    g.ell.byte_size()
-                }
-            })
+            .map(|g| g.device_bytes(self.opts.skip_ell))
             .sum();
-        mem.reserve_bytes(gate_bytes)?;
+        mem.reserve_bytes(gate_bytes).map_err(oom)?;
 
         let inputs: Vec<_> = (0..num_batches)
             .map(|b| {
@@ -309,10 +362,10 @@ impl BqSimulator {
             &buffers,
             &inputs,
             &outputs,
-            self.gates.len(),
+            gates.len(),
             bytes_per_batch,
             &|k, src, dst| -> Arc<dyn Kernel> {
-                let g = &self.gates[k];
+                let g = &gates[k];
                 if self.opts.skip_ell {
                     Arc::new(DdSpmvKernel::new(
                         Arc::clone(&g.gpu_dd),
@@ -333,7 +386,16 @@ impl BqSimulator {
         } else {
             ExecMode::TimingOnly
         };
-        let timeline = engine.run(&graph, &mut mem, &mut host, self.opts.launch_mode, exec);
+        let faulted = engine.run_faulted(
+            &graph,
+            &mut mem,
+            &mut host,
+            self.opts.launch_mode,
+            exec,
+            injector,
+            policy,
+        );
+        let timeline = faulted.timeline.clone();
 
         let outputs_data: Vec<Vec<Vec<Complex>>> = if functional {
             outputs
@@ -356,12 +418,232 @@ impl BqSimulator {
             gpu_w: gpu_average_power_w(&self.opts.device, &timeline),
             duration_ns: timeline.total_ns(),
         };
-        Ok(RunResult {
-            outputs: outputs_data,
-            timeline,
-            breakdown,
-            power,
-        })
+        let high_water = mem.high_water_bytes();
+        Ok((
+            RunResult {
+                outputs: outputs_data,
+                timeline,
+                breakdown,
+                power,
+            },
+            faulted,
+            high_water,
+        ))
+    }
+
+    /// Runs batches under an injected [`FaultPlan`], recovering per
+    /// `policy`, and reports a [`RunHealth`] account alongside the result.
+    ///
+    /// Transient faults (kernel faults, copy corruption, hangs) are
+    /// absorbed by retry/backoff inside the engine, so with enough retries
+    /// the outputs are **bit-identical** to a fault-free run. An injected
+    /// OOM walks the degradation ladder: re-split the fused gates and
+    /// convert on the CPU (smaller device tables), then fall back to the
+    /// dense host reference for every batch. Tasks that exhaust their
+    /// retries — and batches on a lost device — are recomputed per batch on
+    /// the host when `policy.host_fallback` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BqsimError::BadInputLength`] on malformed inputs,
+    /// [`BqsimError::DeviceOom`] when allocation fails and the policy
+    /// forbids the next ladder rung, [`BqsimError::RetriesExhausted`] /
+    /// [`BqsimError::DeviceLost`] when batches fail permanently and
+    /// `policy.host_fallback` is off (or outputs are not materialised).
+    pub fn run_batches_recovering(
+        &self,
+        batches: &[Vec<Vec<Complex>>],
+        plan: &FaultPlan,
+        policy: &RecoveryPolicy,
+    ) -> Result<RecoveredRun, BqsimError> {
+        let rec = self.run_batches_recovering_on(0, batches, plan, policy)?;
+        if let Some(&batch) = rec.health.failed_batches.first() {
+            if let Some(&device) = rec.health.lost_devices.first() {
+                return Err(BqsimError::DeviceLost { device });
+            }
+            if let Some(e) = rec
+                .health
+                .events
+                .iter()
+                .find(|e| e.resolution == Resolution::Exhausted)
+            {
+                return Err(BqsimError::RetriesExhausted {
+                    device: e.device,
+                    batch,
+                    task_label: e.label.clone(),
+                    attempts: e.attempt + 1,
+                });
+            }
+        }
+        Ok(rec)
+    }
+
+    /// [`run_batches_recovering`](Self::run_batches_recovering) for device
+    /// `device` of a multi-device plan, with one difference: batches that
+    /// cannot be absorbed locally are *reported* in `health.failed_batches`
+    /// instead of raised as errors — the multi-GPU runner drains that list
+    /// by requeueing onto surviving devices.
+    pub fn run_batches_recovering_on(
+        &self,
+        device: usize,
+        batches: &[Vec<Vec<Complex>>],
+        plan: &FaultPlan,
+        policy: &RecoveryPolicy,
+    ) -> Result<RecoveredRun, BqsimError> {
+        let batch_size = self.validate_batches(batches)?;
+        let num_batches = batches.len();
+        let packed: Vec<Vec<Complex>> = batches.iter().map(|b| bqsim_ell::pack_batch(b)).collect();
+        let injector = FaultInjector::for_device(plan, device);
+        let mut traps = plan.oom_allocs(device);
+        let mut health = RunHealth::new();
+        let mut degraded_gates: Option<Vec<ConvertedGate>> = None;
+
+        let (result, faulted, kernels) = loop {
+            let gates = degraded_gates.as_deref().unwrap_or(&self.gates);
+            match self.run_gates_faulted(
+                gates,
+                &packed,
+                num_batches,
+                batch_size,
+                device,
+                &injector,
+                &traps,
+                policy,
+            ) {
+                Ok((run, faulted, high_water)) => {
+                    health.high_water_bytes.push((device, high_water));
+                    break (run, faulted, gates.len());
+                }
+                Err(BqsimError::DeviceOom { source, .. }) => {
+                    // Allocation order is deterministic, so the lowest armed
+                    // trap is the one that fired; disarm it so the next rung
+                    // can only be knocked down by a *different* injected OOM
+                    // (exactly-once accounting).
+                    let fired = traps.iter().copied().min();
+                    if let Some(alloc) = fired {
+                        traps.retain(|&a| a != alloc);
+                    }
+                    let can_resplit = policy.degrade && degraded_gates.is_none();
+                    if !can_resplit && !policy.host_fallback {
+                        return Err(BqsimError::DeviceOom {
+                            device,
+                            batch: None,
+                            source,
+                        });
+                    }
+                    if let Some(alloc) = fired {
+                        health.events.push(FaultEvent {
+                            device,
+                            kind: FaultKind::Oom { alloc },
+                            label: String::new(),
+                            attempt: 0,
+                            at_ns: 0,
+                            resolution: Resolution::Degraded,
+                        });
+                    }
+                    if can_resplit {
+                        health
+                            .degradations
+                            .push("re-split fused gates + CPU conversion".to_string());
+                        degraded_gates = Some(self.resplit_gates());
+                    } else {
+                        // Bottom rung: dense reference on the host.
+                        health.degradations.push("dense host fallback".to_string());
+                        health.degraded_batches.extend(0..num_batches);
+                        let outputs = if self.opts.exec_mode == ExecMode::Functional {
+                            batches.iter().map(|b| self.dense_reference(b)).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        let run = RunResult {
+                            outputs,
+                            timeline: Timeline::default(),
+                            breakdown: self.compile_breakdown(),
+                            power: PowerReport {
+                                cpu_w: cpu_average_power_w(&self.opts.cpu, 1, 1.0),
+                                gpu_w: 0.0,
+                                duration_ns: 0,
+                            },
+                        };
+                        return Ok(RecoveredRun { run, health });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+
+        health.events.extend(faulted.events.iter().cloned());
+        health.retries += faulted.retries;
+        health.backoff_ns += faulted.backoff_ns;
+        health.abandoned_tasks += faulted.abandoned.len() as u64;
+        if faulted.device_lost_at.is_some() {
+            health.lost_devices.push(device);
+        }
+
+        let mut failed: Vec<usize> = faulted
+            .exhausted
+            .iter()
+            .chain(faulted.abandoned.iter())
+            .map(|t| schedule::batch_of_task(t.index(), kernels))
+            .collect();
+        failed.sort_unstable();
+        failed.dedup();
+
+        let mut run = result;
+        if !failed.is_empty() {
+            let materialised =
+                self.opts.exec_mode == ExecMode::Functional && !run.outputs.is_empty();
+            if policy.host_fallback && materialised {
+                health
+                    .degradations
+                    .push("per-batch dense fallback".to_string());
+                for &b in &failed {
+                    run.outputs[b] = self.dense_reference(&batches[b]);
+                }
+                health.degraded_batches.extend(failed.iter().copied());
+            } else {
+                health.failed_batches = failed;
+            }
+        }
+        Ok(RecoveredRun { run, health })
+    }
+
+    /// Rung two of the degradation ladder: recompile the stored circuit
+    /// with fusion disabled (each source gate keeps its small NZR
+    /// footprint) and force the CPU conversion path, shrinking the
+    /// device-resident gate tables an injected OOM said we cannot afford.
+    fn resplit_gates(&self) -> Vec<ConvertedGate> {
+        let n = self.num_qubits;
+        let mut dd = DdPackage::new();
+        let lowered = lower_circuit(&self.circuit);
+        let fused: Vec<FusedGate> = if lowered.is_empty() {
+            let id = dd.identity(n);
+            vec![FusedGate::classify(&mut dd, id, n, 0)]
+        } else {
+            fusion::classify_gates(&mut dd, n, &lowered)
+        };
+        let converter = HybridConverter::new(
+            self.opts.tau,
+            self.opts.device.clone(),
+            self.opts.cpu.clone(),
+        );
+        fused
+            .iter()
+            .map(|g| converter.convert_with(&mut dd, g, n, ConversionMethod::Cpu))
+            .collect()
+    }
+
+    /// The dense host reference for one batch — the bottom of the
+    /// degradation ladder.
+    fn dense_reference(&self, batch: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
+        batch
+            .iter()
+            .map(|input| {
+                let mut s = input.clone();
+                dense::apply_circuit(&mut s, &self.circuit);
+                s
+            })
+            .collect()
     }
 }
 
@@ -536,6 +818,139 @@ mod tests {
                 got: 4
             })
         ));
+    }
+
+    #[test]
+    fn transient_faults_recover_bit_identically() {
+        use bqsim_faults::{FaultBudget, FaultPlan, RecoveryPolicy};
+        let circuit = generators::vqe(5, 3);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let batches: Vec<_> = (0..3).map(|b| random_input_batch(5, 4, b as u64)).collect();
+        let clean = sim.run_batches(&batches).unwrap();
+        let tasks = batches.len() * schedule::tasks_per_batch(sim.gates().len());
+        let plan = FaultPlan::seeded(11, 1, tasks, 5, &FaultBudget::transient(2, 1, 2));
+        assert!(plan.is_transient() && !plan.is_empty());
+        let rec = sim
+            .run_batches_recovering(&batches, &plan, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(
+            rec.run.outputs, clean.outputs,
+            "recovered outputs must be bit-identical to the fault-free run"
+        );
+        assert_eq!(
+            rec.health.fault_count(),
+            plan.len(),
+            "every injected fault appears exactly once:\n{}",
+            rec.health
+        );
+        assert!(rec.health.failed_batches.is_empty());
+        assert!(rec.health.degraded_batches.is_empty());
+        assert!(!rec.health.high_water_bytes.is_empty());
+    }
+
+    #[test]
+    fn injected_oom_walks_the_degradation_ladder() {
+        use bqsim_faults::{FaultKind, FaultPlan, RecoveryPolicy};
+        let circuit = generators::qnn(4, 3);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let batches: Vec<_> = (0..2).map(|b| random_input_batch(4, 3, b as u64)).collect();
+        let want = reference_outputs(&circuit, &batches);
+        let check = |outputs: &Vec<Vec<Vec<Complex>>>| {
+            for (got_b, want_b) in outputs.iter().zip(&want) {
+                for (got, want) in got_b.iter().zip(want_b) {
+                    assert!(vectors_eq(got, want, 1e-9), "degraded run diverges");
+                }
+            }
+        };
+
+        // One OOM: rung two (re-split + CPU conversion) absorbs it.
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultKind::Oom { alloc: 4 });
+        let rec = sim
+            .run_batches_recovering(&batches, &plan, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rec.health.count_of("oom"), 1);
+        assert_eq!(
+            rec.health.degradations,
+            vec!["re-split fused gates + CPU conversion"]
+        );
+        assert!(
+            rec.run.timeline.total_ns() > 0,
+            "rung two still runs on-device"
+        );
+        check(&rec.run.outputs);
+
+        // Two OOMs: the second knocks the re-split run down to the dense
+        // host reference.
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultKind::Oom { alloc: 0 })
+            .push(0, FaultKind::Oom { alloc: 1 });
+        let rec = sim
+            .run_batches_recovering(&batches, &plan, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(rec.health.count_of("oom"), 2);
+        assert_eq!(
+            rec.health.degradations.last().map(String::as_str),
+            Some("dense host fallback")
+        );
+        assert_eq!(rec.health.degraded_batches, vec![0, 1]);
+        check(&rec.run.outputs);
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_per_batch() {
+        use bqsim_faults::{FaultKind, FaultPlan, RecoveryPolicy};
+        let circuit = generators::ghz(3);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let batches: Vec<_> = (0..3).map(|b| random_input_batch(3, 2, b as u64)).collect();
+        // Two faults on the same kernel exhaust a single-retry policy.
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultKind::KernelFault { task: 1 })
+            .push(0, FaultKind::KernelFault { task: 1 });
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            ..RecoveryPolicy::default()
+        };
+        let rec = sim
+            .run_batches_recovering(&batches, &plan, &policy)
+            .unwrap();
+        assert!(
+            rec.health.degraded_batches.contains(&0),
+            "the faulted batch must fall back to the host:\n{}",
+            rec.health
+        );
+        assert!(rec.health.failed_batches.is_empty());
+        assert_eq!(rec.health.count_of("kernel-fault"), 2);
+        assert!(rec.health.abandoned_tasks > 0);
+        let want = reference_outputs(&circuit, &batches);
+        for (got_b, want_b) in rec.run.outputs.iter().zip(&want) {
+            for (got, want) in got_b.iter().zip(want_b) {
+                assert!(vectors_eq(got, want, 1e-9));
+            }
+        }
+
+        // With every fallback forbidden, the failure surfaces as a
+        // structured error naming the task and batch.
+        let strict = RecoveryPolicy {
+            max_retries: 1,
+            degrade: false,
+            host_fallback: false,
+            ..RecoveryPolicy::default()
+        };
+        match sim.run_batches_recovering(&batches, &plan, &strict) {
+            Err(BqsimError::RetriesExhausted {
+                device,
+                batch,
+                task_label,
+                attempts,
+            }) => {
+                assert_eq!(device, 0);
+                assert_eq!(batch, 0);
+                assert_eq!(task_label, "k0 b0");
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
     }
 
     #[test]

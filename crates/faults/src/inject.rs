@@ -1,0 +1,108 @@
+//! The per-device runtime view of a fault plan.
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Pure, per-device lookup of which faults strike which task executions.
+///
+/// Built once per device from a [`FaultPlan`]; the engine queries it by
+/// first-attempt task-execution index, which makes exactly-once injection
+/// structural (the engine visits each index exactly once). Allocation
+/// (OOM) faults are *not* served by the injector — they are armed on the
+/// device allocator directly, where the allocation sequence lives.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    device: usize,
+    /// `(task_index, kind)` for transient task-site faults, plan order.
+    task_faults: Vec<(usize, FaultKind)>,
+    device_loss_at: Option<usize>,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (fault-free execution).
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// The slice of `plan` that strikes `device`.
+    pub fn for_device(plan: &FaultPlan, device: usize) -> Self {
+        let mut task_faults = Vec::new();
+        for spec in plan.specs().iter().filter(|s| s.device == device) {
+            if let Some(task) = spec.kind.task_index() {
+                task_faults.push((task, spec.kind));
+            }
+        }
+        FaultInjector {
+            device,
+            task_faults,
+            device_loss_at: plan.device_loss_at(device),
+        }
+    }
+
+    /// Device this injector belongs to.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// Whether this injector can fire at all (task faults or device loss;
+    /// OOM traps live on the allocator and are not visible here).
+    pub fn has_faults(&self) -> bool {
+        !self.task_faults.is_empty() || self.device_loss_at.is_some()
+    }
+
+    /// Faults striking the `index`-th task execution, in plan order. Each
+    /// returned fault consumes one attempt: a task hit by two faults
+    /// fails its first two attempts and succeeds on the third.
+    pub fn faults_for_task(&self, index: usize) -> Vec<FaultKind> {
+        self.task_faults
+            .iter()
+            .filter(|(task, _)| *task == index)
+            .map(|(_, kind)| *kind)
+            .collect()
+    }
+
+    /// Task-execution index at which the device is lost, if any.
+    pub fn device_loss_at(&self) -> Option<usize> {
+        self.device_loss_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    #[test]
+    fn injector_filters_by_device_and_preserves_plan_order() {
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultKind::KernelFault { task: 2 })
+            .push(1, FaultKind::CopyCorruption { task: 2 })
+            .push(0, FaultKind::CopyCorruption { task: 2 })
+            .push(0, FaultKind::Oom { alloc: 1 })
+            .push(1, FaultKind::DeviceLoss { at_task: 5 });
+
+        let inj0 = FaultInjector::for_device(&plan, 0);
+        assert_eq!(inj0.device(), 0);
+        assert!(inj0.has_faults());
+        assert_eq!(
+            inj0.faults_for_task(2),
+            vec![
+                FaultKind::KernelFault { task: 2 },
+                FaultKind::CopyCorruption { task: 2 }
+            ]
+        );
+        assert!(inj0.faults_for_task(3).is_empty());
+        assert_eq!(inj0.device_loss_at(), None);
+
+        let inj1 = FaultInjector::for_device(&plan, 1);
+        assert_eq!(inj1.faults_for_task(2).len(), 1);
+        assert_eq!(inj1.device_loss_at(), Some(5));
+    }
+
+    #[test]
+    fn none_never_fires() {
+        let inj = FaultInjector::none();
+        assert!(!inj.has_faults());
+        assert!(inj.faults_for_task(0).is_empty());
+        assert_eq!(inj.device_loss_at(), None);
+    }
+}

@@ -1,0 +1,358 @@
+//! Fault taxonomy and deterministic, seeded fault plans.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected fault, with its deterministic trigger site.
+///
+/// Task sites count *first-attempt* task executions on a device in issue
+/// order (retries of a task do not advance the count); allocation sites
+/// count calls into the device allocator (`alloc` and `reserve_bytes`
+/// both advance it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transient kernel fault (the launch reports an error at
+    /// completion): detected, output discarded, task eligible for retry.
+    KernelFault {
+        /// Index of the targeted task execution on the device.
+        task: usize,
+    },
+    /// ECC-style corruption of a copy payload: detected at the end of the
+    /// transfer, destination discarded, task eligible for retry.
+    CopyCorruption {
+        /// Index of the targeted task execution on the device.
+        task: usize,
+    },
+    /// The task hangs: it takes `stall_ns` longer than modeled. If the
+    /// recovery policy's watchdog deadline fires first the task is killed
+    /// and retried; otherwise it completes late (a straggler).
+    Hang {
+        /// Index of the targeted task execution on the device.
+        task: usize,
+        /// Extra virtual nanoseconds the task stalls for.
+        stall_ns: u64,
+    },
+    /// Out-of-memory at the `alloc`-th device allocation, regardless of
+    /// free capacity — models fragmentation and external memory pressure.
+    Oom {
+        /// Index of the targeted allocation on the device.
+        alloc: usize,
+    },
+    /// Whole-device loss: from the `at_task`-th task execution onward the
+    /// device answers nothing. In a multi-GPU run its batches are requeued
+    /// to surviving devices.
+    DeviceLoss {
+        /// Index of the task execution at which the device disappears.
+        at_task: usize,
+    },
+}
+
+impl FaultKind {
+    /// The task-execution index this fault targets, for task-site faults.
+    pub fn task_index(&self) -> Option<usize> {
+        match *self {
+            FaultKind::KernelFault { task }
+            | FaultKind::CopyCorruption { task }
+            | FaultKind::Hang { task, .. } => Some(task),
+            FaultKind::Oom { .. } | FaultKind::DeviceLoss { .. } => None,
+        }
+    }
+
+    /// Whether the fault is transient: absorbed by retrying the one task
+    /// it hits (kernel fault, copy corruption, hang).
+    pub fn is_transient(&self) -> bool {
+        self.task_index().is_some()
+    }
+
+    /// Short taxonomy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::KernelFault { .. } => "kernel-fault",
+            FaultKind::CopyCorruption { .. } => "copy-corruption",
+            FaultKind::Hang { .. } => "hang",
+            FaultKind::Oom { .. } => "oom",
+            FaultKind::DeviceLoss { .. } => "device-loss",
+        }
+    }
+}
+
+/// A fault bound to the device it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Device index (0 for single-GPU runs).
+    pub device: usize,
+    /// What happens, and where.
+    pub kind: FaultKind,
+}
+
+/// How many faults of each kind [`FaultPlan::seeded`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultBudget {
+    /// Transient kernel faults.
+    pub kernel_faults: usize,
+    /// ECC-style copy corruptions.
+    pub copy_corruptions: usize,
+    /// Hangs (stragglers or watchdog kills, depending on the policy).
+    pub hangs: usize,
+    /// Injected allocation failures.
+    pub ooms: usize,
+    /// Whole-device losses (at most one per device is generated).
+    pub device_losses: usize,
+}
+
+impl FaultBudget {
+    /// A transient-only budget (kernel faults, copy corruptions, hangs).
+    pub fn transient(kernel_faults: usize, copy_corruptions: usize, hangs: usize) -> Self {
+        FaultBudget {
+            kernel_faults,
+            copy_corruptions,
+            hangs,
+            ..FaultBudget::default()
+        }
+    }
+
+    /// Total number of faults in the budget.
+    pub fn total(&self) -> usize {
+        self.kernel_faults + self.copy_corruptions + self.hangs + self.ooms + self.device_losses
+    }
+}
+
+/// A deterministic list of faults to inject into a run.
+///
+/// Plans are plain data: the same plan against the same compiled pipeline
+/// injects the same faults at the same virtual times, every time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+/// A hang injected by [`FaultPlan::seeded`] stalls by one of these two
+/// amounts: the short one completes late under the default watchdog (a
+/// straggler), the long one trips it (kill + retry).
+pub(crate) const SEEDED_SHORT_STALL_NS: u64 = 1_000_000;
+pub(crate) const SEEDED_LONG_STALL_NS: u64 = 60_000_000;
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one fault.
+    pub fn push(&mut self, device: usize, kind: FaultKind) -> &mut Self {
+        self.specs.push(FaultSpec { device, kind });
+        self
+    }
+
+    /// All faults, in injection-priority order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Whether every fault in the plan is transient (absorbed by retries).
+    pub fn is_transient(&self) -> bool {
+        self.specs.iter().all(|s| s.kind.is_transient())
+    }
+
+    /// The task index at which `device` is lost, if the plan loses it.
+    pub fn device_loss_at(&self, device: usize) -> Option<usize> {
+        self.specs
+            .iter()
+            .filter(|s| s.device == device)
+            .find_map(|s| match s.kind {
+                FaultKind::DeviceLoss { at_task } => Some(at_task),
+                _ => None,
+            })
+    }
+
+    /// Allocation indices on `device` that must fail with OOM.
+    pub fn oom_allocs(&self, device: usize) -> Vec<usize> {
+        self.specs
+            .iter()
+            .filter(|s| s.device == device)
+            .filter_map(|s| match s.kind {
+                FaultKind::Oom { alloc } => Some(alloc),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Generates a deterministic plan from a seed.
+    ///
+    /// Task-site faults target *distinct* task indices in
+    /// `0..tasks_per_device` (so a policy with `max_retries >= 1` absorbs
+    /// every transient fault), allocation faults target indices in
+    /// `0..allocs_per_device`, and at most one device loss is generated
+    /// per device, never on device 0 when more than one device exists (so
+    /// multi-GPU runs always keep a survivor). Budgets that exceed the
+    /// available distinct sites are clamped.
+    pub fn seeded(
+        seed: u64,
+        devices: usize,
+        tasks_per_device: usize,
+        allocs_per_device: usize,
+        budget: &FaultBudget,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x000F_A017_5EED);
+        let mut plan = FaultPlan::new();
+        if devices == 0 {
+            return plan;
+        }
+        for device in 0..devices {
+            // Deal each device its share of the budget (device 0 first).
+            let share = |total: usize| total / devices + usize::from(device < total % devices);
+            let kernels = share(budget.kernel_faults);
+            let copies = share(budget.copy_corruptions);
+            let hangs = share(budget.hangs);
+            let wanted = kernels + copies + hangs;
+            let mut targets: Vec<usize> = Vec::with_capacity(wanted.min(tasks_per_device));
+            while targets.len() < wanted.min(tasks_per_device) {
+                let t = rng.gen_range(0..tasks_per_device.max(1));
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            let mut targets = targets.into_iter();
+            for _ in 0..kernels {
+                if let Some(task) = targets.next() {
+                    plan.push(device, FaultKind::KernelFault { task });
+                }
+            }
+            for _ in 0..copies {
+                if let Some(task) = targets.next() {
+                    plan.push(device, FaultKind::CopyCorruption { task });
+                }
+            }
+            for _ in 0..hangs {
+                if let Some(task) = targets.next() {
+                    let stall_ns = if rng.gen_range(0u8..2) == 0 {
+                        SEEDED_SHORT_STALL_NS
+                    } else {
+                        SEEDED_LONG_STALL_NS
+                    };
+                    plan.push(device, FaultKind::Hang { task, stall_ns });
+                }
+            }
+            for _ in 0..share(budget.ooms) {
+                if allocs_per_device > 0 {
+                    let alloc = rng.gen_range(0..allocs_per_device);
+                    plan.push(device, FaultKind::Oom { alloc });
+                }
+            }
+        }
+        // Device losses: at most one per device, never device 0 unless it
+        // is the only one.
+        let loss_candidates: Vec<usize> = if devices > 1 {
+            (1..devices).collect()
+        } else {
+            vec![0]
+        };
+        for device in loss_candidates
+            .iter()
+            .take(budget.device_losses.min(loss_candidates.len()))
+        {
+            let at_task = rng.gen_range(0..tasks_per_device.max(1));
+            plan.push(*device, FaultKind::DeviceLoss { at_task });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_distinct_per_seed() {
+        let budget = FaultBudget::transient(2, 2, 1);
+        let a = FaultPlan::seeded(7, 1, 40, 6, &budget);
+        let b = FaultPlan::seeded(7, 1, 40, 6, &budget);
+        let c = FaultPlan::seeded(8, 1, 40, 6, &budget);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5);
+        assert!(a.is_transient());
+    }
+
+    #[test]
+    fn seeded_transient_targets_are_distinct_tasks() {
+        for seed in 0..32 {
+            let plan = FaultPlan::seeded(seed, 2, 20, 4, &FaultBudget::transient(3, 3, 2));
+            for device in 0..2 {
+                let mut tasks: Vec<usize> = plan
+                    .specs()
+                    .iter()
+                    .filter(|s| s.device == device)
+                    .filter_map(|s| s.kind.task_index())
+                    .collect();
+                let before = tasks.len();
+                tasks.sort_unstable();
+                tasks.dedup();
+                assert_eq!(tasks.len(), before, "seed {seed}: duplicate task targets");
+                assert!(tasks.iter().all(|&t| t < 20));
+            }
+        }
+    }
+
+    #[test]
+    fn device_loss_spares_device_zero_in_multi_gpu_plans() {
+        let budget = FaultBudget {
+            device_losses: 3,
+            ..FaultBudget::default()
+        };
+        let plan = FaultPlan::seeded(3, 3, 10, 4, &budget);
+        assert!(plan.device_loss_at(0).is_none());
+        assert!(plan.device_loss_at(1).is_some());
+        assert!(plan.device_loss_at(2).is_some());
+        assert!(!plan.is_transient());
+    }
+
+    #[test]
+    fn site_accessors_filter_by_device() {
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultKind::Oom { alloc: 2 })
+            .push(1, FaultKind::Oom { alloc: 5 })
+            .push(1, FaultKind::DeviceLoss { at_task: 3 });
+        assert_eq!(plan.oom_allocs(0), vec![2]);
+        assert_eq!(plan.oom_allocs(1), vec![5]);
+        assert_eq!(plan.device_loss_at(1), Some(3));
+        assert_eq!(plan.device_loss_at(0), None);
+    }
+
+    #[test]
+    fn budget_clamps_to_available_sites() {
+        let plan = FaultPlan::seeded(1, 1, 3, 2, &FaultBudget::transient(5, 5, 5));
+        // Only 3 distinct task sites exist.
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn kind_names_cover_taxonomy() {
+        assert_eq!(FaultKind::KernelFault { task: 0 }.name(), "kernel-fault");
+        assert_eq!(
+            FaultKind::CopyCorruption { task: 0 }.name(),
+            "copy-corruption"
+        );
+        assert_eq!(
+            FaultKind::Hang {
+                task: 0,
+                stall_ns: 1
+            }
+            .name(),
+            "hang"
+        );
+        assert_eq!(FaultKind::Oom { alloc: 0 }.name(), "oom");
+        assert_eq!(FaultKind::DeviceLoss { at_task: 0 }.name(), "device-loss");
+        assert!(!FaultKind::Oom { alloc: 0 }.is_transient());
+    }
+}

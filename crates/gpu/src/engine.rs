@@ -3,7 +3,9 @@
 
 use crate::device::DeviceSpec;
 use crate::memory::{DeviceMemory, HostMemory};
-use crate::task::{TaskGraph, TaskId, TaskKind};
+use crate::task::{Task, TaskGraph, TaskId, TaskKind};
+use bqsim_faults::{FaultEvent, FaultInjector, FaultKind, RecoveryPolicy, Resolution};
+use bqsim_num::Complex;
 
 /// How the task graph is launched on the simulated device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +52,26 @@ impl Resource {
     }
 }
 
+/// How one scheduled attempt of a task ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The attempt ran to completion (possibly late, for a straggler).
+    Completed,
+    /// The attempt failed with an injected kernel fault or copy
+    /// corruption; its output was discarded.
+    Faulted,
+    /// The watchdog killed the attempt past its deadline.
+    TimedOut,
+    /// The task never ran: its device was lost, a predecessor failed
+    /// permanently, or its own retries were exhausted earlier.
+    Abandoned,
+}
+
 /// One scheduled task occurrence.
+///
+/// Under fault injection a task can appear several times — one record per
+/// attempt — so Gantt output and utilization stay truthful about recovery
+/// work.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskRecord {
     /// The task.
@@ -63,6 +84,10 @@ pub struct TaskRecord {
     pub start_ns: u64,
     /// End time, ns.
     pub end_ns: u64,
+    /// Attempt number (0 = first try; retries count up).
+    pub attempt: u32,
+    /// How this attempt ended.
+    pub outcome: TaskOutcome,
 }
 
 /// The schedule produced by [`Engine::run`].
@@ -162,11 +187,25 @@ impl Timeline {
         let total = self.total_ns.max(1);
         let mut lanes = [vec![' '; width], vec![' '; width], vec![' '; width]];
         for (i, r) in self.records.iter().enumerate() {
+            if r.outcome == TaskOutcome::Abandoned {
+                continue;
+            }
             let lane = &mut lanes[r.resource.index()];
             let a = (r.start_ns as u128 * width as u128 / total as u128) as usize;
             let b = ((r.end_ns as u128 * width as u128).div_ceil(total as u128) as usize)
                 .clamp(a + 1, width);
-            let ch = if i % 2 == 0 { '█' } else { '░' };
+            // Failed attempts are marked distinctly so recovery work is
+            // visible in the chart.
+            let ch = match r.outcome {
+                TaskOutcome::Completed => {
+                    if i % 2 == 0 {
+                        '█'
+                    } else {
+                        '░'
+                    }
+                }
+                _ => 'x',
+            };
             for cell in lane[a..b].iter_mut() {
                 *cell = ch;
             }
@@ -260,6 +299,46 @@ impl Engine {
         mode: LaunchMode,
         exec: ExecMode,
     ) -> Timeline {
+        self.run_faulted(
+            graph,
+            mem,
+            host,
+            mode,
+            exec,
+            &FaultInjector::none(),
+            &RecoveryPolicy::no_recovery(),
+        )
+        .timeline
+    }
+
+    /// [`Engine::run`] with fault injection and recovery.
+    ///
+    /// The schedule is identical to the fault-free one except where the
+    /// injector fires: a faulted attempt occupies its engine for the time
+    /// it ran (full duration for kernel faults and copy corruption, the
+    /// watchdog deadline for a killed hang), the retry waits out the
+    /// policy's backoff in virtual time, and every attempt lands in the
+    /// timeline as its own [`TaskRecord`]. In
+    /// [`ExecMode::Functional`] a failed attempt poisons its destination
+    /// buffers with NaN before the retry overwrites them, so recovered
+    /// outputs being bit-identical is a real property, not an accident of
+    /// skipping the fault.
+    ///
+    /// Tasks whose retries are exhausted fail permanently; their
+    /// dependents (and every task from a device-loss point onward) are
+    /// recorded as [`TaskOutcome::Abandoned`] with zero duration. With
+    /// [`FaultInjector::none`] this is exactly [`Engine::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_faulted(
+        &self,
+        graph: &TaskGraph,
+        mem: &mut DeviceMemory,
+        host: &mut HostMemory,
+        mode: LaunchMode,
+        exec: ExecMode,
+        injector: &FaultInjector,
+        policy: &RecoveryPolicy,
+    ) -> FaultedRun {
         let n = graph.tasks.len();
         let start0 = match mode {
             LaunchMode::Graph => self.spec.graph_launch_overhead_ns,
@@ -268,7 +347,11 @@ impl Engine {
         let mut engine_free = [start0; 3];
         let mut stream_free = start0;
         let mut finish = vec![0u64; n];
+        let mut dead = vec![false; n];
         let mut timeline = Timeline::default();
+        let mut run = FaultedRun::default();
+        let device = injector.device();
+        let mut lost_ns: Option<u64> = None;
 
         for (i, task) in graph.tasks.iter().enumerate() {
             let id = TaskId(i);
@@ -283,51 +366,240 @@ impl Engine {
                 .map(|p| finish[p.0])
                 .max()
                 .unwrap_or(start0);
-            let start = match mode {
-                LaunchMode::Graph => ready.max(engine_free[resource.index()]),
-                LaunchMode::Stream => ready.max(stream_free),
-            };
-            let dur = self.task_duration_ns(graph, id, mode);
-            let end = start + dur;
-            finish[i] = end;
-            match mode {
-                LaunchMode::Graph => engine_free[resource.index()] = end,
-                LaunchMode::Stream => stream_free = end,
-            }
-            timeline.busy_ns[resource.index()] += dur;
-            if let TaskKind::Kernel(k) = &task.kind {
-                let p = k.profile();
-                timeline.kernel_flops += p.flops;
-                timeline.kernel_bytes += p.bytes_read + p.bytes_written;
-            }
-            timeline.total_ns = timeline.total_ns.max(end);
-            timeline.records.push(TaskRecord {
-                task: id,
-                label: task.label.clone(),
-                resource,
-                start_ns: start,
-                end_ns: end,
-            });
 
-            if exec == ExecMode::Functional {
-                match &task.kind {
-                    TaskKind::H2D { host: h, dev, .. } => {
-                        let src = host.buffer(*h).to_vec();
-                        let dst = mem.buffer_mut(*dev);
-                        let len = src.len().min(dst.len());
-                        dst[..len].copy_from_slice(&src[..len]);
+            if lost_ns.is_none() && injector.device_loss_at() == Some(i) {
+                let at_ns = ready.max(match mode {
+                    LaunchMode::Graph => engine_free[resource.index()],
+                    LaunchMode::Stream => stream_free,
+                });
+                lost_ns = Some(at_ns);
+                run.device_lost_at = Some((id, at_ns));
+                run.events.push(FaultEvent {
+                    device,
+                    kind: FaultKind::DeviceLoss { at_task: i },
+                    label: task.label.clone(),
+                    attempt: 0,
+                    at_ns,
+                    resolution: Resolution::DeviceLost,
+                });
+            }
+
+            if lost_ns.is_some() || task.preds.iter().any(|p| dead[p.0]) {
+                dead[i] = true;
+                let at = ready.max(lost_ns.unwrap_or(0));
+                finish[i] = at;
+                run.abandoned.push(id);
+                timeline.total_ns = timeline.total_ns.max(at);
+                timeline.records.push(TaskRecord {
+                    task: id,
+                    label: task.label.clone(),
+                    resource,
+                    start_ns: at,
+                    end_ns: at,
+                    attempt: 0,
+                    outcome: TaskOutcome::Abandoned,
+                });
+                continue;
+            }
+
+            let faults = injector.faults_for_task(i);
+            let base_dur = self.task_duration_ns(graph, id, mode);
+            let mut free = match mode {
+                LaunchMode::Graph => engine_free[resource.index()],
+                LaunchMode::Stream => stream_free,
+            };
+            let mut attempt: u32 = 0;
+            let resource_end;
+
+            loop {
+                let start = ready.max(free);
+                // Each pending fault consumes one attempt, in plan order.
+                let fault = faults.get(attempt as usize).copied();
+
+                // A hang that fits under the watchdog slack is not a
+                // failure — it completes late as a straggler.
+                let straggler_stall = match fault {
+                    Some(FaultKind::Hang { stall_ns, .. }) => match policy.watchdog_ns {
+                        Some(slack) if stall_ns > slack => None,
+                        _ => Some(stall_ns),
+                    },
+                    _ => None,
+                };
+
+                if fault.is_none() || straggler_stall.is_some() {
+                    let dur = base_dur + straggler_stall.unwrap_or(0);
+                    let end = start + dur;
+                    finish[i] = end;
+                    resource_end = end;
+                    timeline.busy_ns[resource.index()] += dur;
+                    if let TaskKind::Kernel(k) = &task.kind {
+                        let p = k.profile();
+                        timeline.kernel_flops += p.flops;
+                        timeline.kernel_bytes += p.bytes_read + p.bytes_written;
                     }
-                    TaskKind::D2H { dev, host: h, .. } => {
-                        let src = mem.buffer(*dev).to_vec();
-                        let dst = host.buffer_mut(*h);
-                        let len = src.len().min(dst.len());
-                        dst[..len].copy_from_slice(&src[..len]);
+                    timeline.total_ns = timeline.total_ns.max(end);
+                    timeline.records.push(TaskRecord {
+                        task: id,
+                        label: task.label.clone(),
+                        resource,
+                        start_ns: start,
+                        end_ns: end,
+                        attempt,
+                        outcome: TaskOutcome::Completed,
+                    });
+                    if let (Some(kind), Some(_)) = (fault, straggler_stall) {
+                        run.events.push(FaultEvent {
+                            device,
+                            kind,
+                            label: task.label.clone(),
+                            attempt,
+                            at_ns: end,
+                            resolution: Resolution::Straggler,
+                        });
                     }
-                    TaskKind::Kernel(k) => k.execute(mem),
+                    if exec == ExecMode::Functional {
+                        execute_task(task, mem, host);
+                    }
+                    break;
                 }
+
+                // This attempt fails. Kernel faults and copy corruption are
+                // detected at completion (full duration burned); a hang past
+                // the deadline is killed by the watchdog.
+                let kind = fault.unwrap_or(FaultKind::KernelFault { task: i });
+                let (dur, outcome) = match kind {
+                    FaultKind::Hang { .. } => (
+                        base_dur + policy.watchdog_ns.unwrap_or(0),
+                        TaskOutcome::TimedOut,
+                    ),
+                    _ => (base_dur, TaskOutcome::Faulted),
+                };
+                let end = start + dur;
+                timeline.busy_ns[resource.index()] += dur;
+                if let TaskKind::Kernel(k) = &task.kind {
+                    let p = k.profile();
+                    timeline.kernel_flops += p.flops;
+                    timeline.kernel_bytes += p.bytes_read + p.bytes_written;
+                }
+                timeline.total_ns = timeline.total_ns.max(end);
+                timeline.records.push(TaskRecord {
+                    task: id,
+                    label: task.label.clone(),
+                    resource,
+                    start_ns: start,
+                    end_ns: end,
+                    attempt,
+                    outcome,
+                });
+                if exec == ExecMode::Functional {
+                    poison_destination(task, mem, host);
+                }
+
+                if attempt >= policy.max_retries {
+                    run.events.push(FaultEvent {
+                        device,
+                        kind,
+                        label: task.label.clone(),
+                        attempt,
+                        at_ns: end,
+                        resolution: Resolution::Exhausted,
+                    });
+                    dead[i] = true;
+                    run.exhausted.push(id);
+                    finish[i] = end;
+                    resource_end = end;
+                    break;
+                }
+
+                run.events.push(FaultEvent {
+                    device,
+                    kind,
+                    label: task.label.clone(),
+                    attempt,
+                    at_ns: end,
+                    resolution: match outcome {
+                        TaskOutcome::TimedOut => Resolution::TimedOut,
+                        _ => Resolution::Retried,
+                    },
+                });
+                let backoff = policy.backoff_ns(attempt + 1);
+                run.retries += 1;
+                run.backoff_ns += backoff;
+                free = end + backoff;
+                attempt += 1;
+            }
+
+            match mode {
+                LaunchMode::Graph => engine_free[resource.index()] = resource_end,
+                LaunchMode::Stream => stream_free = resource_end,
             }
         }
-        timeline
+        run.timeline = timeline;
+        run
+    }
+}
+
+/// Functional execution of one task against device/host memory.
+fn execute_task(task: &Task, mem: &mut DeviceMemory, host: &mut HostMemory) {
+    match &task.kind {
+        TaskKind::H2D { host: h, dev, .. } => {
+            let src = host.buffer(*h).to_vec();
+            let dst = mem.buffer_mut(*dev);
+            let len = src.len().min(dst.len());
+            dst[..len].copy_from_slice(&src[..len]);
+        }
+        TaskKind::D2H { dev, host: h, .. } => {
+            let src = mem.buffer(*dev).to_vec();
+            let dst = host.buffer_mut(*h);
+            let len = src.len().min(dst.len());
+            dst[..len].copy_from_slice(&src[..len]);
+        }
+        TaskKind::Kernel(k) => k.execute(mem),
+    }
+}
+
+/// Models the observable damage of a failed attempt: the destination
+/// buffers are filled with NaN, so a recovered run is only bit-identical
+/// to the fault-free one if the retry genuinely overwrites everything the
+/// fault touched.
+fn poison_destination(task: &Task, mem: &mut DeviceMemory, host: &mut HostMemory) {
+    let nan = Complex::new(f64::NAN, f64::NAN);
+    match &task.kind {
+        TaskKind::H2D { dev, .. } => mem.buffer_mut(*dev).fill(nan),
+        TaskKind::D2H { host: h, .. } => host.buffer_mut(*h).fill(nan),
+        TaskKind::Kernel(k) => {
+            for b in k.buffer_writes() {
+                mem.buffer_mut(b).fill(nan);
+            }
+        }
+    }
+}
+
+/// Result of [`Engine::run_faulted`]: the timeline plus the per-device
+/// fault ledger the caller folds into a `RunHealth` report.
+#[derive(Debug, Clone, Default)]
+pub struct FaultedRun {
+    /// The schedule, including one record per retry attempt.
+    pub timeline: Timeline,
+    /// One event per injected fault that surfaced.
+    pub events: Vec<FaultEvent>,
+    /// Retry attempts scheduled.
+    pub retries: u64,
+    /// Virtual nanoseconds spent waiting out retry backoff.
+    pub backoff_ns: u64,
+    /// Tasks whose retries were exhausted (failed permanently).
+    pub exhausted: Vec<TaskId>,
+    /// Tasks that never ran (dead predecessors or lost device).
+    pub abandoned: Vec<TaskId>,
+    /// Where and when the device was lost, if it was.
+    pub device_lost_at: Option<(TaskId, u64)>,
+}
+
+impl FaultedRun {
+    /// Whether every task completed (no exhausted retries, no
+    /// abandonment, no device loss).
+    pub fn fully_recovered(&self) -> bool {
+        self.exhausted.is_empty() && self.abandoned.is_empty() && self.device_lost_at.is_none()
     }
 }
 
@@ -607,6 +879,228 @@ mod tests {
         // Every line has the same width.
         let widths: Vec<usize> = gantt.lines().map(|l| l.chars().count()).collect();
         assert!(widths.iter().all(|w| *w == widths[0]));
+    }
+
+    fn faulted_pipeline(
+        injector: &FaultInjector,
+        policy: &RecoveryPolicy,
+    ) -> (FaultedRun, Vec<Complex>) {
+        let (engine, mut mem, mut host) = setup();
+        let h_in = host.alloc_from(vec![Complex::new(2.0, 1.0); 8]);
+        let h_out = host.alloc_zeroed(8);
+        let d_in = mem.alloc(8).unwrap();
+        let d_out = mem.alloc(8).unwrap();
+        let mut g = TaskGraph::new();
+        let up = g.add_h2d("up", h_in, d_in, 128, &[]);
+        // Like the real ELL spMM kernel: reads one buffer, fully
+        // overwrites a distinct output buffer (which makes a retry after
+        // output poisoning recover the exact result).
+        struct TrackedScale(crate::BufferId, crate::BufferId);
+        impl Kernel for TrackedScale {
+            fn name(&self) -> &str {
+                "scale"
+            }
+            fn profile(&self) -> KernelProfile {
+                KernelProfile {
+                    flops: 1000,
+                    ..KernelProfile::empty()
+                }
+            }
+            fn execute(&self, mem: &mut DeviceMemory) {
+                let (src, dst) = mem.buffer_pair_mut(self.0, self.1);
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = s.scale(3.0);
+                }
+            }
+            fn buffer_reads(&self) -> Vec<crate::BufferId> {
+                vec![self.0]
+            }
+            fn buffer_writes(&self) -> Vec<crate::BufferId> {
+                vec![self.1]
+            }
+        }
+        let k = g.add_kernel("scale", Arc::new(TrackedScale(d_in, d_out)), &[up]);
+        g.add_d2h("down", d_out, h_out, 128, &[k]);
+        let run = engine.run_faulted(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::Functional,
+            injector,
+            policy,
+        );
+        (run, host.buffer(h_out).to_vec())
+    }
+
+    #[test]
+    fn retried_kernel_fault_restores_bit_identical_output() {
+        let baseline = faulted_pipeline(&FaultInjector::none(), &RecoveryPolicy::no_recovery()).1;
+
+        let mut plan = bqsim_faults::FaultPlan::new();
+        plan.push(0, FaultKind::KernelFault { task: 1 })
+            .push(0, FaultKind::CopyCorruption { task: 0 });
+        let injector = FaultInjector::for_device(&plan, 0);
+        let (run, out) = faulted_pipeline(&injector, &RecoveryPolicy::default());
+
+        assert!(run.fully_recovered());
+        assert_eq!(out, baseline, "retried output must be bit-identical");
+        assert_eq!(run.events.len(), 2, "one event per injected fault");
+        assert_eq!(run.retries, 2);
+        assert!(run.backoff_ns > 0);
+        assert!(run
+            .events
+            .iter()
+            .all(|e| e.resolution == Resolution::Retried));
+        // The kernel appears twice: the faulted attempt, then the retry.
+        let attempts: Vec<_> = run
+            .timeline
+            .records()
+            .iter()
+            .filter(|r| r.label == "scale")
+            .collect();
+        assert_eq!(attempts.len(), 2);
+        assert_eq!(attempts[0].outcome, TaskOutcome::Faulted);
+        assert_eq!(attempts[1].outcome, TaskOutcome::Completed);
+        assert_eq!(attempts[1].attempt, 1);
+        assert!(
+            attempts[1].start_ns >= attempts[0].end_ns + 5_000,
+            "backoff"
+        );
+    }
+
+    #[test]
+    fn hang_under_watchdog_slack_is_a_straggler() {
+        let mut plan = bqsim_faults::FaultPlan::new();
+        plan.push(
+            0,
+            FaultKind::Hang {
+                task: 1,
+                stall_ns: 1_000,
+            },
+        );
+        let injector = FaultInjector::for_device(&plan, 0);
+        let (run, out) = faulted_pipeline(&injector, &RecoveryPolicy::default());
+        assert!(run.fully_recovered());
+        assert_eq!(run.retries, 0);
+        assert_eq!(run.events.len(), 1);
+        assert_eq!(run.events[0].resolution, Resolution::Straggler);
+        assert_eq!(out[0], Complex::new(6.0, 3.0));
+    }
+
+    #[test]
+    fn hang_past_watchdog_is_killed_and_retried() {
+        let mut plan = bqsim_faults::FaultPlan::new();
+        plan.push(
+            0,
+            FaultKind::Hang {
+                task: 1,
+                stall_ns: 50_000_000,
+            },
+        );
+        let injector = FaultInjector::for_device(&plan, 0);
+        let policy = RecoveryPolicy::default();
+        let (run, out) = faulted_pipeline(&injector, &policy);
+        assert!(run.fully_recovered());
+        assert_eq!(run.retries, 1);
+        assert_eq!(run.events[0].resolution, Resolution::TimedOut);
+        assert_eq!(out[0], Complex::new(6.0, 3.0));
+        let killed = &run.timeline.records()[1];
+        assert_eq!(killed.outcome, TaskOutcome::TimedOut);
+        // Killed at modeled duration + watchdog slack, not after the
+        // full 50 ms stall.
+        let slack = policy.watchdog_ns.unwrap();
+        assert_eq!(killed.end_ns - killed.start_ns - slack, {
+            let fault_free =
+                faulted_pipeline(&FaultInjector::none(), &RecoveryPolicy::no_recovery()).0;
+            let r = &fault_free.timeline.records()[1];
+            r.end_ns - r.start_ns
+        });
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_dependents() {
+        let mut plan = bqsim_faults::FaultPlan::new();
+        for _ in 0..3 {
+            plan.push(0, FaultKind::KernelFault { task: 1 });
+        }
+        let injector = FaultInjector::for_device(&plan, 0);
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            ..RecoveryPolicy::default()
+        };
+        let (run, out) = faulted_pipeline(&injector, &policy);
+        assert!(!run.fully_recovered());
+        assert_eq!(run.exhausted, vec![TaskId(1)]);
+        assert_eq!(run.abandoned, vec![TaskId(2)]);
+        assert_eq!(run.events.last().unwrap().resolution, Resolution::Exhausted);
+        // The d2h never ran; its destination still holds the zeros it was
+        // allocated with (the poisoned device buffer stayed on device).
+        assert_eq!(out[0], Complex::ZERO);
+        let last = run.timeline.records().last().unwrap();
+        assert_eq!(last.outcome, TaskOutcome::Abandoned);
+        assert_eq!(last.start_ns, last.end_ns);
+    }
+
+    #[test]
+    fn device_loss_abandons_everything_from_the_loss_point() {
+        let mut plan = bqsim_faults::FaultPlan::new();
+        plan.push(0, FaultKind::DeviceLoss { at_task: 1 });
+        let injector = FaultInjector::for_device(&plan, 0);
+        let (run, _) = faulted_pipeline(&injector, &RecoveryPolicy::default());
+        assert!(!run.fully_recovered());
+        assert_eq!(run.abandoned, vec![TaskId(1), TaskId(2)]);
+        let (task, at_ns) = run.device_lost_at.unwrap();
+        assert_eq!(task, TaskId(1));
+        assert!(at_ns > 0);
+        assert_eq!(run.events.len(), 1);
+        assert_eq!(run.events[0].resolution, Resolution::DeviceLost);
+        // The upload before the loss point completed normally.
+        assert_eq!(run.timeline.records()[0].outcome, TaskOutcome::Completed);
+    }
+
+    #[test]
+    fn run_is_run_faulted_with_no_faults() {
+        let (engine, mut mem, mut host) = setup();
+        let h = host.alloc_zeroed(1 << 12);
+        let d = mem.alloc(1 << 12).unwrap();
+        let mut g = TaskGraph::new();
+        let bytes = (1u64 << 12) * 16;
+        let up = g.add_h2d("up", h, d, bytes, &[]);
+        let k = g.add_kernel("k", Arc::new(FlopKernel { flops: 100_000 }), &[up]);
+        g.add_d2h("down", d, h, bytes, &[k]);
+        let plain = engine.run(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+        );
+        let faulted = engine.run_faulted(
+            &g,
+            &mut mem,
+            &mut host,
+            LaunchMode::Graph,
+            ExecMode::TimingOnly,
+            &FaultInjector::none(),
+            &RecoveryPolicy::default(),
+        );
+        assert!(faulted.fully_recovered());
+        assert_eq!(faulted.timeline.records(), plain.records());
+        assert_eq!(faulted.timeline.total_ns(), plain.total_ns());
+    }
+
+    #[test]
+    fn gantt_marks_failed_attempts() {
+        let mut plan = bqsim_faults::FaultPlan::new();
+        plan.push(0, FaultKind::KernelFault { task: 1 });
+        let injector = FaultInjector::for_device(&plan, 0);
+        let (run, _) = faulted_pipeline(&injector, &RecoveryPolicy::default());
+        let gantt = run.timeline.render_gantt(60);
+        assert!(
+            gantt.contains('x'),
+            "failed attempt must be visible:\n{gantt}"
+        );
     }
 
     #[test]

@@ -57,6 +57,8 @@ mod task;
 pub mod power;
 
 pub use device::{CpuSpec, DeviceSpec};
-pub use engine::{Engine, ExecMode, LaunchMode, Resource, TaskRecord, Timeline};
+pub use engine::{
+    Engine, ExecMode, FaultedRun, LaunchMode, Resource, TaskOutcome, TaskRecord, Timeline,
+};
 pub use memory::{AllocDeviceError, BufferId, DeviceMemory, HostBufId, HostMemory};
 pub use task::{Kernel, KernelProfile, TaskGraph, TaskId, TaskKind};

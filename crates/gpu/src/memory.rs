@@ -40,9 +40,24 @@ pub struct AllocDeviceError {
 }
 
 impl AllocDeviceError {
+    /// Builds an allocation error from the requested and available sizes.
+    pub fn new(requested_bytes: u64, free_bytes: u64) -> Self {
+        AllocDeviceError {
+            requested_bytes,
+            free_bytes,
+        }
+    }
+
     /// Bytes the failed allocation asked for.
     pub fn requested_bytes(&self) -> u64 {
         self.requested_bytes
+    }
+
+    /// Bytes that were actually free when the allocation failed — together
+    /// with [`requested_bytes`](Self::requested_bytes) this makes the
+    /// failure actionable (how far over budget was the ask?).
+    pub fn free_bytes(&self) -> u64 {
+        self.free_bytes
     }
 }
 
@@ -67,6 +82,9 @@ pub struct DeviceMemory {
     buffers: Vec<Vec<Complex>>,
     capacity_bytes: u64,
     used_bytes: u64,
+    high_water_bytes: u64,
+    alloc_count: usize,
+    oom_traps: Vec<usize>,
 }
 
 impl DeviceMemory {
@@ -76,7 +94,38 @@ impl DeviceMemory {
             buffers: Vec::new(),
             capacity_bytes: spec.memory_bytes,
             used_bytes: 0,
+            high_water_bytes: 0,
+            alloc_count: 0,
+            oom_traps: Vec::new(),
         }
+    }
+
+    /// Arms injected allocation failures: the `alloc`-th allocation attempt
+    /// (counting both [`alloc`](Self::alloc) and
+    /// [`reserve_bytes`](Self::reserve_bytes), from the arena's creation)
+    /// fails with [`AllocDeviceError`] regardless of free capacity —
+    /// modelling fragmentation and external memory pressure for the fault
+    /// plan's OOM faults. Each trap fires at most once by construction
+    /// (the sequence counter never revisits an index).
+    pub fn inject_oom_at(&mut self, allocs: &[usize]) {
+        self.oom_traps.extend_from_slice(allocs);
+    }
+
+    /// Advances the allocation sequence, returning an error if this attempt
+    /// is trapped or would exceed capacity.
+    fn charge(&mut self, bytes: u64) -> Result<(), AllocDeviceError> {
+        let seq = self.alloc_count;
+        self.alloc_count += 1;
+        let free = self.capacity_bytes - self.used_bytes;
+        if self.oom_traps.contains(&seq) || bytes > free {
+            return Err(AllocDeviceError {
+                requested_bytes: bytes,
+                free_bytes: free,
+            });
+        }
+        self.used_bytes += bytes;
+        self.high_water_bytes = self.high_water_bytes.max(self.used_bytes);
+        Ok(())
     }
 
     /// Allocates a zero-filled buffer of `len` complex amplitudes.
@@ -84,16 +133,10 @@ impl DeviceMemory {
     /// # Errors
     ///
     /// Returns [`AllocDeviceError`] if the allocation would exceed device
-    /// capacity.
+    /// capacity (or an injected OOM trap fires, see
+    /// [`inject_oom_at`](Self::inject_oom_at)).
     pub fn alloc(&mut self, len: usize) -> Result<BufferId, AllocDeviceError> {
-        let bytes = len as u64 * 16;
-        if self.used_bytes + bytes > self.capacity_bytes {
-            return Err(AllocDeviceError {
-                requested_bytes: bytes,
-                free_bytes: self.capacity_bytes - self.used_bytes,
-            });
-        }
-        self.used_bytes += bytes;
+        self.charge(len as u64 * 16)?;
         self.buffers.push(vec![Complex::ZERO; len]);
         Ok(BufferId(self.buffers.len() - 1))
     }
@@ -105,19 +148,28 @@ impl DeviceMemory {
     ///
     /// Returns [`AllocDeviceError`] on overflow, like [`DeviceMemory::alloc`].
     pub fn reserve_bytes(&mut self, bytes: u64) -> Result<(), AllocDeviceError> {
-        if self.used_bytes + bytes > self.capacity_bytes {
-            return Err(AllocDeviceError {
-                requested_bytes: bytes,
-                free_bytes: self.capacity_bytes - self.used_bytes,
-            });
-        }
-        self.used_bytes += bytes;
-        Ok(())
+        self.charge(bytes)
     }
 
     /// Bytes currently allocated.
     pub fn used_bytes(&self) -> u64 {
         self.used_bytes
+    }
+
+    /// Total device capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes - self.used_bytes
+    }
+
+    /// Highest `used_bytes` ever reached — reported per device in
+    /// `RunHealth` and consulted by the OOM injection point.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water_bytes
     }
 
     /// Read access to a buffer.
@@ -227,6 +279,52 @@ mod tests {
         let mut mem = DeviceMemory::new(&spec);
         let a = mem.alloc(4).unwrap();
         let _ = mem.buffer_pair_mut(a, a);
+    }
+
+    #[test]
+    fn alloc_error_reports_requested_vs_free() {
+        let spec = DeviceSpec::tiny_test_gpu(); // 1 GiB
+        let mut mem = DeviceMemory::new(&spec);
+        mem.alloc(1024).unwrap();
+        let err = mem.alloc(1 << 27).unwrap_err();
+        assert_eq!(err.requested_bytes(), (1u64 << 27) * 16);
+        assert_eq!(err.free_bytes(), (1u64 << 30) - 1024 * 16);
+        assert_eq!(mem.free_bytes(), err.free_bytes());
+        assert_eq!(mem.capacity_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_usage() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        assert_eq!(mem.high_water_bytes(), 0);
+        mem.alloc(1024).unwrap();
+        mem.reserve_bytes(4096).unwrap();
+        assert_eq!(mem.high_water_bytes(), 1024 * 16 + 4096);
+        assert_eq!(mem.high_water_bytes(), mem.used_bytes());
+    }
+
+    #[test]
+    fn injected_oom_fires_exactly_once_at_its_sequence_index() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        mem.inject_oom_at(&[1]);
+        mem.alloc(8).unwrap(); // seq 0
+        let err = mem.alloc(8).unwrap_err(); // seq 1: trapped
+        assert_eq!(err.requested_bytes(), 128);
+        assert!(err.free_bytes() > 128, "trap fired despite free capacity");
+        mem.alloc(8).unwrap(); // seq 2: trap does not re-fire
+        mem.reserve_bytes(64).unwrap(); // seq 3 shares the counter
+        assert_eq!(mem.used_bytes(), 2 * 128 + 64);
+    }
+
+    #[test]
+    fn reserve_bytes_shares_the_trap_sequence() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        mem.inject_oom_at(&[0]);
+        assert!(mem.reserve_bytes(16).is_err());
+        assert!(mem.reserve_bytes(16).is_ok());
     }
 
     #[test]

@@ -16,4 +16,16 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> fault-recovery seed matrix"
+for seed in 1 7 42 1234; do
+    echo "    BQSIM_FAULT_SEED=$seed"
+    BQSIM_FAULT_SEED=$seed \
+        cargo test -q -p bqsim-integration-tests --test fault_recovery \
+        seed_matrix_recovery_is_deterministic
+done
+
+echo "==> bqsim analyze under injected faults (recovery schedule must be hazard-free)"
+cargo run -q -p bqsim-core --release --bin bqsim -- analyze \
+    --family vqe --qubits 6 --batches 4 --fault-plan seed=42,kernel=2,copy=1,hang=1
+
 echo "CI gate passed."
