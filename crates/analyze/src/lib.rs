@@ -36,6 +36,7 @@ mod dd;
 mod diag;
 mod ell;
 mod graph;
+mod parallel;
 mod recovery;
 
 pub use dd::{
@@ -48,4 +49,5 @@ pub use graph::{
     analyze_graph, check_double_buffer_discipline, expected_buffer_indices, GraphFacts, Loc,
     TaskFacts, TaskOp,
 };
+pub use parallel::{check_parallel_schedule, parallel_attempt_facts};
 pub use recovery::{check_recovery_schedule, recovery_attempt_facts, AttemptFacts};

@@ -355,7 +355,7 @@ mod tests {
             fn profile(&self) -> KernelProfile {
                 KernelProfile::empty()
             }
-            fn execute(&self, _mem: &mut DeviceMemory) {}
+            fn execute(&self, _mem: &DeviceMemory) {}
         }
 
         let spec = DeviceSpec::tiny_test_gpu();

@@ -255,7 +255,7 @@ impl Kernel for AerGateKernel {
         }
     }
 
-    fn execute(&self, _mem: &mut DeviceMemory) {
+    fn execute(&self, _mem: &DeviceMemory) {
         // Functional Aer runs use `simulate_batches` host-side; the kernel
         // exists for the timing model only.
     }

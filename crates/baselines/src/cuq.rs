@@ -215,7 +215,7 @@ impl CuQuantumLike {
         let outputs = if functional {
             outputs_h
                 .iter()
-                .map(|&h| bqsim_ell::unpack_batch(host.buffer(h), batch_size))
+                .map(|&h| bqsim_ell::unpack_batch(&host.buffer(h), batch_size))
                 .collect()
         } else {
             Vec::new()
@@ -305,9 +305,9 @@ impl Kernel for DenseApplyBatchedKernel {
         }
     }
 
-    fn execute(&self, mem: &mut DeviceMemory) {
+    fn execute(&self, mem: &DeviceMemory) {
         let batch = self.batch;
-        let data = mem.buffer_mut(self.buf);
+        let mut data = mem.buffer_mut(self.buf);
         let dim = data.len() / batch;
         // Unpack each batch element, apply in place, repack.
         let mut state = vec![Complex::ZERO; dim];

@@ -1,0 +1,60 @@
+//! Criterion bench for the PR 3 spMM fast paths: the shape-specialised
+//! inner loops (gather-scale for max NZR 1, single-pass multi-slot arms,
+//! real-valued combines) against the pre-optimisation generic slot loop,
+//! on the raw `EllMatrix` entry points.
+
+use bqsim_core::random_input_batch;
+use bqsim_ell::{pack_batch, EllMatrix};
+use bqsim_num::Complex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Unit-phase diagonal: the gather-scale path's target shape.
+fn diagonal_gate(rows: usize) -> EllMatrix {
+    let mut gate = EllMatrix::zeros(rows, 1);
+    for r in 0..rows {
+        let theta = 0.25 * (r % 8) as f64;
+        gate.set_slot(r, 0, r, Complex::new(theta.cos(), theta.sin()));
+    }
+    gate
+}
+
+/// Dense all-real cost-`nzr` gate: the shape BQCS-aware fusion emits for
+/// Ry/CX routing layers (pair-fused to cost 4).
+fn real_gate(rows: usize, nzr: usize) -> EllMatrix {
+    let mut gate = EllMatrix::zeros(rows, nzr);
+    for r in 0..rows {
+        for s in 0..nzr {
+            let c = (r ^ (s + 1)) % rows;
+            gate.set_slot(r, s, c, Complex::new(0.25 + (s as f64) * 0.125, 0.0));
+        }
+    }
+    gate
+}
+
+fn bench_spmm_fast_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pr3_spmm");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cases: Vec<(&str, EllMatrix, usize)> = vec![
+        ("diagonal_1024", diagonal_gate(1024), 32),
+        ("real_cost2_256", real_gate(256, 2), 128),
+        ("real_cost4_64", real_gate(64, 4), 256),
+    ];
+    for (name, gate, batch) in &cases {
+        let n = gate.num_qubits();
+        let input = pack_batch(&random_input_batch(n, *batch, 7));
+        let mut out = vec![Complex::ZERO; gate.num_rows() * batch];
+        group.bench_with_input(BenchmarkId::new("generic", name), gate, |b, gate| {
+            b.iter(|| gate.spmm_generic(&input, &mut out, *batch))
+        });
+        group.bench_with_input(BenchmarkId::new("fastpath", name), gate, |b, gate| {
+            b.iter(|| gate.spmm(&input, &mut out, *batch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm_fast_paths);
+criterion_main!(benches);

@@ -213,6 +213,87 @@ pub fn analyze_recovery(
     Ok(analyze::check_recovery_schedule(&facts, &attempts))
 }
 
+/// Executes the batch schedule functionally on the parallel worker-pool
+/// executor and statically verifies the *executed* parallel schedule
+/// against the task graph: dependency order preserved (no task's span
+/// starts before all predecessors' spans end on the shared logical clock)
+/// and no two buffer-conflicting tasks overlapped. This is the
+/// parallel-schedule conformance check behind `bqsim analyze --threads N`.
+///
+/// `opts.threads` is forced to at least 2 — a serial run produces no
+/// concurrency to certify. Faults from `plan` are injected so the check
+/// also covers replayed retries and abandoned tasks.
+///
+/// # Errors
+///
+/// Returns [`BqsimError::EmptyCircuit`] for a zero-qubit circuit and
+/// [`BqsimError::DeviceOom`] if the schedule's buffers exceed the simulated
+/// device memory.
+pub fn analyze_parallel_execution(
+    circuit: &Circuit,
+    opts: &BqSimOptions,
+    num_batches: usize,
+    batch_size: usize,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> Result<Diagnostics, BqsimError> {
+    let sim = BqSimulator::compile(circuit, opts.clone())?;
+    let converted = sim.gates();
+    let n = circuit.num_qubits();
+
+    let dim = 1usize << n;
+    let elems = dim * batch_size;
+    let mut mem = DeviceMemory::new(&opts.device);
+    let mut host = HostMemory::new();
+    let buffers = [
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+        mem.alloc(elems)?,
+    ];
+    // Functional mode needs real amplitudes behind the H2D copies.
+    let inputs: Vec<_> = (0..num_batches)
+        .map(|b| {
+            let batch = crate::simulator::random_input_batch(n, batch_size, b as u64);
+            host.alloc_from(bqsim_ell::pack_batch(&batch))
+        })
+        .collect();
+    let outputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(elems)).collect();
+    let graph = schedule::build_batch_graph(
+        &buffers,
+        &inputs,
+        &outputs,
+        converted.len(),
+        (elems * 16) as u64,
+        &|k, src, dst| -> Arc<dyn Kernel> {
+            Arc::new(EllSpmmKernel::new(
+                Arc::clone(&converted[k].ell),
+                src,
+                dst,
+                batch_size,
+            ))
+        },
+    );
+
+    let engine = Engine::with_threads(opts.device.clone(), opts.threads.max(2));
+    let injector = FaultInjector::for_device(plan, 0);
+    let faulted = engine.run_faulted(
+        &graph,
+        &mut mem,
+        &mut host,
+        opts.launch_mode,
+        ExecMode::Functional,
+        &injector,
+        policy,
+    );
+
+    let facts = schedule::schedule_graph_facts(&graph, &buffers);
+    Ok(analyze::check_parallel_schedule(
+        &facts,
+        &faulted.parallel_spans,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +349,60 @@ mod tests {
             assert!(
                 diags.is_clean(),
                 "seed {seed}: recovery schedule must be hazard-free:\n{diags}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_schedules_are_certified_race_free() {
+        use bqsim_faults::FaultPlan;
+        let circuit = generators::vqe(5, 5);
+        for threads in [2usize, 4, 7] {
+            let opts = BqSimOptions {
+                threads,
+                ..BqSimOptions::default()
+            };
+            let diags = analyze_parallel_execution(
+                &circuit,
+                &opts,
+                4,
+                8,
+                &FaultPlan::new(),
+                &RecoveryPolicy::default(),
+            )
+            .expect("analysis runs");
+            assert!(
+                diags.is_clean(),
+                "{threads} threads: parallel schedule must be clean:\n{diags}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_schedules_stay_clean_under_fault_replay() {
+        use bqsim_faults::{FaultBudget, FaultPlan};
+        let circuit = generators::vqe(5, 5);
+        let (num_batches, batch_size) = (4, 8);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let tasks = num_batches * schedule::tasks_per_batch(sim.gates().len());
+        let opts = BqSimOptions {
+            threads: 4,
+            ..BqSimOptions::default()
+        };
+        for seed in [3u64, 19] {
+            let plan = FaultPlan::seeded(seed, 1, tasks, 5, &FaultBudget::transient(2, 1, 1));
+            let diags = analyze_parallel_execution(
+                &circuit,
+                &opts,
+                num_batches,
+                batch_size,
+                &plan,
+                &RecoveryPolicy::default(),
+            )
+            .expect("analysis runs");
+            assert!(
+                diags.is_clean(),
+                "seed {seed}: parallel replay schedule must be clean:\n{diags}"
             );
         }
     }

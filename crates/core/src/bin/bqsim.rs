@@ -53,6 +53,7 @@ struct Args {
     observable: Option<String>,
     zero_input: bool,
     optimize: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         observable: None,
         zero_input: false,
         optimize: false,
+        threads: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +95,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--tau" => args.tau = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(n);
+            }
             "--shots" => args.shots = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--observable" => args.observable = Some(value(&mut i)?),
             "--fault-plan" => args.fault_plan = Some(parse_fault_plan(&value(&mut i)?)?),
@@ -213,6 +222,10 @@ OPTIONS:
     --batch-size <B>     inputs per batch                   [default: 32]
     --tau <edges>        hybrid conversion threshold        [default: 2000]
     --seed <s>           RNG seed for inputs/parameters     [default: 42]
+    --threads <n>        host worker threads for functional execution
+                         (parallel task-graph executor + spMM row
+                         partitioning; 1 = serial)
+                         [default: $BQSIM_THREADS or available cores]
     --stream             disable the task graph (stream launches)
     --skip-fusion        disable BQCS-aware gate fusion
     --zero-input         use |0…0> inputs instead of random states
@@ -232,6 +245,12 @@ OPTIONS:
                            backoff=<ns>  base retry backoff       [default: 5000]
                          pass `default` for the default transient mix"
     );
+}
+
+/// Worker threads for this invocation: `--threads` wins, else the
+/// `BQSIM_THREADS` / available-parallelism default.
+fn effective_threads(args: &Args) -> usize {
+    args.threads.unwrap_or_else(bqsim_core::default_threads)
 }
 
 fn build_circuit(args: &Args) -> Result<Circuit, String> {
@@ -272,6 +291,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
     let opts = BqSimOptions {
         tau: args.tau,
         skip_fusion: args.skip_fusion,
+        threads: effective_threads(args),
         ..BqSimOptions::default()
     };
     let report = bqsim_core::analyze_pipeline(circuit, &opts, args.batches, args.batch_size)
@@ -323,6 +343,40 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
         }
     }
 
+    // With more than one worker thread, execute the schedule on the
+    // parallel worker-pool executor and certify the executed schedule
+    // (dependency order + buffer-conflict freedom on the logical clock).
+    if opts.threads > 1 {
+        let (plan, policy) = match &args.fault_plan {
+            Some(fa) => {
+                let tasks_per_device = args.batches * (report.gates_checked + 2);
+                build_fault_setup(fa, tasks_per_device, args.seed)
+            }
+            None => (FaultPlan::new(), RecoveryPolicy::default()),
+        };
+        let diags = bqsim_core::analyze_parallel_execution(
+            circuit,
+            &opts,
+            args.batches,
+            args.batch_size,
+            &plan,
+            &policy,
+        )
+        .map_err(|e| e.to_string())?;
+        if diags.is_clean() {
+            println!(
+                "parallel schedule on {} threads: race-free and dependency-preserving",
+                opts.threads
+            );
+        } else {
+            println!(
+                "\nparallel schedule on {} threads has findings:\n{diags}",
+                opts.threads
+            );
+            clean = false;
+        }
+    }
+
     if clean {
         println!("analysis clean: no findings");
         Ok(ExitCode::SUCCESS)
@@ -344,6 +398,7 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
             LaunchMode::Graph
         },
         skip_fusion: args.skip_fusion,
+        threads: effective_threads(args),
         ..BqSimOptions::default()
     };
     let sim = BqSimulator::compile(circuit, opts).map_err(|e| e.to_string())?;
@@ -449,6 +504,7 @@ fn run() -> Result<ExitCode, String> {
             LaunchMode::Graph
         },
         skip_fusion: args.skip_fusion,
+        threads: effective_threads(&args),
         ..BqSimOptions::default()
     };
     let sim = BqSimulator::compile(&circuit, opts).map_err(|e| e.to_string())?;

@@ -13,10 +13,11 @@ use bqsim_ell::{EllMatrix, GpuDd};
 use bqsim_gpu::{
     CpuSpec, DeviceMemory, DeviceSpec, Engine, ExecMode, HostMemory, LaunchMode, TaskGraph,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which conversion path produced an ELL gate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConversionMethod {
     /// CPU path enumeration.
     Cpu,
@@ -54,6 +55,46 @@ impl ConvertedGate {
         } else {
             self.ell.byte_size()
         }
+    }
+}
+
+/// Compile-level conversion cache keyed by the gate's canonical QMDD edge.
+///
+/// The DD package hash-conses nodes and normalises edge weights, so two
+/// fused gates with the same matrix share the same `MEdge` within one
+/// package — layered circuits (QAOA, QFT, ansatz repetitions) produce the
+/// same fused gate over and over, and each distinct gate only needs one
+/// DD-to-ELL conversion per compile. The key includes the qubit count and
+/// the (possibly forced) conversion method, and a cache must never outlive
+/// its `DdPackage` (node ids are arena indices).
+#[derive(Debug, Default)]
+pub struct EllCache {
+    map: HashMap<(bqsim_qdd::MEdge, usize, Option<ConversionMethod>), ConvertedGate>,
+    hits: u64,
+    misses: u64,
+    unique_conversion_ns: u64,
+}
+
+impl EllCache {
+    /// An empty cache for one compile (one `DdPackage`).
+    pub fn new() -> Self {
+        EllCache::default()
+    }
+
+    /// Lookups that returned an already-converted gate.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to convert (== number of distinct gates seen).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total modelled conversion time of the distinct conversions only —
+    /// what the pipeline actually spends with the cache in front.
+    pub fn unique_conversion_ns(&self) -> u64 {
+        self.unique_conversion_ns
     }
 }
 
@@ -150,6 +191,53 @@ impl HybridConverter {
         n: usize,
     ) -> Vec<ConvertedGate> {
         gates.iter().map(|g| self.convert(dd, g, n)).collect()
+    }
+
+    /// Like [`HybridConverter::convert`], but consults `cache` first: a gate
+    /// whose canonical edge was already converted (with τ-driven method
+    /// selection) is returned as a clone of the cached result — the ELL
+    /// tensor and flattened DD are `Arc`-shared, so hits cost one hash
+    /// lookup and two refcount bumps.
+    pub fn convert_cached(
+        &self,
+        cache: &mut EllCache,
+        dd: &mut bqsim_qdd::DdPackage,
+        gate: &FusedGate,
+        n: usize,
+    ) -> ConvertedGate {
+        let key = (gate.edge, n, None);
+        if let Some(hit) = cache.map.get(&key) {
+            cache.hits += 1;
+            return hit.clone();
+        }
+        let conv = self.convert(dd, gate, n);
+        cache.misses += 1;
+        cache.unique_conversion_ns += conv.conversion_ns;
+        cache.map.insert(key, conv.clone());
+        conv
+    }
+
+    /// Cached variant of [`HybridConverter::convert_with`]. Forced-method
+    /// entries are keyed separately from τ-selected ones so the Fig. 5 /
+    /// Fig. 9 method-comparison experiments never alias.
+    pub fn convert_with_cached(
+        &self,
+        cache: &mut EllCache,
+        dd: &mut bqsim_qdd::DdPackage,
+        gate: &FusedGate,
+        n: usize,
+        method: ConversionMethod,
+    ) -> ConvertedGate {
+        let key = (gate.edge, n, Some(method));
+        if let Some(hit) = cache.map.get(&key) {
+            cache.hits += 1;
+            return hit.clone();
+        }
+        let conv = self.convert_with(dd, gate, n, method);
+        cache.misses += 1;
+        cache.unique_conversion_ns += conv.conversion_ns;
+        cache.map.insert(key, conv.clone());
+        conv
     }
 
     /// Modelled CPU conversion time: proportional to the non-zero entry
@@ -311,5 +399,61 @@ mod tests {
     #[test]
     fn default_tau_matches_paper() {
         assert_eq!(HybridConverter::default().tau, 2000);
+    }
+
+    #[test]
+    fn cache_converts_each_distinct_gate_once() {
+        // A layered circuit repeats the same gates; hash-consing gives the
+        // repetitions the same canonical edge, so the cache must convert
+        // each distinct edge exactly once.
+        let mut c = Circuit::new(6);
+        for _ in 0..4 {
+            for q in 0..6 {
+                c.h(q);
+            }
+            for q in 0..5 {
+                c.cx(q, q + 1);
+            }
+        }
+        let mut dd = DdPackage::new();
+        let fused = classify_gates(&mut dd, 6, &lower_circuit(&c));
+        let converter = HybridConverter::default();
+        let mut cache = EllCache::new();
+        let mut uncached_ns = 0u64;
+        for g in &fused {
+            let cached = converter.convert_cached(&mut cache, &mut dd, g, 6);
+            let fresh = converter.convert(&mut dd, g, 6);
+            assert_eq!(cached.ell, fresh.ell, "cache must be functionally inert");
+            assert_eq!(cached.method, fresh.method);
+            uncached_ns += fresh.conversion_ns;
+        }
+        let distinct: std::collections::HashSet<_> = fused.iter().map(|g| g.edge).collect();
+        assert_eq!(cache.misses(), distinct.len() as u64);
+        assert_eq!(cache.hits(), fused.len() as u64 - distinct.len() as u64);
+        assert!(
+            distinct.len() < fused.len(),
+            "workload must actually repeat gates for this test to bite"
+        );
+        assert!(cache.unique_conversion_ns() <= uncached_ns);
+    }
+
+    #[test]
+    fn cache_keys_forced_methods_separately() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let mut dd = DdPackage::new();
+        let gates = classify_gates(&mut dd, 4, &lower_circuit(&c));
+        let converter = HybridConverter::default();
+        let mut cache = EllCache::new();
+        let a =
+            converter.convert_with_cached(&mut cache, &mut dd, &gates[0], 4, ConversionMethod::Cpu);
+        let b =
+            converter.convert_with_cached(&mut cache, &mut dd, &gates[0], 4, ConversionMethod::Gpu);
+        assert_eq!(cache.misses(), 2, "forced methods must not alias");
+        assert_eq!(a.ell, b.ell);
+        let again =
+            converter.convert_with_cached(&mut cache, &mut dd, &gates[0], 4, ConversionMethod::Cpu);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(again.method, ConversionMethod::Cpu);
     }
 }

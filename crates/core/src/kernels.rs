@@ -24,22 +24,75 @@ pub struct EllSpmmKernel {
     input: BufferId,
     output: BufferId,
     batch: usize,
+    lanes: usize,
+    generic: bool,
 }
 
+/// Minimum output elements (`rows × batch`) each row-partition lane must
+/// receive before a launch is split across workers — below this the
+/// spawn/join cost of the nested scope outweighs the inner-loop work.
+const MIN_ELEMS_PER_LANE: usize = 4096;
+
 impl EllSpmmKernel {
-    /// Creates the kernel for one gate application.
+    /// Creates the kernel for one gate application (single-lane, fast-path
+    /// inner loops — the default everywhere).
     pub fn new(gate: Arc<EllMatrix>, input: BufferId, output: BufferId, batch: usize) -> Self {
+        EllSpmmKernel::with_mode(gate, input, output, batch, 1, false)
+    }
+
+    /// [`EllSpmmKernel::new`] with up to `lanes` host workers
+    /// row-partitioning the launch (mirroring the GPU's block-per-row
+    /// decomposition). The split only engages when each lane would get at
+    /// least [`MIN_ELEMS_PER_LANE`] output elements, so small launches stay
+    /// serial.
+    pub fn with_lanes(
+        gate: Arc<EllMatrix>,
+        input: BufferId,
+        output: BufferId,
+        batch: usize,
+        lanes: usize,
+    ) -> Self {
+        EllSpmmKernel::with_mode(gate, input, output, batch, lanes, false)
+    }
+
+    /// Full constructor: `generic = true` routes execution through the
+    /// pre-optimisation [`EllMatrix::spmm_generic`] loop (the serial
+    /// ablation baseline benches compare against); it also disables lane
+    /// splitting so the baseline is exactly the historical code path.
+    pub fn with_mode(
+        gate: Arc<EllMatrix>,
+        input: BufferId,
+        output: BufferId,
+        batch: usize,
+        lanes: usize,
+        generic: bool,
+    ) -> Self {
         EllSpmmKernel {
             gate,
             input,
             output,
             batch,
+            lanes: lanes.max(1),
+            generic,
         }
     }
 
     /// #MAC of one launch: `rows × maxNZR × batch`.
     pub fn macs(&self) -> u64 {
         self.gate.mac_per_input() * self.batch as u64
+    }
+
+    /// Lanes this launch will actually split into after the work-size
+    /// gate: bounded by the configured lanes, the row count, and
+    /// [`MIN_ELEMS_PER_LANE`].
+    pub fn effective_lanes(&self) -> usize {
+        if self.lanes <= 1 || self.generic {
+            return 1;
+        }
+        let total = self.gate.num_rows() * self.batch;
+        self.lanes
+            .min(self.gate.num_rows())
+            .min((total / MIN_ELEMS_PER_LANE).max(1))
     }
 }
 
@@ -65,9 +118,30 @@ impl Kernel for EllSpmmKernel {
         }
     }
 
-    fn execute(&self, mem: &mut DeviceMemory) {
-        let (input, output) = mem.buffer_pair_mut(self.input, self.output);
-        self.gate.spmm(input, output, self.batch);
+    fn execute(&self, mem: &DeviceMemory) {
+        let (input, mut output) = mem.buffer_pair_mut(self.input, self.output);
+        if self.generic {
+            self.gate.spmm_generic(&input, &mut output, self.batch);
+            return;
+        }
+        let lanes = self.effective_lanes();
+        if lanes == 1 {
+            self.gate.spmm(&input, &mut output, self.batch);
+            return;
+        }
+        // Row-partition one launch across `lanes` scoped workers: each
+        // lane owns a disjoint window of output rows and only reads the
+        // (shared) input, so the split is race-free by construction.
+        let rows = self.gate.num_rows();
+        let chunk_rows = rows.div_ceil(lanes);
+        let batch = self.batch;
+        let gate = &*self.gate;
+        let input = &*input;
+        std::thread::scope(|scope| {
+            for (lane, chunk) in output.chunks_mut(chunk_rows * batch).enumerate() {
+                scope.spawn(move || gate.spmm_rows(input, chunk, lane * chunk_rows, batch));
+            }
+        });
     }
 
     fn buffer_reads(&self) -> Vec<BufferId> {
@@ -139,7 +213,7 @@ impl Kernel for DdToEllKernel {
         }
     }
 
-    fn execute(&self, _mem: &mut DeviceMemory) {
+    fn execute(&self, _mem: &DeviceMemory) {
         // Conversion output is produced host-side at compile time; see the
         // type-level docs.
     }
@@ -198,14 +272,15 @@ impl Kernel for DdSpmvKernel {
         }
     }
 
-    fn execute(&self, mem: &mut DeviceMemory) {
+    fn execute(&self, mem: &DeviceMemory) {
         let rows = 1usize << self.gdd.num_qubits();
         let mut vals = vec![Complex::ZERO; self.max_nzr];
         let mut cols = vec![0u32; self.max_nzr];
-        let (input, output) = mem.buffer_pair_mut(self.input, self.output);
+        let (input, mut output) = mem.buffer_pair_mut(self.input, self.output);
         for r in 0..rows {
-            vals.fill(Complex::ZERO);
-            cols.fill(0);
+            // Scratch is reused across rows without refilling: Algorithm 1
+            // writes slots 0..nnz before reporting them, and the loop below
+            // reads only that prefix.
             let rc = convert_row_algorithm1(&self.gdd, r, &mut vals, &mut cols);
             let out_row = &mut output[r * self.batch..(r + 1) * self.batch];
             out_row.fill(Complex::ZERO);
@@ -259,7 +334,7 @@ mod tests {
         mem.buffer_mut(din)[0] = Complex::ONE; // amp 0, batch 0
         mem.buffer_mut(din)[batch + 1] = Complex::ONE; // amp 1, batch 1
         let k = EllSpmmKernel::new(Arc::clone(&ell), din, dout, batch);
-        k.execute(&mut mem);
+        k.execute(&mem);
         let out = mem.buffer(dout);
         // column extraction for batch 0
         let col0: Vec<Complex> = (0..8).map(|r| out[r * batch]).collect();
@@ -285,12 +360,12 @@ mod tests {
             mem.buffer_mut(din)[(b % 8) * batch + b] = Complex::new(1.0, 0.5);
         }
         let ka = EllSpmmKernel::new(Arc::new(ell.clone()), din, d1, batch);
-        ka.execute(&mut mem);
+        ka.execute(&mem);
         let kb = DdSpmvKernel::new(Arc::new(gdd), ell.max_nzr(), work, din, d2, batch);
-        kb.execute(&mut mem);
+        kb.execute(&mem);
         assert!(bqsim_num::approx::vectors_eq(
-            mem.buffer(d1),
-            mem.buffer(d2),
+            &mem.buffer(d1),
+            &mem.buffer(d2),
             1e-12
         ));
     }

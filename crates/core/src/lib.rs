@@ -49,13 +49,16 @@ pub mod multi_gpu;
 pub mod schedule;
 pub mod simulator;
 
-pub use analysis::{analyze_pipeline, analyze_recovery, PipelineAnalysis};
-pub use convert::{ConversionMethod, ConvertedGate, HybridConverter};
+pub use analysis::{
+    analyze_parallel_execution, analyze_pipeline, analyze_recovery, PipelineAnalysis,
+};
+pub use convert::{ConversionMethod, ConvertedGate, EllCache, HybridConverter};
 pub use error::BqsimError;
 pub use fusion::{bqcs_aware_fusion, greedy_fusion, FusedGate};
 pub use multi_gpu::{MultiGpuRecoveredRun, MultiGpuRun, MultiGpuRunner};
 pub use simulator::{
-    random_input_batch, BqSimOptions, BqSimulator, RecoveredRun, RunBreakdown, RunResult,
+    default_threads, random_input_batch, BqSimOptions, BqSimulator, RecoveredRun, RunBreakdown,
+    RunResult,
 };
 
 // Re-exported so downstream users (CLI, tests) can build fault plans and

@@ -278,7 +278,7 @@ mod tests {
                 fn profile(&self) -> bqsim_gpu::KernelProfile {
                     bqsim_gpu::KernelProfile::empty()
                 }
-                fn execute(&self, _mem: &mut bqsim_gpu::DeviceMemory) {}
+                fn execute(&self, _mem: &bqsim_gpu::DeviceMemory) {}
                 fn buffer_reads(&self) -> Vec<BufferId> {
                     vec![self.0]
                 }

@@ -1,6 +1,6 @@
 //! The top-level BQSim simulator API.
 
-use crate::convert::{ConversionMethod, ConvertedGate, HybridConverter};
+use crate::convert::{ConversionMethod, ConvertedGate, EllCache, HybridConverter};
 use crate::error::BqsimError;
 use crate::fusion::{self, FusedGate};
 use crate::kernels::{DdSpmvKernel, EllSpmmKernel};
@@ -47,6 +47,29 @@ pub struct BqSimOptions {
     pub skip_fusion: bool,
     /// Simulate straight from DDs, skipping ELL (ablation).
     pub skip_ell: bool,
+    /// Host worker threads for functional execution: the parallel
+    /// task-graph executor and spMM row partitioning. `1` preserves the
+    /// serial path byte for byte; the default honours `BQSIM_THREADS` and
+    /// falls back to the host's available parallelism.
+    pub threads: usize,
+    /// Force the generic (pre-fast-path) spMM inner loop — the ablation
+    /// baseline for the shape-specialised kernels.
+    pub generic_spmm: bool,
+}
+
+/// Default worker-thread count: `BQSIM_THREADS` if set to a positive
+/// integer, else the host's available parallelism, else 1.
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("BQSIM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for BqSimOptions {
@@ -60,6 +83,8 @@ impl Default for BqSimOptions {
             force_conversion: None,
             skip_fusion: false,
             skip_ell: false,
+            threads: default_threads(),
+            generic_spmm: false,
         }
     }
 }
@@ -128,6 +153,8 @@ pub struct BqSimulator {
     fusion_ns: u64,
     fusion_wall_ns: u64,
     conversion_ns: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// The result of a fault-injected run: the run itself plus a [`RunHealth`]
@@ -173,14 +200,18 @@ impl BqSimulator {
         let fusion_ns = fusion_ops * FUSION_NS_PER_DD_OP;
 
         let converter = HybridConverter::new(opts.tau, opts.device.clone(), opts.cpu.clone());
+        // Repeated fused gates (layered ansätze, QAOA/QFT structure) share a
+        // canonical DD edge, so the cache converts each distinct gate once;
+        // the conversion stage is charged for distinct conversions only.
+        let mut cache = EllCache::new();
         let gates: Vec<ConvertedGate> = fused
             .iter()
             .map(|g| match opts.force_conversion {
-                Some(m) => converter.convert_with(&mut dd, g, n, m),
-                None => converter.convert(&mut dd, g, n),
+                Some(m) => converter.convert_with_cached(&mut cache, &mut dd, g, n, m),
+                None => converter.convert_cached(&mut cache, &mut dd, g, n),
             })
             .collect();
-        let conversion_ns = gates.iter().map(|g| g.conversion_ns).sum();
+        let conversion_ns = cache.unique_conversion_ns();
 
         Ok(BqSimulator {
             num_qubits: n,
@@ -190,6 +221,8 @@ impl BqSimulator {
             fusion_ns,
             fusion_wall_ns,
             conversion_ns,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
         })
     }
 
@@ -212,6 +245,13 @@ impl BqSimulator {
     /// the breakdown uses the modelled virtual time).
     pub fn fusion_wall_ns(&self) -> u64 {
         self.fusion_wall_ns
+    }
+
+    /// Compile-time conversion-cache stats: `(hits, misses)`. Misses count
+    /// the distinct gates actually converted; hits are repeats served from
+    /// the cache.
+    pub fn conversion_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     /// Compile-time stage durations (both in modelled virtual time).
@@ -322,7 +362,7 @@ impl BqSimulator {
         let bytes_per_batch = (elems * 16) as u64;
         let functional = !packed.is_empty() && self.opts.exec_mode == ExecMode::Functional;
 
-        let engine = Engine::new(self.opts.device.clone());
+        let engine = Engine::with_threads(self.opts.device.clone(), self.opts.threads);
         let mut mem = DeviceMemory::new(&self.opts.device);
         mem.inject_oom_at(oom_allocs);
         let mut host = HostMemory::new();
@@ -376,7 +416,21 @@ impl BqSimulator {
                         batch_size,
                     ))
                 } else {
-                    Arc::new(EllSpmmKernel::new(Arc::clone(&g.ell), src, dst, batch_size))
+                    Arc::new(EllSpmmKernel::with_mode(
+                        Arc::clone(&g.ell),
+                        src,
+                        dst,
+                        batch_size,
+                        // Lane-splitting a launch past the host's hardware
+                        // threads cannot make it faster — the spawned lanes
+                        // just time-slice one core — so the pipeline clamps
+                        // here while `with_lanes` keeps honouring explicit
+                        // oversubscription for tests.
+                        self.opts
+                            .threads
+                            .min(std::thread::available_parallelism().map_or(1, |p| p.get())),
+                        self.opts.generic_spmm,
+                    ))
                 }
             },
         );
@@ -400,7 +454,7 @@ impl BqSimulator {
         let outputs_data: Vec<Vec<Vec<Complex>>> = if functional {
             outputs
                 .iter()
-                .map(|&h| bqsim_ell::unpack_batch(host.buffer(h), batch_size))
+                .map(|&h| bqsim_ell::unpack_batch(&host.buffer(h), batch_size))
                 .collect()
         } else {
             Vec::new()
@@ -627,9 +681,14 @@ impl BqSimulator {
             self.opts.device.clone(),
             self.opts.cpu.clone(),
         );
+        // Fresh DdPackage → fresh cache (edge ids are arena indices and
+        // must not cross packages); unfused circuits repeat gates heavily.
+        let mut cache = EllCache::new();
         fused
             .iter()
-            .map(|g| converter.convert_with(&mut dd, g, n, ConversionMethod::Cpu))
+            .map(|g| {
+                converter.convert_with_cached(&mut cache, &mut dd, g, n, ConversionMethod::Cpu)
+            })
             .collect()
     }
 

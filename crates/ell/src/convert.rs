@@ -144,8 +144,8 @@ pub fn ell_from_gpu_dd(gdd: &GpuDd, max_nzr: usize) -> (EllMatrix, ConversionWor
     let mut vals = vec![Complex::ZERO; max_nzr];
     let mut cols = vec![0u32; max_nzr];
     for row in 0..rows {
-        vals.fill(Complex::ZERO);
-        cols.fill(0);
+        // No per-row scratch refill: Algorithm 1 writes slots 0..nnz before
+        // reporting them, and only those are consumed below.
         let rc = convert_row_algorithm1(gdd, row, &mut vals, &mut cols);
         for k in 0..rc.nnz {
             ell.set_slot(row, k, cols[k] as usize, vals[k]);

@@ -3,6 +3,18 @@
 use bqsim_num::Complex;
 use core::fmt;
 
+/// `s · x` for a real scalar `s`: two multiplies instead of the four
+/// multiplies and two adds of a full complex product. Used by the
+/// real-valued spMM arms (real-amplitudes ansätze, Ry/CX routing layers,
+/// and Hadamard-heavy gates are entirely real). Agrees with
+/// `Complex::new(s, 0.0) * x` in every component under `==`; the only
+/// possible discrepancy is the sign of a zero (the full product adds a
+/// `±0.0` cross term), which `f64` equality ignores.
+#[inline]
+fn rscale(s: f64, x: Complex) -> Complex {
+    Complex::new(s * x.re, s * x.im)
+}
+
 /// A square sparse matrix in ELL format (paper Fig. 7a).
 ///
 /// Every row stores exactly [`EllMatrix::max_nzr`] `(value, column)` slots;
@@ -10,12 +22,32 @@ use core::fmt;
 /// index is 0 and never contributes). The per-row slot count is what makes
 /// the BQCS kernel's work per output amplitude uniform: `#MAC = maxNZR`
 /// (§3.1.1).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Alongside the slots the matrix tracks `row_nnz`, the number of leading
+/// slots of each row that have ever been set non-zero. The conversion
+/// paths (CPU NZRV walk and Algorithm 1) both emit each row's non-zeros
+/// into slots `0..nnz` in ascending column order, so for every matrix they
+/// produce `row_nnz[r]` is exact and the spMV/spMM hot loops can iterate
+/// just those slots with no per-slot zero test.
+#[derive(Debug, Clone)]
 pub struct EllMatrix {
     rows: usize,
     max_nzr: usize,
     values: Vec<Complex>,
     cols: Vec<u32>,
+    row_nnz: Vec<u32>,
+}
+
+impl PartialEq for EllMatrix {
+    /// Equality is over the logical slot content only; `row_nnz` is a
+    /// derived accelerator bound and two matrices with identical slots are
+    /// equal regardless of how those slots were written.
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.max_nzr == other.max_nzr
+            && self.values == other.values
+            && self.cols == other.cols
+    }
 }
 
 impl EllMatrix {
@@ -33,6 +65,7 @@ impl EllMatrix {
             max_nzr,
             values: vec![Complex::ZERO; rows * max_nzr],
             cols: vec![0; rows * max_nzr],
+            row_nnz: vec![0; rows],
         }
     }
 
@@ -68,6 +101,11 @@ impl EllMatrix {
 
     /// Writes slot `slot` of `row`.
     ///
+    /// Writing a non-zero value extends the row's `row_nnz` bound to cover
+    /// the slot. The bound is monotone: overwriting a slot with zero does
+    /// not shrink it (the zero simply contributes nothing), so `row_nnz`
+    /// is always a safe upper bound on the populated prefix.
+    ///
     /// # Panics
     ///
     /// Panics if `slot >= max_nzr` or `col >= rows`.
@@ -77,6 +115,16 @@ impl EllMatrix {
         let at = row * self.max_nzr + slot;
         self.values[at] = value;
         self.cols[at] = col as u32;
+        if value != Complex::ZERO {
+            self.row_nnz[row] = self.row_nnz[row].max(slot as u32 + 1);
+        }
+    }
+
+    /// Number of leading slots of `row` the hot loops must visit — the
+    /// populated (possibly zero-containing, never under-counted) prefix.
+    #[inline]
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_nnz[row] as usize
     }
 
     /// Total number of multiply-accumulate operations one application to a
@@ -99,7 +147,9 @@ impl EllMatrix {
         self.values.iter().filter(|v| **v != Complex::ZERO).count()
     }
 
-    /// Reference sparse matrix–vector product `y = A·x`.
+    /// Reference sparse matrix–vector product `y = A·x`, iterating only
+    /// each row's populated `row_nnz` prefix (padding is skipped without a
+    /// per-slot branch).
     ///
     /// # Panics
     ///
@@ -111,7 +161,7 @@ impl EllMatrix {
         for r in 0..self.rows {
             let mut acc = Complex::ZERO;
             let base = r * self.max_nzr;
-            for k in 0..self.max_nzr {
+            for k in 0..self.row_nnz[r] as usize {
                 let v = self.values[base + k];
                 acc += v * x[self.cols[base + k] as usize];
             }
@@ -128,10 +178,249 @@ impl EllMatrix {
     /// layout: amplitude `r` of batch element `b` lives at
     /// `r * batch + b` (the coalescing-friendly layout of the GPU kernel).
     ///
+    /// Dispatches to shape-specialised inner loops (see
+    /// [`EllMatrix::spmm_rows`]): the fused pipeline produces almost
+    /// exclusively cost-1 (diagonal/permutation) and cost-2 gates
+    /// (§3.1, Table 1), so those shapes get dedicated single-pass kernels.
+    ///
     /// # Panics
     ///
     /// Panics if the buffer sizes don't equal `rows × batch`.
     pub fn spmm(&self, input: &[Complex], output: &mut [Complex], batch: usize) {
+        assert_eq!(input.len(), self.rows * batch, "input size mismatch");
+        assert_eq!(output.len(), self.rows * batch, "output size mismatch");
+        self.spmm_rows(input, output, 0, batch);
+    }
+
+    /// [`EllMatrix::spmm`] restricted to the consecutive row window
+    /// `first_row ..` covered by `out`: `out` receives the output rows and
+    /// must be a multiple of `batch` long. This is the unit the parallel
+    /// executor hands to each worker when row-partitioning one launch
+    /// (mirroring the GPU's block-per-row decomposition); calling it once
+    /// with the full output is exactly `spmm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `rows × batch` long, `out` is not a
+    /// multiple of `batch`, or the window overruns the matrix.
+    pub fn spmm_rows(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        first_row: usize,
+        batch: usize,
+    ) {
+        assert_eq!(input.len(), self.rows * batch, "input size mismatch");
+        assert!(out.len().is_multiple_of(batch), "ragged output window");
+        assert!(
+            first_row + out.len() / batch <= self.rows,
+            "row window out of range"
+        );
+        match self.max_nzr {
+            1 => self.spmm_rows_gather_scale(input, out, first_row, batch),
+            2 => self.spmm_rows_pair(input, out, first_row, batch),
+            _ => self.spmm_rows_general(input, out, first_row, batch),
+        }
+    }
+
+    /// Gather-scale kernel for `max_nzr == 1` gates (diagonals and
+    /// permutations — the dominant post-fusion shape): each output row is
+    /// one scaled gather, written in a single pass with no zero-fill and
+    /// no accumulation. Unit values (permutation rows) degrade to a pure
+    /// row copy, real values to the half-cost [`rscale`].
+    fn spmm_rows_gather_scale(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        first_row: usize,
+        batch: usize,
+    ) {
+        for (i, out_row) in out.chunks_exact_mut(batch).enumerate() {
+            let r = first_row + i;
+            if self.row_nnz[r] == 0 {
+                out_row.fill(Complex::ZERO);
+                continue;
+            }
+            let v = self.values[r];
+            let src = &input[self.cols[r] as usize * batch..][..batch];
+            if v == Complex::ONE {
+                out_row.copy_from_slice(src);
+            } else if v.im == 0.0 {
+                for (o, x) in out_row.iter_mut().zip(src) {
+                    *o = rscale(v.re, *x);
+                }
+            } else {
+                for (o, x) in out_row.iter_mut().zip(src) {
+                    *o = v * *x;
+                }
+            }
+        }
+    }
+
+    /// Two-slot kernel for `max_nzr == 2` gates (the cost-2 products
+    /// fusion deliberately produces): one pass computing
+    /// `v0·x0 + v1·x1` per element, instead of zero-fill plus two
+    /// read-modify-write sweeps. Rows whose two values are both real
+    /// (Hadamard/Ry products) use the half-cost real combine.
+    fn spmm_rows_pair(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        first_row: usize,
+        batch: usize,
+    ) {
+        for (i, out_row) in out.chunks_exact_mut(batch).enumerate() {
+            let r = first_row + i;
+            let base = r * 2;
+            match self.row_nnz[r] {
+                0 => out_row.fill(Complex::ZERO),
+                1 => {
+                    let v = self.values[base];
+                    let src = &input[self.cols[base] as usize * batch..][..batch];
+                    for (o, x) in out_row.iter_mut().zip(src) {
+                        *o = v * *x;
+                    }
+                }
+                _ => {
+                    let v0 = self.values[base];
+                    let v1 = self.values[base + 1];
+                    let x0 = &input[self.cols[base] as usize * batch..][..batch];
+                    let x1 = &input[self.cols[base + 1] as usize * batch..][..batch];
+                    if v0.im == 0.0 && v1.im == 0.0 {
+                        let (s0, s1) = (v0.re, v1.re);
+                        for ((o, a), b) in out_row.iter_mut().zip(x0).zip(x1) {
+                            *o = Complex::new(s0 * a.re + s1 * b.re, s0 * a.im + s1 * b.im);
+                        }
+                    } else {
+                        for ((o, a), b) in out_row.iter_mut().zip(x0).zip(x1) {
+                            *o = v0 * *a + v1 * *b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// General inner loop: iterates each row's `row_nnz` prefix (padding
+    /// beyond the prefix is never visited), with **single-pass** kernels
+    /// for up to four slots — every arity BQCS-aware fusion emits (cost-1
+    /// runs, cost-2 gates, cost-2 pairs fused to cost-4). A single pass
+    /// writes each output element once instead of zero-fill plus one
+    /// read-modify-write sweep per slot, which roughly halves the output
+    /// traffic at cost 4. Each arm additionally dispatches per row on the
+    /// value pattern: all-real rows (Ry/CX routing layers, Hadamard
+    /// products) take a [`rscale`]-style combine with half the multiplies,
+    /// and unit single-value rows degrade to a row copy. Rows wider than
+    /// four slots (only reachable via heavy unfused products) fall back to
+    /// the accumulation sweep.
+    fn spmm_rows_general(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        first_row: usize,
+        batch: usize,
+    ) {
+        let row_src = |base: usize, k: usize| -> &[Complex] {
+            &input[self.cols[base + k] as usize * batch..][..batch]
+        };
+        for (i, out_row) in out.chunks_exact_mut(batch).enumerate() {
+            let r = first_row + i;
+            let base = r * self.max_nzr;
+            let v = &self.values[base..];
+            match self.row_nnz[r] {
+                0 => out_row.fill(Complex::ZERO),
+                1 => {
+                    let x0 = row_src(base, 0);
+                    if v[0] == Complex::ONE {
+                        out_row.copy_from_slice(x0);
+                    } else if v[0].im == 0.0 {
+                        let s = v[0].re;
+                        for (o, a) in out_row.iter_mut().zip(x0) {
+                            *o = rscale(s, *a);
+                        }
+                    } else {
+                        for (o, a) in out_row.iter_mut().zip(x0) {
+                            *o = v[0] * *a;
+                        }
+                    }
+                }
+                2 => {
+                    let (x0, x1) = (row_src(base, 0), row_src(base, 1));
+                    if v[0].im == 0.0 && v[1].im == 0.0 {
+                        let (s0, s1) = (v[0].re, v[1].re);
+                        for ((o, a), b) in out_row.iter_mut().zip(x0).zip(x1) {
+                            *o = Complex::new(s0 * a.re + s1 * b.re, s0 * a.im + s1 * b.im);
+                        }
+                    } else {
+                        for ((o, a), b) in out_row.iter_mut().zip(x0).zip(x1) {
+                            *o = v[0] * *a + v[1] * *b;
+                        }
+                    }
+                }
+                3 => {
+                    let (x0, x1, x2) = (row_src(base, 0), row_src(base, 1), row_src(base, 2));
+                    if v[..3].iter().all(|v| v.im == 0.0) {
+                        let (s0, s1, s2) = (v[0].re, v[1].re, v[2].re);
+                        for (((o, a), b), c) in out_row.iter_mut().zip(x0).zip(x1).zip(x2) {
+                            *o = Complex::new(
+                                s0 * a.re + s1 * b.re + s2 * c.re,
+                                s0 * a.im + s1 * b.im + s2 * c.im,
+                            );
+                        }
+                    } else {
+                        for (((o, a), b), c) in out_row.iter_mut().zip(x0).zip(x1).zip(x2) {
+                            *o = v[0] * *a + v[1] * *b + v[2] * *c;
+                        }
+                    }
+                }
+                4 => {
+                    let (x0, x1, x2, x3) = (
+                        row_src(base, 0),
+                        row_src(base, 1),
+                        row_src(base, 2),
+                        row_src(base, 3),
+                    );
+                    if v[..4].iter().all(|v| v.im == 0.0) {
+                        let (s0, s1, s2, s3) = (v[0].re, v[1].re, v[2].re, v[3].re);
+                        for ((((o, a), b), c), d) in
+                            out_row.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3)
+                        {
+                            *o = Complex::new(
+                                s0 * a.re + s1 * b.re + s2 * c.re + s3 * d.re,
+                                s0 * a.im + s1 * b.im + s2 * c.im + s3 * d.im,
+                            );
+                        }
+                    } else {
+                        for ((((o, a), b), c), d) in
+                            out_row.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3)
+                        {
+                            *o = v[0] * *a + v[1] * *b + v[2] * *c + v[3] * *d;
+                        }
+                    }
+                }
+                nnz => {
+                    out_row.fill(Complex::ZERO);
+                    for k in 0..nnz as usize {
+                        let vk = self.values[base + k];
+                        let src = row_src(base, k);
+                        for (o, x) in out_row.iter_mut().zip(src) {
+                            *o += vk * *x;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-optimisation spMM inner loop: every `max_nzr` slot visited
+    /// with a per-slot `v == 0` branch and index-based accumulation. Kept
+    /// as the ablation baseline the benches compare the fast paths against
+    /// (`BqSimOptions::generic_spmm` routes the pipeline through it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes don't equal `rows × batch`.
+    pub fn spmm_generic(&self, input: &[Complex], output: &mut [Complex], batch: usize) {
         assert_eq!(input.len(), self.rows * batch, "input size mismatch");
         assert_eq!(output.len(), self.rows * batch, "output size mismatch");
         for r in 0..self.rows {
@@ -303,5 +592,79 @@ mod tests {
         let mut ell = EllMatrix::zeros(2, 2);
         ell.set_slot(0, 0, 0, Complex::ONE);
         assert_eq!(ell.stored_nonzeros(), 1);
+    }
+
+    #[test]
+    fn row_nnz_tracks_populated_prefix() {
+        let mut ell = EllMatrix::zeros(4, 3);
+        assert_eq!(ell.row_nnz(0), 0);
+        ell.set_slot(0, 0, 1, Complex::ONE);
+        ell.set_slot(0, 1, 2, Complex::I);
+        ell.set_slot(2, 0, 0, Complex::ONE);
+        assert_eq!(ell.row_nnz(0), 2);
+        assert_eq!(ell.row_nnz(1), 0);
+        assert_eq!(ell.row_nnz(2), 1);
+        // Overwriting with zero keeps the (safe) monotone bound.
+        ell.set_slot(0, 1, 2, Complex::ZERO);
+        assert_eq!(ell.row_nnz(0), 2);
+    }
+
+    fn batched(dim: usize, batch: usize, salt: u64) -> Vec<Complex> {
+        (0..dim * batch)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(salt);
+                Complex::new(
+                    ((x >> 33) as f64) / (1u64 << 31) as f64 - 1.0,
+                    ((x & 0xffff_ffff) as f64) / (1u64 << 31) as f64 - 1.0,
+                )
+            })
+            .collect()
+    }
+
+    /// Every specialised shape (1, 2, general) must agree with the
+    /// pre-optimisation generic loop to the last ulp on converter-shaped
+    /// matrices (non-zeros packed into the leading slots).
+    #[test]
+    fn fast_paths_match_generic_spmm() {
+        for (nzr, fill) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2), (4, 4)] {
+            let rows = 16;
+            let mut ell = EllMatrix::zeros(rows, nzr);
+            for r in 0..rows {
+                for s in 0..fill.min(nzr) {
+                    // Deterministic, non-trivial values and scattered columns.
+                    let c = (r * 7 + s * 3 + 1) % rows;
+                    let v = Complex::new(0.25 + r as f64 * 0.125, s as f64 - 0.5);
+                    ell.set_slot(r, s, c, v);
+                }
+            }
+            for batch in [1usize, 3, 8] {
+                let input = batched(rows, batch, nzr as u64 * 31 + batch as u64);
+                let mut fast = vec![Complex::ZERO; rows * batch];
+                let mut generic = vec![Complex::ONE; rows * batch];
+                ell.spmm(&input, &mut fast, batch);
+                ell.spmm_generic(&input, &mut generic, batch);
+                assert_eq!(fast, generic, "nzr={nzr} fill={fill} batch={batch}");
+            }
+        }
+    }
+
+    /// Row-windowed execution composes to the full product: computing the
+    /// output in several disjoint windows must equal one full launch.
+    #[test]
+    fn spmm_rows_windows_compose() {
+        let rows = 8;
+        let batch = 5;
+        let m = GateKind::Swap.matrix().kron(&GateKind::H.matrix());
+        let ell = ell_of_dense(&m);
+        let input = batched(rows, batch, 99);
+        let mut whole = vec![Complex::ZERO; rows * batch];
+        ell.spmm(&input, &mut whole, batch);
+        let mut windowed = vec![Complex::ZERO; rows * batch];
+        for (w, chunk) in windowed.chunks_mut(3 * batch).enumerate() {
+            ell.spmm_rows(&input, chunk, w * 3, batch);
+        }
+        assert_eq!(windowed, whole);
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::device::DeviceSpec;
 use crate::memory::{DeviceMemory, HostMemory};
+use crate::parallel::{self, Effect, TaskSpan};
 use crate::task::{Task, TaskGraph, TaskId, TaskKind};
 use bqsim_faults::{FaultEvent, FaultInjector, FaultKind, RecoveryPolicy, Resolution};
 use bqsim_num::Complex;
@@ -244,17 +245,38 @@ impl Timeline {
 #[derive(Debug, Clone)]
 pub struct Engine {
     spec: DeviceSpec,
+    threads: usize,
 }
 
 impl Engine {
-    /// Creates an engine for a device.
+    /// Creates an engine for a device running the functional layer on one
+    /// host thread (the historical serial behaviour).
     pub fn new(spec: DeviceSpec) -> Self {
-        Engine { spec }
+        Engine { spec, threads: 1 }
+    }
+
+    /// Creates an engine whose functional execution uses a pool of
+    /// `threads` host workers (clamped to at least 1). The virtual-time
+    /// schedule is computed identically regardless of `threads`; only how
+    /// kernel bodies and copies run on the host changes, and
+    /// [`FaultedRun::parallel_spans`] records the actual overlap for the
+    /// conformance checker. With `threads == 1` this is exactly
+    /// [`Engine::new`], byte for byte.
+    pub fn with_threads(spec: DeviceSpec, threads: usize) -> Self {
+        Engine {
+            spec,
+            threads: threads.max(1),
+        }
     }
 
     /// The device spec this engine models.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Host worker threads used for functional execution.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Duration of one task in nanoseconds under `mode`.
@@ -352,6 +374,18 @@ impl Engine {
         let mut run = FaultedRun::default();
         let device = injector.device();
         let mut lost_ns: Option<u64> = None;
+        // With more than one worker, functional effects (poisons and the
+        // completing execution of each task) are recorded during the
+        // scheduling sweep and applied afterwards by the worker pool in an
+        // order that respects every dependency edge. Each task's effect
+        // list is applied atomically by one worker, so the net result is
+        // identical to the inline serial path.
+        let parallel = self.threads > 1 && exec == ExecMode::Functional;
+        let mut effects: Vec<Vec<Effect>> = if parallel {
+            vec![Vec::new(); n]
+        } else {
+            Vec::new()
+        };
 
         for (i, task) in graph.tasks.iter().enumerate() {
             let id = TaskId(i);
@@ -458,7 +492,11 @@ impl Engine {
                         });
                     }
                     if exec == ExecMode::Functional {
-                        execute_task(task, mem, host);
+                        if parallel {
+                            effects[i].push(Effect::Execute);
+                        } else {
+                            execute_task(task, mem, host);
+                        }
                     }
                     break;
                 }
@@ -492,7 +530,11 @@ impl Engine {
                     outcome,
                 });
                 if exec == ExecMode::Functional {
-                    poison_destination(task, mem, host);
+                    if parallel {
+                        effects[i].push(Effect::Poison);
+                    } else {
+                        poison_destination(task, mem, host);
+                    }
                 }
 
                 if attempt >= policy.max_retries {
@@ -535,22 +577,28 @@ impl Engine {
             }
         }
         run.timeline = timeline;
+        if parallel {
+            run.parallel_spans = parallel::execute_graph(graph, &effects, mem, host, self.threads);
+        }
         run
     }
 }
 
-/// Functional execution of one task against device/host memory.
-fn execute_task(task: &Task, mem: &mut DeviceMemory, host: &mut HostMemory) {
+/// Functional execution of one task against device/host memory. Shared
+/// references only: buffers are acquired through per-buffer lock guards, so
+/// the parallel executor can call this from several workers at once on
+/// tasks the graph allows to overlap.
+pub(crate) fn execute_task(task: &Task, mem: &DeviceMemory, host: &HostMemory) {
     match &task.kind {
         TaskKind::H2D { host: h, dev, .. } => {
-            let src = host.buffer(*h).to_vec();
-            let dst = mem.buffer_mut(*dev);
+            let src = host.buffer(*h);
+            let mut dst = mem.buffer_mut(*dev);
             let len = src.len().min(dst.len());
             dst[..len].copy_from_slice(&src[..len]);
         }
         TaskKind::D2H { dev, host: h, .. } => {
-            let src = mem.buffer(*dev).to_vec();
-            let dst = host.buffer_mut(*h);
+            let src = mem.buffer(*dev);
+            let mut dst = host.buffer_mut(*h);
             let len = src.len().min(dst.len());
             dst[..len].copy_from_slice(&src[..len]);
         }
@@ -562,7 +610,7 @@ fn execute_task(task: &Task, mem: &mut DeviceMemory, host: &mut HostMemory) {
 /// buffers are filled with NaN, so a recovered run is only bit-identical
 /// to the fault-free one if the retry genuinely overwrites everything the
 /// fault touched.
-fn poison_destination(task: &Task, mem: &mut DeviceMemory, host: &mut HostMemory) {
+pub(crate) fn poison_destination(task: &Task, mem: &DeviceMemory, host: &HostMemory) {
     let nan = Complex::new(f64::NAN, f64::NAN);
     match &task.kind {
         TaskKind::H2D { dev, .. } => mem.buffer_mut(*dev).fill(nan),
@@ -593,6 +641,13 @@ pub struct FaultedRun {
     pub abandoned: Vec<TaskId>,
     /// Where and when the device was lost, if it was.
     pub device_lost_at: Option<(TaskId, u64)>,
+    /// One span per task recording when the parallel worker pool applied
+    /// its functional effects, in ticks of the pool's sequence counter.
+    /// Empty unless the engine was built with
+    /// [`Engine::with_threads`]\(`threads > 1`\) and ran in
+    /// [`ExecMode::Functional`]. Feed to `bqsim-analyze`'s
+    /// parallel-schedule conformance check.
+    pub parallel_spans: Vec<TaskSpan>,
 }
 
 impl FaultedRun {
@@ -627,7 +682,7 @@ mod tests {
                 divergence: 1.0,
             }
         }
-        fn execute(&self, _mem: &mut DeviceMemory) {}
+        fn execute(&self, _mem: &DeviceMemory) {}
     }
 
     struct ScaleKernel {
@@ -641,8 +696,8 @@ mod tests {
         fn profile(&self) -> KernelProfile {
             KernelProfile::empty()
         }
-        fn execute(&self, mem: &mut DeviceMemory) {
-            for z in mem.buffer_mut(self.buf) {
+        fn execute(&self, mem: &DeviceMemory) {
+            for z in mem.buffer_mut(self.buf).iter_mut() {
                 *z = z.scale(self.factor);
             }
         }
@@ -830,7 +885,7 @@ mod tests {
                     divergence: self.0,
                 }
             }
-            fn execute(&self, _mem: &mut DeviceMemory) {}
+            fn execute(&self, _mem: &DeviceMemory) {}
         }
         let mut g1 = TaskGraph::new();
         g1.add_kernel("a", Arc::new(Div(1.0)), &[]);
@@ -906,8 +961,8 @@ mod tests {
                     ..KernelProfile::empty()
                 }
             }
-            fn execute(&self, mem: &mut DeviceMemory) {
-                let (src, dst) = mem.buffer_pair_mut(self.0, self.1);
+            fn execute(&self, mem: &DeviceMemory) {
+                let (src, mut dst) = mem.buffer_pair_mut(self.0, self.1);
                 for (s, d) in src.iter().zip(dst.iter_mut()) {
                     *d = s.scale(3.0);
                 }
@@ -930,7 +985,8 @@ mod tests {
             injector,
             policy,
         );
-        (run, host.buffer(h_out).to_vec())
+        let out = host.buffer(h_out).to_vec();
+        (run, out)
     }
 
     #[test]

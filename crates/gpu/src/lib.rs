@@ -52,6 +52,7 @@
 mod device;
 mod engine;
 mod memory;
+mod parallel;
 mod task;
 
 pub mod power;
@@ -60,5 +61,8 @@ pub use device::{CpuSpec, DeviceSpec};
 pub use engine::{
     Engine, ExecMode, FaultedRun, LaunchMode, Resource, TaskOutcome, TaskRecord, Timeline,
 };
-pub use memory::{AllocDeviceError, BufferId, DeviceMemory, HostBufId, HostMemory};
+pub use memory::{
+    AllocDeviceError, BufferId, BufferRef, BufferRefMut, DeviceMemory, HostBufId, HostMemory,
+};
+pub use parallel::TaskSpan;
 pub use task::{Kernel, KernelProfile, TaskGraph, TaskId, TaskKind};

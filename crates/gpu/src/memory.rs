@@ -4,6 +4,53 @@ use crate::DeviceSpec;
 use bqsim_num::Complex;
 use core::fmt;
 use std::error::Error;
+use std::ops::{Deref, DerefMut};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Shared read access to one buffer of an arena, handed out while the arena
+/// itself is only borrowed immutably — this is what lets the parallel
+/// executor's workers touch disjoint buffers of the same [`DeviceMemory`]
+/// concurrently. Derefs to `&[Complex]`.
+pub struct BufferRef<'a>(RwLockReadGuard<'a, Vec<Complex>>);
+
+impl Deref for BufferRef<'_> {
+    type Target = [Complex];
+    #[inline]
+    fn deref(&self) -> &[Complex] {
+        &self.0
+    }
+}
+
+/// Exclusive write access to one buffer of an arena (see [`BufferRef`]).
+/// Derefs to `&mut [Complex]`.
+pub struct BufferRefMut<'a>(RwLockWriteGuard<'a, Vec<Complex>>);
+
+impl Deref for BufferRefMut<'_> {
+    type Target = [Complex];
+    #[inline]
+    fn deref(&self) -> &[Complex] {
+        &self.0
+    }
+}
+
+impl DerefMut for BufferRefMut<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [Complex] {
+        &mut self.0
+    }
+}
+
+/// Locks for reading, recovering the guard if a panicking worker poisoned
+/// the lock (amplitude data stays readable for post-mortem inspection; the
+/// panic itself still propagates through the thread scope).
+fn lock_read(lock: &RwLock<Vec<Complex>>) -> RwLockReadGuard<'_, Vec<Complex>> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks for writing; see [`lock_read`] for the poison policy.
+fn lock_write(lock: &RwLock<Vec<Complex>>) -> RwLockWriteGuard<'_, Vec<Complex>> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Handle to a device buffer inside a [`DeviceMemory`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,9 +124,16 @@ impl Error for AllocDeviceError {}
 ///
 /// Capacity accounting follows the device spec so out-of-memory behaviour
 /// (and only that) is simulated; the actual data lives in host RAM.
+///
+/// Each buffer sits behind its own [`RwLock`], so access only needs `&self`:
+/// kernels running on different worker threads can hold guards to disjoint
+/// buffers simultaneously. Task-graph dependency edges (checked by
+/// `bqsim-analyze`'s race pass) guarantee that conflicting accesses never
+/// run concurrently, so the locks are uncontended in practice — they exist
+/// to make the aliasing safe, not to serialise the schedule.
 #[derive(Debug)]
 pub struct DeviceMemory {
-    buffers: Vec<Vec<Complex>>,
+    buffers: Vec<RwLock<Vec<Complex>>>,
     capacity_bytes: u64,
     used_bytes: u64,
     high_water_bytes: u64,
@@ -137,7 +191,7 @@ impl DeviceMemory {
     /// [`inject_oom_at`](Self::inject_oom_at)).
     pub fn alloc(&mut self, len: usize) -> Result<BufferId, AllocDeviceError> {
         self.charge(len as u64 * 16)?;
-        self.buffers.push(vec![Complex::ZERO; len]);
+        self.buffers.push(RwLock::new(vec![Complex::ZERO; len]));
         Ok(BufferId(self.buffers.len() - 1))
     }
 
@@ -172,37 +226,39 @@ impl DeviceMemory {
         self.high_water_bytes
     }
 
-    /// Read access to a buffer.
-    pub fn buffer(&self, id: BufferId) -> &[Complex] {
-        &self.buffers[id.0]
+    /// Read access to a buffer. The guard holds the buffer's read lock until
+    /// dropped; concurrent readers are fine, and conflicting writers are
+    /// excluded by the task graph before they are excluded by the lock.
+    pub fn buffer(&self, id: BufferId) -> BufferRef<'_> {
+        BufferRef(lock_read(&self.buffers[id.0]))
     }
 
-    /// Write access to a buffer.
-    pub fn buffer_mut(&mut self, id: BufferId) -> &mut [Complex] {
-        &mut self.buffers[id.0]
+    /// Write access to a buffer (exclusive while the guard lives).
+    pub fn buffer_mut(&self, id: BufferId) -> BufferRefMut<'_> {
+        BufferRefMut(lock_write(&self.buffers[id.0]))
     }
 
-    /// Write access to two distinct buffers at once (kernel input/output).
+    /// Read/write access to two distinct buffers at once (kernel
+    /// input/output). Distinctness is asserted rather than trusted to the
+    /// locks: same-buffer input/output would deadlock, and is a scheduling
+    /// bug in any case.
     ///
     /// # Panics
     ///
     /// Panics if `a == b`.
-    pub fn buffer_pair_mut(&mut self, a: BufferId, b: BufferId) -> (&[Complex], &mut [Complex]) {
+    pub fn buffer_pair_mut(&self, a: BufferId, b: BufferId) -> (BufferRef<'_>, BufferRefMut<'_>) {
         assert_ne!(a, b, "kernel input and output buffers must differ");
-        if a.0 < b.0 {
-            let (lo, hi) = self.buffers.split_at_mut(b.0);
-            (&lo[a.0], &mut hi[0])
-        } else {
-            let (lo, hi) = self.buffers.split_at_mut(a.0);
-            (&hi[0], &mut lo[b.0])
-        }
+        (self.buffer(a), self.buffer_mut(b))
     }
 }
 
 /// Arena of host (pageable/pinned) buffers used as copy sources and sinks.
+///
+/// Per-buffer locking mirrors [`DeviceMemory`] so parallel copy tasks can
+/// stage into disjoint host buffers from worker threads.
 #[derive(Debug, Default)]
 pub struct HostMemory {
-    buffers: Vec<Vec<Complex>>,
+    buffers: Vec<RwLock<Vec<Complex>>>,
 }
 
 impl HostMemory {
@@ -213,24 +269,24 @@ impl HostMemory {
 
     /// Allocates a zero-filled host buffer of `len` amplitudes.
     pub fn alloc_zeroed(&mut self, len: usize) -> HostBufId {
-        self.buffers.push(vec![Complex::ZERO; len]);
+        self.buffers.push(RwLock::new(vec![Complex::ZERO; len]));
         HostBufId(self.buffers.len() - 1)
     }
 
     /// Allocates a host buffer initialised with `data`.
     pub fn alloc_from(&mut self, data: Vec<Complex>) -> HostBufId {
-        self.buffers.push(data);
+        self.buffers.push(RwLock::new(data));
         HostBufId(self.buffers.len() - 1)
     }
 
-    /// Read access.
-    pub fn buffer(&self, id: HostBufId) -> &[Complex] {
-        &self.buffers[id.0]
+    /// Read access (guard semantics as in [`DeviceMemory::buffer`]).
+    pub fn buffer(&self, id: HostBufId) -> BufferRef<'_> {
+        BufferRef(lock_read(&self.buffers[id.0]))
     }
 
     /// Write access.
-    pub fn buffer_mut(&mut self, id: HostBufId) -> &mut [Complex] {
-        &mut self.buffers[id.0]
+    pub fn buffer_mut(&self, id: HostBufId) -> BufferRefMut<'_> {
+        BufferRefMut(lock_write(&self.buffers[id.0]))
     }
 }
 
@@ -267,8 +323,9 @@ mod tests {
         let a = mem.alloc(4).unwrap();
         let b = mem.alloc(4).unwrap();
         mem.buffer_mut(a)[0] = Complex::ONE;
-        let (src, dst) = mem.buffer_pair_mut(a, b);
+        let (src, mut dst) = mem.buffer_pair_mut(a, b);
         dst[0] = src[0];
+        drop((src, dst));
         assert_eq!(mem.buffer(b)[0], Complex::ONE);
     }
 

@@ -108,7 +108,7 @@ mod tests {
                 divergence: 1.0,
             }
         }
-        fn execute(&self, _mem: &mut DeviceMemory) {}
+        fn execute(&self, _mem: &DeviceMemory) {}
     }
 
     #[test]
@@ -159,7 +159,7 @@ mod tests {
                     divergence: 1.0,
                 }
             }
-            fn execute(&self, _mem: &mut DeviceMemory) {}
+            fn execute(&self, _mem: &DeviceMemory) {}
         }
         let spec = DeviceSpec::tiny_test_gpu();
         let engine = Engine::new(spec.clone());

@@ -54,7 +54,13 @@ pub trait Kernel: Send + Sync {
     /// Functional execution against device memory. Only called in
     /// [`ExecMode::Functional`](crate::ExecMode::Functional); timing-only
     /// runs skip it.
-    fn execute(&self, mem: &mut DeviceMemory);
+    ///
+    /// Takes the arena by shared reference: buffers are acquired through
+    /// [`DeviceMemory::buffer`] / [`DeviceMemory::buffer_mut`] guards, so
+    /// kernels on different worker threads can run concurrently as long as
+    /// they touch disjoint buffers — which the task graph's dependency
+    /// edges guarantee for every pair the scheduler overlaps.
+    fn execute(&self, mem: &DeviceMemory);
 
     /// Device buffers [`Kernel::execute`] reads. The default (empty)
     /// implementation declares nothing, which makes the kernel invisible
@@ -251,7 +257,7 @@ mod tests {
         fn profile(&self) -> KernelProfile {
             KernelProfile::empty()
         }
-        fn execute(&self, _mem: &mut DeviceMemory) {}
+        fn execute(&self, _mem: &DeviceMemory) {}
     }
 
     #[test]

@@ -24,8 +24,19 @@ for seed in 1 7 42 1234; do
         seed_matrix_recovery_is_deterministic
 done
 
+echo "==> parallel-executor thread matrix (serial and 4-way must agree bit-for-bit)"
+for threads in 1 4; do
+    echo "    BQSIM_THREADS=$threads"
+    BQSIM_THREADS=$threads \
+        cargo test -q -p bqsim-integration-tests --test parallel_exec
+done
+
 echo "==> bqsim analyze under injected faults (recovery schedule must be hazard-free)"
 cargo run -q -p bqsim-core --release --bin bqsim -- analyze \
     --family vqe --qubits 6 --batches 4 --fault-plan seed=42,kernel=2,copy=1,hang=1
+
+echo "==> bqsim analyze parallel schedule (4 threads must be race-free and dependency-preserving)"
+cargo run -q -p bqsim-core --release --bin bqsim -- analyze \
+    --family vqe --qubits 6 --batches 4 --threads 4
 
 echo "CI gate passed."
