@@ -1,0 +1,245 @@
+//! Campaign-journal conformance: certifies that a durable campaign's
+//! write-ahead journal obeys the exactly-once and ordering discipline the
+//! runner promises.
+//!
+//! Like every other pass, this consumes a plain-data facts snapshot —
+//! [`JournalFacts`], extracted from a parsed journal by `bqsim-campaign`
+//! (or hand-built by tests) — and never touches the filesystem itself.
+//! Envelope-level damage (CRC failures, unparseable payloads, state
+//! checksum mismatches) is the journal *reader's* jurisdiction; by the
+//! time facts exist, every record in them was authenticated. This pass
+//! checks the **semantics** across records:
+//!
+//! * `journal-range` — every record names a batch inside the campaign.
+//! * `journal-exactly-once` — each batch completes at most once, and a
+//!   quarantine never follows a completion (a completion after a
+//!   quarantine is the legal retry path). Batches with no terminal
+//!   record are *warnings*: the journal is resumable, not complete.
+//! * `journal-order` — record indices are monotone per session: an index
+//!   smaller than one already seen is legal only for a batch previously
+//!   quarantined (a resume retrying it); anything else means records
+//!   were appended out of campaign order.
+//! * `journal-tear` — a truncated torn tail is reported as a warning so
+//!   operators know the last interruption hit mid-append.
+
+use crate::diag::Diagnostics;
+
+/// What kind of terminal record a batch got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalRecordKind {
+    /// The batch completed with checksum-verified outputs.
+    Completion,
+    /// The batch failed its numerical-integrity check.
+    Quarantine,
+}
+
+/// One authenticated journal record, in append order.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalRecordFacts {
+    /// 1-based line number in the journal file (the header is line 1).
+    pub line: usize,
+    /// Completion or quarantine.
+    pub kind: JournalRecordKind,
+    /// The batch the record is about.
+    pub batch: usize,
+}
+
+/// Facts snapshot of one campaign journal.
+#[derive(Debug, Clone)]
+pub struct JournalFacts {
+    /// Total batches the campaign's fingerprint declares.
+    pub num_batches: usize,
+    /// Whether the reader truncated a torn tail.
+    pub torn_tail: bool,
+    /// Every authenticated record after the header, in append order.
+    pub records: Vec<JournalRecordFacts>,
+}
+
+/// Runs the journal conformance passes. See the module docs for the
+/// invariants; errors mean the journal cannot have been produced by a
+/// correct campaign runner, warnings mean it is merely unfinished or was
+/// interrupted mid-append.
+pub fn check_journal(facts: &JournalFacts) -> Diagnostics {
+    let mut diag = Diagnostics::new();
+    let n = facts.num_batches;
+    let mut completed = vec![false; n];
+    let mut quarantined = vec![false; n];
+    let mut max_seen: Option<usize> = None;
+
+    for rec in &facts.records {
+        let loc = format!("line {}", rec.line);
+        let b = rec.batch;
+        if b >= n {
+            diag.error(
+                "journal-range",
+                loc,
+                format!("record names batch {b}, but the campaign has only {n} batches"),
+            );
+            continue;
+        }
+        // Ordering: the runner visits batches in ascending order within a
+        // session; only a quarantine retry may revisit a smaller index.
+        if max_seen.is_some_and(|m| b < m) && !quarantined[b] {
+            diag.error(
+                "journal-order",
+                loc.clone(),
+                format!(
+                    "batch {b} recorded after batch {} without a prior quarantine \
+                     to justify the retry",
+                    max_seen.unwrap_or(0)
+                ),
+            );
+        }
+        max_seen = Some(max_seen.map_or(b, |m| m.max(b)));
+        match rec.kind {
+            JournalRecordKind::Completion => {
+                if completed[b] {
+                    diag.error(
+                        "journal-exactly-once",
+                        loc,
+                        format!("batch {b} completed more than once"),
+                    );
+                } else {
+                    completed[b] = true;
+                }
+            }
+            JournalRecordKind::Quarantine => {
+                if completed[b] {
+                    diag.error(
+                        "journal-exactly-once",
+                        loc,
+                        format!("batch {b} quarantined after it already completed"),
+                    );
+                } else {
+                    quarantined[b] = true;
+                }
+            }
+        }
+    }
+
+    for b in 0..n {
+        if !completed[b] {
+            let what = if quarantined[b] {
+                "is quarantined and awaiting retry"
+            } else {
+                "has no terminal record"
+            };
+            diag.warning(
+                "journal-exactly-once",
+                format!("batch {b}"),
+                format!("batch {b} {what}; the journal is resumable, not complete"),
+            );
+        }
+    }
+    if facts.torn_tail {
+        diag.warning(
+            "journal-tear",
+            "tail",
+            "a torn tail record was truncated; the last interruption hit mid-append",
+        );
+    }
+    diag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(line: usize, kind: JournalRecordKind, batch: usize) -> JournalRecordFacts {
+        JournalRecordFacts { line, kind, batch }
+    }
+
+    #[test]
+    fn clean_complete_journal_has_no_findings() {
+        let facts = JournalFacts {
+            num_batches: 3,
+            torn_tail: false,
+            records: vec![
+                rec(2, JournalRecordKind::Completion, 0),
+                rec(3, JournalRecordKind::Completion, 1),
+                rec(4, JournalRecordKind::Completion, 2),
+            ],
+        };
+        assert!(check_journal(&facts).is_clean());
+    }
+
+    #[test]
+    fn quarantine_then_retry_completion_is_legal_even_out_of_order() {
+        let facts = JournalFacts {
+            num_batches: 3,
+            torn_tail: false,
+            records: vec![
+                rec(2, JournalRecordKind::Completion, 0),
+                rec(3, JournalRecordKind::Quarantine, 1),
+                rec(4, JournalRecordKind::Completion, 2),
+                // Resume retries the quarantined batch: smaller index than
+                // max_seen, justified by the quarantine.
+                rec(5, JournalRecordKind::Completion, 1),
+            ],
+        };
+        let d = check_journal(&facts);
+        assert!(d.is_clean(), "{d}");
+    }
+
+    #[test]
+    fn duplicate_completion_and_late_quarantine_are_errors() {
+        let facts = JournalFacts {
+            num_batches: 2,
+            torn_tail: false,
+            records: vec![
+                rec(2, JournalRecordKind::Completion, 0),
+                rec(3, JournalRecordKind::Completion, 0),
+                rec(4, JournalRecordKind::Quarantine, 0),
+                rec(5, JournalRecordKind::Completion, 1),
+            ],
+        };
+        let d = check_journal(&facts);
+        assert_eq!(d.error_count(), 2, "{d}");
+        assert!(d.mentions("more than once"));
+        assert!(d.mentions("after it already completed"));
+    }
+
+    #[test]
+    fn unjustified_backwards_record_is_an_ordering_error() {
+        let facts = JournalFacts {
+            num_batches: 3,
+            torn_tail: false,
+            records: vec![
+                rec(2, JournalRecordKind::Completion, 2),
+                rec(3, JournalRecordKind::Completion, 0),
+            ],
+        };
+        let d = check_journal(&facts);
+        assert!(d.error_count() >= 1, "{d}");
+        assert!(d.mentions("without a prior quarantine"));
+    }
+
+    #[test]
+    fn pending_batches_and_torn_tails_warn_but_do_not_error() {
+        let facts = JournalFacts {
+            num_batches: 3,
+            torn_tail: true,
+            records: vec![rec(2, JournalRecordKind::Completion, 0)],
+        };
+        let d = check_journal(&facts);
+        assert_eq!(d.error_count(), 0, "{d}");
+        assert!(d.warning_count() >= 3, "{d}"); // 2 pending + tear
+        assert!(d.mentions("resumable"));
+        assert!(d.mentions("torn tail"));
+    }
+
+    #[test]
+    fn out_of_range_record_is_an_error() {
+        let facts = JournalFacts {
+            num_batches: 1,
+            torn_tail: false,
+            records: vec![
+                rec(2, JournalRecordKind::Completion, 0),
+                rec(3, JournalRecordKind::Completion, 5),
+            ],
+        };
+        let d = check_journal(&facts);
+        assert!(d.error_count() >= 1);
+        assert!(d.mentions("only 1 batches"));
+    }
+}

@@ -18,6 +18,10 @@
 //!   executed timeline of a fault-injected run, verifies retry attempts
 //!   keep per-task discipline, preserve happens-before across
 //!   dependencies, and never overlap conflicting buffer accesses.
+//! * **Campaign journals** ([`check_journal`]) — given the authenticated
+//!   record sequence of a durable campaign's write-ahead journal,
+//!   verifies exactly-once batch completion, in-range indices, and
+//!   monotone (retry-aware) record ordering, and surfaces torn tails.
 //!
 //! Every pass consumes a plain-data *facts* snapshot ([`GraphFacts`],
 //! [`DdFacts`], [`EllFacts`]) extractable from the live structures, so
@@ -36,6 +40,7 @@ mod dd;
 mod diag;
 mod ell;
 mod graph;
+mod journal;
 mod parallel;
 mod recovery;
 
@@ -49,5 +54,6 @@ pub use graph::{
     analyze_graph, check_double_buffer_discipline, expected_buffer_indices, GraphFacts, Loc,
     TaskFacts, TaskOp,
 };
+pub use journal::{check_journal, JournalFacts, JournalRecordFacts, JournalRecordKind};
 pub use parallel::{check_parallel_schedule, parallel_attempt_facts};
 pub use recovery::{check_recovery_schedule, recovery_attempt_facts, AttemptFacts};

@@ -1,0 +1,108 @@
+//! Bridging parsed journals into `bqsim-analyze`'s journal-conformance
+//! pass — the backend of `bqsim analyze --journal <path>`.
+
+use crate::journal::{read_journal, JournalContents, JournalError, Record};
+use bqsim_analyze::{
+    check_journal, Diagnostics, JournalFacts, JournalRecordFacts, JournalRecordKind,
+};
+use std::path::Path;
+
+/// Extracts the analyzer's facts snapshot from a validated journal.
+pub fn journal_facts(contents: &JournalContents) -> JournalFacts {
+    let records = contents
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, rec)| JournalRecordFacts {
+            line: i + 2, // the plan header is line 1
+            kind: match rec {
+                Record::Batch { .. } => JournalRecordKind::Completion,
+                Record::Quarantine { .. } => JournalRecordKind::Quarantine,
+            },
+            batch: rec.index(),
+        })
+        .collect();
+    JournalFacts {
+        num_batches: contents.fingerprint.num_batches,
+        torn_tail: contents.torn,
+        records,
+    }
+}
+
+/// Reads, authenticates, and conformance-checks the journal at `path`.
+///
+/// Envelope damage (CRC, parse, missing header) surfaces as
+/// [`JournalError`]; semantic violations (duplicate completions,
+/// ordering, range) come back as error-severity diagnostics from the
+/// analyzer pass.
+///
+/// # Errors
+///
+/// Propagates [`read_journal`]'s errors.
+pub fn audit_journal(path: &Path) -> Result<Diagnostics, JournalError> {
+    let contents = read_journal(path)?;
+    Ok(check_journal(&journal_facts(&contents)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Fingerprint, JournalWriter, StateMode};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bqsim-audit-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn fp(num_batches: usize) -> Fingerprint {
+        Fingerprint {
+            circuit: 1,
+            options: 2,
+            inputs: 3,
+            fault_seed: None,
+            threads: 1,
+            num_batches,
+            batch_size: 1,
+            amps: 2,
+        }
+    }
+
+    #[test]
+    fn complete_journal_audits_clean() {
+        let path = tmp("clean");
+        let mut w = JournalWriter::create(&path, &fp(2), StateMode::ChecksumOnly).unwrap();
+        for b in 0..2 {
+            w.append(&Record::Batch {
+                index: b,
+                checksum: 0,
+            })
+            .unwrap();
+        }
+        drop(w);
+        let d = audit_journal(&path).unwrap();
+        assert!(d.is_clean(), "{d}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(crate::journal::state_path(&path)).ok();
+    }
+
+    #[test]
+    fn duplicate_completion_is_flagged_with_its_line() {
+        let path = tmp("dup");
+        let mut w = JournalWriter::create(&path, &fp(1), StateMode::ChecksumOnly).unwrap();
+        for _ in 0..2 {
+            w.append(&Record::Batch {
+                index: 0,
+                checksum: 0,
+            })
+            .unwrap();
+        }
+        drop(w);
+        let d = audit_journal(&path).unwrap();
+        assert_eq!(d.error_count(), 1, "{d}");
+        assert!(d.mentions("line 3"), "{d}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(crate::journal::state_path(&path)).ok();
+    }
+}

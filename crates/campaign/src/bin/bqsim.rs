@@ -4,8 +4,12 @@
 //! ```sh
 //! bqsim circuit.qasm --batches 4 --batch-size 64 --shots 1000
 //! bqsim --family vqe --qubits 10 --gantt
+//! bqsim run --family routing --qubits 6 --journal camp.journal --deadline-ms 5000
+//! bqsim run --family routing --qubits 6 --journal camp.journal --resume
+//! bqsim analyze --journal camp.journal
 //! ```
 
+use bqsim_campaign::{audit_journal, run_campaign, BatchOutcome, CampaignOptions, IntegrityBudget};
 use bqsim_core::{
     random_input_batch, BqSimOptions, BqSimulator, FaultBudget, FaultPlan, RecoveryPolicy,
 };
@@ -14,7 +18,9 @@ use bqsim_qcir::observable::{expectation, sample_counts, PauliString};
 use bqsim_qcir::{dense, generators, qasm, Circuit};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Parsed `--fault-plan` spec: fault counts per kind plus recovery-policy
 /// overrides. The actual [`FaultPlan`] is seeded after compilation, when
@@ -38,6 +44,14 @@ const ALLOCS_PER_RUN: usize = 5;
 struct Args {
     analyze: bool,
     faults: bool,
+    campaign: bool,
+    journal: Option<PathBuf>,
+    journal_state_full: bool,
+    journal_sync_ms: Option<u64>,
+    resume: bool,
+    deadline_ms: Option<u64>,
+    stop_after: Option<usize>,
+    integrity_budget: Option<f64>,
     fault_plan: Option<FaultArgs>,
     source: Option<String>,
     family: Option<String>,
@@ -60,6 +74,14 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         analyze: false,
         faults: false,
+        campaign: false,
+        journal: None,
+        journal_state_full: true,
+        journal_sync_ms: None,
+        resume: false,
+        deadline_ms: None,
+        stop_after: None,
+        integrity_budget: None,
         fault_plan: None,
         source: None,
         family: None,
@@ -105,6 +127,31 @@ fn parse_args() -> Result<Args, String> {
             "--shots" => args.shots = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--observable" => args.observable = Some(value(&mut i)?),
             "--fault-plan" => args.fault_plan = Some(parse_fault_plan(&value(&mut i)?)?),
+            "--journal" => args.journal = Some(PathBuf::from(value(&mut i)?)),
+            "--journal-state" => {
+                args.journal_state_full = match value(&mut i)?.as_str() {
+                    "full" => true,
+                    "checksum" => false,
+                    other => {
+                        return Err(format!(
+                            "--journal-state must be `full` or `checksum`, got `{other}`"
+                        ))
+                    }
+                }
+            }
+            "--journal-sync-ms" => {
+                args.journal_sync_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--resume" => args.resume = true,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--stop-after" => {
+                args.stop_after = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--integrity-budget" => {
+                args.integrity_budget = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--stream" => args.stream = true,
             "--skip-fusion" => args.skip_fusion = true,
             "--gantt" => args.gantt = true,
@@ -119,6 +166,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "faults" if !args.faults && !args.analyze && args.source.is_none() => {
                 args.faults = true
+            }
+            "run" if !args.campaign && !args.analyze && !args.faults && args.source.is_none() => {
+                args.campaign = true
             }
             path if !path.starts_with('-') => args.source = Some(path.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -198,17 +248,28 @@ fn print_help() {
 
 USAGE:
     bqsim [circuit.qasm] [OPTIONS]
+    bqsim run [OPTIONS] --journal <path>
     bqsim analyze [circuit.qasm] [OPTIONS]
+    bqsim analyze --journal <path>
     bqsim faults [OPTIONS]
 
 SUBCOMMANDS:
+    run                  durable campaign: journal every completed batch
+                         (write-ahead, fsync'd, checksummed) so the run
+                         survives kills and deadlines and resumes
+                         bit-identically with --resume; batches failing
+                         the numerical-integrity check are quarantined
+                         and retried on resume
     analyze              statically check every pipeline artifact (QMDD
                          invariants, NZRV consistency, ELL layout, task-graph
                          races + Fig. 8b conformance) without simulating;
                          with --fault-plan, additionally executes the
                          schedule under the plan and verifies the recovery
                          schedule (attempt discipline, happens-before,
-                         buffer hazards); exits non-zero on any finding
+                         buffer hazards); with --journal, audits a campaign
+                         journal instead (exactly-once completion,
+                         fingerprint/CRC integrity, monotone ordering);
+                         exits non-zero on any finding
     faults               fault-injection demo: run fault-free, re-run under
                          a seeded fault plan with recovery enabled, print
                          the health report, and verify transient recovery
@@ -233,6 +294,25 @@ OPTIONS:
     --shots <k>          sample k measurements from the first output
     --observable <P>     report <P> (Pauli string, e.g. ZZIZ) per output
     --gantt              print the device schedule as ASCII Gantt
+    --journal <path>     (run) write-ahead journal file; (analyze) journal
+                         to audit
+    --journal-state <m>  (run) what the journal persists per batch:
+                         `full` (amplitudes in a state sidecar; resume
+                         rematerializes them bit-exactly) or `checksum`
+                         (records only; resume skips completed batches
+                         and keeps the digest bit-identical) [default: full]
+    --journal-sync-ms <t> (run) group-commit window; records are
+                         fsync'd at most t ms after their batch completes
+                         (0 = every record individually)  [default: 100]
+    --resume             (run) resume from --journal instead of starting
+                         fresh; the journal's plan fingerprint must match
+    --deadline-ms <ms>   (run) wall-clock session budget; on expiry the
+                         campaign drains gracefully, leaving a resumable
+                         journal
+    --stop-after <k>     (run) cancel after k batches execute this session
+                         (deterministic interruption, for tests/CI)
+    --integrity-budget <d> (run) max |l2(out)-l2(in)| before a batch is
+                         quarantined                     [default: 1e-9]
     --fault-plan <spec>  inject a seeded fault plan and recover; <spec> is
                          comma-separated key=value pairs:
                            seed=<u64>    plan seed          [default: --seed]
@@ -466,14 +546,149 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
     })
 }
 
+/// `bqsim analyze --journal`: authenticate and conformance-check a
+/// campaign journal. Exit code 1 on any error-severity finding or
+/// envelope damage (CRC failure, corruption, missing header).
+fn run_journal_audit(path: &Path) -> Result<ExitCode, String> {
+    let diags = audit_journal(path).map_err(|e| e.to_string())?;
+    if diags.is_clean() {
+        println!("journal {}: clean (exactly-once, ordered)", path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!(
+        "journal {}: {} error(s), {} warning(s):\n{}",
+        path.display(),
+        diags.error_count(),
+        diags.warning_count(),
+        diags
+    );
+    Ok(if diags.error_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// FNV-1a fold of every completed batch's output checksum, in batch
+/// order — the cheap cross-process bit-identity witness printed by
+/// `bqsim run` and compared by the CI interrupt-resume gate. Built from
+/// [`CampaignResult::checksums`](bqsim_campaign::CampaignResult), so it is
+/// identical across plain, journaled, resumed, and checksum-only runs of
+/// the same plan.
+fn campaign_digest(checksums: &[Option<u64>]) -> u64 {
+    let mut hash = bqsim_campaign::checksum::fnv1a(b"campaign");
+    for cs in checksums.iter().flatten() {
+        hash ^= cs;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// `bqsim run`: the durable campaign runner.
+fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
+    let n = circuit.num_qubits();
+    let opts = BqSimOptions {
+        tau: args.tau,
+        launch_mode: if args.stream {
+            LaunchMode::Stream
+        } else {
+            LaunchMode::Graph
+        },
+        skip_fusion: args.skip_fusion,
+        threads: effective_threads(args),
+        ..BqSimOptions::default()
+    };
+    let batches: Vec<_> = (0..args.batches)
+        .map(|b| {
+            if args.zero_input {
+                vec![dense::zero_state(n); args.batch_size]
+            } else {
+                random_input_batch(n, args.batch_size, args.seed ^ b as u64)
+            }
+        })
+        .collect();
+
+    let mut copts = CampaignOptions {
+        journal_path: args.journal.clone(),
+        resume: args.resume,
+        deadline: args.deadline_ms.map(Duration::from_millis),
+        stop_after: args.stop_after,
+        persist_state: args.journal_state_full,
+        ..CampaignOptions::default()
+    };
+    if let Some(ms) = args.journal_sync_ms {
+        copts.commit_interval = Duration::from_millis(ms);
+    }
+    if let Some(d) = args.integrity_budget {
+        copts.integrity = IntegrityBudget { max_norm_drift: d };
+    }
+    if let Some(fa) = &args.fault_plan {
+        copts.fault_seed = Some(fa.seed.unwrap_or(args.seed));
+        copts.fault_budget = FaultBudget {
+            kernel_faults: fa.kernel,
+            copy_corruptions: fa.copy,
+            hangs: fa.hang,
+            ooms: fa.oom,
+            device_losses: fa.loss,
+        };
+        if let Some(r) = fa.retries {
+            copts.recovery.max_retries = r;
+        }
+        if let Some(b) = fa.backoff {
+            copts.recovery.backoff_base_ns = b;
+        }
+    }
+
+    let result = run_campaign(circuit, opts, &batches, &copts).map_err(|e| e.to_string())?;
+    println!(
+        "campaign: {} batches x {} inputs — {} resumed from journal, {} executed, \
+         {} quarantined",
+        args.batches,
+        args.batch_size,
+        result.resumed,
+        result.executed,
+        result.quarantined.len(),
+    );
+    for b in &result.quarantined {
+        if let BatchOutcome::Quarantined { reason, drift } = &result.outcomes[*b] {
+            println!("  quarantined batch {b}: {reason} (drift {drift:.3e})");
+        }
+    }
+    if result.health.fault_count() > 0 {
+        println!("health: {}", result.health);
+    }
+    if result.cancelled {
+        let next = result.next_pending().unwrap_or(args.batches);
+        println!(
+            "campaign interrupted before batch {next}; journal is resumable \
+             (re-run with --resume)"
+        );
+    }
+    if result.is_complete() {
+        println!(
+            "campaign digest: {:016x}",
+            campaign_digest(&result.checksums)
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
+    if args.analyze {
+        if let Some(journal) = args.journal.clone() {
+            return run_journal_audit(&journal);
+        }
+    }
     let mut circuit = build_circuit(&args)?;
     if args.analyze {
         return run_analysis(&args, &circuit);
     }
     if args.faults {
         return run_faults_demo(&args, &circuit);
+    }
+    if args.campaign {
+        return run_campaign_cmd(&args, &circuit);
     }
     if args.optimize {
         let (opt, stats) = bqsim_qcir::optimize::optimize(&circuit);

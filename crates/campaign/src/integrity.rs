@@ -1,0 +1,134 @@
+//! Numerical-integrity checks and the quarantine verdict.
+//!
+//! Quantum circuits are unitary, so a batch's output state vectors must
+//! preserve the L2 norms of its inputs up to floating-point round-off.
+//! Each completed batch is checked against a configurable unitarity
+//! budget before its outputs are journaled or trusted; a failing batch is
+//! *quarantined* — recorded, excluded from the campaign's outputs, and
+//! retryable on resume — instead of poisoning downstream consumers or
+//! aborting the remaining batches.
+
+use bqsim_num::approx::l2_norm;
+use bqsim_num::Complex;
+
+/// How much numerical damage a batch may exhibit before quarantine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityBudget {
+    /// Maximum allowed `|‖out‖₂ − ‖in‖₂|` over any state vector of the
+    /// batch. The default `1e-9` is loose enough for every circuit family
+    /// in the repo at double precision and tight enough to catch a
+    /// corrupted kernel long before the drift is visible in observables.
+    pub max_norm_drift: f64,
+}
+
+impl Default for IntegrityBudget {
+    fn default() -> Self {
+        IntegrityBudget {
+            max_norm_drift: 1e-9,
+        }
+    }
+}
+
+/// Outcome of checking one batch against an [`IntegrityBudget`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrityVerdict {
+    /// Every state vector is finite and within the norm budget.
+    Ok,
+    /// The batch must be quarantined.
+    Quarantine {
+        /// Space-free token for the journal record: `non-finite` or
+        /// `norm-drift`.
+        reason: &'static str,
+        /// The worst observed drift (`f64::INFINITY` for non-finite
+        /// amplitudes, which have no meaningful norm).
+        drift: f64,
+    },
+}
+
+/// Checks a batch's outputs against its inputs under `budget`.
+///
+/// Non-finite amplitudes (NaN/±Inf) trump norm drift: a NaN-poisoned
+/// vector has no norm worth reporting.
+pub fn check_batch(
+    inputs: &[Vec<Complex>],
+    outputs: &[Vec<Complex>],
+    budget: &IntegrityBudget,
+) -> IntegrityVerdict {
+    for state in outputs {
+        for z in state {
+            if !z.re.is_finite() || !z.im.is_finite() {
+                return IntegrityVerdict::Quarantine {
+                    reason: "non-finite",
+                    drift: f64::INFINITY,
+                };
+            }
+        }
+    }
+    let mut worst = 0.0f64;
+    for (input, output) in inputs.iter().zip(outputs) {
+        let drift = (l2_norm(output) - l2_norm(input)).abs();
+        worst = worst.max(drift);
+    }
+    if worst > budget.max_norm_drift {
+        IntegrityVerdict::Quarantine {
+            reason: "norm-drift",
+            drift: worst,
+        }
+    } else {
+        IntegrityVerdict::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_vec() -> Vec<Complex> {
+        vec![Complex::new(0.6, 0.0), Complex::new(0.0, 0.8)]
+    }
+
+    #[test]
+    fn clean_batch_passes() {
+        let b = vec![unit_vec()];
+        assert_eq!(
+            check_batch(&b, &b, &IntegrityBudget::default()),
+            IntegrityVerdict::Ok
+        );
+    }
+
+    #[test]
+    fn nan_trumps_norm_drift() {
+        let inp = vec![unit_vec()];
+        let out = vec![vec![Complex::new(f64::NAN, 0.0), Complex::new(0.0, 0.8)]];
+        match check_batch(&inp, &out, &IntegrityBudget::default()) {
+            IntegrityVerdict::Quarantine { reason, drift } => {
+                assert_eq!(reason, "non-finite");
+                assert!(drift.is_infinite());
+            }
+            IntegrityVerdict::Ok => panic!("NaN output must quarantine"),
+        }
+    }
+
+    #[test]
+    fn norm_drift_beyond_budget_quarantines() {
+        let inp = vec![unit_vec()];
+        let out = vec![vec![Complex::new(1.2, 0.0), Complex::new(0.0, 1.6)]];
+        match check_batch(&inp, &out, &IntegrityBudget::default()) {
+            IntegrityVerdict::Quarantine { reason, drift } => {
+                assert_eq!(reason, "norm-drift");
+                assert!((drift - 1.0).abs() < 1e-12, "drift was {drift}");
+            }
+            IntegrityVerdict::Ok => panic!("doubled norm must quarantine"),
+        }
+        // A zero budget quarantines even round-off (the deterministic
+        // quarantine lever used by tests and CI).
+        let zero = IntegrityBudget {
+            max_norm_drift: 0.0,
+        };
+        let slightly = vec![vec![Complex::new(0.6 + 1e-13, 0.0), Complex::new(0.0, 0.8)]];
+        assert!(matches!(
+            check_batch(&inp, &slightly, &zero),
+            IntegrityVerdict::Quarantine { .. }
+        ));
+    }
+}

@@ -104,11 +104,15 @@ pub fn analyze_pipeline(
     let elems = dim * batch_size;
     let mut mem = DeviceMemory::new(&opts.device);
     let mut host = HostMemory::new();
+    // Analysis builds its schedule for a single simulated device; OOMs are
+    // attributed to it explicitly (there is no blanket allocator-error
+    // conversion precisely so multi-device paths cannot misattribute).
+    let oom = |e| BqsimError::oom_on(0, e);
     let buffers = [
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
     ];
     let inputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
     let outputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
@@ -172,11 +176,15 @@ pub fn analyze_recovery(
     let elems = dim * batch_size;
     let mut mem = DeviceMemory::new(&opts.device);
     let mut host = HostMemory::new();
+    // Analysis builds its schedule for a single simulated device; OOMs are
+    // attributed to it explicitly (there is no blanket allocator-error
+    // conversion precisely so multi-device paths cannot misattribute).
+    let oom = |e| BqsimError::oom_on(0, e);
     let buffers = [
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
     ];
     let inputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
     let outputs: Vec<_> = (0..num_batches).map(|_| host.alloc_zeroed(0)).collect();
@@ -245,11 +253,15 @@ pub fn analyze_parallel_execution(
     let elems = dim * batch_size;
     let mut mem = DeviceMemory::new(&opts.device);
     let mut host = HostMemory::new();
+    // Analysis builds its schedule for a single simulated device; OOMs are
+    // attributed to it explicitly (there is no blanket allocator-error
+    // conversion precisely so multi-device paths cannot misattribute).
+    let oom = |e| BqsimError::oom_on(0, e);
     let buffers = [
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
-        mem.alloc(elems)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
+        mem.alloc(elems).map_err(oom)?,
     ];
     // Functional mode needs real amplitudes behind the H2D copies.
     let inputs: Vec<_> = (0..num_batches)

@@ -16,6 +16,17 @@ pub enum BqsimError {
         /// Length actually provided.
         got: usize,
     },
+    /// A batch holds a different number of state vectors than the first
+    /// batch of the run — BQSim packs every batch into one fixed-stride
+    /// device buffer, so batches must be rectangular.
+    MismatchedBatchSize {
+        /// Index of the offending batch.
+        batch_index: usize,
+        /// State vectors per batch established by batch 0.
+        expected: usize,
+        /// State vectors the offending batch actually holds.
+        got: usize,
+    },
     /// The simulated device ran out of memory (the failure mode behind the
     /// paper's Table 4 "-" entries), and recovery was disabled or also
     /// exhausted the degradation ladder.
@@ -49,6 +60,11 @@ pub enum BqsimError {
     /// Every device in a multi-GPU run was lost; there is no survivor to
     /// requeue the outstanding batches onto.
     AllDevicesLost,
+    /// A [`CancelToken`](bqsim_faults::CancelToken) fired (explicit cancel
+    /// or elapsed deadline) and the run drained instead of completing. Any
+    /// partial outputs were discarded; completed work journaled before the
+    /// token fired remains valid and resumable.
+    Cancelled,
 }
 
 impl fmt::Display for BqsimError {
@@ -58,6 +74,15 @@ impl fmt::Display for BqsimError {
             BqsimError::BadInputLength { expected, got } => {
                 write!(f, "batch input has {got} amplitudes, expected {expected}")
             }
+            BqsimError::MismatchedBatchSize {
+                batch_index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "batch {batch_index} has {got} state vector(s), but batch 0 \
+                 established a batch size of {expected}"
+            ),
             BqsimError::DeviceOom {
                 device,
                 batch,
@@ -85,6 +110,9 @@ impl fmt::Display for BqsimError {
             BqsimError::AllDevicesLost => {
                 write!(f, "all devices were lost; no survivor to requeue onto")
             }
+            BqsimError::Cancelled => {
+                write!(f, "run cancelled (token fired or deadline elapsed)")
+            }
         }
     }
 }
@@ -98,11 +126,27 @@ impl Error for BqsimError {
     }
 }
 
-impl From<AllocDeviceError> for BqsimError {
-    fn from(source: AllocDeviceError) -> Self {
+impl BqsimError {
+    /// Attributes an allocator failure to the device it actually struck.
+    ///
+    /// There is deliberately **no** blanket `From<AllocDeviceError>`: a
+    /// `?`-conversion cannot know which device's allocator failed and used
+    /// to hardcode device 0, misattributing OOMs on every other device of
+    /// a multi-GPU run. Conversion sites name the device explicitly.
+    pub fn oom_on(device: usize, source: AllocDeviceError) -> Self {
         BqsimError::DeviceOom {
-            device: 0,
+            device,
             batch: None,
+            source,
+        }
+    }
+
+    /// [`BqsimError::oom_on`] with the batch being provisioned when the
+    /// allocation failed.
+    pub fn oom_on_batch(device: usize, batch: usize, source: AllocDeviceError) -> Self {
+        BqsimError::DeviceOom {
+            device,
+            batch: Some(batch),
             source,
         }
     }
@@ -137,15 +181,41 @@ mod tests {
         assert!(msg.contains("device 2"), "{msg}");
         assert!(msg.contains("batch 7"), "{msg}");
         assert!(msg.contains("4096"), "{msg}");
-        let e: BqsimError = AllocDeviceError::new(10, 0).into();
+        let e = BqsimError::oom_on(3, AllocDeviceError::new(10, 0));
         assert!(!e.to_string().contains("batch"), "no batch by default");
+        assert!(
+            e.to_string().contains("device 3"),
+            "oom_on must carry the real device id"
+        );
+        let e = BqsimError::oom_on_batch(1, 4, AllocDeviceError::new(10, 0));
+        assert!(e.to_string().contains("device 1"));
+        assert!(e.to_string().contains("batch 4"));
     }
 
     #[test]
     fn oom_source_chain_reaches_the_allocator_error() {
-        let e: BqsimError = AllocDeviceError::new(4096, 1024).into();
+        let e = BqsimError::oom_on(0, AllocDeviceError::new(4096, 1024));
         let src = e.source().expect("DeviceOom must expose its source");
         assert!(src.downcast_ref::<AllocDeviceError>().is_some());
+    }
+
+    #[test]
+    fn mismatched_batch_size_names_the_batch_and_both_sizes() {
+        let e = BqsimError::MismatchedBatchSize {
+            batch_index: 2,
+            expected: 8,
+            got: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("batch 2"), "{msg}");
+        assert!(msg.contains('8'), "{msg}");
+        assert!(msg.contains('5'), "{msg}");
+    }
+
+    #[test]
+    fn cancelled_display_mentions_the_deadline() {
+        let msg = BqsimError::Cancelled.to_string();
+        assert!(msg.contains("cancel"), "{msg}");
     }
 
     #[test]

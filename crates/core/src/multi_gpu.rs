@@ -9,7 +9,7 @@
 
 use crate::simulator::{BqSimOptions, BqSimulator, RunResult};
 use crate::BqsimError;
-use bqsim_faults::{FaultPlan, RecoveryPolicy, RunHealth};
+use bqsim_faults::{CancelToken, FaultPlan, RecoveryPolicy, RunHealth};
 use bqsim_gpu::{DeviceSpec, Timeline};
 use bqsim_num::Complex;
 use bqsim_qcir::Circuit;
@@ -84,6 +84,24 @@ impl MultiGpuRunner {
     ///
     /// Propagates device OOM / input-shape errors.
     pub fn run_batches(&self, batches: &[Vec<Vec<Complex>>]) -> Result<MultiGpuRun, BqsimError> {
+        self.run_batches_cancellable(batches, &CancelToken::new())
+    }
+
+    /// [`run_batches`](Self::run_batches) under a cooperative
+    /// [`CancelToken`]: polled before each device's run and at every task
+    /// boundary within it.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`BqsimError::Cancelled`] when the token
+    /// fires; devices that already completed their share are discarded
+    /// with the rest (campaign-level durability journals per *batch*, not
+    /// per device, so nothing is lost by the discard).
+    pub fn run_batches_cancellable(
+        &self,
+        batches: &[Vec<Vec<Complex>>],
+        cancel: &CancelToken,
+    ) -> Result<MultiGpuRun, BqsimError> {
         let k = self.sims.len();
         let mut per_device_batches: Vec<Vec<Vec<Vec<Complex>>>> = vec![Vec::new(); k];
         for (b, batch) in batches.iter().enumerate() {
@@ -91,6 +109,9 @@ impl MultiGpuRunner {
         }
         let mut per_device = Vec::with_capacity(k);
         for (sim, dev_batches) in self.sims.iter().zip(&per_device_batches) {
+            if cancel.is_cancelled() {
+                return Err(BqsimError::Cancelled);
+            }
             if dev_batches.is_empty() {
                 per_device.push(RunResult {
                     outputs: Vec::new(),
@@ -104,7 +125,7 @@ impl MultiGpuRunner {
                 });
                 continue;
             }
-            per_device.push(sim.run_batches(dev_batches)?);
+            per_device.push(sim.run_batches_cancellable(dev_batches, cancel)?);
         }
         let makespan_ns = per_device
             .iter()

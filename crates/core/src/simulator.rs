@@ -6,7 +6,8 @@ use crate::fusion::{self, FusedGate};
 use crate::kernels::{DdSpmvKernel, EllSpmmKernel};
 use crate::schedule;
 use bqsim_faults::{
-    FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryPolicy, Resolution, RunHealth,
+    CancelToken, FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryPolicy, Resolution,
+    RunHealth,
 };
 use bqsim_gpu::power::{cpu_average_power_w, gpu_average_power_w, PowerReport};
 use bqsim_gpu::{
@@ -278,19 +279,42 @@ impl BqSimulator {
     /// Returns [`BqsimError::BadInputLength`] on malformed inputs and
     /// [`BqsimError::DeviceOom`] if buffers exceed device memory.
     pub fn run_batches(&self, batches: &[Vec<Vec<Complex>>]) -> Result<RunResult, BqsimError> {
+        self.run_batches_cancellable(batches, &CancelToken::new())
+    }
+
+    /// [`run_batches`](Self::run_batches) under a cooperative
+    /// [`CancelToken`], polled at every task boundary of the engine sweep.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`run_batches`](Self::run_batches)' errors, returns
+    /// [`BqsimError::Cancelled`] when the token fires mid-run; the partial
+    /// outputs are discarded — callers resume by re-running the
+    /// uncompleted batches (the campaign runner journals completed batches
+    /// so it never re-runs finished work).
+    pub fn run_batches_cancellable(
+        &self,
+        batches: &[Vec<Vec<Complex>>],
+        cancel: &CancelToken,
+    ) -> Result<RunResult, BqsimError> {
         let batch_size = self.validate_batches(batches)?;
         let packed: Vec<Vec<Complex>> = batches.iter().map(|b| bqsim_ell::pack_batch(b)).collect();
-        self.run_packed(&packed, batches.len(), batch_size)
+        self.run_packed(&packed, batches.len(), batch_size, cancel)
     }
 
     /// Checks every batch has one size and every vector has `2^n`
     /// amplitudes; returns the batch size.
+    ///
+    /// Ragged batches (a batch whose vector count differs from batch 0's)
+    /// are a distinct failure from wrong-width vectors and get their own
+    /// [`BqsimError::MismatchedBatchSize`] naming the offending batch.
     fn validate_batches(&self, batches: &[Vec<Vec<Complex>>]) -> Result<usize, BqsimError> {
         let dim = 1usize << self.num_qubits;
         let batch_size = batches.first().map(|b| b.len()).unwrap_or(0);
-        for batch in batches {
+        for (batch_index, batch) in batches.iter().enumerate() {
             if batch.len() != batch_size {
-                return Err(BqsimError::BadInputLength {
+                return Err(BqsimError::MismatchedBatchSize {
+                    batch_index,
                     expected: batch_size,
                     got: batch.len(),
                 });
@@ -319,7 +343,7 @@ impl BqSimulator {
         num_batches: usize,
         batch_size: usize,
     ) -> Result<RunResult, BqsimError> {
-        self.run_packed(&[], num_batches, batch_size)
+        self.run_packed(&[], num_batches, batch_size, &CancelToken::new())
     }
 
     fn run_packed(
@@ -327,8 +351,9 @@ impl BqSimulator {
         packed: &[Vec<Complex>],
         num_batches: usize,
         batch_size: usize,
+        cancel: &CancelToken,
     ) -> Result<RunResult, BqsimError> {
-        self.run_gates_faulted(
+        let (run, faulted, _) = self.run_gates_faulted(
             &self.gates,
             packed,
             num_batches,
@@ -337,8 +362,12 @@ impl BqSimulator {
             &FaultInjector::none(),
             &[],
             &RecoveryPolicy::no_recovery(),
-        )
-        .map(|(run, _, _)| run)
+            cancel,
+        )?;
+        if faulted.cancelled_at.is_some() {
+            return Err(BqsimError::Cancelled);
+        }
+        Ok(run)
     }
 
     /// One engine pass over `gates` with fault hooks armed. Returns the
@@ -355,6 +384,7 @@ impl BqSimulator {
         injector: &FaultInjector,
         oom_allocs: &[usize],
         policy: &RecoveryPolicy,
+        cancel: &CancelToken,
     ) -> Result<(RunResult, FaultedRun, u64), BqsimError> {
         assert!(num_batches > 0 && batch_size > 0, "empty batch run");
         let dim = 1usize << self.num_qubits;
@@ -440,7 +470,7 @@ impl BqSimulator {
         } else {
             ExecMode::TimingOnly
         };
-        let faulted = engine.run_faulted(
+        let faulted = engine.run_faulted_cancellable(
             &graph,
             &mut mem,
             &mut host,
@@ -448,6 +478,7 @@ impl BqSimulator {
             exec,
             injector,
             policy,
+            cancel,
         );
         let timeline = faulted.timeline.clone();
 
@@ -510,7 +541,25 @@ impl BqSimulator {
         plan: &FaultPlan,
         policy: &RecoveryPolicy,
     ) -> Result<RecoveredRun, BqsimError> {
-        let rec = self.run_batches_recovering_on(0, batches, plan, policy)?;
+        self.run_batches_recovering_cancellable(batches, plan, policy, &CancelToken::new())
+    }
+
+    /// [`run_batches_recovering`](Self::run_batches_recovering) under a
+    /// cooperative [`CancelToken`].
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`run_batches_recovering`](Self::run_batches_recovering)'
+    /// errors, returns [`BqsimError::Cancelled`] when the token fires;
+    /// partial outputs are discarded.
+    pub fn run_batches_recovering_cancellable(
+        &self,
+        batches: &[Vec<Vec<Complex>>],
+        plan: &FaultPlan,
+        policy: &RecoveryPolicy,
+        cancel: &CancelToken,
+    ) -> Result<RecoveredRun, BqsimError> {
+        let rec = self.run_batches_recovering_cancellable_on(0, batches, plan, policy, cancel)?;
         if let Some(&batch) = rec.health.failed_batches.first() {
             if let Some(&device) = rec.health.lost_devices.first() {
                 return Err(BqsimError::DeviceLost { device });
@@ -544,6 +593,30 @@ impl BqSimulator {
         plan: &FaultPlan,
         policy: &RecoveryPolicy,
     ) -> Result<RecoveredRun, BqsimError> {
+        self.run_batches_recovering_cancellable_on(
+            device,
+            batches,
+            plan,
+            policy,
+            &CancelToken::new(),
+        )
+    }
+
+    /// [`run_batches_recovering_on`](Self::run_batches_recovering_on) under
+    /// a cooperative [`CancelToken`], polled at task boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`BqsimError::Cancelled`] when the token fires
+    /// mid-run; partial outputs are discarded.
+    pub fn run_batches_recovering_cancellable_on(
+        &self,
+        device: usize,
+        batches: &[Vec<Vec<Complex>>],
+        plan: &FaultPlan,
+        policy: &RecoveryPolicy,
+        cancel: &CancelToken,
+    ) -> Result<RecoveredRun, BqsimError> {
         let batch_size = self.validate_batches(batches)?;
         let num_batches = batches.len();
         let packed: Vec<Vec<Complex>> = batches.iter().map(|b| bqsim_ell::pack_batch(b)).collect();
@@ -563,8 +636,12 @@ impl BqSimulator {
                 &injector,
                 &traps,
                 policy,
+                cancel,
             ) {
                 Ok((run, faulted, high_water)) => {
+                    if faulted.cancelled_at.is_some() {
+                        return Err(BqsimError::Cancelled);
+                    }
                     health.high_water_bytes.push((device, high_water));
                     break (run, faulted, gates.len());
                 }
@@ -877,6 +954,45 @@ mod tests {
                 got: 4
             })
         ));
+    }
+
+    #[test]
+    fn ragged_batches_name_the_offending_batch() {
+        let circuit = generators::ghz(3);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let ragged = vec![
+            random_input_batch(3, 2, 0),
+            random_input_batch(3, 2, 1),
+            random_input_batch(3, 3, 2), // 3 vectors where batch 0 had 2
+        ];
+        assert!(matches!(
+            sim.run_batches(&ragged),
+            Err(BqsimError::MismatchedBatchSize {
+                batch_index: 2,
+                expected: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_any_output() {
+        use bqsim_faults::CancelToken;
+        let circuit = generators::ghz(3);
+        let sim = BqSimulator::compile(&circuit, BqSimOptions::default()).unwrap();
+        let batches = vec![random_input_batch(3, 2, 0)];
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(matches!(
+            sim.run_batches_cancellable(&batches, &cancel),
+            Err(BqsimError::Cancelled)
+        ));
+        // A fresh token changes nothing about the result.
+        let clean = sim.run_batches(&batches).unwrap();
+        let again = sim
+            .run_batches_cancellable(&batches, &CancelToken::new())
+            .unwrap();
+        assert_eq!(clean.outputs, again.outputs);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   was absorbed: one [`FaultEvent`] per injected fault, retry/backoff
 //!   totals, requeued and degraded batches, lost devices, and per-device
 //!   memory high-water marks.
+//! * [`CancelToken`] — cooperative cancellation (a shared flag plus an
+//!   optional wall-clock deadline) polled at task boundaries by the
+//!   engine's sweep, the parallel executor's workers, and the campaign
+//!   runner's batch loop.
 //!
 //! The degradation ladder itself (GPU-ELL → re-split + CPU conversion →
 //! dense host reference) is implemented in `bqsim-core`, which owns the
@@ -27,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod health;
 mod inject;
 mod plan;
 mod policy;
 
+pub use cancel::CancelToken;
 pub use health::{FaultEvent, Resolution, RunHealth};
 pub use inject::FaultInjector;
 pub use plan::{FaultBudget, FaultKind, FaultPlan, FaultSpec};

@@ -5,7 +5,7 @@ use crate::device::DeviceSpec;
 use crate::memory::{DeviceMemory, HostMemory};
 use crate::parallel::{self, Effect, TaskSpan};
 use crate::task::{Task, TaskGraph, TaskId, TaskKind};
-use bqsim_faults::{FaultEvent, FaultInjector, FaultKind, RecoveryPolicy, Resolution};
+use bqsim_faults::{CancelToken, FaultEvent, FaultInjector, FaultKind, RecoveryPolicy, Resolution};
 use bqsim_num::Complex;
 
 /// How the task graph is launched on the simulated device.
@@ -361,6 +361,42 @@ impl Engine {
         injector: &FaultInjector,
         policy: &RecoveryPolicy,
     ) -> FaultedRun {
+        self.run_faulted_cancellable(
+            graph,
+            mem,
+            host,
+            mode,
+            exec,
+            injector,
+            policy,
+            &CancelToken::new(),
+        )
+    }
+
+    /// [`Engine::run_faulted`] with a cooperative [`CancelToken`] polled at
+    /// every task boundary of the scheduling sweep.
+    ///
+    /// When the token fires, the sweep stops scheduling: the current task
+    /// and everything after it are recorded as
+    /// [`TaskOutcome::Abandoned`], [`FaultedRun::cancelled_at`] names the
+    /// first unscheduled task, and — in functional mode — **no** effects
+    /// are applied for the cancelled region, so host memory never holds a
+    /// half-written batch. Callers are expected to discard the partial
+    /// outputs of a cancelled run (the campaign runner re-runs those
+    /// batches on resume). With a never-firing token this is exactly
+    /// [`Engine::run_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_faulted_cancellable(
+        &self,
+        graph: &TaskGraph,
+        mem: &mut DeviceMemory,
+        host: &mut HostMemory,
+        mode: LaunchMode,
+        exec: ExecMode,
+        injector: &FaultInjector,
+        policy: &RecoveryPolicy,
+        cancel: &CancelToken,
+    ) -> FaultedRun {
         let n = graph.tasks.len();
         let start0 = match mode {
             LaunchMode::Graph => self.spec.graph_launch_overhead_ns,
@@ -389,6 +425,13 @@ impl Engine {
 
         for (i, task) in graph.tasks.iter().enumerate() {
             let id = TaskId(i);
+            // Cooperative cancellation, checked once per task boundary:
+            // everything from the first task that observes a fired token is
+            // abandoned, never executed, and the caller is told where the
+            // sweep stopped.
+            if run.cancelled_at.is_none() && cancel.is_cancelled() {
+                run.cancelled_at = Some(id);
+            }
             let resource = match &task.kind {
                 TaskKind::H2D { .. } => Resource::CopyH2D,
                 TaskKind::D2H { .. } => Resource::CopyD2H,
@@ -418,7 +461,10 @@ impl Engine {
                 });
             }
 
-            if lost_ns.is_some() || task.preds.iter().any(|p| dead[p.0]) {
+            if run.cancelled_at.is_some()
+                || lost_ns.is_some()
+                || task.preds.iter().any(|p| dead[p.0])
+            {
                 dead[i] = true;
                 let at = ready.max(lost_ns.unwrap_or(0));
                 finish[i] = at;
@@ -578,7 +624,17 @@ impl Engine {
         }
         run.timeline = timeline;
         if parallel {
-            run.parallel_spans = parallel::execute_graph(graph, &effects, mem, host, self.threads);
+            let (spans, skipped) =
+                parallel::execute_graph(graph, &effects, mem, host, self.threads, Some(cancel));
+            run.parallel_spans = spans;
+            // A token firing between the sweep and the replay (or mid-replay)
+            // means some recorded effects were never applied: the outputs are
+            // partial exactly as if the sweep itself had been cancelled there.
+            if run.cancelled_at.is_none() {
+                if let Some(t) = skipped {
+                    run.cancelled_at = Some(TaskId(t));
+                }
+            }
         }
         run
     }
@@ -641,6 +697,12 @@ pub struct FaultedRun {
     pub abandoned: Vec<TaskId>,
     /// Where and when the device was lost, if it was.
     pub device_lost_at: Option<(TaskId, u64)>,
+    /// First task never executed because a [`CancelToken`] fired, if the
+    /// run was cancelled. `Some` means the outputs are partial: everything
+    /// from this task onward was abandoned and no functional effect of the
+    /// cancelled region reached memory. Callers must discard the outputs
+    /// (the campaign runner re-runs the affected batches on resume).
+    pub cancelled_at: Option<TaskId>,
     /// One span per task recording when the parallel worker pool applied
     /// its functional effects, in ticks of the pool's sequence counter.
     /// Empty unless the engine was built with

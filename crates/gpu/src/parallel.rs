@@ -26,8 +26,9 @@
 use crate::engine::{execute_task, poison_destination};
 use crate::memory::{DeviceMemory, HostMemory};
 use crate::task::TaskGraph;
+use bqsim_faults::CancelToken;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// One functional side effect of a scheduled task attempt, recorded by the
@@ -73,17 +74,26 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Applies each task's recorded effects on a pool of `threads` scoped
 /// workers, respecting every dependency edge of `graph`. Returns one span
-/// per task, sorted by start tick.
+/// per task, sorted by start tick, plus the lowest task index whose
+/// effects were *skipped* because `cancel` fired mid-replay (`None` when
+/// every recorded effect was applied).
+///
+/// Workers poll the token at task boundaries: once it fires, remaining
+/// tasks still drain through the ready queue (so the pool terminates and
+/// every dependent is released) but apply no effects — exactly the
+/// abandoned-task discipline, which keeps host memory free of half-written
+/// batches. A cancelled replay's outputs must be discarded by the caller.
 pub(crate) fn execute_graph(
     graph: &TaskGraph,
     effects: &[Vec<Effect>],
     mem: &DeviceMemory,
     host: &HostMemory,
     threads: usize,
-) -> Vec<TaskSpan> {
+    cancel: Option<&CancelToken>,
+) -> (Vec<TaskSpan>, Option<usize>) {
     let n = graph.tasks.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), None);
     }
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut indegree = vec![0usize; n];
@@ -105,6 +115,9 @@ pub(crate) fn execute_graph(
     let ready_cv = Condvar::new();
     let clock = AtomicU64::new(0);
     let spans = Mutex::new(Vec::with_capacity(n));
+    // Lowest task index whose effects were skipped on cancellation;
+    // `usize::MAX` = nothing skipped.
+    let skipped_min = AtomicUsize::new(usize::MAX);
     let workers = threads.min(n).max(1);
 
     std::thread::scope(|scope| {
@@ -122,11 +135,18 @@ pub(crate) fn execute_graph(
                         st = ready_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
                     }
                 };
+                let cancelled = cancel.is_some_and(CancelToken::is_cancelled);
                 let start_seq = clock.fetch_add(1, Ordering::SeqCst);
-                for effect in &effects[task] {
-                    match effect {
-                        Effect::Poison => poison_destination(&graph.tasks[task], mem, host),
-                        Effect::Execute => execute_task(&graph.tasks[task], mem, host),
+                if cancelled {
+                    if !effects[task].is_empty() {
+                        skipped_min.fetch_min(task, Ordering::SeqCst);
+                    }
+                } else {
+                    for effect in &effects[task] {
+                        match effect {
+                            Effect::Poison => poison_destination(&graph.tasks[task], mem, host),
+                            Effect::Execute => execute_task(&graph.tasks[task], mem, host),
+                        }
                     }
                 }
                 let end_seq = clock.fetch_add(1, Ordering::SeqCst);
@@ -134,8 +154,8 @@ pub(crate) fn execute_graph(
                     task,
                     start_seq,
                     end_seq,
-                    completed: effects[task].last() == Some(&Effect::Execute),
-                    abandoned: effects[task].is_empty(),
+                    completed: !cancelled && effects[task].last() == Some(&Effect::Execute),
+                    abandoned: cancelled || effects[task].is_empty(),
                 });
                 let mut st = lock(&state);
                 st.remaining -= 1;
@@ -167,7 +187,11 @@ pub(crate) fn execute_graph(
 
     let mut spans = spans.into_inner().unwrap_or_else(PoisonError::into_inner);
     spans.sort_by_key(|s| s.start_seq);
-    spans
+    let skipped = match skipped_min.into_inner() {
+        usize::MAX => None,
+        t => Some(t),
+    };
+    (spans, skipped)
 }
 
 #[cfg(test)]
@@ -208,7 +232,8 @@ mod tests {
         let b = g.add_kernel("b", Arc::new(AddOne(d)), &[a]);
         g.add_kernel("c", Arc::new(AddOne(d)), &[b]);
         let effects = vec![vec![Effect::Execute]; 3];
-        let spans = execute_graph(&g, &effects, &mem, &host, 4);
+        let (spans, skipped) = execute_graph(&g, &effects, &mem, &host, 4, None);
+        assert!(skipped.is_none());
         assert_eq!(spans.len(), 3);
         for w in spans.windows(2) {
             assert!(w[0].end_seq < w[1].start_seq, "chained tasks overlapped");
@@ -227,11 +252,35 @@ mod tests {
             g.add_kernel(format!("k{i}"), Arc::new(AddOne(*b)), &[]);
         }
         let effects = vec![vec![Effect::Execute]; 16];
-        let spans = execute_graph(&g, &effects, &mem, &host, 7);
+        let (spans, skipped) = execute_graph(&g, &effects, &mem, &host, 7, None);
+        assert!(skipped.is_none());
         assert_eq!(spans.len(), 16);
         for b in &bufs {
             assert_eq!(mem.buffer(*b)[0], Complex::ONE);
         }
+    }
+
+    #[test]
+    fn cancelled_replay_skips_every_effect_and_reports_the_first_skip() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        let d = mem.alloc(2).unwrap();
+        let host = HostMemory::new();
+        let mut g = TaskGraph::new();
+        let a = g.add_kernel("a", Arc::new(AddOne(d)), &[]);
+        g.add_kernel("b", Arc::new(AddOne(d)), &[a]);
+        let effects = vec![vec![Effect::Execute]; 2];
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (spans, skipped) = execute_graph(&g, &effects, &mem, &host, 2, Some(&cancel));
+        assert_eq!(spans.len(), 2, "cancelled tasks still drain the queue");
+        assert_eq!(skipped, Some(0));
+        assert!(spans.iter().all(|s| s.abandoned && !s.completed));
+        assert_eq!(
+            mem.buffer(d)[0],
+            Complex::new(0.0, 0.0),
+            "no effect of the cancelled region may reach memory"
+        );
     }
 
     #[test]
@@ -245,7 +294,8 @@ mod tests {
         g.add_kernel("after", Arc::new(AddOne(d)), &[a]);
         // Task 0 exhausted (poison only), task 1 abandoned (no effects).
         let effects = vec![vec![Effect::Poison], vec![]];
-        let spans = execute_graph(&g, &effects, &mem, &host, 2);
+        let (spans, skipped) = execute_graph(&g, &effects, &mem, &host, 2, None);
+        assert!(skipped.is_none());
         assert_eq!(spans.len(), 2);
         let s0 = spans.iter().find(|s| s.task == 0).unwrap();
         let s1 = spans.iter().find(|s| s.task == 1).unwrap();

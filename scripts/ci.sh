@@ -32,11 +32,34 @@ for threads in 1 4; do
 done
 
 echo "==> bqsim analyze under injected faults (recovery schedule must be hazard-free)"
-cargo run -q -p bqsim-core --release --bin bqsim -- analyze \
+cargo run -q -p bqsim-campaign --release --bin bqsim -- analyze \
     --family vqe --qubits 6 --batches 4 --fault-plan seed=42,kernel=2,copy=1,hang=1
 
 echo "==> bqsim analyze parallel schedule (4 threads must be race-free and dependency-preserving)"
-cargo run -q -p bqsim-core --release --bin bqsim -- analyze \
+cargo run -q -p bqsim-campaign --release --bin bqsim -- analyze \
     --family vqe --qubits 6 --batches 4 --threads 4
+
+echo "==> durable campaign interrupt-resume gate (digest must be bit-identical)"
+journal="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-XXXXXX.journal")"
+trap 'rm -f "$journal" "$journal.state" "$journal.ref" "$journal.ref.state"' EXIT
+run_bqsim() { cargo run -q -p bqsim-campaign --release --bin bqsim -- "$@"; }
+ref_digest="$(run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
+    --journal "$journal.ref" | grep 'campaign digest:')"
+run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
+    --journal "$journal" --stop-after 3 | grep -q 'journal is resumable'
+resumed_digest="$(run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
+    --journal "$journal" --resume | grep 'campaign digest:')"
+if [ "$ref_digest" != "$resumed_digest" ]; then
+    echo "FAIL: interrupted+resumed digest ($resumed_digest) != uninterrupted ($ref_digest)" >&2
+    exit 1
+fi
+echo "    $resumed_digest (interrupted+resumed == uninterrupted)"
+
+echo "==> bqsim analyze --journal (exactly-once completion, fingerprint, ordering)"
+run_bqsim analyze --journal "$journal"
+run_bqsim analyze --journal "$journal.ref"
+
+echo "==> journaling overhead on routing-6 (target < 2%, recorded in BENCH_pr4.json)"
+cargo run -q -p bqsim-bench --release --bin report_pr4
 
 echo "CI gate passed."
