@@ -151,6 +151,72 @@ pub fn analyze_ell(facts: &EllFacts) -> Diagnostics {
     diags
 }
 
+/// Round-trip check of a row-pattern annotation: decoding the compressed
+/// pattern must reproduce every slot (values **bit-for-bit**, columns, and
+/// per-row non-zero counts) of the annotated matrix. The planar kernels
+/// execute straight from the template block, so any decode divergence means
+/// the compressed execution would compute different amplitudes than the
+/// expanded tensor — an error, never a warning.
+///
+/// Matrices without an annotation pass trivially (there is nothing to
+/// round-trip).
+pub fn check_pattern_roundtrip(ell: &EllMatrix) -> Diagnostics {
+    const PASS: &str = "ell-pattern";
+    let mut diags = Diagnostics::new();
+    let Some(d) = ell.pattern_period() else {
+        return diags;
+    };
+    let decoded = ell.decode_pattern();
+    if decoded.num_rows() != ell.num_rows() || decoded.max_nzr() != ell.max_nzr() {
+        diags.error(
+            PASS,
+            "shape".to_string(),
+            format!(
+                "decode of period-{d} pattern changed shape: {}×{} → {}×{}",
+                ell.num_rows(),
+                ell.max_nzr(),
+                decoded.num_rows(),
+                decoded.max_nzr()
+            ),
+        );
+        return diags;
+    }
+    let bits = |v: &Complex| (v.re.to_bits(), v.im.to_bits());
+    for r in 0..ell.num_rows() {
+        if decoded.row_nnz(r) != ell.row_nnz(r) {
+            diags.error(
+                PASS,
+                format!("row {r}"),
+                format!(
+                    "period-{d} decode has {} non-zeros where the matrix stores {}",
+                    decoded.row_nnz(r),
+                    ell.row_nnz(r)
+                ),
+            );
+        }
+        for (k, ((dv, dc), (ov, oc))) in decoded
+            .row_values(r)
+            .iter()
+            .zip(decoded.row_cols(r))
+            .zip(ell.row_values(r).iter().zip(ell.row_cols(r)))
+            .enumerate()
+        {
+            if bits(dv) != bits(ov) || dc != oc {
+                diags.error(
+                    PASS,
+                    format!("row {r} slot {k}"),
+                    format!(
+                        "period-{d} decode yields ({dv}, col {dc}) where the \
+                         matrix stores ({ov}, col {oc}) — compressed execution \
+                         would diverge"
+                    ),
+                );
+            }
+        }
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +307,34 @@ mod tests {
         let diags = analyze_ell(&ell_facts(&ell));
         assert_eq!(diags.error_count(), 0, "{diags}");
         assert!(diags.mentions("not tight"), "{diags}");
+    }
+
+    #[test]
+    fn pattern_roundtrip_accepts_true_periods_and_rejects_false_ones() {
+        // I ⊗ V with a dense complex 2×2 V: rows repeat with period 2.
+        let a = Complex::new(0.6, 0.2);
+        let b = Complex::new(-0.3, 0.7);
+        let mut ell = EllMatrix::zeros(4, 2);
+        for blk in 0..2usize {
+            let base = blk * 2;
+            ell.set_slot(base, 0, base, a);
+            ell.set_slot(base, 1, base + 1, b);
+            ell.set_slot(base + 1, 0, base, b);
+            ell.set_slot(base + 1, 1, base + 1, a);
+        }
+        assert_eq!(ell.detect_pattern(), Some(2));
+        let diags = check_pattern_roundtrip(&ell);
+        assert!(diags.is_clean(), "{diags}");
+
+        // No annotation → nothing to round-trip.
+        ell.set_pattern_period_unchecked(None);
+        assert!(check_pattern_roundtrip(&ell).is_clean());
+
+        // A false period-1 claim (row 0 is not every row) must be an error.
+        ell.set_pattern_period_unchecked(Some(1));
+        let diags = check_pattern_roundtrip(&ell);
+        assert!(diags.error_count() > 0, "{diags}");
+        assert!(diags.mentions("diverge"), "{diags}");
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   and canonicity invariants (§2.2), checked structurally on a snapshot
 //!   so a package bug cannot hide its own evidence; plus a dense
 //!   cross-check of the DD-native NZRV algorithm (Fig. 3).
-//! * **ELL tensors** ([`analyze_ell`]) — shape, column-bounds, row-sorting,
-//!   and padding discipline of the spMM operand layout (§3.2).
+//! * **ELL tensors** ([`analyze_ell`], [`check_pattern_roundtrip`]) —
+//!   shape, column-bounds, row-sorting, and padding discipline of the spMM
+//!   operand layout (§3.2), plus a bit-exact round-trip check that a
+//!   row-pattern annotation decodes to the tensor it compresses.
 //! * **Recovery schedules** ([`check_recovery_schedule`]) — given the
 //!   executed timeline of a fault-injected run, verifies retry attempts
 //!   keep per-task discipline, preserve happens-before across
@@ -49,7 +51,7 @@ pub use dd::{
     DdNodeFacts,
 };
 pub use diag::{Diagnostic, Diagnostics, Severity};
-pub use ell::{analyze_ell, ell_facts, EllFacts};
+pub use ell::{analyze_ell, check_pattern_roundtrip, ell_facts, EllFacts};
 pub use graph::{
     analyze_graph, check_double_buffer_discipline, expected_buffer_indices, GraphFacts, Loc,
     TaskFacts, TaskOp,

@@ -63,6 +63,7 @@ mod tests {
             inputs: 3,
             fault_seed: None,
             threads: 1,
+            layout: bqsim_core::Layout::Planar,
             num_batches,
             batch_size: 1,
             amps: 2,

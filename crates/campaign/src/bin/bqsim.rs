@@ -68,6 +68,7 @@ struct Args {
     zero_input: bool,
     optimize: bool,
     threads: Option<usize>,
+    layout: Option<bqsim_core::Layout>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -98,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
         zero_input: false,
         optimize: false,
         threads: None,
+        layout: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -123,6 +125,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads must be at least 1".to_string());
                 }
                 args.threads = Some(n);
+            }
+            "--layout" => {
+                let v = value(&mut i)?;
+                args.layout = Some(
+                    bqsim_core::Layout::parse(&v)
+                        .ok_or_else(|| format!("--layout must be `aos` or `planar`, got `{v}`"))?,
+                );
             }
             "--shots" => args.shots = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--observable" => args.observable = Some(value(&mut i)?),
@@ -287,6 +296,11 @@ OPTIONS:
                          (parallel task-graph executor + spMM row
                          partitioning; 1 = serial)
                          [default: $BQSIM_THREADS or available cores]
+    --layout <l>         amplitude memory layout: `planar` (batch-major
+                         planes, SIMD-tiled microkernels) or `aos`
+                         (interleaved ablation baseline); bit-identical
+                         outputs either way
+                         [default: $BQSIM_LAYOUT or planar]
     --stream             disable the task graph (stream launches)
     --skip-fusion        disable BQCS-aware gate fusion
     --zero-input         use |0…0> inputs instead of random states
@@ -333,6 +347,12 @@ fn effective_threads(args: &Args) -> usize {
     args.threads.unwrap_or_else(bqsim_core::default_threads)
 }
 
+/// Amplitude layout for this invocation: `--layout` wins, else the
+/// `BQSIM_LAYOUT` / planar default.
+fn effective_layout(args: &Args) -> bqsim_core::Layout {
+    args.layout.unwrap_or_else(bqsim_core::default_layout)
+}
+
 fn build_circuit(args: &Args) -> Result<Circuit, String> {
     if let Some(path) = &args.source {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -372,6 +392,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
         tau: args.tau,
         skip_fusion: args.skip_fusion,
         threads: effective_threads(args),
+        layout: effective_layout(args),
         ..BqSimOptions::default()
     };
     let report = bqsim_core::analyze_pipeline(circuit, &opts, args.batches, args.batch_size)
@@ -479,6 +500,7 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
         },
         skip_fusion: args.skip_fusion,
         threads: effective_threads(args),
+        layout: effective_layout(args),
         ..BqSimOptions::default()
     };
     let sim = BqSimulator::compile(circuit, opts).map_err(|e| e.to_string())?;
@@ -596,6 +618,7 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> 
         },
         skip_fusion: args.skip_fusion,
         threads: effective_threads(args),
+        layout: effective_layout(args),
         ..BqSimOptions::default()
     };
     let batches: Vec<_> = (0..args.batches)
@@ -720,6 +743,7 @@ fn run() -> Result<ExitCode, String> {
         },
         skip_fusion: args.skip_fusion,
         threads: effective_threads(&args),
+        layout: effective_layout(&args),
         ..BqSimOptions::default()
     };
     let sim = BqSimulator::compile(&circuit, opts).map_err(|e| e.to_string())?;
@@ -756,6 +780,14 @@ fn run() -> Result<ExitCode, String> {
         args.batches * args.batch_size,
         result.timeline.total_ms(),
         result.power.gpu_w,
+    );
+    let pool = sim.pool_stats();
+    println!(
+        "buffer pool: {} hit(s) / {} miss(es), {:.3} MiB idle across {} buffer(s)",
+        pool.hits,
+        pool.misses,
+        pool.idle_bytes as f64 / (1024.0 * 1024.0),
+        pool.idle_buffers,
     );
 
     if args.gantt {

@@ -47,6 +47,7 @@
 //! [`JournalError::Corrupt`].
 
 use crate::checksum::{fnv1a, parse_hex_u64};
+use bqsim_core::Layout;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
@@ -75,6 +76,11 @@ pub struct Fingerprint {
     /// the parallel executor must replay under the same pool shape for
     /// the run to be provably equivalent.
     pub threads: usize,
+    /// Effective amplitude layout (`BqSimOptions::effective_layout()`).
+    /// Fingerprinted as its own field — like `threads` — so the mismatch
+    /// report can name it: both layouts are proven bit-identical, but a
+    /// resume must still replay the campaign it joined, not a variant.
+    pub layout: Layout,
     /// Total batches in the campaign.
     pub num_batches: usize,
     /// State vectors per batch.
@@ -101,6 +107,9 @@ impl Fingerprint {
         }
         if self.threads != other.threads {
             return Some("threads");
+        }
+        if self.layout != other.layout {
+            return Some("layout");
         }
         if self.num_batches != other.num_batches {
             return Some("num_batches");
@@ -260,12 +269,13 @@ fn render_header(fp: &Fingerprint, mode: StateMode) -> String {
     };
     format!(
         "plan circuit={:016x} options={:016x} inputs={:016x} fault_seed={} \
-         threads={} batches={} batch_size={} amps={} state={}",
+         threads={} layout={} batches={} batch_size={} amps={} state={}",
         fp.circuit,
         fp.options,
         fp.inputs,
         seed,
         fp.threads,
+        fp.layout.token(),
         fp.num_batches,
         fp.batch_size,
         fp.amps,
@@ -530,6 +540,7 @@ fn parse_header(payload: &str) -> Option<(Fingerprint, StateMode)> {
         Some(seed.parse().ok()?)
     };
     let threads = parse_kv(t.next()?, "threads")?.parse().ok()?;
+    let layout = Layout::parse(parse_kv(t.next()?, "layout")?)?;
     let num_batches = parse_kv(t.next()?, "batches")?.parse().ok()?;
     let batch_size = parse_kv(t.next()?, "batch_size")?.parse().ok()?;
     let amps = parse_kv(t.next()?, "amps")?.parse().ok()?;
@@ -544,6 +555,7 @@ fn parse_header(payload: &str) -> Option<(Fingerprint, StateMode)> {
             inputs,
             fault_seed,
             threads,
+            layout,
             num_batches,
             batch_size,
             amps,
@@ -680,6 +692,7 @@ mod tests {
             inputs: 0x3333,
             fault_seed: Some(42),
             threads: 4,
+            layout: Layout::Planar,
             num_batches: 3,
             batch_size: 2,
             amps: 8,
@@ -837,6 +850,9 @@ mod tests {
         assert_eq!(a.mismatch(&b), None);
         b.threads = 1;
         assert_eq!(a.mismatch(&b), Some("threads"));
+        b = fp();
+        b.layout = Layout::Aos;
+        assert_eq!(a.mismatch(&b), Some("layout"));
         b = fp();
         b.fault_seed = None;
         assert_eq!(a.mismatch(&b), Some("fault_seed"));

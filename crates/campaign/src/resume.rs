@@ -129,6 +129,7 @@ mod tests {
             inputs: 0,
             fault_seed: None,
             threads: 1,
+            layout: bqsim_core::Layout::Planar,
             num_batches: 3,
             batch_size: 1,
             amps: 2,

@@ -451,10 +451,11 @@ impl Committer {
 ///
 /// The circuit and option hashes are FNV-1a over canonical debug
 /// renderings (pure data, no addresses); the input hash covers the raw
-/// bit patterns of every amplitude. `threads` is deliberately excluded
-/// from the options hash and carried as its own field so a mismatch
-/// report can name it — the most common way to accidentally change a
-/// plan between sessions is `BQSIM_THREADS`.
+/// bit patterns of every amplitude. `threads` and the effective amplitude
+/// layout are deliberately excluded from the options hash and carried as
+/// their own fields so a mismatch report can name them — the most common
+/// way to accidentally change a plan between sessions is `BQSIM_THREADS`
+/// or `BQSIM_LAYOUT`.
 pub fn plan_fingerprint(
     circuit: &Circuit,
     opts: &BqSimOptions,
@@ -491,6 +492,7 @@ pub fn plan_fingerprint(
         inputs,
         fault_seed,
         threads: opts.threads,
+        layout: opts.effective_layout(),
         num_batches: batches.len(),
         batch_size,
         amps,

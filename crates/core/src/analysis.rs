@@ -88,6 +88,10 @@ pub fn analyze_pipeline(
             None => converter.convert(&mut dd, g, n),
         };
         gate_diags.merge(analyze::analyze_ell(&analyze::ell_facts(&conv.ell)));
+        // Conversion annotates block-periodic rows for the planar kernels;
+        // prove the annotation decodes back to the exact tensor before any
+        // kernel is allowed to execute from the compressed template.
+        gate_diags.merge(analyze::check_pattern_roundtrip(&conv.ell));
         for d in gate_diags.iter() {
             diags.push(
                 d.severity,

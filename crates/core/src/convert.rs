@@ -67,18 +67,79 @@ impl ConvertedGate {
 /// DD-to-ELL conversion per compile. The key includes the qubit count and
 /// the (possibly forced) conversion method, and a cache must never outlive
 /// its `DdPackage` (node ids are arena indices).
-#[derive(Debug, Default)]
+///
+/// The cache is **capacity-bounded**: each entry pins its ELL tensor and
+/// flattened DD, so an unbounded cache would hold every distinct gate of an
+/// arbitrarily long circuit live at once. Past `capacity` distinct entries
+/// it evicts the least-recently-used one (an `O(len)` scan — an eviction is
+/// preceded by a full DD-to-ELL conversion, which dwarfs it).
+#[derive(Debug)]
 pub struct EllCache {
-    map: HashMap<(bqsim_qdd::MEdge, usize, Option<ConversionMethod>), ConvertedGate>,
+    map: HashMap<(bqsim_qdd::MEdge, usize, Option<ConversionMethod>), CacheEntry>,
+    capacity: usize,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
     unique_conversion_ns: u64,
 }
 
+#[derive(Debug)]
+struct CacheEntry {
+    gate: ConvertedGate,
+    last_used: u64,
+}
+
+/// Default [`EllCache`] capacity: far above the distinct-gate count of
+/// every bundled circuit family, small enough to bound residency on
+/// adversarial workloads.
+pub const DEFAULT_ELL_CACHE_CAPACITY: usize = 1024;
+
+impl Default for EllCache {
+    fn default() -> Self {
+        EllCache::with_capacity(DEFAULT_ELL_CACHE_CAPACITY)
+    }
+}
+
 impl EllCache {
-    /// An empty cache for one compile (one `DdPackage`).
+    /// An empty cache for one compile (one `DdPackage`) with the default
+    /// capacity.
     pub fn new() -> Self {
         EllCache::default()
+    }
+
+    /// An empty cache bounded to at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a cache that cannot hold the entry it
+    /// just converted would thrash every lookup).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "EllCache capacity must be at least 1");
+        EllCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            unique_conversion_ns: 0,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 
     /// Lookups that returned an already-converted gate.
@@ -91,10 +152,59 @@ impl EllCache {
         self.misses
     }
 
+    /// Entries displaced by the LRU capacity bound. A displaced gate that
+    /// recurs converts again (and counts a fresh miss).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Total modelled conversion time of the distinct conversions only —
     /// what the pipeline actually spends with the cache in front.
     pub fn unique_conversion_ns(&self) -> u64 {
         self.unique_conversion_ns
+    }
+
+    /// Looks up `key`, refreshing its LRU stamp on a hit.
+    fn lookup(
+        &mut self,
+        key: &(bqsim_qdd::MEdge, usize, Option<ConversionMethod>),
+    ) -> Option<ConvertedGate> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        entry.last_used = tick;
+        self.hits += 1;
+        Some(entry.gate.clone())
+    }
+
+    /// Records a fresh conversion, evicting the least-recently-used entry
+    /// if the cache is full.
+    fn store(
+        &mut self,
+        key: (bqsim_qdd::MEdge, usize, Option<ConversionMethod>),
+        conv: &ConvertedGate,
+    ) {
+        self.misses += 1;
+        self.unique_conversion_ns += conv.conversion_ns;
+        if self.map.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                gate: conv.clone(),
+                last_used: self.tick,
+            },
+        );
     }
 }
 
@@ -164,7 +274,13 @@ impl HybridConverter {
         // Functional result always comes from the reference CPU path (both
         // paths are proven equivalent in bqsim-ell's tests); only the
         // *timing* differs by method.
-        let ell = Arc::new(ell_from_dd_cpu(dd, gate.edge, n));
+        let mut ell = ell_from_dd_cpu(dd, gate.edge, n);
+        // Gates on the low qubits convert to block-periodic ELL rows
+        // (I ⊗ V structure); annotating the period here lets the planar
+        // kernels execute one decoded template block per run instead of
+        // streaming the full expanded tensor.
+        ell.detect_pattern();
+        let ell = Arc::new(ell);
         let (_, work) = ell_from_gpu_dd(&gdd, ell.max_nzr());
         #[cfg(debug_assertions)]
         verify_conversion(dd, gate.edge, n, &ell);
@@ -206,14 +322,11 @@ impl HybridConverter {
         n: usize,
     ) -> ConvertedGate {
         let key = (gate.edge, n, None);
-        if let Some(hit) = cache.map.get(&key) {
-            cache.hits += 1;
-            return hit.clone();
+        if let Some(hit) = cache.lookup(&key) {
+            return hit;
         }
         let conv = self.convert(dd, gate, n);
-        cache.misses += 1;
-        cache.unique_conversion_ns += conv.conversion_ns;
-        cache.map.insert(key, conv.clone());
+        cache.store(key, &conv);
         conv
     }
 
@@ -229,14 +342,11 @@ impl HybridConverter {
         method: ConversionMethod,
     ) -> ConvertedGate {
         let key = (gate.edge, n, Some(method));
-        if let Some(hit) = cache.map.get(&key) {
-            cache.hits += 1;
-            return hit.clone();
+        if let Some(hit) = cache.lookup(&key) {
+            return hit;
         }
         let conv = self.convert_with(dd, gate, n, method);
-        cache.misses += 1;
-        cache.unique_conversion_ns += conv.conversion_ns;
-        cache.map.insert(key, conv.clone());
+        cache.store(key, &conv);
         conv
     }
 
@@ -292,6 +402,7 @@ fn verify_conversion(
     use bqsim_analyze as analyze;
     let mut diags = analyze::analyze_dd(&analyze::matrix_dd_facts(dd, edge, n));
     diags.merge(analyze::analyze_ell(&analyze::ell_facts(ell)));
+    diags.merge(analyze::check_pattern_roundtrip(ell));
     if n <= 6 {
         diags.merge(analyze::check_nzrv_consistency(dd, edge, n));
     }
@@ -435,6 +546,45 @@ mod tests {
             "workload must actually repeat gates for this test to bite"
         );
         assert!(cache.unique_conversion_ns() <= uncached_ns);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.h(1);
+        c.h(2);
+        let mut dd = DdPackage::new();
+        let gates = classify_gates(&mut dd, 3, &lower_circuit(&c));
+        assert_eq!(gates.len(), 3, "three distinct single-qubit placements");
+        let converter = HybridConverter::default();
+        let mut cache = EllCache::with_capacity(2);
+        converter.convert_cached(&mut cache, &mut dd, &gates[0], 3); // miss
+        converter.convert_cached(&mut cache, &mut dd, &gates[1], 3); // miss
+        converter.convert_cached(&mut cache, &mut dd, &gates[0], 3); // hit
+        converter.convert_cached(&mut cache, &mut dd, &gates[2], 3); // miss, evicts gates[1]
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        converter.convert_cached(&mut cache, &mut dd, &gates[0], 3); // survived the eviction
+        assert_eq!(cache.hits(), 2);
+        converter.convert_cached(&mut cache, &mut dd, &gates[1], 3); // re-converted
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn conversion_annotates_periodic_rows() {
+        // A gate on the low qubit of a wide register converts to I ⊗ V:
+        // rows repeat with the gate's own period, and conversion must
+        // record it so the planar kernels can execute the template block.
+        let mut c = Circuit::new(6);
+        c.h(0);
+        let mut dd = DdPackage::new();
+        let gates = classify_gates(&mut dd, 6, &lower_circuit(&c));
+        let conv = HybridConverter::default().convert(&mut dd, &gates[0], 6);
+        assert_eq!(conv.ell.pattern_period(), Some(2));
+        assert!(conv.ell.working_set_bytes() < conv.ell.byte_size());
     }
 
     #[test]

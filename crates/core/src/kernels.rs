@@ -4,7 +4,7 @@
 //! for the timing model plus functional semantics against device buffers.
 
 use bqsim_ell::convert::{convert_row_algorithm1, ConversionWork};
-use bqsim_ell::{EllMatrix, GpuDd};
+use bqsim_ell::{EllMatrix, GpuDd, Layout};
 use bqsim_gpu::{BufferId, DeviceMemory, Kernel, KernelProfile};
 use bqsim_num::Complex;
 use std::sync::Arc;
@@ -121,21 +121,50 @@ impl Kernel for EllSpmmKernel {
     fn execute(&self, mem: &DeviceMemory) {
         let (input, mut output) = mem.buffer_pair_mut(self.input, self.output);
         if self.generic {
+            // The generic ablation is the historical AoS loop;
+            // `BqSimOptions::effective_layout` forces AoS buffers whenever
+            // it is selected, so the AoS view below cannot panic.
             self.gate.spmm_generic(&input, &mut output, self.batch);
             return;
         }
         let lanes = self.effective_lanes();
+        let rows = self.gate.num_rows();
+        let chunk_rows = rows.div_ceil(lanes);
+        let batch = self.batch;
+        let gate = &*self.gate;
+        // Dispatch on the buffers' layout: the simulator allocates all
+        // four state buffers in one layout, so input and output always
+        // agree (the `as_*` accessors panic if a scheduling bug mixes
+        // them).
+        if input.store().layout() == Layout::Planar {
+            let (ire, iim) = input.store().as_planar().planes();
+            let (ore, oim) = output.store_mut().as_planar_mut().planes_mut();
+            if lanes == 1 {
+                gate.spmm_rows_planar(ire, iim, ore, oim, 0, batch);
+                return;
+            }
+            // Row-partition as in the AoS path below; each worker owns the
+            // same row window of both output planes.
+            std::thread::scope(|scope| {
+                for (lane, (cre, cim)) in ore
+                    .chunks_mut(chunk_rows * batch)
+                    .zip(oim.chunks_mut(chunk_rows * batch))
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        gate.spmm_rows_planar(ire, iim, cre, cim, lane * chunk_rows, batch)
+                    });
+                }
+            });
+            return;
+        }
         if lanes == 1 {
-            self.gate.spmm(&input, &mut output, self.batch);
+            gate.spmm(&input, &mut output, self.batch);
             return;
         }
         // Row-partition one launch across `lanes` scoped workers: each
         // lane owns a disjoint window of output rows and only reads the
         // (shared) input, so the split is race-free by construction.
-        let rows = self.gate.num_rows();
-        let chunk_rows = rows.div_ceil(lanes);
-        let batch = self.batch;
-        let gate = &*self.gate;
         let input = &*input;
         std::thread::scope(|scope| {
             for (lane, chunk) in output.chunks_mut(chunk_rows * batch).enumerate() {

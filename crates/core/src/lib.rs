@@ -52,14 +52,21 @@ pub mod simulator;
 pub use analysis::{
     analyze_parallel_execution, analyze_pipeline, analyze_recovery, PipelineAnalysis,
 };
-pub use convert::{ConversionMethod, ConvertedGate, EllCache, HybridConverter};
+pub use convert::{
+    ConversionMethod, ConvertedGate, EllCache, HybridConverter, DEFAULT_ELL_CACHE_CAPACITY,
+};
 pub use error::BqsimError;
 pub use fusion::{bqcs_aware_fusion, greedy_fusion, FusedGate};
 pub use multi_gpu::{MultiGpuRecoveredRun, MultiGpuRun, MultiGpuRunner};
 pub use simulator::{
-    default_threads, random_input_batch, BqSimOptions, BqSimulator, RecoveredRun, RunBreakdown,
-    RunResult,
+    default_layout, default_threads, random_input_batch, BqSimOptions, BqSimulator, RecoveredRun,
+    RunBreakdown, RunResult,
 };
+
+// Re-exported so layout selection composes without a direct `bqsim-ell`
+// dependency (mirrors the fault-plan re-exports below).
+pub use bqsim_ell::Layout;
+pub use bqsim_gpu::PoolStats;
 
 // Re-exported so downstream users (CLI, tests) can build fault plans and
 // policies without depending on `bqsim-faults` directly.

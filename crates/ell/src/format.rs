@@ -36,12 +36,18 @@ pub struct EllMatrix {
     values: Vec<Complex>,
     cols: Vec<u32>,
     row_nnz: Vec<u32>,
+    /// Detected row-pattern period (see [`EllMatrix::detect_pattern`]):
+    /// `Some(d)` when every row is the template row `r mod d` with columns
+    /// shifted by the block base. Purely an execution accelerator — the
+    /// slot content above remains the source of truth.
+    pattern: Option<usize>,
 }
 
 impl PartialEq for EllMatrix {
     /// Equality is over the logical slot content only; `row_nnz` is a
-    /// derived accelerator bound and two matrices with identical slots are
-    /// equal regardless of how those slots were written.
+    /// derived accelerator bound (and `pattern` a derived execution hint),
+    /// so two matrices with identical slots are equal regardless of how
+    /// those slots were written or annotated.
     fn eq(&self, other: &Self) -> bool {
         self.rows == other.rows
             && self.max_nzr == other.max_nzr
@@ -66,7 +72,16 @@ impl EllMatrix {
             values: vec![Complex::ZERO; rows * max_nzr],
             cols: vec![0; rows * max_nzr],
             row_nnz: vec![0; rows],
+            pattern: None,
         }
+    }
+
+    /// Raw slot arrays `(values, cols, row_nnz)` for the in-crate planar
+    /// kernels, which walk them directly instead of through the per-row
+    /// accessors.
+    #[inline]
+    pub(crate) fn slots(&self) -> (&[Complex], &[u32], &[u32]) {
+        (&self.values, &self.cols, &self.row_nnz)
     }
 
     /// Number of rows (= columns).
@@ -145,6 +160,129 @@ impl EllMatrix {
     /// Count of genuinely non-zero stored values (excludes padding).
     pub fn stored_nonzeros(&self) -> usize {
         self.values.iter().filter(|v| **v != Complex::ZERO).count()
+    }
+
+    /// The detected row-pattern period, if any (see
+    /// [`EllMatrix::detect_pattern`]).
+    #[inline]
+    pub fn pattern_period(&self) -> Option<usize> {
+        self.pattern
+    }
+
+    /// Overrides the pattern annotation without re-detecting it.
+    ///
+    /// This exists for the analyzer's round-trip check and its tests,
+    /// which need to probe how execution and decoding behave under a
+    /// deliberately wrong annotation. Production code should only ever
+    /// call [`EllMatrix::detect_pattern`], which validates the period
+    /// against every slot before storing it.
+    pub fn set_pattern_period_unchecked(&mut self, period: Option<usize>) {
+        if let Some(d) = period {
+            assert!(
+                d.is_power_of_two() && d <= self.rows,
+                "pattern period must be a power of two within the matrix"
+            );
+        }
+        self.pattern = period;
+    }
+
+    /// Detects the smallest power-of-two period `d < rows` such that every
+    /// row `r` is the **template row** `t = r mod d` with its populated
+    /// columns shifted by the block base `r - t`, and records it for the
+    /// planar kernels; returns the stored period.
+    ///
+    /// This is the ELL shadow of QMDD tensor structure: a gate acting on
+    /// the low `k` qubits converts to `U = I ⊗ V` with `V` of dimension
+    /// `d = 2^k`, whose ELL rows repeat block-diagonally with period `d`
+    /// (identity above the gate ⇒ block `i` is `V` shifted to columns
+    /// `i·d ..`). Detection is purely structural — values must be
+    /// **bit-equal** to the template's (the DD's hash-consed weights make
+    /// repeated blocks bit-equal in practice) and padding slots must match
+    /// verbatim — so executing from the template block is bit-identical to
+    /// executing the expanded rows, and [`EllMatrix::decode_pattern`]
+    /// reproduces the matrix exactly.
+    ///
+    /// Runs in `O(rows × maxNZR)` per candidate period (at most
+    /// `log2 rows` candidates), paid once at conversion time.
+    pub fn detect_pattern(&mut self) -> Option<usize> {
+        self.pattern = None;
+        let mut d = 1;
+        while d < self.rows {
+            if self.is_pattern_period(d) {
+                self.pattern = Some(d);
+                break;
+            }
+            d *= 2;
+        }
+        self.pattern
+    }
+
+    /// Whether period `d` reproduces every slot of every row exactly (the
+    /// validation behind [`EllMatrix::detect_pattern`]).
+    fn is_pattern_period(&self, d: usize) -> bool {
+        let bits = |v: Complex| (v.re.to_bits(), v.im.to_bits());
+        for r in d..self.rows {
+            let t = r & (d - 1);
+            let base = (r - t) as u32;
+            if self.row_nnz[r] != self.row_nnz[t] {
+                return false;
+            }
+            let nnz = self.row_nnz[t] as usize;
+            let (ra, ta) = (r * self.max_nzr, t * self.max_nzr);
+            for k in 0..self.max_nzr {
+                if bits(self.values[ra + k]) != bits(self.values[ta + k]) {
+                    return false;
+                }
+                let expect = if k < nnz {
+                    self.cols[ta + k] + base
+                } else {
+                    self.cols[ta + k]
+                };
+                if self.cols[ra + k] != expect {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Expands the pattern annotation back into a plain (unannotated)
+    /// matrix built **only** from the template block: row `r` takes the
+    /// values of row `r mod d`, with populated columns rebased by the
+    /// block base and padding slots copied verbatim. With no annotation
+    /// this is a pattern-free clone. The analyzer's round-trip check
+    /// compares the result slot-for-slot against the stored matrix.
+    pub fn decode_pattern(&self) -> EllMatrix {
+        let mut out = self.clone();
+        out.pattern = None;
+        let Some(d) = self.pattern else {
+            return out;
+        };
+        for r in 0..self.rows {
+            let t = r & (d - 1);
+            let base = (r - t) as u32;
+            let nnz = self.row_nnz[t] as usize;
+            let (ra, ta) = (r * self.max_nzr, t * self.max_nzr);
+            for k in 0..self.max_nzr {
+                out.values[ra + k] = self.values[ta + k];
+                out.cols[ra + k] = if k < nnz {
+                    self.cols[ta + k] + base
+                } else {
+                    self.cols[ta + k]
+                };
+            }
+            out.row_nnz[r] = self.row_nnz[t];
+        }
+        out
+    }
+
+    /// Bytes of matrix data the spMM inner loops actually touch: the full
+    /// `values`/`cols` arrays normally, or just the template block's when
+    /// a pattern period is annotated — the working-set shrink pattern
+    /// compression buys.
+    pub fn working_set_bytes(&self) -> u64 {
+        let rows = self.pattern.unwrap_or(self.rows);
+        (rows * self.max_nzr) as u64 * (16 + 4)
     }
 
     /// Reference sparse matrix–vector product `y = A·x`, iterating only
@@ -648,6 +786,70 @@ mod tests {
                 assert_eq!(fast, generic, "nzr={nzr} fill={fill} batch={batch}");
             }
         }
+    }
+
+    /// `I ⊗ V` block structure must be detected at its true period, and
+    /// decoding must reproduce the matrix exactly.
+    #[test]
+    fn detect_pattern_finds_kron_identity_blocks() {
+        // I₂ ⊗ V for a dense 2×2 V: period 2, template rows {0, 1}.
+        let (a, b) = (Complex::new(0.5, -0.25), Complex::new(0.0, 1.0));
+        let (c, d) = (Complex::new(-1.5, 0.0), Complex::ONE);
+        let mut ell = EllMatrix::zeros(4, 2);
+        for blk in 0..2 {
+            let base = blk * 2;
+            ell.set_slot(base, 0, base, a);
+            ell.set_slot(base, 1, base + 1, b);
+            ell.set_slot(base + 1, 0, base, c);
+            ell.set_slot(base + 1, 1, base + 1, d);
+        }
+        assert_eq!(ell.detect_pattern(), Some(2));
+        assert_eq!(ell.pattern_period(), Some(2));
+        let decoded = ell.decode_pattern();
+        assert_eq!(decoded, ell);
+        assert_eq!(decoded.pattern_period(), None);
+        for r in 0..4 {
+            assert_eq!(decoded.row_nnz(r), ell.row_nnz(r));
+            assert_eq!(decoded.row_cols(r), ell.row_cols(r));
+        }
+        assert_eq!(ell.working_set_bytes(), 2 * 2 * 20);
+
+        // A uniform diagonal repeats with period 1.
+        let mut diag = EllMatrix::zeros(8, 1);
+        for r in 0..8 {
+            diag.set_slot(r, 0, r, Complex::new(0.0, 1.0));
+        }
+        assert_eq!(diag.detect_pattern(), Some(1));
+
+        // Breaking one block kills the pattern entirely.
+        ell.set_slot(3, 1, 3, Complex::new(0.9, 0.1));
+        assert_eq!(ell.detect_pattern(), None);
+        assert_eq!(ell.working_set_bytes(), 4 * 2 * 20);
+    }
+
+    /// Pattern execution must not change spMM results: the planar kernel
+    /// with the annotation reads only the template block yet matches the
+    /// annotation-free run bit-for-bit.
+    #[test]
+    fn pattern_execution_matches_unannotated() {
+        let mut ell = EllMatrix::zeros(8, 2);
+        let (a, b) = (Complex::new(0.6, 0.8), Complex::new(-0.8, 0.6));
+        for blk in 0..4 {
+            let base = blk * 2;
+            ell.set_slot(base, 0, base, a);
+            ell.set_slot(base, 1, base + 1, b);
+            ell.set_slot(base + 1, 0, base, b);
+            ell.set_slot(base + 1, 1, base + 1, a);
+        }
+        let batch = 5;
+        let input = batched(8, batch, 7);
+        let pin = crate::AmpBuffer::from_aos(&input);
+        let mut plain = crate::AmpBuffer::zeroed(8 * batch);
+        ell.spmm_planar(&pin, &mut plain, batch);
+        assert_eq!(ell.detect_pattern(), Some(2));
+        let mut patterned = crate::AmpBuffer::zeroed(8 * batch);
+        ell.spmm_planar(&pin, &mut patterned, batch);
+        assert_eq!(plain, patterned);
     }
 
     /// Row-windowed execution composes to the full product: computing the

@@ -40,9 +40,11 @@
 mod csr;
 mod format;
 mod gpu_dd;
+mod planar;
 
 pub mod convert;
 
 pub use csr::CsrMatrix;
 pub use format::{pack_batch, unpack_batch, EllMatrix};
 pub use gpu_dd::{GpuDd, GpuDdEdge, GpuDdNode, NIL};
+pub use planar::{AmpBuffer, Layout, TILE};

@@ -1,0 +1,604 @@
+//! Planar (SoA) amplitude buffers and width-tiled spMM microkernels.
+//!
+//! The AoS spMM paths in [`format`](crate::format) walk `Vec<Complex>`
+//! buffers whose re/im components interleave in memory. That layout costs
+//! the auto-vectoriser dearly: every SIMD lane has to shuffle re/im pairs
+//! apart before it can multiply, and the real-valued arms (the dominant
+//! post-fusion case) still drag the unused imaginary halves through the
+//! cache. This module stores the batch in **planar** form — one `f64`
+//! plane for the real parts and one for the imaginary parts, both in the
+//! same amplitude-major order (`plane[r * batch + b]`) — and rewrites the
+//! shape-specialised kernels as width-generic microkernels along the
+//! batch dimension: per-plane split passes the auto-vectoriser turns into
+//! [`TILE`]-wide unrolled SIMD loops (see the lane-primitive section).
+//!
+//! **Bit identity.** Every microkernel arm evaluates *exactly* the same
+//! per-element expression tree as its AoS counterpart in
+//! [`EllMatrix::spmm_rows`] (same operand order, same association, same
+//! value-pattern dispatch), so outputs are bit-identical to the AoS path —
+//! including signed zeros and NaN payloads. That is what lets
+//! `BqSimOptions::layout` switch layouts without perturbing campaign
+//! digests, and what the `spmm_layouts` property test pins down.
+//!
+//! **Pattern execution.** When the matrix carries a detected row pattern
+//! (see [`EllMatrix::detect_pattern`]), the planar kernels read values and
+//! columns from the period-`d` template block only and rebase columns by
+//! the block offset, shrinking the column-index working set from
+//! `rows × maxNZR` to `d × maxNZR` entries. Template values are bit-equal
+//! to the expanded rows by construction, so dispatch and arithmetic are
+//! unchanged.
+
+use crate::format::EllMatrix;
+use bqsim_num::Complex;
+use core::fmt;
+
+/// Nominal element count of one microkernel tile along the batch
+/// dimension: the width the auto-vectoriser unrolls each per-plane pass
+/// to on the baseline x86-64 target (2-wide SSE2 vectors × 4-way unroll).
+/// Per-element independence of every arm means tile width cannot change
+/// results; test coverage grids use `TILE` to pin the ragged case where
+/// `batch % TILE != 0` exercises the vectoriser's scalar epilogue.
+pub const TILE: usize = 8;
+
+/// Which amplitude memory layout the pipeline's state buffers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Interleaved array-of-structures `Vec<Complex>` — the PR 3 layout,
+    /// kept as the ablation baseline.
+    Aos,
+    /// Planar structure-of-arrays [`AmpBuffer`] — separate re/im planes,
+    /// batch-major (the default).
+    #[default]
+    Planar,
+}
+
+impl Layout {
+    /// Stable lowercase token, used by the CLI, `BQSIM_LAYOUT`, and the
+    /// journal fingerprint header.
+    pub fn token(self) -> &'static str {
+        match self {
+            Layout::Aos => "aos",
+            Layout::Planar => "planar",
+        }
+    }
+
+    /// Parses a [`Layout::token`] back; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Layout> {
+        match s {
+            "aos" => Some(Layout::Aos),
+            "planar" => Some(Layout::Planar),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A batch of state vectors in planar (SoA) layout: one `f64` plane per
+/// component, both in the amplitude-major order of
+/// [`pack_batch`](crate::pack_batch) (`plane[r * batch + b]`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AmpBuffer {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl AmpBuffer {
+    /// An all-zero buffer holding `len` amplitudes.
+    pub fn zeroed(len: usize) -> Self {
+        AmpBuffer {
+            re: vec![0.0; len],
+            im: vec![0.0; len],
+        }
+    }
+
+    /// An all-zero buffer of `len` amplitudes whose planes reserve room
+    /// for `cap` (buffer pools allocate whole size classes up front so a
+    /// later checkout of any length in the class never reallocates).
+    pub fn zeroed_with_capacity(len: usize, cap: usize) -> Self {
+        let mut b = AmpBuffer {
+            re: Vec::with_capacity(cap.max(len)),
+            im: Vec::with_capacity(cap.max(len)),
+        };
+        b.reset_zeroed(len);
+        b
+    }
+
+    /// Resizes to `len` amplitudes, all zero, reusing existing plane
+    /// capacity — no heap traffic when `len <= capacity()`.
+    pub fn reset_zeroed(&mut self, len: usize) {
+        self.re.clear();
+        self.re.resize(len, 0.0);
+        self.im.clear();
+        self.im.resize(len, 0.0);
+    }
+
+    /// Amplitudes the planes can hold without reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.re.capacity().min(self.im.capacity())
+    }
+
+    /// Number of amplitudes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Whether the buffer holds no amplitudes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
+    }
+
+    /// Both planes, `(re, im)`.
+    #[inline]
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.re, &self.im)
+    }
+
+    /// Both planes mutably, `(re, im)`.
+    #[inline]
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
+    /// Sets every amplitude to `v` (used for zeroing and NaN poisoning).
+    pub fn fill(&mut self, v: Complex) {
+        self.re.fill(v.re);
+        self.im.fill(v.im);
+    }
+
+    /// De-interleaves `src` into the leading `src.len()` amplitudes —
+    /// the planar equivalent of `dst[..len].copy_from_slice(src)`. Pure
+    /// component moves, no arithmetic, so bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() > self.len()`.
+    pub fn copy_from_aos(&mut self, src: &[Complex]) {
+        assert!(src.len() <= self.len(), "planar prefix copy overrun");
+        // One pass over the interleaved source: each element is read once
+        // and scattered to both planes (H2D runs this per batch, so it is
+        // memory-bound traffic worth not doubling).
+        for ((dr, di), s) in self.re.iter_mut().zip(self.im.iter_mut()).zip(src) {
+            *dr = s.re;
+            *di = s.im;
+        }
+    }
+
+    /// Re-interleaves the leading `dst.len()` amplitudes into `dst` —
+    /// the planar equivalent of `dst.copy_from_slice(&src[..len])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() > self.len()`.
+    pub fn copy_to_aos(&self, dst: &mut [Complex]) {
+        assert!(dst.len() <= self.len(), "planar prefix copy overrun");
+        for (d, (&re, &im)) in dst.iter_mut().zip(self.re.iter().zip(&self.im)) {
+            *d = Complex::new(re, im);
+        }
+    }
+
+    /// Copies the leading `src.len()` amplitudes from another planar
+    /// buffer — two plane `memcpy`s, the layout-matched H2D/D2H fast
+    /// path (no de/re-interleave pass at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() > self.len()`.
+    pub fn copy_prefix_from(&mut self, src: &AmpBuffer) {
+        let len = src.len();
+        assert!(len <= self.len(), "planar prefix copy overrun");
+        self.re[..len].copy_from_slice(&src.re);
+        self.im[..len].copy_from_slice(&src.im);
+    }
+
+    /// Builds a planar buffer from an interleaved slice.
+    pub fn from_aos(src: &[Complex]) -> Self {
+        let mut b = AmpBuffer::zeroed(src.len());
+        b.copy_from_aos(src);
+        b
+    }
+
+    /// Interleaves back into a fresh `Vec<Complex>` (tests and D2H).
+    pub fn to_aos(&self) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; self.len()];
+        self.copy_to_aos(&mut out);
+        out
+    }
+}
+
+// --- Split-pass lane primitives --------------------------------------------
+//
+// Each primitive processes one output row (length `batch`) as **two
+// independent per-plane passes**: one flat loop computing the real plane,
+// one computing the imaginary plane. A dual-plane loop (one iteration
+// writing both planes) defeats the auto-vectoriser on this workload — the
+// two write streams force it into scatter-shaped addressing — while each
+// single-plane pass is a textbook map over equal-length slices that it
+// turns into [`TILE`]-wide unrolled SIMD (measured ~1.5× over the
+// interleaved AoS loops at batch 128 on the reference host; see
+// `report_pr5`). The per-element expressions are copied verbatim from the
+// AoS arms (see `format.rs`) and the real/imaginary components of a
+// complex expression never feed each other within one arm, so splitting
+// the passes cannot change a single output bit; the doc comment of each
+// primitive names the AoS expression it mirrors.
+
+/// `out_row.fill(Complex::ZERO)`.
+#[inline(always)]
+fn lane_zero(or: &mut [f64], oi: &mut [f64]) {
+    or.fill(0.0);
+    oi.fill(0.0);
+}
+
+/// `out_row.copy_from_slice(src)` — unit-value row copy.
+#[inline(always)]
+fn lane_copy(or: &mut [f64], oi: &mut [f64], xr: &[f64], xi: &[f64]) {
+    or.copy_from_slice(xr);
+    oi.copy_from_slice(xi);
+}
+
+/// `*o = rscale(s, *x)` — plane-independent real scale.
+#[inline(always)]
+fn lane_rscale(s: f64, or: &mut [f64], oi: &mut [f64], xr: &[f64], xi: &[f64]) {
+    for (o, &a) in or.iter_mut().zip(xr) {
+        *o = s * a;
+    }
+    for (o, &b) in oi.iter_mut().zip(xi) {
+        *o = s * b;
+    }
+}
+
+/// `*o = v * *x` — full complex scale:
+/// `(v.re·a − v.im·b, v.re·b + v.im·a)` for `x = (a, b)`.
+#[inline(always)]
+fn lane_cscale(v: Complex, or: &mut [f64], oi: &mut [f64], xr: &[f64], xi: &[f64]) {
+    for (o, (&a, &b)) in or.iter_mut().zip(xr.iter().zip(xi)) {
+        *o = v.re * a - v.im * b;
+    }
+    for (o, (&a, &b)) in oi.iter_mut().zip(xr.iter().zip(xi)) {
+        *o = v.re * b + v.im * a;
+    }
+}
+
+/// `*o += vk * *x` — the accumulation sweep step of the wide fallback.
+#[inline(always)]
+fn lane_axpy(v: Complex, or: &mut [f64], oi: &mut [f64], xr: &[f64], xi: &[f64]) {
+    for (o, (&a, &b)) in or.iter_mut().zip(xr.iter().zip(xi)) {
+        *o += v.re * a - v.im * b;
+    }
+    for (o, (&a, &b)) in oi.iter_mut().zip(xr.iter().zip(xi)) {
+        *o += v.re * b + v.im * a;
+    }
+}
+
+/// `*o = Complex::new(s0·a.re + s1·b.re, s0·a.im + s1·b.im)` — the
+/// all-real pair combine. Each plane pass touches only its own component
+/// planes.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // planar kernels take one slice per plane
+fn lane_pair_r(
+    s0: f64,
+    s1: f64,
+    or: &mut [f64],
+    oi: &mut [f64],
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+) {
+    for (o, (&a, &b)) in or.iter_mut().zip(ar.iter().zip(br)) {
+        *o = s0 * a + s1 * b;
+    }
+    for (o, (&a, &b)) in oi.iter_mut().zip(ai.iter().zip(bi)) {
+        *o = s0 * a + s1 * b;
+    }
+}
+
+/// `*o = v0 * *a + v1 * *b` — the complex pair combine.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // planar kernels take one slice per plane
+fn lane_pair_c(
+    v0: Complex,
+    v1: Complex,
+    or: &mut [f64],
+    oi: &mut [f64],
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+) {
+    let n = or.len();
+    let (ar, ai, br, bi) = (&ar[..n], &ai[..n], &br[..n], &bi[..n]);
+    for (t, o) in or.iter_mut().enumerate() {
+        *o = (v0.re * ar[t] - v0.im * ai[t]) + (v1.re * br[t] - v1.im * bi[t]);
+    }
+    for (t, o) in oi[..n].iter_mut().enumerate() {
+        *o = (v0.re * ai[t] + v0.im * ar[t]) + (v1.re * bi[t] + v1.im * br[t]);
+    }
+}
+
+/// One `(re, im)` input-row plane pair.
+type Planes<'a> = (&'a [f64], &'a [f64]);
+
+/// `Complex::new(s0·a.re + s1·b.re + …, …)` — the all-real 3/4-slot
+/// single-pass combine, generic over slot count. The inner sum starts
+/// from the first term and folds left, matching the left-associated AoS
+/// expression bit-for-bit (the AoS arm already computes the re and im
+/// sums independently, so per-plane passes are the same arithmetic).
+#[inline(always)]
+fn lane_multi_r<const K: usize>(s: [f64; K], or: &mut [f64], oi: &mut [f64], x: [Planes<'_>; K]) {
+    let n = or.len();
+    for (t, o) in or.iter_mut().enumerate() {
+        let mut re = s[0] * x[0].0[t];
+        for k in 1..K {
+            re += s[k] * x[k].0[t];
+        }
+        *o = re;
+    }
+    for (t, o) in oi[..n].iter_mut().enumerate() {
+        let mut im = s[0] * x[0].1[t];
+        for k in 1..K {
+            im += s[k] * x[k].1[t];
+        }
+        *o = im;
+    }
+}
+
+/// `*o = v0 * *a + v1 * *b + …` — the complex 3/4-slot single-pass
+/// combine, generic over slot count; same left fold of full products as
+/// the AoS arm.
+#[inline(always)]
+fn lane_multi_c<const K: usize>(
+    v: [Complex; K],
+    or: &mut [f64],
+    oi: &mut [f64],
+    x: [Planes<'_>; K],
+) {
+    let n = or.len();
+    for (t, o) in or.iter_mut().enumerate() {
+        let (a, b) = (x[0].0[t], x[0].1[t]);
+        let mut re = v[0].re * a - v[0].im * b;
+        for k in 1..K {
+            let (a, b) = (x[k].0[t], x[k].1[t]);
+            re += v[k].re * a - v[k].im * b;
+        }
+        *o = re;
+    }
+    for (t, o) in oi[..n].iter_mut().enumerate() {
+        let (a, b) = (x[0].0[t], x[0].1[t]);
+        let mut im = v[0].re * b + v[0].im * a;
+        for k in 1..K {
+            let (a, b) = (x[k].0[t], x[k].1[t]);
+            im += v[k].re * b + v[k].im * a;
+        }
+        *o = im;
+    }
+}
+
+impl EllMatrix {
+    /// Planar counterpart of [`EllMatrix::spmm`]: applies the gate to a
+    /// batch held in an [`AmpBuffer`], writing a second one. Outputs are
+    /// bit-identical to the AoS path on the interleaved view of the same
+    /// data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer does not hold `rows × batch` amplitudes.
+    pub fn spmm_planar(&self, input: &AmpBuffer, output: &mut AmpBuffer, batch: usize) {
+        assert_eq!(input.len(), self.num_rows() * batch, "input size mismatch");
+        assert_eq!(
+            output.len(),
+            self.num_rows() * batch,
+            "output size mismatch"
+        );
+        let (ire, iim) = input.planes();
+        let (ore, oim) = output.planes_mut();
+        self.spmm_rows_planar(ire, iim, ore, oim, 0, batch);
+    }
+
+    /// Planar counterpart of [`EllMatrix::spmm_rows`]: computes the
+    /// consecutive output-row window starting at `first_row` covered by
+    /// `out_re`/`out_im` (which must be equally long and a multiple of
+    /// `batch`). This is the unit the parallel executor hands each worker
+    /// when row-partitioning a planar launch.
+    ///
+    /// When the matrix carries a detected pattern period `d` (see
+    /// [`EllMatrix::detect_pattern`]), each row reads its slots from the
+    /// template block `0..d` and rebases columns by the block offset —
+    /// one decoded pattern per block, a working set of `d` rows instead
+    /// of `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any size mismatch or window overrun.
+    pub fn spmm_rows_planar(
+        &self,
+        in_re: &[f64],
+        in_im: &[f64],
+        out_re: &mut [f64],
+        out_im: &mut [f64],
+        first_row: usize,
+        batch: usize,
+    ) {
+        let rows = self.num_rows();
+        let max_nzr = self.max_nzr();
+        assert_eq!(in_re.len(), rows * batch, "input re plane size mismatch");
+        assert_eq!(in_im.len(), rows * batch, "input im plane size mismatch");
+        assert_eq!(out_re.len(), out_im.len(), "output plane size mismatch");
+        assert!(out_re.len().is_multiple_of(batch), "ragged output window");
+        assert!(
+            first_row + out_re.len() / batch <= rows,
+            "row window out of range"
+        );
+        let (values, cols, row_nnz) = self.slots();
+        let period = self.pattern_period();
+        let src = |col: u32| -> Planes<'_> {
+            let at = col as usize * batch;
+            (&in_re[at..at + batch], &in_im[at..at + batch])
+        };
+        for (i, (or, oi)) in out_re
+            .chunks_exact_mut(batch)
+            .zip(out_im.chunks_exact_mut(batch))
+            .enumerate()
+        {
+            let r = first_row + i;
+            // Pattern execution: row r's slots are the template row
+            // t = r mod d with columns rebased by the block offset.
+            let (t, offset) = match period {
+                Some(d) => (r & (d - 1), (r - (r & (d - 1))) as u32),
+                None => (r, 0),
+            };
+            let base = t * max_nzr;
+            let nnz = row_nnz[t] as usize;
+            let v = &values[base..base + max_nzr];
+            let col = |k: usize| cols[base + k] + offset;
+            // Mirror the AoS shape dispatch exactly: max_nzr 1 → the
+            // gather-scale arms, max_nzr 2 → the pair arms (whose nnz==1
+            // case deliberately stays a full complex scale), otherwise
+            // the general single-pass arms with the wide fallback.
+            match (max_nzr, nnz) {
+                (_, 0) => lane_zero(or, oi),
+                (1, _) => {
+                    let (xr, xi) = src(col(0));
+                    if v[0] == Complex::ONE {
+                        lane_copy(or, oi, xr, xi);
+                    } else if v[0].im == 0.0 {
+                        lane_rscale(v[0].re, or, oi, xr, xi);
+                    } else {
+                        lane_cscale(v[0], or, oi, xr, xi);
+                    }
+                }
+                (2, 1) => {
+                    let (xr, xi) = src(col(0));
+                    lane_cscale(v[0], or, oi, xr, xi);
+                }
+                (_, 1) => {
+                    let (xr, xi) = src(col(0));
+                    if v[0] == Complex::ONE {
+                        lane_copy(or, oi, xr, xi);
+                    } else if v[0].im == 0.0 {
+                        lane_rscale(v[0].re, or, oi, xr, xi);
+                    } else {
+                        lane_cscale(v[0], or, oi, xr, xi);
+                    }
+                }
+                (_, 2) => {
+                    let (ar, ai) = src(col(0));
+                    let (br, bi) = src(col(1));
+                    if v[0].im == 0.0 && v[1].im == 0.0 {
+                        lane_pair_r(v[0].re, v[1].re, or, oi, ar, ai, br, bi);
+                    } else {
+                        lane_pair_c(v[0], v[1], or, oi, ar, ai, br, bi);
+                    }
+                }
+                (_, 3) => {
+                    let x = [src(col(0)), src(col(1)), src(col(2))];
+                    if v[..3].iter().all(|v| v.im == 0.0) {
+                        lane_multi_r([v[0].re, v[1].re, v[2].re], or, oi, x);
+                    } else {
+                        lane_multi_c([v[0], v[1], v[2]], or, oi, x);
+                    }
+                }
+                (_, 4) => {
+                    let x = [src(col(0)), src(col(1)), src(col(2)), src(col(3))];
+                    if v[..4].iter().all(|v| v.im == 0.0) {
+                        lane_multi_r([v[0].re, v[1].re, v[2].re, v[3].re], or, oi, x);
+                    } else {
+                        lane_multi_c([v[0], v[1], v[2], v[3]], or, oi, x);
+                    }
+                }
+                (_, nnz) => {
+                    lane_zero(or, oi);
+                    for (k, &vk) in v[..nnz].iter().enumerate() {
+                        let (xr, xi) = src(col(k));
+                        lane_axpy(vk, or, oi, xr, xi);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_tokens_roundtrip() {
+        for l in [Layout::Aos, Layout::Planar] {
+            assert_eq!(Layout::parse(l.token()), Some(l));
+            assert_eq!(format!("{l}"), l.token());
+        }
+        assert_eq!(Layout::parse("soa"), None);
+        assert_eq!(Layout::default(), Layout::Planar);
+    }
+
+    #[test]
+    fn amp_buffer_roundtrips_aos() {
+        let src: Vec<Complex> = (0..7)
+            .map(|i| Complex::new(i as f64, -0.5 * i as f64))
+            .collect();
+        let buf = AmpBuffer::from_aos(&src);
+        assert_eq!(buf.len(), 7);
+        assert_eq!(buf.to_aos(), src);
+
+        // Prefix copies mirror `copy_from_slice` on a shorter slice.
+        let mut wide = AmpBuffer::zeroed(10);
+        wide.copy_from_aos(&src);
+        let mut back = vec![Complex::ZERO; 7];
+        wide.copy_to_aos(&mut back);
+        assert_eq!(back, src);
+
+        let mut filled = AmpBuffer::zeroed(3);
+        filled.fill(Complex::new(2.0, -1.0));
+        assert_eq!(filled.to_aos(), vec![Complex::new(2.0, -1.0); 3]);
+    }
+
+    /// Planar spMM must agree bit-for-bit with the AoS fast paths on a
+    /// value mix covering every dispatch arm (the tests crate's
+    /// `spmm_layouts` property test covers this exhaustively; this is the
+    /// in-crate smoke version).
+    #[test]
+    fn planar_matches_aos_smoke() {
+        for (nzr, fill) in [(1usize, 1usize), (2, 1), (2, 2), (3, 3), (4, 4), (5, 5)] {
+            let rows = 16;
+            let mut ell = EllMatrix::zeros(rows, nzr);
+            for r in 0..rows {
+                for s in 0..fill.min(nzr) {
+                    let c = (r * 5 + s * 3 + 2) % rows;
+                    let v = match (r + s) % 3 {
+                        0 => Complex::ONE,
+                        1 => Complex::new(0.25 + s as f64, 0.0),
+                        _ => Complex::new(-0.5, 0.75 + r as f64 * 0.125),
+                    };
+                    ell.set_slot(r, s, c, v);
+                }
+            }
+            // 17 exercises the ragged tail (17 % TILE != 0).
+            for batch in [1usize, 8, 17] {
+                let input: Vec<Complex> = (0..rows * batch)
+                    .map(|i| Complex::new(0.1 * i as f64 - 3.0, 7.0 - 0.2 * i as f64))
+                    .collect();
+                let mut aos = vec![Complex::ZERO; rows * batch];
+                ell.spmm(&input, &mut aos, batch);
+                let pin = AmpBuffer::from_aos(&input);
+                let mut pout = AmpBuffer::zeroed(rows * batch);
+                ell.spmm_planar(&pin, &mut pout, batch);
+                let planar = pout.to_aos();
+                for (a, p) in aos.iter().zip(&planar) {
+                    assert_eq!(
+                        (a.re.to_bits(), a.im.to_bits()),
+                        (p.re.to_bits(), p.im.to_bits()),
+                        "nzr={nzr} fill={fill} batch={batch}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -647,16 +647,18 @@ impl Engine {
 pub(crate) fn execute_task(task: &Task, mem: &DeviceMemory, host: &HostMemory) {
     match &task.kind {
         TaskKind::H2D { host: h, dev, .. } => {
+            // Layout-matched pairs (the simulator stages hosts in the
+            // device layout) move whole planes; mixed pairs convert on
+            // the fly. Pure component moves either way, so the staged
+            // bytes are identical regardless of layout.
             let src = host.buffer(*h);
             let mut dst = mem.buffer_mut(*dev);
-            let len = src.len().min(dst.len());
-            dst[..len].copy_from_slice(&src[..len]);
+            dst.store_mut().copy_store_from(src.store());
         }
         TaskKind::D2H { dev, host: h, .. } => {
             let src = mem.buffer(*dev);
             let mut dst = host.buffer_mut(*h);
-            let len = src.len().min(dst.len());
-            dst[..len].copy_from_slice(&src[..len]);
+            dst.store_mut().copy_store_from(src.store());
         }
         TaskKind::Kernel(k) => k.execute(mem),
     }
@@ -669,11 +671,11 @@ pub(crate) fn execute_task(task: &Task, mem: &DeviceMemory, host: &HostMemory) {
 pub(crate) fn poison_destination(task: &Task, mem: &DeviceMemory, host: &HostMemory) {
     let nan = Complex::new(f64::NAN, f64::NAN);
     match &task.kind {
-        TaskKind::H2D { dev, .. } => mem.buffer_mut(*dev).fill(nan),
-        TaskKind::D2H { host: h, .. } => host.buffer_mut(*h).fill(nan),
+        TaskKind::H2D { dev, .. } => mem.buffer_mut(*dev).store_mut().fill(nan),
+        TaskKind::D2H { host: h, .. } => host.buffer_mut(*h).store_mut().fill(nan),
         TaskKind::Kernel(k) => {
             for b in k.buffer_writes() {
-                mem.buffer_mut(b).fill(nan);
+                mem.buffer_mut(b).store_mut().fill(nan);
             }
         }
     }

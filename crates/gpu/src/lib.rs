@@ -62,7 +62,8 @@ pub use engine::{
     Engine, ExecMode, FaultedRun, LaunchMode, Resource, TaskOutcome, TaskRecord, Timeline,
 };
 pub use memory::{
-    AllocDeviceError, BufferId, BufferRef, BufferRefMut, DeviceMemory, HostBufId, HostMemory,
+    AllocDeviceError, AmpStore, BufferId, BufferPool, BufferRef, BufferRefMut, DeviceMemory,
+    HostBufId, HostMemory, PoolStats,
 };
 pub use parallel::TaskSpan;
 pub use task::{Kernel, KernelProfile, TaskGraph, TaskId, TaskKind};

@@ -1,54 +1,336 @@
-//! Device and host buffer arenas.
+//! Device and host buffer arenas, the planar/AoS amplitude store, and the
+//! size-classed buffer pool that makes steady-state batch execution
+//! allocation-free.
 
 use crate::DeviceSpec;
+use bqsim_ell::{AmpBuffer, Layout};
 use bqsim_num::Complex;
 use core::fmt;
+use std::collections::HashMap;
 use std::error::Error;
 use std::ops::{Deref, DerefMut};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// One arena buffer's amplitude storage, in whichever layout the pipeline
+/// selected (`BqSimOptions::layout`).
+///
+/// The AoS variant is the PR 3 interleaved `Vec<Complex>`; the planar
+/// variant holds the same amplitudes as separate re/im planes
+/// ([`AmpBuffer`]). Conversions between the two are pure component moves
+/// (no arithmetic), so staging through either layout is bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AmpStore {
+    /// Interleaved array-of-structures storage.
+    Aos(Vec<Complex>),
+    /// Planar structure-of-arrays storage.
+    Planar(AmpBuffer),
+}
+
+/// State-vector block width for the staging/unpacking transposes: small
+/// enough that one cache line per in-flight vector fits L1 with room to
+/// spare, large enough to amortise the loop over amplitudes.
+const STAGE_TILE: usize = 64;
+
+impl AmpStore {
+    /// An all-zero store of `len` amplitudes in the given layout.
+    pub fn zeroed(len: usize, layout: Layout) -> Self {
+        match layout {
+            Layout::Aos => AmpStore::Aos(vec![Complex::ZERO; len]),
+            Layout::Planar => AmpStore::Planar(AmpBuffer::zeroed(len)),
+        }
+    }
+
+    /// Like [`AmpStore::zeroed`] but reserving capacity for `cap`
+    /// amplitudes, so pool reuse within a size class never reallocates.
+    fn zeroed_with_capacity(len: usize, cap: usize, layout: Layout) -> Self {
+        match layout {
+            Layout::Aos => {
+                let mut v = Vec::with_capacity(cap.max(len));
+                v.resize(len, Complex::ZERO);
+                AmpStore::Aos(v)
+            }
+            Layout::Planar => AmpStore::Planar(AmpBuffer::zeroed_with_capacity(len, cap)),
+        }
+    }
+
+    /// Which layout this store holds.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        match self {
+            AmpStore::Aos(_) => Layout::Aos,
+            AmpStore::Planar(_) => Layout::Planar,
+        }
+    }
+
+    /// Number of amplitudes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            AmpStore::Aos(v) => v.len(),
+            AmpStore::Planar(b) => b.len(),
+        }
+    }
+
+    /// Whether the store holds no amplitudes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Amplitudes the store can hold without reallocating.
+    #[inline]
+    fn capacity(&self) -> usize {
+        match self {
+            AmpStore::Aos(v) => v.capacity(),
+            AmpStore::Planar(b) => b.capacity(),
+        }
+    }
+
+    /// Resizes to `len` zeroed amplitudes in place (pool checkout reset).
+    fn reset_zeroed(&mut self, len: usize) {
+        match self {
+            AmpStore::Aos(v) => {
+                v.clear();
+                v.resize(len, Complex::ZERO);
+            }
+            AmpStore::Planar(b) => b.reset_zeroed(len),
+        }
+    }
+
+    /// Sets every amplitude to `v` (zeroing, NaN poisoning).
+    pub fn fill(&mut self, v: Complex) {
+        match self {
+            AmpStore::Aos(vec) => vec.fill(v),
+            AmpStore::Planar(b) => b.fill(v),
+        }
+    }
+
+    /// Copies the leading `min(src.len(), self.len())` amplitudes from an
+    /// interleaved slice — the H2D copy semantics, layout-transparent.
+    pub fn copy_prefix_from(&mut self, src: &[Complex]) {
+        match self {
+            AmpStore::Aos(v) => {
+                let len = src.len().min(v.len());
+                v[..len].copy_from_slice(&src[..len]);
+            }
+            AmpStore::Planar(b) => {
+                let len = src.len().min(b.len());
+                b.copy_from_aos(&src[..len]);
+            }
+        }
+    }
+
+    /// Copies the leading `min(src.len(), self.len())` amplitudes from
+    /// another store. Layout-matched pairs move whole planes (plain
+    /// `memcpy`s); mixed pairs de/re-interleave on the fly. Pure
+    /// component moves in every combination, so the staged bytes are
+    /// bit-identical regardless of either side's layout.
+    pub fn copy_store_from(&mut self, src: &AmpStore) {
+        match (self, src) {
+            (AmpStore::Aos(d), AmpStore::Aos(s)) => {
+                let len = s.len().min(d.len());
+                d[..len].copy_from_slice(&s[..len]);
+            }
+            (AmpStore::Planar(d), AmpStore::Planar(s)) if s.len() <= d.len() => {
+                d.copy_prefix_from(s);
+            }
+            (AmpStore::Planar(d), AmpStore::Planar(s)) => {
+                let (sre, sim) = s.planes();
+                let (dre, dim) = d.planes_mut();
+                let len = dre.len();
+                dre.copy_from_slice(&sre[..len]);
+                dim.copy_from_slice(&sim[..len]);
+            }
+            (dst @ AmpStore::Planar(_), AmpStore::Aos(s)) => dst.copy_prefix_from(s),
+            (AmpStore::Aos(d), AmpStore::Planar(s)) => {
+                let len = s.len().min(d.len());
+                s.copy_to_aos(&mut d[..len]);
+            }
+        }
+    }
+
+    /// Unpacks the amplitude-major batch layout back into one state
+    /// vector per batch member — the layout-aware counterpart of
+    /// [`bqsim_ell::unpack_batch`]. The planar arm gathers straight from
+    /// the component planes, so no interleaved intermediate is built.
+    ///
+    /// The transpose runs amplitude-outer over blocks of
+    /// [`STAGE_TILE`] states: batch strides are powers of two, so a
+    /// naive state-outer gather walks the arrays at a page-aligned
+    /// stride that lands every access in the same cache set. Blocking
+    /// keeps one write line per in-flight state hot while the source
+    /// rows are read contiguously, exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's length is not a multiple of `batch`.
+    pub fn unpack_states(&self, batch: usize) -> Vec<Vec<Complex>> {
+        assert!(
+            batch > 0 && self.len().is_multiple_of(batch),
+            "bad batch layout"
+        );
+        let dim = self.len() / batch;
+        // Reserve-and-push instead of zero-fill-and-store: each state is
+        // written exactly once, so pre-zeroing would be a second full
+        // pass over the output.
+        let mut states: Vec<Vec<Complex>> = (0..batch).map(|_| Vec::with_capacity(dim)).collect();
+        for (block, chunk) in states.chunks_mut(STAGE_TILE).enumerate() {
+            let s0 = block * STAGE_TILE;
+            match self {
+                AmpStore::Aos(v) => {
+                    for r in 0..dim {
+                        let row = &v[r * batch + s0..r * batch + s0 + chunk.len()];
+                        for (st, &a) in chunk.iter_mut().zip(row) {
+                            st.push(a);
+                        }
+                    }
+                }
+                AmpStore::Planar(b) => {
+                    for r in 0..dim {
+                        let (re, im) = b.planes();
+                        let row_re = &re[r * batch + s0..r * batch + s0 + chunk.len()];
+                        let row_im = &im[r * batch + s0..r * batch + s0 + chunk.len()];
+                        for ((st, &a), &b) in chunk.iter_mut().zip(row_re).zip(row_im) {
+                            st.push(Complex::new(a, b));
+                        }
+                    }
+                }
+            }
+        }
+        states
+    }
+
+    /// Copies the leading `min(self.len(), dst.len())` amplitudes into an
+    /// interleaved slice — the D2H copy semantics, layout-transparent.
+    pub fn copy_prefix_to(&self, dst: &mut [Complex]) {
+        match self {
+            AmpStore::Aos(v) => {
+                let len = v.len().min(dst.len());
+                dst[..len].copy_from_slice(&v[..len]);
+            }
+            AmpStore::Planar(b) => {
+                let len = b.len().min(dst.len());
+                b.copy_to_aos(&mut dst[..len]);
+            }
+        }
+    }
+
+    /// The interleaved view of an AoS store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a planar store: the AoS-only call sites (generic spMM,
+    /// the DD-spMV ablation, AoS tests) must never see planar buffers —
+    /// `BqSimOptions::effective_layout` guarantees that, and this panic
+    /// is the backstop.
+    #[inline]
+    pub fn as_aos(&self) -> &[Complex] {
+        match self {
+            AmpStore::Aos(v) => v,
+            AmpStore::Planar(_) => panic!("planar amplitude store accessed as AoS"),
+        }
+    }
+
+    /// Mutable interleaved view; see [`AmpStore::as_aos`] for the panic
+    /// contract.
+    #[inline]
+    pub fn as_aos_mut(&mut self) -> &mut [Complex] {
+        match self {
+            AmpStore::Aos(v) => v,
+            AmpStore::Planar(_) => panic!("planar amplitude store accessed as AoS"),
+        }
+    }
+
+    /// The planar buffer of a planar store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an AoS store (layout-mismatched kernel dispatch).
+    #[inline]
+    pub fn as_planar(&self) -> &AmpBuffer {
+        match self {
+            AmpStore::Planar(b) => b,
+            AmpStore::Aos(_) => panic!("AoS amplitude store accessed as planar"),
+        }
+    }
+
+    /// Mutable planar buffer; see [`AmpStore::as_planar`].
+    #[inline]
+    pub fn as_planar_mut(&mut self) -> &mut AmpBuffer {
+        match self {
+            AmpStore::Planar(b) => b,
+            AmpStore::Aos(_) => panic!("AoS amplitude store accessed as planar"),
+        }
+    }
+}
 
 /// Shared read access to one buffer of an arena, handed out while the arena
 /// itself is only borrowed immutably — this is what lets the parallel
 /// executor's workers touch disjoint buffers of the same [`DeviceMemory`]
-/// concurrently. Derefs to `&[Complex]`.
-pub struct BufferRef<'a>(RwLockReadGuard<'a, Vec<Complex>>);
+/// concurrently. Derefs to `&[Complex]` for AoS buffers (the overwhelmingly
+/// common case in tests and the ablation paths); layout-aware call sites
+/// use [`BufferRef::store`] instead.
+pub struct BufferRef<'a>(RwLockReadGuard<'a, AmpStore>);
+
+impl BufferRef<'_> {
+    /// The underlying store, whichever layout it holds.
+    #[inline]
+    pub fn store(&self) -> &AmpStore {
+        &self.0
+    }
+}
 
 impl Deref for BufferRef<'_> {
     type Target = [Complex];
     #[inline]
     fn deref(&self) -> &[Complex] {
-        &self.0
+        self.0.as_aos()
     }
 }
 
 /// Exclusive write access to one buffer of an arena (see [`BufferRef`]).
-/// Derefs to `&mut [Complex]`.
-pub struct BufferRefMut<'a>(RwLockWriteGuard<'a, Vec<Complex>>);
+/// Derefs to `&mut [Complex]` for AoS buffers.
+pub struct BufferRefMut<'a>(RwLockWriteGuard<'a, AmpStore>);
+
+impl BufferRefMut<'_> {
+    /// The underlying store, whichever layout it holds.
+    #[inline]
+    pub fn store(&self) -> &AmpStore {
+        &self.0
+    }
+
+    /// Mutable access to the underlying store.
+    #[inline]
+    pub fn store_mut(&mut self) -> &mut AmpStore {
+        &mut self.0
+    }
+}
 
 impl Deref for BufferRefMut<'_> {
     type Target = [Complex];
     #[inline]
     fn deref(&self) -> &[Complex] {
-        &self.0
+        self.0.as_aos()
     }
 }
 
 impl DerefMut for BufferRefMut<'_> {
     #[inline]
     fn deref_mut(&mut self) -> &mut [Complex] {
-        &mut self.0
+        self.0.as_aos_mut()
     }
 }
 
 /// Locks for reading, recovering the guard if a panicking worker poisoned
 /// the lock (amplitude data stays readable for post-mortem inspection; the
 /// panic itself still propagates through the thread scope).
-fn lock_read(lock: &RwLock<Vec<Complex>>) -> RwLockReadGuard<'_, Vec<Complex>> {
+fn lock_read(lock: &RwLock<AmpStore>) -> RwLockReadGuard<'_, AmpStore> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Locks for writing; see [`lock_read`] for the poison policy.
-fn lock_write(lock: &RwLock<Vec<Complex>>) -> RwLockWriteGuard<'_, Vec<Complex>> {
+fn lock_write(lock: &RwLock<AmpStore>) -> RwLockWriteGuard<'_, AmpStore> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -120,6 +402,112 @@ impl fmt::Display for AllocDeviceError {
 
 impl Error for AllocDeviceError {}
 
+/// Point-in-time counters of a [`BufferPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Checkouts served by recycling a shelved buffer (no heap allocation).
+    pub hits: u64,
+    /// Checkouts that had to build a fresh buffer (warm-up or a size
+    /// class/layout seen for the first time).
+    pub misses: u64,
+    /// Payload bytes currently sitting idle on the shelves. These live in
+    /// host RAM only — they are *not* device bytes and never count against
+    /// `DeviceMemory` capacity or its high-water mark.
+    pub idle_bytes: u64,
+    /// Buffers currently shelved.
+    pub idle_buffers: u64,
+}
+
+/// Size-classed recycling pool for [`AmpStore`] buffers, shared by the
+/// device and host arenas of consecutive batch runs.
+///
+/// Buffers are shelved by `(size class, layout)` where the size class is
+/// the next power of two of the amplitude count; fresh buffers reserve the
+/// whole class up front, so any later checkout within the class resizes
+/// inside existing capacity — after one warm-up batch, the steady-state
+/// H2D/kernel/D2H cycle performs **zero heap allocations**. Checked-out
+/// buffers are always reset to the exact state a fresh allocation would
+/// have (zero-filled at the requested length), so pooling is invisible to
+/// results, fault determinism, and the OOM trap sequence (`charge` runs
+/// identically either way).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    shelves: Mutex<HashMap<(usize, Layout), Vec<AmpStore>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    idle_bytes: AtomicU64,
+    idle_buffers: AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// The size class (shelf key) serving `len` amplitudes.
+    fn class_of(len: usize) -> usize {
+        len.next_power_of_two().max(1)
+    }
+
+    /// The largest class a buffer of this capacity can safely serve
+    /// (rounding *down*, so a shelved buffer always has capacity ≥ its
+    /// shelf's class and reuse never reallocates).
+    fn shelf_for(cap: usize) -> usize {
+        let up = cap.max(1).next_power_of_two();
+        if up == cap.max(1) {
+            up
+        } else {
+            up / 2
+        }
+    }
+
+    /// Takes a zeroed buffer of `len` amplitudes in `layout`, recycling a
+    /// shelved one when possible.
+    fn checkout(&self, len: usize, layout: Layout) -> AmpStore {
+        let class = Self::class_of(len);
+        let recycled = {
+            let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
+            shelves.get_mut(&(class, layout)).and_then(Vec::pop)
+        };
+        match recycled {
+            Some(mut store) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.idle_bytes
+                    .fetch_sub(class as u64 * 16, Ordering::Relaxed);
+                self.idle_buffers.fetch_sub(1, Ordering::Relaxed);
+                store.reset_zeroed(len);
+                store
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                AmpStore::zeroed_with_capacity(len, class, layout)
+            }
+        }
+    }
+
+    /// Returns a buffer to its shelf.
+    fn give_back(&self, store: AmpStore) {
+        let shelf = Self::shelf_for(store.capacity());
+        let layout = store.layout();
+        self.idle_bytes
+            .fetch_add(shelf as u64 * 16, Ordering::Relaxed);
+        self.idle_buffers.fetch_add(1, Ordering::Relaxed);
+        let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
+        shelves.entry((shelf, layout)).or_default().push(store);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            idle_bytes: self.idle_bytes.load(Ordering::Relaxed),
+            idle_buffers: self.idle_buffers.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Arena of simulated device buffers holding complex amplitudes.
 ///
 /// Capacity accounting follows the device spec so out-of-memory behaviour
@@ -133,12 +521,13 @@ impl Error for AllocDeviceError {}
 /// to make the aliasing safe, not to serialise the schedule.
 #[derive(Debug)]
 pub struct DeviceMemory {
-    buffers: Vec<RwLock<Vec<Complex>>>,
+    buffers: Vec<RwLock<AmpStore>>,
     capacity_bytes: u64,
     used_bytes: u64,
     high_water_bytes: u64,
     alloc_count: usize,
     oom_traps: Vec<usize>,
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl DeviceMemory {
@@ -151,7 +540,19 @@ impl DeviceMemory {
             high_water_bytes: 0,
             alloc_count: 0,
             oom_traps: Vec::new(),
+            pool: None,
         }
+    }
+
+    /// Creates an arena whose buffer storage is checked out of (and on
+    /// drop returned to) the given pool. Pooling changes **only** where
+    /// the backing memory comes from: the allocation sequence, capacity
+    /// charging, OOM traps, and zero-initialisation are identical to an
+    /// unpooled arena.
+    pub fn with_pool(spec: &DeviceSpec, pool: Arc<BufferPool>) -> Self {
+        let mut mem = DeviceMemory::new(spec);
+        mem.pool = Some(pool);
+        mem
     }
 
     /// Arms injected allocation failures: the `alloc`-th allocation attempt
@@ -182,7 +583,7 @@ impl DeviceMemory {
         Ok(())
     }
 
-    /// Allocates a zero-filled buffer of `len` complex amplitudes.
+    /// Allocates a zero-filled AoS buffer of `len` complex amplitudes.
     ///
     /// # Errors
     ///
@@ -190,8 +591,28 @@ impl DeviceMemory {
     /// capacity (or an injected OOM trap fires, see
     /// [`inject_oom_at`](Self::inject_oom_at)).
     pub fn alloc(&mut self, len: usize) -> Result<BufferId, AllocDeviceError> {
+        self.alloc_layout(len, Layout::Aos)
+    }
+
+    /// Allocates a zero-filled buffer of `len` amplitudes in the given
+    /// layout. Both layouts charge the same 16 bytes per amplitude, so
+    /// capacity accounting (and the OOM degradation ladder built on it)
+    /// is layout-independent.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceMemory::alloc`].
+    pub fn alloc_layout(
+        &mut self,
+        len: usize,
+        layout: Layout,
+    ) -> Result<BufferId, AllocDeviceError> {
         self.charge(len as u64 * 16)?;
-        self.buffers.push(RwLock::new(vec![Complex::ZERO; len]));
+        let store = match &self.pool {
+            Some(pool) => pool.checkout(len, layout),
+            None => AmpStore::zeroed(len, layout),
+        };
+        self.buffers.push(RwLock::new(store));
         Ok(BufferId(self.buffers.len() - 1))
     }
 
@@ -222,8 +643,27 @@ impl DeviceMemory {
 
     /// Highest `used_bytes` ever reached — reported per device in
     /// `RunHealth` and consulted by the OOM injection point.
+    ///
+    /// This counts **live** allocations only: buffers shelved in the
+    /// arena's [`BufferPool`] are host-RAM residency, not device usage,
+    /// and are reported separately via
+    /// [`pooled_idle_bytes`](Self::pooled_idle_bytes) so OOM-ladder
+    /// decisions are not skewed by recycling.
     pub fn high_water_bytes(&self) -> u64 {
         self.high_water_bytes
+    }
+
+    /// Payload bytes currently shelved in this arena's pool (0 for an
+    /// unpooled arena) — the pool-residency figure surfaced next to the
+    /// high-water mark.
+    pub fn pooled_idle_bytes(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.stats().idle_bytes)
+    }
+
+    /// This arena's pool counters, if it was built with
+    /// [`with_pool`](Self::with_pool).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
     }
 
     /// Read access to a buffer. The guard holds the buffer's read lock until
@@ -252,13 +692,30 @@ impl DeviceMemory {
     }
 }
 
+impl Drop for DeviceMemory {
+    /// Returns every buffer to the pool (when pooled) so the next arena —
+    /// typically the next batch of the same campaign — can recycle them.
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            for lock in self.buffers.drain(..) {
+                pool.give_back(lock.into_inner().unwrap_or_else(PoisonError::into_inner));
+            }
+        }
+    }
+}
+
 /// Arena of host (pageable/pinned) buffers used as copy sources and sinks.
 ///
 /// Per-buffer locking mirrors [`DeviceMemory`] so parallel copy tasks can
-/// stage into disjoint host buffers from worker threads.
+/// stage into disjoint host buffers from worker threads. Staging buffers
+/// are allocated in whichever layout the caller asks for — the simulator
+/// stages in the device buffers' layout so the H2D/D2H copies degenerate
+/// to plane `memcpy`s (`AmpStore::copy_store_from` still converts on the
+/// fly if the two sides disagree).
 #[derive(Debug, Default)]
 pub struct HostMemory {
-    buffers: Vec<RwLock<Vec<Complex>>>,
+    buffers: Vec<RwLock<AmpStore>>,
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl HostMemory {
@@ -267,15 +724,113 @@ impl HostMemory {
         HostMemory::default()
     }
 
+    /// Creates a host arena that recycles buffer storage through `pool`
+    /// (see [`DeviceMemory::with_pool`]; the two arenas may share one
+    /// pool — host buffers shelve under their own AoS size classes).
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        HostMemory {
+            buffers: Vec::new(),
+            pool: Some(pool),
+        }
+    }
+
     /// Allocates a zero-filled host buffer of `len` amplitudes.
     pub fn alloc_zeroed(&mut self, len: usize) -> HostBufId {
-        self.buffers.push(RwLock::new(vec![Complex::ZERO; len]));
+        self.alloc_zeroed_layout(len, Layout::Aos)
+    }
+
+    /// Allocates a zero-filled host buffer of `len` amplitudes in the
+    /// given layout. Staging hosts in the device buffers' layout turns
+    /// the H2D/D2H copies into plane `memcpy`s instead of per-batch
+    /// de/re-interleave passes.
+    pub fn alloc_zeroed_layout(&mut self, len: usize, layout: Layout) -> HostBufId {
+        let store = match &self.pool {
+            Some(pool) => pool.checkout(len, layout),
+            None => AmpStore::zeroed(len, layout),
+        };
+        self.buffers.push(RwLock::new(store));
         HostBufId(self.buffers.len() - 1)
     }
 
-    /// Allocates a host buffer initialised with `data`.
+    /// Stages a batch of state vectors directly into a pooled host buffer
+    /// in the amplitude-major device layout — the fused, allocation-free
+    /// replacement for `pack_batch` + [`alloc_copy_of`](Self::alloc_copy_of)
+    /// (which built a fresh interleaved `Vec` per batch only to copy it
+    /// once more into pooled storage).
+    ///
+    /// The transpose runs amplitude-outer over blocks of [`STAGE_TILE`]
+    /// state vectors (see [`AmpStore::unpack_states`] for why the
+    /// power-of-two batch stride makes the naive order pathological):
+    /// each block's output row segment is written contiguously while the
+    /// block's source cache lines stay hot across consecutive `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have differing lengths.
+    pub fn alloc_staged_from(&mut self, vectors: &[Vec<Complex>], layout: Layout) -> HostBufId {
+        let batch = vectors.len();
+        assert!(batch > 0, "empty batch");
+        let dim = vectors[0].len();
+        assert!(
+            vectors.iter().all(|v| v.len() == dim),
+            "ragged batch vectors"
+        );
+        let len = dim * batch;
+        let mut store = match &self.pool {
+            Some(pool) => pool.checkout(len, layout),
+            None => AmpStore::zeroed(len, layout),
+        };
+        for (block, chunk) in vectors.chunks(STAGE_TILE).enumerate() {
+            let s0 = block * STAGE_TILE;
+            match &mut store {
+                AmpStore::Aos(out) => {
+                    for r in 0..dim {
+                        let row = &mut out[r * batch + s0..r * batch + s0 + chunk.len()];
+                        for (o, v) in row.iter_mut().zip(chunk) {
+                            *o = v[r];
+                        }
+                    }
+                }
+                AmpStore::Planar(b) => {
+                    let (re, im) = b.planes_mut();
+                    for r in 0..dim {
+                        let row_re = &mut re[r * batch + s0..r * batch + s0 + chunk.len()];
+                        let row_im = &mut im[r * batch + s0..r * batch + s0 + chunk.len()];
+                        for ((o_re, o_im), v) in row_re.iter_mut().zip(row_im.iter_mut()).zip(chunk)
+                        {
+                            let a = v[r];
+                            *o_re = a.re;
+                            *o_im = a.im;
+                        }
+                    }
+                }
+            }
+        }
+        self.buffers.push(RwLock::new(store));
+        HostBufId(self.buffers.len() - 1)
+    }
+
+    /// Allocates a host buffer initialised with `data` (takes ownership;
+    /// prefer [`alloc_copy_of`](Self::alloc_copy_of) in steady-state paths
+    /// so the bytes land in pooled storage instead of a fresh `Vec`).
     pub fn alloc_from(&mut self, data: Vec<Complex>) -> HostBufId {
-        self.buffers.push(RwLock::new(data));
+        self.buffers.push(RwLock::new(AmpStore::Aos(data)));
+        HostBufId(self.buffers.len() - 1)
+    }
+
+    /// Allocates a host buffer holding a copy of `data`, drawing the
+    /// backing storage from the pool when one is attached — the
+    /// allocation-free replacement for `alloc_from(data.to_vec())`.
+    pub fn alloc_copy_of(&mut self, data: &[Complex]) -> HostBufId {
+        let store = match &self.pool {
+            Some(pool) => {
+                let mut store = pool.checkout(data.len(), Layout::Aos);
+                store.copy_prefix_from(data);
+                store
+            }
+            None => AmpStore::Aos(data.to_vec()),
+        };
+        self.buffers.push(RwLock::new(store));
         HostBufId(self.buffers.len() - 1)
     }
 
@@ -287,6 +842,19 @@ impl HostMemory {
     /// Write access.
     pub fn buffer_mut(&self, id: HostBufId) -> BufferRefMut<'_> {
         BufferRefMut(lock_write(&self.buffers[id.0]))
+    }
+}
+
+impl Drop for HostMemory {
+    /// Returns pooled buffers to the shelves (see [`DeviceMemory`]'s
+    /// `Drop`); buffers created by [`alloc_from`](Self::alloc_from) join
+    /// the pool too, seeding it with their storage.
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            for lock in self.buffers.drain(..) {
+                pool.give_back(lock.into_inner().unwrap_or_else(PoisonError::into_inner));
+            }
+        }
     }
 }
 
@@ -391,5 +959,161 @@ mod tests {
         assert_eq!(host.buffer(h)[2], Complex::I);
         host.buffer_mut(h)[0] = Complex::ONE;
         assert_eq!(host.buffer(h)[0], Complex::ONE);
+    }
+
+    #[test]
+    fn planar_buffers_roundtrip_prefix_copies() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        let d = mem.alloc_layout(4, Layout::Planar).unwrap();
+        let data: Vec<Complex> = (0..4).map(|i| Complex::new(i as f64, -1.0)).collect();
+        mem.buffer_mut(d).store_mut().copy_prefix_from(&data);
+        let mut back = vec![Complex::ZERO; 4];
+        mem.buffer(d).store().copy_prefix_to(&mut back);
+        assert_eq!(back, data);
+        assert_eq!(mem.buffer(d).store().layout(), Layout::Planar);
+        // Device accounting is layout-independent.
+        assert_eq!(mem.used_bytes(), 4 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "accessed as AoS")]
+    fn planar_buffer_rejects_aos_view() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        let d = mem.alloc_layout(4, Layout::Planar).unwrap();
+        let _ = mem.buffer(d)[0];
+    }
+
+    /// After a warm-up arena populates the shelves, a second arena with
+    /// the same allocation shape must be served entirely from the pool —
+    /// the allocation-free steady state — and recycled buffers must come
+    /// back zeroed.
+    #[test]
+    fn pool_reuse_is_allocation_free_and_zeroed() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let pool = Arc::new(BufferPool::new());
+        {
+            let mut mem = DeviceMemory::with_pool(&spec, Arc::clone(&pool));
+            let a = mem.alloc_layout(100, Layout::Planar).unwrap();
+            let b = mem.alloc(64).unwrap();
+            mem.buffer_mut(a)
+                .store_mut()
+                .fill(Complex::new(f64::NAN, f64::NAN));
+            mem.buffer_mut(b)[0] = Complex::ONE;
+        }
+        let warm = pool.stats();
+        assert_eq!(warm.misses, 2);
+        assert_eq!(warm.hits, 0);
+        assert_eq!(warm.idle_buffers, 2);
+        // 100 amps shelve under class 128, 64 under class 64.
+        assert_eq!(warm.idle_bytes, (128 + 64) * 16);
+
+        {
+            let mut mem = DeviceMemory::with_pool(&spec, Arc::clone(&pool));
+            // Same classes, different exact lengths: still pool hits.
+            let a = mem.alloc_layout(96, Layout::Planar).unwrap();
+            let b = mem.alloc(64).unwrap();
+            assert_eq!(mem.pool_stats().unwrap().hits, 2);
+            assert_eq!(mem.pool_stats().unwrap().misses, 2);
+            assert_eq!(mem.pooled_idle_bytes(), 0);
+            // NaN poison from the previous arena must not leak through.
+            let guard = mem.buffer(a);
+            let (re, im) = guard.store().as_planar().planes();
+            assert!(re.iter().chain(im).all(|&x| x == 0.0));
+            drop(guard);
+            assert!(mem.buffer(b).iter().all(|&c| c == Complex::ZERO));
+            // High-water still tracks live bytes only.
+            assert_eq!(mem.high_water_bytes(), (96 + 64) * 16);
+        }
+        assert_eq!(pool.stats().idle_buffers, 2);
+    }
+
+    #[test]
+    fn host_pool_recycles_copy_buffers() {
+        let pool = Arc::new(BufferPool::new());
+        let data: Vec<Complex> = (0..10).map(|i| Complex::new(i as f64, 0.5)).collect();
+        {
+            let mut host = HostMemory::with_pool(Arc::clone(&pool));
+            let h = host.alloc_copy_of(&data);
+            let o = host.alloc_zeroed(10);
+            assert_eq!(&host.buffer(h)[..], &data[..]);
+            assert!(host.buffer(o).iter().all(|&c| c == Complex::ZERO));
+        }
+        assert_eq!(pool.stats().misses, 2);
+        {
+            let mut host = HostMemory::with_pool(Arc::clone(&pool));
+            let h = host.alloc_copy_of(&data);
+            let o = host.alloc_zeroed(10);
+            assert_eq!(pool.stats().hits, 2);
+            assert_eq!(&host.buffer(h)[..], &data[..]);
+            assert!(host.buffer(o).iter().all(|&c| c == Complex::ZERO));
+        }
+    }
+
+    /// `copy_store_from` must be value-exact for every (dst, src) layout
+    /// combination, including a shorter source into a longer destination.
+    #[test]
+    fn copy_store_from_all_layout_pairs() {
+        let data: Vec<Complex> = (0..6)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
+        for src_layout in [Layout::Aos, Layout::Planar] {
+            let mut src = AmpStore::zeroed(6, src_layout);
+            src.copy_prefix_from(&data);
+            for dst_layout in [Layout::Aos, Layout::Planar] {
+                let mut dst = AmpStore::zeroed(8, dst_layout);
+                dst.fill(Complex::new(f64::NAN, f64::NAN));
+                dst.copy_store_from(&src);
+                // Read back through the other direction: a 6-amp store
+                // pulling from the 8-amp one exercises the truncating arm.
+                let mut head = AmpStore::zeroed(6, dst_layout);
+                head.copy_store_from(&dst);
+                let mut back = vec![Complex::ZERO; 6];
+                head.copy_prefix_to(&mut back);
+                assert_eq!(back, data, "{src_layout:?} -> {dst_layout:?}");
+            }
+        }
+    }
+
+    /// Staging a batch of state vectors and unpacking the result must be
+    /// an exact round trip in both layouts, including batch sizes that are
+    /// not a multiple of the transpose tile (`STAGE_TILE` = 64).
+    #[test]
+    fn staged_batch_roundtrips_through_unpack() {
+        let dim = 8;
+        for batch in [1, 63, 64, 100] {
+            let vectors: Vec<Vec<Complex>> = (0..batch)
+                .map(|b| {
+                    (0..dim)
+                        .map(|r| Complex::new((b * dim + r) as f64, 0.25))
+                        .collect()
+                })
+                .collect();
+            for layout in [Layout::Aos, Layout::Planar] {
+                let mut host = HostMemory::new();
+                let h = host.alloc_staged_from(&vectors, layout);
+                let buf = host.buffer(h);
+                let store = buf.store();
+                assert_eq!(store.layout(), layout);
+                assert_eq!(store.len(), dim * batch);
+                assert_eq!(store.unpack_states(batch), vectors, "{layout:?} b={batch}");
+            }
+        }
+    }
+
+    /// The staged representation is amplitude-major: `data[r * batch + b]`
+    /// holds amplitude `r` of state `b`, so one row of the device matrix
+    /// is contiguous across the whole batch.
+    #[test]
+    fn staged_layout_is_amplitude_major() {
+        let vectors = vec![
+            vec![Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)],
+            vec![Complex::new(3.0, 0.0), Complex::new(4.0, 0.0)],
+        ];
+        let mut host = HostMemory::new();
+        let h = host.alloc_staged_from(&vectors, Layout::Aos);
+        let got: Vec<f64> = host.buffer(h).iter().map(|c| c.re).collect();
+        assert_eq!(got, vec![1.0, 3.0, 2.0, 4.0]);
     }
 }

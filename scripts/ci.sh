@@ -59,6 +59,28 @@ echo "==> bqsim analyze --journal (exactly-once completion, fingerprint, orderin
 run_bqsim analyze --journal "$journal"
 run_bqsim analyze --journal "$journal.ref"
 
+echo "==> layout x thread campaign digest matrix (aos/planar x 1/4 must agree bit-for-bit)"
+matrix_digest=""
+for layout in aos planar; do
+    for threads in 1 4; do
+        mj="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-matrix-XXXXXX.journal")"
+        d="$(BQSIM_LAYOUT=$layout BQSIM_THREADS=$threads \
+            run_bqsim run --family qft --qubits 6 --batches 4 --batch-size 32 \
+            --journal "$mj" | grep 'campaign digest:')"
+        rm -f "$mj" "$mj.state"
+        echo "    layout=$layout threads=$threads $d"
+        if [ -z "$matrix_digest" ]; then
+            matrix_digest="$d"
+        elif [ "$matrix_digest" != "$d" ]; then
+            echo "FAIL: layout=$layout threads=$threads digest ($d) != reference ($matrix_digest)" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "==> planar layout report smoke (report_pr5 --quick)"
+cargo run -q -p bqsim-bench --release --bin report_pr5 -- --quick --out /dev/null
+
 echo "==> journaling overhead on routing-6 (target < 2%, recorded in BENCH_pr4.json)"
 cargo run -q -p bqsim-bench --release --bin report_pr4
 

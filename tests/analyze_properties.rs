@@ -138,6 +138,27 @@ fn denormalised_dd_weight_is_caught() {
     assert!(format!("{diags}").contains("dd-normalisation"), "{diags}");
 }
 
+/// Seeded defect 4: a forged row-pattern annotation on a real converted
+/// ELL matrix — claiming a period the slots do not actually repeat at —
+/// is caught by the round-trip check `analyze_pipeline` runs per gate.
+/// The pipeline itself stays clean (its annotations come from
+/// `detect_pattern`, which only writes provable periods).
+#[test]
+fn forged_pattern_annotation_is_caught() {
+    let n = 3;
+    let (mut dd, product) = qft_product(n);
+    let mut ell = ell_from_dd_cpu(&mut dd, product, n);
+    // Whatever detection honestly found round-trips.
+    ell.detect_pattern();
+    assert!(analyze::check_pattern_roundtrip(&ell).is_clean());
+    // The dense QFT product is not block-periodic at period 1: every row
+    // differs from row 0. Annotating it as such must be reported.
+    ell.set_pattern_period_unchecked(Some(1));
+    let diags = analyze::check_pattern_roundtrip(&ell);
+    assert!(diags.error_count() > 0, "expected a finding:\n{diags}");
+    assert!(diags.mentions("compressed execution"), "{diags}");
+}
+
 /// Seeded defect 3: an out-of-range ELL column index is reported.
 #[test]
 fn out_of_bounds_ell_column_is_caught() {

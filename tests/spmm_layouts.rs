@@ -1,0 +1,256 @@
+//! Layout bit-identity properties (the PR 5 data-plane contract): the
+//! ablation baseline `spmm_generic`, every shape-specialised AoS fast
+//! path, and the planar (SoA) microkernels must produce **bit-identical**
+//! outputs — `f64::to_bits` equality, no tolerance — over random ELL
+//! matrices covering empty rows, unit/real/complex values, block-periodic
+//! patterns, and ragged batches where `batch % TILE != 0`.
+
+use bqsim_ell::{AmpBuffer, EllMatrix, TILE};
+use bqsim_num::Complex;
+use proptest::prelude::*;
+
+/// Splitmix-style deterministic stream so every proptest case is
+/// reproducible from its seed alone.
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    move || {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A non-zero value in (0, 1]; never exactly 0.0 so value-class dispatch
+/// (`v.im == 0.0`, `v == ONE`) is decided by the class picker below, not
+/// by sampling accidents.
+fn unit_interval(bits: u64) -> f64 {
+    ((bits >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Draws one slot value from the classes the fast paths dispatch on:
+/// exact unit (row copy), real (half-cost combine), or full complex.
+fn slot_value(class: u64, next: &mut impl FnMut() -> u64) -> Complex {
+    match class % 3 {
+        0 => Complex::ONE,
+        1 => Complex::new(unit_interval(next()) * 2.0 - 1.5, 0.0),
+        _ => Complex::new(
+            unit_interval(next()) * 2.0 - 1.5,
+            unit_interval(next()) * 2.0 - 1.5,
+        ),
+    }
+}
+
+/// Builds a random converter-shaped ELL matrix: non-zeros packed into the
+/// leading slots in ascending column order, a mix of empty, unit, real,
+/// and complex rows.
+fn random_ell(rows: usize, max_nzr: usize, seed: u64) -> EllMatrix {
+    let mut next = stream(seed);
+    let mut ell = EllMatrix::zeros(rows, max_nzr);
+    // Columns must be distinct within a row, so a row can never hold more
+    // non-zeros than the matrix has columns.
+    let widest = max_nzr.min(rows);
+    for r in 0..rows {
+        // Bias towards full rows but keep genuinely empty ones in play.
+        let nnz = match next() % 8 {
+            0 => 0,
+            1 => 1 + next() as usize % widest.max(1),
+            _ => widest,
+        };
+        if nnz == 0 {
+            continue;
+        }
+        // Distinct ascending columns per row, as both converters emit.
+        let mut cols: Vec<usize> = Vec::with_capacity(nnz);
+        while cols.len() < nnz {
+            let c = next() as usize % rows;
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        cols.sort_unstable();
+        let class = next();
+        for (s, c) in cols.into_iter().enumerate() {
+            ell.set_slot(r, s, c, slot_value(class, &mut next));
+        }
+    }
+    ell
+}
+
+/// A batch of random amplitudes, never exactly ±0.0.
+fn random_batch(rows: usize, batch: usize, seed: u64) -> Vec<Complex> {
+    let mut next = stream(seed);
+    (0..rows * batch)
+        .map(|_| {
+            Complex::new(
+                unit_interval(next()) * 2.0 - 1.0 + f64::EPSILON,
+                unit_interval(next()) * 2.0 - 1.0 + f64::EPSILON,
+            )
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[Complex], b: &[Complex], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            (x.re.to_bits(), x.im.to_bits()),
+            (y.re.to_bits(), y.im.to_bits()),
+            "{what}: amplitude {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// Runs all three implementations on the same input and checks bitwise
+/// agreement. Outputs start from poisoned (non-zero) buffers so a kernel
+/// that skips writes is caught.
+fn check_tri_path(ell: &EllMatrix, batch: usize, seed: u64) {
+    let rows = ell.num_rows();
+    let input = random_batch(rows, batch, seed);
+    let poison = Complex::new(f64::NAN, f64::NAN);
+
+    let mut fast = vec![poison; rows * batch];
+    ell.spmm(&input, &mut fast, batch);
+
+    let mut generic = vec![poison; rows * batch];
+    ell.spmm_generic(&input, &mut generic, batch);
+
+    let planar_in = AmpBuffer::from_aos(&input);
+    let mut planar_out = AmpBuffer::zeroed(rows * batch);
+    planar_out.fill(poison);
+    ell.spmm_planar(&planar_in, &mut planar_out, batch);
+    let planar = planar_out.to_aos();
+
+    let ctx = format!(
+        "rows={rows} max_nzr={} batch={batch} pattern={:?}",
+        ell.max_nzr(),
+        ell.pattern_period()
+    );
+    assert_bits_eq(&fast, &generic, &format!("AoS fast vs generic ({ctx})"));
+    assert_bits_eq(&fast, &planar, &format!("AoS fast vs planar ({ctx})"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tri-path bit-identity over random matrices and batch widths,
+    /// including every ragged remainder class modulo the lane tile.
+    #[test]
+    fn layouts_are_bit_identical_on_random_matrices(
+        seed in 0u64..10_000,
+        qubits in 2usize..6,
+        max_nzr in 1usize..6,
+    ) {
+        let rows = 1usize << qubits;
+        let ell = random_ell(rows, max_nzr, seed);
+        // Whole tiles, a sub-tile batch, and ragged last tiles: TILE is a
+        // compile-time constant, so pin the remainder classes explicitly.
+        for batch in [1, TILE - 1, TILE, TILE + 1, 2 * TILE + 1] {
+            prop_assert!(batch == TILE || batch % TILE != 0);
+            check_tri_path(&ell, batch, seed ^ batch as u64);
+        }
+    }
+
+    /// Pattern-annotated execution (template rows + rebased columns) is
+    /// bit-identical to unannotated execution of the same matrix, and
+    /// decoding the annotation reproduces the matrix exactly.
+    #[test]
+    fn pattern_execution_and_roundtrip_are_exact(
+        seed in 0u64..10_000,
+        template_qubits in 0usize..3,
+        block_qubits in 1usize..4,
+    ) {
+        let d = 1usize << template_qubits;
+        let rows = d << block_qubits;
+        // Replicate a random d-row template across rows/d blocks with
+        // block-rebased columns — the I ⊗ V structure QMDD tensors emit.
+        let template = random_ell(d.next_power_of_two().max(2), 3, seed);
+        let mut ell = EllMatrix::zeros(rows, 3);
+        for r in 0..rows {
+            let t = r % d;
+            let base = r - t;
+            for s in 0..template.row_nnz(t) {
+                let v = template.row_values(t)[s];
+                if v != Complex::ZERO {
+                    let c = template.row_cols(t)[s] as usize % d;
+                    ell.set_slot(r, s, base + c, v);
+                }
+            }
+        }
+        let mut annotated = ell.clone();
+        // The true period divides d; the detector must find one at least
+        // as small (never coarser, never miss).
+        let found = annotated.detect_pattern();
+        prop_assert!(found.is_some() && found.unwrap() <= d,
+            "detector missed period {d} (found {found:?})");
+
+        // Round-trip: decoding the compressed form is the exact matrix.
+        let decoded = annotated.decode_pattern();
+        prop_assert_eq!(&decoded, &ell);
+        for r in 0..rows {
+            prop_assert_eq!(decoded.row_nnz(r), ell.row_nnz(r));
+            prop_assert_eq!(decoded.row_cols(r), ell.row_cols(r));
+        }
+
+        // Execution from the template block matches slot-exact execution.
+        let batch = TILE + 3;
+        let input = random_batch(rows, batch, seed ^ 0xdead);
+        let planar_in = AmpBuffer::from_aos(&input);
+        let mut plain_out = AmpBuffer::zeroed(rows * batch);
+        let mut pattern_out = AmpBuffer::zeroed(rows * batch);
+        ell.spmm_planar(&planar_in, &mut plain_out, batch);
+        annotated.spmm_planar(&planar_in, &mut pattern_out, batch);
+        assert_bits_eq(
+            &plain_out.to_aos(),
+            &pattern_out.to_aos(),
+            "pattern vs plain planar execution",
+        );
+        // The compressed working set never exceeds the uncompressed one.
+        prop_assert!(annotated.working_set_bytes() <= ell.working_set_bytes());
+    }
+}
+
+/// Directed shape coverage: every AoS dispatch arm — gather-scale
+/// (`max_nzr == 1`) with unit/real/complex values, the pair kernel
+/// (`max_nzr == 2`) including its nnz==1 full-scale quirk, each
+/// single-pass general arity (3, 4), and the wide accumulation fallback
+/// (≥ 5) — against generic and planar, at a ragged batch.
+#[test]
+fn every_dispatch_arm_is_bit_identical() {
+    for (max_nzr, fill) in [
+        (1usize, 0usize),
+        (1, 1),
+        (2, 0),
+        (2, 1),
+        (2, 2),
+        (3, 3),
+        (4, 4),
+        (5, 5),
+        (6, 6),
+    ] {
+        for class_seed in 0..3u64 {
+            let rows = 16;
+            let mut ell = EllMatrix::zeros(rows, max_nzr);
+            let mut next = stream(class_seed * 977 + fill as u64);
+            for r in 0..rows {
+                for s in 0..fill {
+                    let c = (r * 5 + s * 3 + 1) % rows;
+                    ell.set_slot(r, s, c, slot_value(class_seed, &mut next));
+                }
+            }
+            for batch in [1, TILE, TILE + 5] {
+                check_tri_path(&ell, batch, class_seed ^ 0x5eed);
+            }
+        }
+    }
+}
+
+/// Empty matrices (all rows zero) zero-fill identically in every path.
+#[test]
+fn all_empty_rows_zero_fill_in_every_layout() {
+    for max_nzr in [1usize, 2, 4] {
+        let ell = EllMatrix::zeros(8, max_nzr);
+        check_tri_path(&ell, TILE + 1, 7);
+    }
+}
