@@ -155,6 +155,159 @@ impl fmt::Display for Diagnostics {
     }
 }
 
+/// Escapes `s` for inclusion in a JSON string literal (no surrounding
+/// quotes). Handles the two mandatory escapes plus control characters;
+/// everything else passes through as UTF-8, which JSON permits raw.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// The finding as a single JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"severity\":\"{}\",\"pass\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
+            self.severity,
+            json_escape(self.pass),
+            json_escape(&self.location),
+            json_escape(&self.message),
+        )
+    }
+}
+
+impl Diagnostics {
+    /// The report as a JSON array of finding objects.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.items.iter().map(Diagnostic::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+/// One titled section of an [`AnalysisReport`]: a pass family's summary
+/// line plus its findings.
+#[derive(Debug, Clone)]
+pub struct ReportSection {
+    /// Section heading (e.g. `task graph`, `model check`).
+    pub title: String,
+    /// One-line context for the section (counts, budgets, verdicts).
+    pub summary: String,
+    /// The section's findings.
+    pub diagnostics: Diagnostics,
+}
+
+/// A full analysis run: ordered sections, renderable as human text or as
+/// machine-readable JSON from the *same* structure, so the two outputs
+/// can never drift apart.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    sections: Vec<ReportSection>,
+}
+
+impl AnalysisReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        AnalysisReport::default()
+    }
+
+    /// Appends a section.
+    pub fn push_section(
+        &mut self,
+        title: impl Into<String>,
+        summary: impl Into<String>,
+        diagnostics: Diagnostics,
+    ) {
+        self.sections.push(ReportSection {
+            title: title.into(),
+            summary: summary.into(),
+            diagnostics,
+        });
+    }
+
+    /// The sections in insertion order.
+    pub fn sections(&self) -> &[ReportSection] {
+        &self.sections
+    }
+
+    /// Total error-severity findings across all sections.
+    pub fn error_count(&self) -> usize {
+        self.sections
+            .iter()
+            .map(|s| s.diagnostics.error_count())
+            .sum()
+    }
+
+    /// Total warning-severity findings across all sections.
+    pub fn warning_count(&self) -> usize {
+        self.sections
+            .iter()
+            .map(|s| s.diagnostics.warning_count())
+            .sum()
+    }
+
+    /// Whether no section has any finding.
+    pub fn is_clean(&self) -> bool {
+        self.sections.iter().all(|s| s.diagnostics.is_clean())
+    }
+
+    /// Renders the report as the CLI's human-readable text.
+    pub fn render_text(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.sections {
+            let _ = writeln!(out, "== {} ==", s.title);
+            if !s.summary.is_empty() {
+                let _ = writeln!(out, "{}", s.summary);
+            }
+            let _ = write!(out, "{}", s.diagnostics);
+        }
+        let _ = writeln!(
+            out,
+            "analysis: {} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        );
+        out
+    }
+
+    /// Renders the report as one JSON object:
+    /// `{"sections": [{"title", "summary", "diagnostics": [...]}, ...],
+    /// "errors": N, "warnings": N}`.
+    pub fn to_json(&self) -> String {
+        let sections: Vec<String> = self
+            .sections
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"title\":\"{}\",\"summary\":\"{}\",\"diagnostics\":{}}}",
+                    json_escape(&s.title),
+                    json_escape(&s.summary),
+                    s.diagnostics.to_json(),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"sections\":[{}],\"errors\":{},\"warnings\":{}}}",
+            sections.join(","),
+            self.error_count(),
+            self.warning_count(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +327,53 @@ mod tests {
         assert!(text.contains("warning[lifetime]"));
         assert!(d.mentions("unordered"));
         assert!(!d.mentions("nonexistent"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+    }
+
+    #[test]
+    fn diagnostics_render_as_a_json_array() {
+        let mut d = Diagnostics::new();
+        d.error("races", "task 3 'up \"a\"'", "unordered\nwrite pair");
+        let json = d.to_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("\"pass\":\"races\""), "{json}");
+        assert!(json.contains("task 3 'up \\\"a\\\"'"), "{json}");
+        assert!(json.contains("unordered\\nwrite pair"), "{json}");
+        assert_eq!(Diagnostics::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn report_renders_same_structure_as_text_and_json() {
+        let mut report = AnalysisReport::new();
+        let mut d = Diagnostics::new();
+        d.warning("lifetime", "D[1]", "overwritten while unread");
+        report.push_section("task graph", "3 tasks, 2 buffers", d);
+        report.push_section("model check", "1 trace explored", Diagnostics::new());
+        assert!(!report.is_clean());
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.warning_count(), 1);
+
+        let text = report.render_text();
+        assert!(text.contains("== task graph =="), "{text}");
+        assert!(text.contains("3 tasks, 2 buffers"), "{text}");
+        assert!(text.contains("warning[lifetime]"), "{text}");
+        assert!(text.contains("no findings"), "{text}");
+        assert!(
+            text.contains("analysis: 0 error(s), 1 warning(s)"),
+            "{text}"
+        );
+
+        let json = report.to_json();
+        assert!(json.contains("\"title\":\"task graph\""), "{json}");
+        assert!(json.contains("\"summary\":\"1 trace explored\""), "{json}");
+        assert!(json.contains("\"errors\":0"), "{json}");
+        assert!(json.contains("\"warnings\":1"), "{json}");
     }
 }

@@ -7,8 +7,15 @@
 //! (or hand-built by tests) — and never touches the filesystem itself.
 //! Envelope-level damage (CRC failures, unparseable payloads, state
 //! checksum mismatches) is the journal *reader's* jurisdiction; by the
-//! time facts exist, every record in them was authenticated. This pass
-//! checks the **semantics** across records:
+//! time facts exist, every record in them was authenticated.
+//!
+//! The semantic check is phrased as an explicit finite state machine
+//! rather than ad-hoc per-record conditionals: a stateful *symbolizer*
+//! classifies each record against the campaign's history (was this batch
+//! already completed? already quarantined? is the index monotone?) into a
+//! [`JournalSymbol`], and a [`JournalDfa`] — `header → batch* → final`,
+//! with the quarantine/retry edges — accepts or rejects each symbol.
+//! Rejected symbols map one-to-one onto the diagnostics:
 //!
 //! * `journal-range` — every record names a batch inside the campaign.
 //! * `journal-exactly-once` — each batch completes at most once, and a
@@ -19,14 +26,20 @@
 //!   smaller than one already seen is legal only for a batch previously
 //!   quarantined (a resume retrying it); anything else means records
 //!   were appended out of campaign order.
+//! * `journal-dfa` — a header record anywhere but the very start (two
+//!   concatenated sessions), or any symbol the supplied automaton has no
+//!   transition for.
 //! * `journal-tear` — a truncated torn tail is reported as a warning so
 //!   operators know the last interruption hit mid-append.
 
 use crate::diag::Diagnostics;
 
-/// What kind of terminal record a batch got.
+/// What kind of record a journal line holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JournalRecordKind {
+    /// The session header (fingerprint line); line 1 of a well-formed
+    /// journal. Its `batch` field is meaningless.
+    Header,
     /// The batch completed with checksum-verified outputs.
     Completion,
     /// The batch failed its numerical-integrity check.
@@ -38,9 +51,9 @@ pub enum JournalRecordKind {
 pub struct JournalRecordFacts {
     /// 1-based line number in the journal file (the header is line 1).
     pub line: usize,
-    /// Completion or quarantine.
+    /// Header, completion, or quarantine.
     pub kind: JournalRecordKind,
-    /// The batch the record is about.
+    /// The batch the record is about (ignored for headers).
     pub batch: usize,
 }
 
@@ -51,72 +64,251 @@ pub struct JournalFacts {
     pub num_batches: usize,
     /// Whether the reader truncated a torn tail.
     pub torn_tail: bool,
-    /// Every authenticated record after the header, in append order.
+    /// Every authenticated record, in append order. Extractors that
+    /// include the header emit it as a [`JournalRecordKind::Header`]
+    /// record at line 1; hand-built facts may omit it (the automaton
+    /// accepts batch records from the start state too).
     pub records: Vec<JournalRecordFacts>,
 }
 
-/// Runs the journal conformance passes. See the module docs for the
-/// invariants; errors mean the journal cannot have been produced by a
-/// correct campaign runner, warnings mean it is merely unfinished or was
-/// interrupted mid-append.
-pub fn check_journal(facts: &JournalFacts) -> Diagnostics {
-    let mut diag = Diagnostics::new();
+/// One record, classified against the campaign history up to that point.
+/// This is the alphabet of the journal state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalSymbol {
+    /// The session header.
+    Header,
+    /// First completion of a batch that was never quarantined.
+    Completion {
+        /// The completed batch.
+        batch: usize,
+    },
+    /// Completion of a previously quarantined batch (the legal retry
+    /// edge, allowed to revisit a smaller index).
+    RetryCompletion {
+        /// The retried batch.
+        batch: usize,
+    },
+    /// First quarantine of a batch that never completed.
+    Quarantine {
+        /// The quarantined batch.
+        batch: usize,
+    },
+    /// A completion for a batch that already completed.
+    DuplicateCompletion {
+        /// The re-completed batch.
+        batch: usize,
+    },
+    /// A quarantine for a batch that already completed.
+    QuarantineAfterCompletion {
+        /// The batch in question.
+        batch: usize,
+    },
+    /// A record revisiting a smaller batch index with no quarantine to
+    /// justify the retry. Emitted *in addition to* the record's kind
+    /// symbol, so ordering and exactly-once violations report separately.
+    Backwards {
+        /// The out-of-order batch.
+        batch: usize,
+        /// The largest index seen before it.
+        max_seen: usize,
+    },
+    /// A record naming a batch outside the campaign.
+    OutOfRange {
+        /// The offending index.
+        batch: usize,
+    },
+}
+
+/// The payload-free class of a [`JournalSymbol`] — what the automaton's
+/// transition table is keyed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JournalSymbolClass {
+    /// See [`JournalSymbol::Header`].
+    Header,
+    /// See [`JournalSymbol::Completion`].
+    Completion,
+    /// See [`JournalSymbol::RetryCompletion`].
+    RetryCompletion,
+    /// See [`JournalSymbol::Quarantine`].
+    Quarantine,
+    /// See [`JournalSymbol::DuplicateCompletion`].
+    DuplicateCompletion,
+    /// See [`JournalSymbol::QuarantineAfterCompletion`].
+    QuarantineAfterCompletion,
+    /// See [`JournalSymbol::Backwards`].
+    Backwards,
+    /// See [`JournalSymbol::OutOfRange`].
+    OutOfRange,
+}
+
+impl JournalSymbol {
+    /// The symbol's transition-table class.
+    pub fn class(self) -> JournalSymbolClass {
+        match self {
+            JournalSymbol::Header => JournalSymbolClass::Header,
+            JournalSymbol::Completion { .. } => JournalSymbolClass::Completion,
+            JournalSymbol::RetryCompletion { .. } => JournalSymbolClass::RetryCompletion,
+            JournalSymbol::Quarantine { .. } => JournalSymbolClass::Quarantine,
+            JournalSymbol::DuplicateCompletion { .. } => JournalSymbolClass::DuplicateCompletion,
+            JournalSymbol::QuarantineAfterCompletion { .. } => {
+                JournalSymbolClass::QuarantineAfterCompletion
+            }
+            JournalSymbol::Backwards { .. } => JournalSymbolClass::Backwards,
+            JournalSymbol::OutOfRange { .. } => JournalSymbolClass::OutOfRange,
+        }
+    }
+}
+
+/// States of the journal automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JournalState {
+    /// Before any record (only place a header is legal).
+    Start,
+    /// Inside the batch-record body.
+    Body,
+}
+
+/// An explicit journal automaton: a start state plus a transition table.
+/// Symbols with no transition from the current state are *rejected* and
+/// become diagnostics; the machine then stays in its state (error
+/// recovery), so one bad record cannot cascade.
+///
+/// `bqsim-campaign` exports the runner's own spec (`journal_dfa()`);
+/// [`JournalDfa::standard`] is this crate's independent copy of the same
+/// machine, used by [`check_journal`] — tests assert the two agree, so
+/// each is a cross-check on the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDfa {
+    /// Where the machine starts.
+    pub start: JournalState,
+    /// `(from, symbol class, to)` triples.
+    pub transitions: Vec<(JournalState, JournalSymbolClass, JournalState)>,
+}
+
+impl JournalDfa {
+    /// The standard campaign-journal machine: `Start --Header--> Body`,
+    /// legal batch records from either state into `Body` (hand-built
+    /// facts may omit the header), and *no* transitions for the error
+    /// symbols — rejecting them is what produces the diagnostics.
+    pub fn standard() -> Self {
+        use JournalState::*;
+        use JournalSymbolClass::*;
+        let mut transitions = vec![(Start, Header, Body)];
+        for state in [Start, Body] {
+            for sym in [Completion, RetryCompletion, Quarantine] {
+                transitions.push((state, sym, Body));
+            }
+        }
+        JournalDfa {
+            start: Start,
+            transitions,
+        }
+    }
+
+    /// The successor state for `sym` in `state`, or `None` (rejection).
+    pub fn step(&self, state: JournalState, sym: JournalSymbolClass) -> Option<JournalState> {
+        self.transitions
+            .iter()
+            .find(|&&(from, s, _)| from == state && s == sym)
+            .map(|&(_, _, to)| to)
+    }
+}
+
+/// Classifies every record of `facts` against the campaign history,
+/// producing the symbol stream the automaton consumes. A single record
+/// can yield two symbols (an ordering violation *and* its kind), which
+/// preserves the one-diagnostic-per-violation reporting.
+pub fn symbolize_journal(facts: &JournalFacts) -> Vec<(usize, JournalSymbol)> {
     let n = facts.num_batches;
     let mut completed = vec![false; n];
     let mut quarantined = vec![false; n];
     let mut max_seen: Option<usize> = None;
-
+    let mut out = Vec::new();
     for rec in &facts.records {
-        let loc = format!("line {}", rec.line);
         let b = rec.batch;
-        if b >= n {
-            diag.error(
-                "journal-range",
-                loc,
-                format!("record names batch {b}, but the campaign has only {n} batches"),
-            );
+        if rec.kind == JournalRecordKind::Header {
+            out.push((rec.line, JournalSymbol::Header));
             continue;
         }
-        // Ordering: the runner visits batches in ascending order within a
-        // session; only a quarantine retry may revisit a smaller index.
+        if b >= n {
+            // Out-of-range records carry no usable history: like the
+            // original checker, they update nothing (not even max_seen).
+            out.push((rec.line, JournalSymbol::OutOfRange { batch: b }));
+            continue;
+        }
         if max_seen.is_some_and(|m| b < m) && !quarantined[b] {
-            diag.error(
-                "journal-order",
-                loc.clone(),
-                format!(
-                    "batch {b} recorded after batch {} without a prior quarantine \
-                     to justify the retry",
-                    max_seen.unwrap_or(0)
-                ),
-            );
+            out.push((
+                rec.line,
+                JournalSymbol::Backwards {
+                    batch: b,
+                    max_seen: max_seen.unwrap_or(0),
+                },
+            ));
         }
         max_seen = Some(max_seen.map_or(b, |m| m.max(b)));
-        match rec.kind {
+        let sym = match rec.kind {
             JournalRecordKind::Completion => {
                 if completed[b] {
-                    diag.error(
-                        "journal-exactly-once",
-                        loc,
-                        format!("batch {b} completed more than once"),
-                    );
+                    JournalSymbol::DuplicateCompletion { batch: b }
+                } else if quarantined[b] {
+                    completed[b] = true;
+                    JournalSymbol::RetryCompletion { batch: b }
                 } else {
                     completed[b] = true;
+                    JournalSymbol::Completion { batch: b }
                 }
             }
             JournalRecordKind::Quarantine => {
                 if completed[b] {
-                    diag.error(
-                        "journal-exactly-once",
-                        loc,
-                        format!("batch {b} quarantined after it already completed"),
-                    );
+                    JournalSymbol::QuarantineAfterCompletion { batch: b }
                 } else {
                     quarantined[b] = true;
+                    JournalSymbol::Quarantine { batch: b }
                 }
             }
+            JournalRecordKind::Header => unreachable!("headers handled above"),
+        };
+        out.push((rec.line, sym));
+    }
+    out
+}
+
+/// Runs the journal conformance passes against the standard automaton.
+/// See the module docs for the invariants; errors mean the journal cannot
+/// have been produced by a correct campaign runner, warnings mean it is
+/// merely unfinished or was interrupted mid-append.
+pub fn check_journal(facts: &JournalFacts) -> Diagnostics {
+    check_journal_dfa(facts, &JournalDfa::standard())
+}
+
+/// Like [`check_journal`] but against a caller-supplied automaton (the
+/// campaign crate passes the runner's own spec).
+pub fn check_journal_dfa(facts: &JournalFacts, dfa: &JournalDfa) -> Diagnostics {
+    let mut diag = Diagnostics::new();
+    let n = facts.num_batches;
+    let symbols = symbolize_journal(facts);
+    let mut state = dfa.start;
+    for &(line, sym) in &symbols {
+        let loc = format!("line {line}");
+        match dfa.step(state, sym.class()) {
+            Some(next) => state = next,
+            None => report_rejection(&mut diag, loc, sym, state, n),
         }
     }
 
+    // Terminal-status warnings, derived from the same symbol stream the
+    // automaton consumed.
+    let mut completed = vec![false; n];
+    let mut quarantined = vec![false; n];
+    for &(_, sym) in &symbols {
+        match sym {
+            JournalSymbol::Completion { batch } | JournalSymbol::RetryCompletion { batch } => {
+                completed[batch] = true;
+            }
+            JournalSymbol::Quarantine { batch } => quarantined[batch] = true,
+            _ => {}
+        }
+    }
     for b in 0..n {
         if !completed[b] {
             let what = if quarantined[b] {
@@ -139,6 +331,57 @@ pub fn check_journal(facts: &JournalFacts) -> Diagnostics {
         );
     }
     diag
+}
+
+/// Maps a rejected symbol onto its diagnostic. Each error symbol has a
+/// canonical message; legal-kind symbols rejected by a nonstandard
+/// automaton fall through to a generic `journal-dfa` report.
+fn report_rejection(
+    diag: &mut Diagnostics,
+    loc: String,
+    sym: JournalSymbol,
+    state: JournalState,
+    num_batches: usize,
+) {
+    match sym {
+        JournalSymbol::OutOfRange { batch } => diag.error(
+            "journal-range",
+            loc,
+            format!("record names batch {batch}, but the campaign has only {num_batches} batches"),
+        ),
+        JournalSymbol::Backwards { batch, max_seen } => diag.error(
+            "journal-order",
+            loc,
+            format!(
+                "batch {batch} recorded after batch {max_seen} without a prior quarantine \
+                 to justify the retry"
+            ),
+        ),
+        JournalSymbol::DuplicateCompletion { batch } => diag.error(
+            "journal-exactly-once",
+            loc,
+            format!("batch {batch} completed more than once"),
+        ),
+        JournalSymbol::QuarantineAfterCompletion { batch } => diag.error(
+            "journal-exactly-once",
+            loc,
+            format!("batch {batch} quarantined after it already completed"),
+        ),
+        JournalSymbol::Header => diag.error(
+            "journal-dfa",
+            loc,
+            "a header record appears mid-journal — the file holds a second session \
+             header, so two journals were concatenated or a resume re-wrote the header",
+        ),
+        other => diag.error(
+            "journal-dfa",
+            loc,
+            format!(
+                "{:?} record is not accepted in automaton state {state:?}",
+                other.class()
+            ),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +407,38 @@ mod tests {
     }
 
     #[test]
+    fn header_then_body_is_accepted() {
+        let facts = JournalFacts {
+            num_batches: 2,
+            torn_tail: false,
+            records: vec![
+                rec(1, JournalRecordKind::Header, 0),
+                rec(2, JournalRecordKind::Completion, 0),
+                rec(3, JournalRecordKind::Completion, 1),
+            ],
+        };
+        assert!(check_journal(&facts).is_clean());
+    }
+
+    #[test]
+    fn mid_body_header_is_a_dfa_error() {
+        let facts = JournalFacts {
+            num_batches: 2,
+            torn_tail: false,
+            records: vec![
+                rec(1, JournalRecordKind::Header, 0),
+                rec(2, JournalRecordKind::Completion, 0),
+                rec(3, JournalRecordKind::Header, 0),
+                rec(4, JournalRecordKind::Completion, 1),
+            ],
+        };
+        let d = check_journal(&facts);
+        assert_eq!(d.error_count(), 1, "{d}");
+        assert!(d.mentions("mid-journal"), "{d}");
+        assert!(d.mentions("line 3"), "{d}");
+    }
+
+    #[test]
     fn quarantine_then_retry_completion_is_legal_even_out_of_order() {
         let facts = JournalFacts {
             num_batches: 3,
@@ -179,6 +454,11 @@ mod tests {
         };
         let d = check_journal(&facts);
         assert!(d.is_clean(), "{d}");
+        // The retry edge is a distinct symbol in the automaton's alphabet.
+        let syms = symbolize_journal(&facts);
+        assert!(syms
+            .iter()
+            .any(|&(_, s)| s == JournalSymbol::RetryCompletion { batch: 1 }));
     }
 
     #[test]
@@ -215,6 +495,25 @@ mod tests {
     }
 
     #[test]
+    fn backwards_duplicate_reports_both_violations() {
+        // One record, two symbols: ordering and exactly-once violations
+        // must both surface, exactly as the pre-automaton checker did.
+        let facts = JournalFacts {
+            num_batches: 3,
+            torn_tail: false,
+            records: vec![
+                rec(2, JournalRecordKind::Completion, 0),
+                rec(3, JournalRecordKind::Completion, 2),
+                rec(4, JournalRecordKind::Completion, 0),
+            ],
+        };
+        let d = check_journal(&facts);
+        assert_eq!(d.error_count(), 2, "{d}");
+        assert!(d.mentions("without a prior quarantine"), "{d}");
+        assert!(d.mentions("more than once"), "{d}");
+    }
+
+    #[test]
     fn pending_batches_and_torn_tails_warn_but_do_not_error() {
         let facts = JournalFacts {
             num_batches: 3,
@@ -241,5 +540,36 @@ mod tests {
         let d = check_journal(&facts);
         assert!(d.error_count() >= 1);
         assert!(d.mentions("only 1 batches"));
+    }
+
+    #[test]
+    fn custom_dfa_rejections_fall_through_to_generic_report() {
+        // An automaton with no quarantine edge: the legal symbol is
+        // rejected with the generic journal-dfa diagnostic.
+        let dfa = JournalDfa {
+            start: JournalState::Start,
+            transitions: vec![
+                (
+                    JournalState::Start,
+                    JournalSymbolClass::Header,
+                    JournalState::Body,
+                ),
+                (
+                    JournalState::Body,
+                    JournalSymbolClass::Completion,
+                    JournalState::Body,
+                ),
+            ],
+        };
+        let facts = JournalFacts {
+            num_batches: 2,
+            torn_tail: false,
+            records: vec![
+                rec(1, JournalRecordKind::Header, 0),
+                rec(2, JournalRecordKind::Quarantine, 0),
+            ],
+        };
+        let d = check_journal_dfa(&facts, &dfa);
+        assert!(d.mentions("not accepted in automaton state"), "{d}");
     }
 }

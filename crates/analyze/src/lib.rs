@@ -20,10 +20,21 @@
 //!   executed timeline of a fault-injected run, verifies retry attempts
 //!   keep per-task discipline, preserve happens-before across
 //!   dependencies, and never overlap conflicting buffer accesses.
-//! * **Campaign journals** ([`check_journal`]) — given the authenticated
-//!   record sequence of a durable campaign's write-ahead journal,
-//!   verifies exactly-once batch completion, in-range indices, and
-//!   monotone (retry-aware) record ordering, and surfaces torn tails.
+//! * **Campaign journals** ([`check_journal`]) — classifies the
+//!   authenticated record sequence of a durable campaign's write-ahead
+//!   journal into symbols and runs them through an explicit state machine
+//!   (`header → batch* → final`, with quarantine/retry edges): rejected
+//!   symbols become exactly-once, range, ordering, and concatenated-
+//!   session errors, and torn tails surface as warnings.
+//! * **Schedule-space model checking** ([`model_check_graph`],
+//!   [`check_lock_order`], [`check_wake_discipline`],
+//!   [`check_pool_discipline`]) — bounded exploration of every
+//!   inequivalent serialization of a task graph via dynamic partial-order
+//!   reduction (races and determinism with counterexample traces), a
+//!   static lock-order deadlock check over the executor's per-buffer
+//!   `RwLock` acquisitions, a lost-wakeup search over the worker pool's
+//!   wake accounting, and a retire-before-reuse audit of the buffer
+//!   pool's event log.
 //!
 //! Every pass consumes a plain-data *facts* snapshot ([`GraphFacts`],
 //! [`DdFacts`], [`EllFacts`]) extractable from the live structures, so
@@ -43,19 +54,30 @@ mod diag;
 mod ell;
 mod graph;
 mod journal;
+mod lockorder;
+mod modelcheck;
 mod parallel;
+mod pool;
 mod recovery;
+mod wake;
 
 pub use dd::{
     analyze_dd, check_nzrv_consistency, matrix_dd_facts, vector_dd_facts, DdEdgeFacts, DdFacts,
     DdNodeFacts,
 };
-pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use diag::{json_escape, AnalysisReport, Diagnostic, Diagnostics, ReportSection, Severity};
 pub use ell::{analyze_ell, check_pattern_roundtrip, ell_facts, EllFacts};
 pub use graph::{
     analyze_graph, check_double_buffer_discipline, expected_buffer_indices, GraphFacts, Loc,
     TaskFacts, TaskOp,
 };
-pub use journal::{check_journal, JournalFacts, JournalRecordFacts, JournalRecordKind};
+pub use journal::{
+    check_journal, check_journal_dfa, symbolize_journal, JournalDfa, JournalFacts,
+    JournalRecordFacts, JournalRecordKind, JournalState, JournalSymbol, JournalSymbolClass,
+};
+pub use lockorder::{check_lock_order, derive_lock_facts, TaskLockFacts};
+pub use modelcheck::{model_check_graph, ModelCheckBudget, ModelCheckOutcome};
 pub use parallel::{check_parallel_schedule, parallel_attempt_facts};
+pub use pool::check_pool_discipline;
 pub use recovery::{check_recovery_schedule, recovery_attempt_facts, AttemptFacts};
+pub use wake::{check_wake_discipline, WakeFacts};

@@ -1,0 +1,334 @@
+//! Static lock-order (deadlock-freedom) analysis of task graphs.
+//!
+//! `gpu::parallel::execute_graph` workers acquire one `RwLock` per buffer
+//! a task touches, in a fixed per-task order, and hold every guard until
+//! the task ends ([`TaskGraph::lock_acquisitions`]). Two tasks deadlock
+//! iff they can run concurrently and their acquisition sequences form a
+//! cycle in which each task *holds* a lock the next one *waits for* in a
+//! conflicting `RwLock` mode (a wait blocks iff either side wants or
+//! holds a write guard — read/read sharing never blocks).
+//!
+//! The co-runnability filter is load-bearing: a correct double-buffered
+//! schedule is full of lock cycles on paper (batch `b` writes the pair
+//! batch `b+2` reads), but every such pair is ordered by hazard edges and
+//! can never hold its guards at the same time. Only cycles among tasks
+//! with **no happens-before path in either direction at every junction**
+//! are reportable deadlocks.
+
+use crate::diag::Diagnostics;
+use crate::graph::{check_structure, happens_before, reaches, GraphFacts};
+use bqsim_gpu::{LockMode, LockSite, TaskGraph};
+use std::collections::BTreeSet;
+
+/// One task's lock behaviour: its display label and the buffer locks it
+/// takes, in acquisition order (earlier guards held while later ones are
+/// taken, all held until the task ends).
+#[derive(Debug, Clone)]
+pub struct TaskLockFacts {
+    /// Display label (mirrors the task graph's label).
+    pub label: String,
+    /// `(site, mode)` in acquisition order.
+    pub acquisitions: Vec<(LockSite, LockMode)>,
+}
+
+/// Extracts per-task lock facts from a live [`TaskGraph`]; index `i` of
+/// the result describes task `i`.
+pub fn derive_lock_facts(graph: &TaskGraph) -> Vec<TaskLockFacts> {
+    graph
+        .task_ids()
+        .map(|id| TaskLockFacts {
+            label: graph.label(id).to_string(),
+            acquisitions: graph.lock_acquisitions(id),
+        })
+        .collect()
+}
+
+fn site_str(site: LockSite) -> String {
+    match site {
+        LockSite::Device(i) => format!("D[{i}]"),
+        LockSite::Host(i) => format!("H[{i}]"),
+    }
+}
+
+fn mode_str(mode: LockMode) -> &'static str {
+    match mode {
+        LockMode::Read => "read",
+        LockMode::Write => "write",
+    }
+}
+
+/// Whether a waiter in `want` mode blocks on a holder in `hold` mode.
+#[inline]
+fn blocks(want: LockMode, hold: LockMode) -> bool {
+    want == LockMode::Write || hold == LockMode::Write
+}
+
+/// A hold-while-waiting point inside one task: the task holds
+/// `(held_site, held_mode)` while acquiring `(want_site, want_mode)`.
+#[derive(Debug, Clone, Copy)]
+struct Junction {
+    task: usize,
+    held_site: LockSite,
+    held_mode: LockMode,
+    want_site: LockSite,
+    want_mode: LockMode,
+}
+
+/// Longest deadlock cycle searched for. Real schedules take at most a
+/// handful of guards per task, and any longer cycle contains the same
+/// pairwise-unordered structure a shorter one would surface.
+const MAX_CYCLE_LEN: usize = 4;
+
+/// DFS work cap: junction counts are quadratic in guards-per-task, and a
+/// defective graph should fail fast, not hang the analyzer.
+const MAX_WORK: usize = 2_000_000;
+
+/// Checks that no set of pairwise co-runnable tasks can deadlock on the
+/// per-buffer `RwLock`s. `locks[i]` must describe task `i` of `facts`
+/// (see [`derive_lock_facts`]); reports under the `lock-order` pass.
+pub fn check_lock_order(facts: &GraphFacts, locks: &[TaskLockFacts]) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if locks.len() != facts.tasks.len() {
+        diags.error(
+            "lock-order",
+            "graph",
+            format!(
+                "lock facts cover {} tasks but the graph has {} — the two \
+                 views were derived from different graphs",
+                locks.len(),
+                facts.tasks.len()
+            ),
+        );
+        return diags;
+    }
+    if !check_structure(facts, &mut diags) || diags.error_count() > 0 {
+        return diags;
+    }
+    let reach = happens_before(facts);
+    let co_runnable =
+        |a: usize, b: usize| a != b && !reaches(&reach, a, b) && !reaches(&reach, b, a);
+
+    // Every hold-while-waiting junction of every task.
+    let mut junctions: Vec<Junction> = Vec::new();
+    for (task, tl) in locks.iter().enumerate() {
+        for (hi, &(held_site, held_mode)) in tl.acquisitions.iter().enumerate() {
+            for &(want_site, want_mode) in &tl.acquisitions[hi + 1..] {
+                if held_site != want_site {
+                    junctions.push(Junction {
+                        task,
+                        held_site,
+                        held_mode,
+                        want_site,
+                        want_mode,
+                    });
+                }
+            }
+        }
+    }
+
+    // DFS for cycles: junction A chains to junction B when A waits for
+    // the site B holds, in conflicting modes, and their tasks can overlap.
+    let mut work = 0usize;
+    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut stack: Vec<Junction> = Vec::new();
+
+    fn dfs(
+        junctions: &[Junction],
+        co_runnable: &dyn Fn(usize, usize) -> bool,
+        facts: &GraphFacts,
+        stack: &mut Vec<Junction>,
+        work: &mut usize,
+        reported: &mut BTreeSet<Vec<usize>>,
+        diags: &mut Diagnostics,
+    ) {
+        *work += 1;
+        if *work > MAX_WORK || stack.len() >= MAX_CYCLE_LEN {
+            return;
+        }
+        let last = stack[stack.len() - 1];
+        let first = stack[0];
+        for &j in junctions {
+            // A cycle member must conflict with the previous waiter and
+            // be co-runnable with *every* task already in the cycle.
+            if j.held_site != last.want_site
+                || !blocks(last.want_mode, j.held_mode)
+                || stack.iter().any(|s| !co_runnable(s.task, j.task))
+            {
+                continue;
+            }
+            // Closing the cycle back to the first junction?
+            if j.want_site == first.held_site && blocks(j.want_mode, first.held_mode) {
+                let mut tasks: Vec<usize> = stack.iter().map(|s| s.task).chain([j.task]).collect();
+                tasks.sort_unstable();
+                tasks.dedup();
+                if tasks.len() >= 2 && reported.insert(tasks) {
+                    let cycle: Vec<String> = stack
+                        .iter()
+                        .chain([&j])
+                        .map(|s| {
+                            format!(
+                                "{} holds {} ({}) and waits for {} ({})",
+                                facts.name(s.task),
+                                site_str(s.held_site),
+                                mode_str(s.held_mode),
+                                site_str(s.want_site),
+                                mode_str(s.want_mode),
+                            )
+                        })
+                        .collect();
+                    diags.error(
+                        "lock-order",
+                        site_str(first.held_site),
+                        format!(
+                            "potential deadlock: {} — the tasks have no \
+                             ordering path between them, so the scheduler \
+                             may overlap them with each guard held",
+                            cycle.join("; "),
+                        ),
+                    );
+                }
+                continue;
+            }
+            // Extend the chain (avoid revisiting a task already chained).
+            if stack.iter().any(|s| s.task == j.task) {
+                continue;
+            }
+            stack.push(j);
+            dfs(junctions, co_runnable, facts, stack, work, reported, diags);
+            stack.pop();
+        }
+    }
+
+    for &start in &junctions {
+        stack.push(start);
+        dfs(
+            &junctions,
+            &co_runnable,
+            facts,
+            &mut stack,
+            &mut work,
+            &mut reported,
+            &mut diags,
+        );
+        stack.pop();
+        if work > MAX_WORK {
+            diags.warning(
+                "lock-order",
+                "graph",
+                "lock-order search hit its work cap; cycles beyond the \
+                 explored prefix may exist",
+            );
+            break;
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{TaskFacts, TaskOp};
+
+    fn task(preds: &[usize]) -> TaskFacts {
+        TaskFacts {
+            label: String::new(),
+            op: TaskOp::Kernel,
+            preds: preds.to_vec(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn lock(acqs: &[(LockSite, LockMode)]) -> TaskLockFacts {
+        TaskLockFacts {
+            label: String::new(),
+            acquisitions: acqs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn inverted_acquisition_order_is_a_deadlock() {
+        // Two unordered tasks, opposite acquisition order, write modes.
+        let facts = GraphFacts {
+            tasks: vec![task(&[]), task(&[])],
+        };
+        let locks = vec![
+            lock(&[
+                (LockSite::Device(0), LockMode::Read),
+                (LockSite::Device(1), LockMode::Write),
+            ]),
+            lock(&[
+                (LockSite::Device(1), LockMode::Read),
+                (LockSite::Device(0), LockMode::Write),
+            ]),
+        ];
+        let diags = check_lock_order(&facts, &locks);
+        assert_eq!(diags.error_count(), 1, "{diags}");
+        assert!(diags.mentions("potential deadlock"), "{diags}");
+        assert!(diags.mentions("D[0]"), "{diags}");
+        assert!(diags.mentions("D[1]"), "{diags}");
+    }
+
+    #[test]
+    fn ordered_tasks_cannot_deadlock() {
+        // Same inverted locks, but task 1 depends on task 0: never overlap.
+        let facts = GraphFacts {
+            tasks: vec![task(&[]), task(&[0])],
+        };
+        let locks = vec![
+            lock(&[
+                (LockSite::Device(0), LockMode::Read),
+                (LockSite::Device(1), LockMode::Write),
+            ]),
+            lock(&[
+                (LockSite::Device(1), LockMode::Read),
+                (LockSite::Device(0), LockMode::Write),
+            ]),
+        ];
+        assert!(check_lock_order(&facts, &locks).is_clean());
+    }
+
+    #[test]
+    fn read_read_junctions_do_not_block() {
+        // Opposite order but all read mode: RwLocks share readers.
+        let facts = GraphFacts {
+            tasks: vec![task(&[]), task(&[])],
+        };
+        let locks = vec![
+            lock(&[
+                (LockSite::Device(0), LockMode::Read),
+                (LockSite::Device(1), LockMode::Read),
+            ]),
+            lock(&[
+                (LockSite::Device(1), LockMode::Read),
+                (LockSite::Device(0), LockMode::Read),
+            ]),
+        ];
+        assert!(check_lock_order(&facts, &locks).is_clean());
+    }
+
+    #[test]
+    fn three_way_cycle_found() {
+        let facts = GraphFacts {
+            tasks: vec![task(&[]), task(&[]), task(&[])],
+        };
+        let w = LockMode::Write;
+        let locks = vec![
+            lock(&[(LockSite::Device(0), w), (LockSite::Device(1), w)]),
+            lock(&[(LockSite::Device(1), w), (LockSite::Device(2), w)]),
+            lock(&[(LockSite::Device(2), w), (LockSite::Device(0), w)]),
+        ];
+        let diags = check_lock_order(&facts, &locks);
+        assert!(diags.error_count() >= 1, "{diags}");
+        assert!(diags.mentions("potential deadlock"), "{diags}");
+    }
+
+    #[test]
+    fn mismatched_lengths_are_reported() {
+        let facts = GraphFacts {
+            tasks: vec![task(&[])],
+        };
+        let diags = check_lock_order(&facts, &[]);
+        assert!(diags.mentions("different graphs"), "{diags}");
+    }
+}

@@ -114,6 +114,13 @@ mod tests {
         let diags = check_parallel_schedule(&two_batch_facts(), &spans);
         assert!(diags.mentions("dependency order"), "{diags}");
         assert!(diags.mentions("buffer hazard"), "{diags}");
+        // The finding carries full context: both task labels and the
+        // shared buffers with each side's access direction.
+        assert!(diags.mentions("'k0 b0'"), "{diags}");
+        assert!(diags.mentions("'k1 b0'"), "{diags}");
+        assert!(diags.mentions("D[0]"), "{diags}");
+        assert!(diags.mentions("D[1]"), "{diags}");
+        assert!(diags.mentions("written by the kernel"), "{diags}");
     }
 
     #[test]

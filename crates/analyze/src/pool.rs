@@ -1,0 +1,219 @@
+//! Pool-aliasing analysis of the size-classed `BufferPool`.
+//!
+//! The pool's correctness claim is *retire-before-reuse*: a shelved
+//! buffer is handed out again only after its previous owner returned it,
+//! so no two live allocations ever alias the same backing storage. The
+//! pool records every shelf transition in an event log ordered by the
+//! shelves mutex ([`PoolEvent`]); this pass replays that log per
+//! `(size class, layout)` shelf and audits the occupancy arithmetic:
+//!
+//! * a **checkout hit with zero shelved buffers** is an aliasing bug —
+//!   the pool recycled storage it never got back (`pool-alias` error);
+//! * a **checkout miss with buffers shelved** means the shelf was
+//!   bypassed — not unsound, but the allocation-free steady state the
+//!   pool exists for silently degraded (`pool-alias` warning);
+//! * with `expect_drained`, shelves holding fewer buffers than were
+//!   checked out at the end of the log are leaks (`pool-leak` warning).
+//!
+//! A `Return` without a prior checkout is *legal*: `HostMemory::
+//! alloc_from` seeds the pool with externally built buffers by design,
+//! and Rust ownership makes a true double-retire unrepresentable (the
+//! store is moved into `give_back`).
+
+use crate::diag::Diagnostics;
+use bqsim_gpu::{PoolEvent, PoolEventKind};
+use std::collections::BTreeMap;
+
+/// Replays a pool event log and reports aliasing (`pool-alias`) and leak
+/// (`pool-leak`) findings. `events_dropped` is the pool's truncation
+/// counter; a non-zero value downgrades the verdict to a prefix audit.
+/// `expect_drained` asserts that every checkout was returned by the end
+/// of the log (true between campaign batches, false mid-run).
+pub fn check_pool_discipline(
+    events: &[PoolEvent],
+    events_dropped: u64,
+    expect_drained: bool,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if events_dropped > 0 {
+        diags.warning(
+            "pool-alias",
+            "event log",
+            format!(
+                "the pool dropped {events_dropped} event(s) after its log \
+                 filled; the audit covers only the recorded prefix"
+            ),
+        );
+    }
+
+    #[derive(Default)]
+    struct Shelf {
+        occupancy: i64,
+        checkouts: u64,
+        returns: u64,
+    }
+    let mut shelves: BTreeMap<(usize, String), Shelf> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+    for ev in events {
+        if let Some(prev) = last_seq {
+            if ev.seq <= prev {
+                diags.error(
+                    "pool-alias",
+                    "event log",
+                    format!(
+                        "event log is out of order: seq {} follows seq \
+                         {prev} — the log was not serialised under the \
+                         shelves lock",
+                        ev.seq
+                    ),
+                );
+                return diags;
+            }
+        }
+        last_seq = Some(ev.seq);
+        let key = (ev.class, format!("{:?}", ev.layout));
+        let shelf = shelves.entry(key.clone()).or_default();
+        let shelf_name = format!("shelf (class {}, {})", ev.class, key.1);
+        match ev.kind {
+            PoolEventKind::Return => {
+                shelf.occupancy += 1;
+                shelf.returns += 1;
+            }
+            PoolEventKind::CheckoutHit => {
+                shelf.checkouts += 1;
+                if shelf.occupancy <= 0 {
+                    diags.error(
+                        "pool-alias",
+                        shelf_name,
+                        format!(
+                            "checkout hit at event {} with zero shelved \
+                             buffers — the pool handed out storage it never \
+                             got back, so two live allocations alias the \
+                             same buffer (retire-before-reuse violated)",
+                            ev.seq
+                        ),
+                    );
+                } else {
+                    shelf.occupancy -= 1;
+                }
+            }
+            PoolEventKind::CheckoutMiss => {
+                shelf.checkouts += 1;
+                if shelf.occupancy > 0 {
+                    diags.warning(
+                        "pool-alias",
+                        shelf_name,
+                        format!(
+                            "checkout miss at event {} while {} buffer(s) \
+                             sat shelved — the shelf was bypassed and the \
+                             allocation-free steady state degraded",
+                            ev.seq, shelf.occupancy
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if expect_drained && events_dropped == 0 {
+        for ((class, layout), shelf) in &shelves {
+            if shelf.checkouts > shelf.returns {
+                diags.warning(
+                    "pool-leak",
+                    format!("shelf (class {class}, {layout})"),
+                    format!(
+                        "{} checkout(s) never returned by the end of the \
+                         log — live buffers leaked past the drain point",
+                        shelf.checkouts - shelf.returns
+                    ),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_ell::Layout;
+
+    fn ev(seq: u64, class: usize, kind: PoolEventKind) -> PoolEvent {
+        PoolEvent {
+            seq,
+            class,
+            layout: Layout::Aos,
+            kind,
+        }
+    }
+
+    #[test]
+    fn disciplined_reuse_is_clean() {
+        use PoolEventKind::*;
+        let log = [
+            ev(0, 64, CheckoutMiss),
+            ev(1, 64, Return),
+            ev(2, 64, CheckoutHit),
+            ev(3, 64, Return),
+        ];
+        let diags = check_pool_discipline(&log, 0, true);
+        assert!(diags.is_clean(), "{diags}");
+    }
+
+    #[test]
+    fn hit_on_empty_shelf_is_aliasing() {
+        use PoolEventKind::*;
+        let log = [ev(0, 64, CheckoutMiss), ev(1, 64, CheckoutHit)];
+        let diags = check_pool_discipline(&log, 0, false);
+        assert_eq!(diags.error_count(), 1, "{diags}");
+        assert!(diags.mentions("alias"), "{diags}");
+        assert!(diags.mentions("retire-before-reuse"), "{diags}");
+        assert!(diags.mentions("class 64"), "{diags}");
+    }
+
+    #[test]
+    fn seeding_return_without_checkout_is_legal() {
+        use PoolEventKind::*;
+        // alloc_from seeding: a buffer enters the pool it never left.
+        let log = [ev(0, 128, Return), ev(1, 128, CheckoutHit)];
+        assert!(check_pool_discipline(&log, 0, false).is_clean());
+    }
+
+    #[test]
+    fn miss_with_shelved_buffers_warns() {
+        use PoolEventKind::*;
+        let log = [
+            ev(0, 64, CheckoutMiss),
+            ev(1, 64, Return),
+            ev(2, 64, CheckoutMiss),
+        ];
+        let diags = check_pool_discipline(&log, 0, false);
+        assert_eq!(diags.error_count(), 0, "{diags}");
+        assert!(diags.mentions("bypassed"), "{diags}");
+    }
+
+    #[test]
+    fn undrained_checkout_leaks_when_drain_expected() {
+        use PoolEventKind::*;
+        let log = [ev(0, 64, CheckoutMiss)];
+        let diags = check_pool_discipline(&log, 0, true);
+        assert!(diags.mentions("leaked"), "{diags}");
+        // Mid-run audits tolerate live buffers.
+        assert!(check_pool_discipline(&log, 0, false).is_clean());
+    }
+
+    #[test]
+    fn dropped_events_downgrade_to_prefix_audit() {
+        let diags = check_pool_discipline(&[], 3, true);
+        assert_eq!(diags.warning_count(), 1, "{diags}");
+        assert!(diags.mentions("recorded prefix"), "{diags}");
+    }
+
+    #[test]
+    fn out_of_order_log_is_rejected() {
+        use PoolEventKind::*;
+        let log = [ev(5, 64, CheckoutMiss), ev(2, 64, Return)];
+        let diags = check_pool_discipline(&log, 0, false);
+        assert!(diags.mentions("out of order"), "{diags}");
+    }
+}

@@ -171,6 +171,19 @@ pub fn check_recovery_schedule(facts: &GraphFacts, attempts: &[AttemptFacts]) ->
             if !conflicts(facts, i, j) {
                 continue;
             }
+            let shared = crate::graph::conflict_locs(facts, i, j);
+            let detail: Vec<String> = shared
+                .iter()
+                .map(|loc| {
+                    format!(
+                        "{loc} ({} by the {}, {} by the {})",
+                        access_str(&facts.tasks[i], loc),
+                        op_str(facts.tasks[i].op),
+                        access_str(&facts.tasks[j], loc),
+                        op_str(facts.tasks[j].op),
+                    )
+                })
+                .collect();
             for a in per_task[i].iter().filter(|a| !a.abandoned) {
                 for b in per_task[j].iter().filter(|b| !b.abandoned) {
                     let s = a.start_ns.max(b.start_ns);
@@ -180,10 +193,10 @@ pub fn check_recovery_schedule(facts: &GraphFacts, attempts: &[AttemptFacts]) ->
                             "recovery-hazard",
                             name(a),
                             format!(
-                                "buffer hazard: overlaps {} for {} ns while both \
-                                 touch a shared buffer with at least one writer",
+                                "buffer hazard: overlaps {} for {} ns on {}",
                                 name(b),
-                                e - s
+                                e - s,
+                                detail.join(", "),
                             ),
                         );
                     }
@@ -192,6 +205,22 @@ pub fn check_recovery_schedule(facts: &GraphFacts, attempts: &[AttemptFacts]) ->
         }
     }
     diags
+}
+
+fn op_str(op: crate::graph::TaskOp) -> &'static str {
+    match op {
+        crate::graph::TaskOp::H2D => "h2d copy",
+        crate::graph::TaskOp::D2H => "d2h copy",
+        crate::graph::TaskOp::Kernel => "kernel",
+    }
+}
+
+fn access_str(t: &crate::graph::TaskFacts, loc: &crate::graph::Loc) -> &'static str {
+    if t.writes.contains(loc) {
+        "written"
+    } else {
+        "read"
+    }
 }
 
 /// Whether two tasks touch a common location with at least one writer.
@@ -279,8 +308,13 @@ mod tests {
         ];
         let diags = check_recovery_schedule(&chain_facts(), &attempts);
         assert!(diags.mentions("happens-before") || diags.mentions("dependency order"));
-        // It also overlaps the kernel's write to D[1], which the d2h reads.
+        // It also overlaps the kernel's write to D[1], which the d2h reads:
+        // the finding names the buffer and each side's access direction.
         assert!(diags.mentions("buffer hazard"), "{diags}");
+        assert!(
+            diags.mentions("D[1] (written by the kernel, read by the d2h copy)"),
+            "{diags}"
+        );
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Lost-wakeup analysis of the worker-pool wake accounting.
+//!
+//! `gpu::parallel::execute_graph` parks idle workers on a condvar and
+//! wakes them with one `notify_one` per task that became ready plus a
+//! `notify_all` broadcast when the last task completes (the protocol
+//! exported as [`bqsim_gpu::WAKE_DISCIPLINE`]). This pass explores a
+//! counting abstraction of that protocol — workers are interchangeable,
+//! so a state is just how many are running/parked/awake and how much work
+//! remains — and reports any reachable state where parked workers can
+//! never be woken:
+//!
+//! * work is finished but workers are still parked (a lost *final*
+//!   wake-up: the broadcast is missing), or
+//! * ready tasks exist but every non-exited worker is parked (a lost
+//!   per-task wake-up: completions stopped notifying).
+//!
+//! The abstraction over-approximates ready-set growth (a completion may
+//! ready any number of successors up to the graph's max fanout), so a
+//! clean verdict covers every real schedule. One stuck shape is *not*
+//! reported: `remaining > 0` with nothing ready and nobody running is a
+//! dependency-starvation artifact of erasing the graph structure — a
+//! validated DAG cannot reach it, and the structural passes own that
+//! property.
+
+use crate::diag::Diagnostics;
+use bqsim_gpu::WakeDiscipline;
+use std::collections::{HashMap, VecDeque};
+
+/// Inputs to [`check_wake_discipline`]: the pool shape and the wake
+/// protocol to verify.
+#[derive(Debug, Clone, Copy)]
+pub struct WakeFacts {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Tasks in the graph (the abstraction caps this at a small-scope
+    /// cutoff; see [`check_wake_discipline`]).
+    pub tasks: usize,
+    /// Tasks with no predecessors (initially ready).
+    pub roots: usize,
+    /// Maximum successor count of any task (bounds how many tasks one
+    /// completion can ready).
+    pub max_fanout: usize,
+    /// The wake protocol under verification.
+    pub discipline: WakeDiscipline,
+}
+
+/// `(completed, ready, running, parked)`; awake-idle workers are
+/// `workers - running - parked - exited`, with exited workers tracked
+/// implicitly (a worker exits only when `remaining == 0`, after which the
+/// counts only drain).
+type State = (usize, usize, usize, usize, usize);
+
+/// Explores the wake protocol's abstract state space and reports
+/// reachable lost-wakeup states under the `lost-wakeup` pass, each with a
+/// shortest event trace from the initial state.
+///
+/// The state space is cut off at `min(tasks, 2·workers + max_fanout + 4)`
+/// tasks: beyond that, additional tasks only repeat already-covered
+/// counting patterns (every count saturates below the cutoff), so the
+/// small scope is exhaustive for the properties checked here.
+pub fn check_wake_discipline(facts: &WakeFacts) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let workers = facts.workers.max(1);
+    let n = facts.tasks.min(2 * workers + facts.max_fanout + 4);
+    if n == 0 {
+        return diags;
+    }
+    let roots = facts.roots.clamp(1, n);
+    let fanout = facts.max_fanout.min(n);
+
+    // BFS over (completed, ready, running, parked, exited) with parent
+    // pointers so a violation comes with a shortest witness schedule.
+    let initial: State = (0, roots, 0, 0, 0);
+    let mut parents: HashMap<State, (State, &'static str)> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    parents.insert(initial, (initial, "start"));
+    queue.push_back(initial);
+
+    let render_trace = |parents: &HashMap<State, (State, &'static str)>, mut s: State| {
+        let mut events = Vec::new();
+        while let Some(&(prev, event)) = parents.get(&s) {
+            if prev == s {
+                break;
+            }
+            events.push(event);
+            s = prev;
+        }
+        events.reverse();
+        events.join(" → ")
+    };
+
+    let mut stuck_final: Option<State> = None;
+    let mut stuck_ready: Option<State> = None;
+    // A completion readied work while workers were parked and notified
+    // nobody: not a deadlock while the final broadcast exists (the
+    // completing worker drains the queue itself), but the pool silently
+    // degrades toward serial execution.
+    let mut stranded: Option<(State, &'static str)> = None;
+
+    while let Some(state) = queue.pop_front() {
+        let (completed, ready, running, parked, exited) = state;
+        let remaining = n - completed;
+        let awake = workers - running - parked - exited;
+        let mut successors: Vec<(State, &'static str)> = Vec::new();
+
+        // An awake worker examines the queue.
+        if awake > 0 {
+            if ready > 0 {
+                successors.push((
+                    (completed, ready - 1, running + 1, parked, exited),
+                    "worker picks up a ready task",
+                ));
+            } else if remaining > 0 {
+                successors.push((
+                    (completed, ready, running, parked + 1, exited),
+                    "worker finds the queue empty and parks",
+                ));
+            } else {
+                successors.push((
+                    (completed, ready, running, parked, exited + 1),
+                    "worker observes remaining == 0 and exits",
+                ));
+            }
+        }
+
+        // A running worker completes its task, readying 0..=fanout
+        // successors and issuing wakes per the discipline.
+        if running > 0 {
+            let unscheduled = n - completed - 1 - ready - (running - 1);
+            for newly_ready in 0..=fanout.min(unscheduled) {
+                let completed2 = completed + 1;
+                let ready2 = ready + newly_ready;
+                let remaining2 = n - completed2;
+                let (parked2, event) = if remaining2 == 0 {
+                    if facts.discipline.final_broadcast {
+                        (0, "last task completes; notify_all wakes everyone")
+                    } else {
+                        (parked, "last task completes; no broadcast")
+                    }
+                } else if facts.discipline.notify_per_newly_ready {
+                    (
+                        parked.saturating_sub(newly_ready),
+                        "task completes; notify_one per newly ready successor",
+                    )
+                } else {
+                    if newly_ready > 0 && parked > 0 && stranded.is_none() {
+                        stranded = Some((state, "task completes readying work; no notification"));
+                    }
+                    (parked, "task completes; no notifications")
+                };
+                successors.push(((completed2, ready2, running - 1, parked2, exited), event));
+            }
+        }
+
+        if successors.is_empty() && parked > 0 {
+            // Nobody can move and workers are still parked: lost wake-up.
+            if remaining == 0 && stuck_final.is_none() {
+                stuck_final = Some(state);
+            }
+            if remaining > 0 && ready > 0 && stuck_ready.is_none() {
+                stuck_ready = Some(state);
+            }
+            continue;
+        }
+        for (next, event) in successors {
+            if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(next) {
+                e.insert((state, event));
+                queue.push_back(next);
+            }
+        }
+    }
+
+    if let Some(s) = stuck_final {
+        diags.error(
+            "lost-wakeup",
+            "worker pool",
+            format!(
+                "lost final wake-up: all {n} tasks can complete with {} \
+                 worker(s) still parked and no notification left to wake \
+                 them — the pool never joins; counterexample schedule: {}",
+                s.3,
+                render_trace(&parents, s),
+            ),
+        );
+    }
+    if let Some(s) = stuck_ready {
+        diags.error(
+            "lost-wakeup",
+            "worker pool",
+            format!(
+                "lost wake-up: a state is reachable with {} ready task(s) \
+                 and every live worker parked — the queue drains only if a \
+                 completion notifies; counterexample schedule: {}",
+                s.1,
+                render_trace(&parents, s),
+            ),
+        );
+    }
+    if let Some((s, event)) = stranded {
+        diags.warning(
+            "lost-wakeup",
+            "worker pool",
+            format!(
+                "missed wake-up: a completion can ready work while {} \
+                 worker(s) are parked without notifying any of them — the \
+                 pool stays live (the completing worker drains the queue) \
+                 but degrades toward serial execution; witness schedule: \
+                 {} → {event}",
+                s.3,
+                render_trace(&parents, s),
+            ),
+        );
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqsim_gpu::WAKE_DISCIPLINE;
+
+    fn facts(discipline: WakeDiscipline) -> WakeFacts {
+        WakeFacts {
+            workers: 4,
+            tasks: 24,
+            roots: 1,
+            max_fanout: 2,
+            discipline,
+        }
+    }
+
+    #[test]
+    fn real_discipline_is_clean() {
+        let diags = check_wake_discipline(&facts(WAKE_DISCIPLINE));
+        assert!(diags.is_clean(), "{diags}");
+    }
+
+    #[test]
+    fn missing_final_broadcast_loses_the_last_wakeup() {
+        let d = WakeDiscipline {
+            notify_per_newly_ready: true,
+            final_broadcast: false,
+        };
+        let diags = check_wake_discipline(&facts(d));
+        assert!(diags.mentions("lost final wake-up"), "{diags}");
+        assert!(diags.mentions("counterexample schedule"), "{diags}");
+    }
+
+    #[test]
+    fn missing_per_task_notify_strands_ready_work() {
+        // Not a deadlock (the completing worker drains the queue and the
+        // final broadcast still fires) but a parallelism collapse.
+        let d = WakeDiscipline {
+            notify_per_newly_ready: false,
+            final_broadcast: true,
+        };
+        let diags = check_wake_discipline(&facts(d));
+        assert_eq!(diags.error_count(), 0, "{diags}");
+        assert!(diags.mentions("missed wake-up"), "{diags}");
+        assert!(diags.mentions("serial execution"), "{diags}");
+    }
+
+    #[test]
+    fn single_worker_pool_is_clean_under_real_discipline() {
+        let mut f = facts(WAKE_DISCIPLINE);
+        f.workers = 1;
+        assert!(check_wake_discipline(&f).is_clean());
+    }
+}

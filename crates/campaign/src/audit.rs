@@ -1,27 +1,33 @@
-//! Bridging parsed journals into `bqsim-analyze`'s journal-conformance
+//! Bridging parsed journals into `bqsim-analyze`'s journal state-machine
 //! pass — the backend of `bqsim analyze --journal <path>`.
 
 use crate::journal::{read_journal, JournalContents, JournalError, Record};
 use bqsim_analyze::{
-    check_journal, Diagnostics, JournalFacts, JournalRecordFacts, JournalRecordKind,
+    check_journal_dfa, Diagnostics, JournalDfa, JournalFacts, JournalRecordFacts,
+    JournalRecordKind, JournalState, JournalSymbolClass,
 };
 use std::path::Path;
 
-/// Extracts the analyzer's facts snapshot from a validated journal.
+/// Extracts the analyzer's facts snapshot from a validated journal. The
+/// fingerprint header becomes a [`JournalRecordKind::Header`] record at
+/// line 1, so the automaton sees the full `header → batch*` shape the
+/// writer produced.
 pub fn journal_facts(contents: &JournalContents) -> JournalFacts {
-    let records = contents
-        .records
-        .iter()
-        .enumerate()
-        .map(|(i, rec)| JournalRecordFacts {
+    let mut records = vec![JournalRecordFacts {
+        line: 1,
+        kind: JournalRecordKind::Header,
+        batch: 0,
+    }];
+    records.extend(contents.records.iter().enumerate().map(|(i, rec)| {
+        JournalRecordFacts {
             line: i + 2, // the plan header is line 1
             kind: match rec {
                 Record::Batch { .. } => JournalRecordKind::Completion,
                 Record::Quarantine { .. } => JournalRecordKind::Quarantine,
             },
             batch: rec.index(),
-        })
-        .collect();
+        }
+    }));
     JournalFacts {
         num_batches: contents.fingerprint.num_batches,
         torn_tail: contents.torn,
@@ -29,19 +35,51 @@ pub fn journal_facts(contents: &JournalContents) -> JournalFacts {
     }
 }
 
-/// Reads, authenticates, and conformance-checks the journal at `path`.
+/// The journal writer's own spec of the record sequences it can emit:
+/// exactly one fingerprint header, then batch records — completions,
+/// quarantines, and the quarantine→retry-completion edge — until the
+/// campaign finishes. Error symbols (duplicates, out-of-range indices,
+/// unjustified backwards records, a second header) have no transitions:
+/// an automaton rejection *is* the finding.
+///
+/// This is the authoritative copy checked against the analyzer's
+/// independent [`JournalDfa::standard`] in tests, so a drift in either
+/// spec fails the suite.
+pub fn journal_dfa() -> JournalDfa {
+    use JournalState::{Body, Start};
+    use JournalSymbolClass::{Completion, Header, Quarantine, RetryCompletion};
+    JournalDfa {
+        start: Start,
+        transitions: vec![
+            // The fingerprint header opens the session.
+            (Start, Header, Body),
+            // Hand-built facts (and pre-header-era extracts) may start
+            // directly with batch records.
+            (Start, Completion, Body),
+            (Start, RetryCompletion, Body),
+            (Start, Quarantine, Body),
+            // The body loops on batch records until the campaign is done.
+            (Body, Completion, Body),
+            (Body, RetryCompletion, Body),
+            (Body, Quarantine, Body),
+        ],
+    }
+}
+
+/// Reads, authenticates, and conformance-checks the journal at `path`
+/// against the writer's [`journal_dfa`] spec.
 ///
 /// Envelope damage (CRC, parse, missing header) surfaces as
 /// [`JournalError`]; semantic violations (duplicate completions,
-/// ordering, range) come back as error-severity diagnostics from the
-/// analyzer pass.
+/// ordering, range, concatenated sessions) come back as error-severity
+/// diagnostics from the analyzer pass.
 ///
 /// # Errors
 ///
 /// Propagates [`read_journal`]'s errors.
 pub fn audit_journal(path: &Path) -> Result<Diagnostics, JournalError> {
     let contents = read_journal(path)?;
-    Ok(check_journal(&journal_facts(&contents)))
+    Ok(check_journal_dfa(&journal_facts(&contents), &journal_dfa()))
 }
 
 #[cfg(test)]
@@ -105,5 +143,12 @@ mod tests {
         assert!(d.mentions("line 3"), "{d}");
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(crate::journal::state_path(&path)).ok();
+    }
+
+    #[test]
+    fn writer_spec_matches_the_analyzers_standard_automaton() {
+        // Two independently written copies of the same machine; drift in
+        // either one is a bug.
+        assert_eq!(journal_dfa(), JournalDfa::standard());
     }
 }

@@ -11,7 +11,8 @@
 
 use bqsim_campaign::{audit_journal, run_campaign, BatchOutcome, CampaignOptions, IntegrityBudget};
 use bqsim_core::{
-    random_input_batch, BqSimOptions, BqSimulator, FaultBudget, FaultPlan, RecoveryPolicy,
+    random_input_batch, AnalysisReport, BqSimOptions, BqSimulator, FaultBudget, FaultPlan,
+    ModelCheckBudget, ModelCheckOptions, RecoveryPolicy, SeededDefect,
 };
 use bqsim_gpu::LaunchMode;
 use bqsim_qcir::observable::{expectation, sample_counts, PauliString};
@@ -41,8 +42,19 @@ struct FaultArgs {
 /// gate-table reservation (mirrors the simulator's residency layout).
 const ALLOCS_PER_RUN: usize = 5;
 
+/// How `bqsim analyze` renders its report.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
 struct Args {
     analyze: bool,
+    model_check: bool,
+    dpor_budget: Option<usize>,
+    inject_defect: Option<SeededDefect>,
+    format: OutputFormat,
     faults: bool,
     campaign: bool,
     journal: Option<PathBuf>,
@@ -74,6 +86,10 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         analyze: false,
+        model_check: false,
+        dpor_budget: None,
+        inject_defect: None,
+        format: OutputFormat::Text,
         faults: false,
         campaign: false,
         journal: None,
@@ -132,6 +148,32 @@ fn parse_args() -> Result<Args, String> {
                     bqsim_core::Layout::parse(&v)
                         .ok_or_else(|| format!("--layout must be `aos` or `planar`, got `{v}`"))?,
                 );
+            }
+            "--model-check" => args.model_check = true,
+            "--dpor-budget" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--dpor-budget must be at least 1".to_string());
+                }
+                args.dpor_budget = Some(n);
+            }
+            "--inject-defect" => {
+                let v = value(&mut i)?;
+                args.inject_defect = Some(SeededDefect::parse(&v).ok_or_else(|| {
+                    format!(
+                        "--inject-defect must be one of race|lock-order|wake|pool|journal, \
+                         got `{v}`"
+                    )
+                })?);
+            }
+            "--format" => {
+                args.format = match value(&mut i)?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => {
+                        return Err(format!("--format must be `text` or `json`, got `{other}`"))
+                    }
+                }
             }
             "--shots" => args.shots = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--observable" => args.observable = Some(value(&mut i)?),
@@ -275,9 +317,15 @@ SUBCOMMANDS:
                          with --fault-plan, additionally executes the
                          schedule under the plan and verifies the recovery
                          schedule (attempt discipline, happens-before,
-                         buffer hazards); with --journal, audits a campaign
-                         journal instead (exactly-once completion,
-                         fingerprint/CRC integrity, monotone ordering);
+                         buffer hazards); with --model-check, additionally
+                         explores the schedule space (DPOR race/determinism
+                         check with counterexample traces, lock-order
+                         deadlock freedom, lost-wakeup search, pool
+                         retire-before-reuse audit); with --journal, audits
+                         a campaign journal instead against the
+                         header → batch* → final state machine
+                         (exactly-once completion, fingerprint/CRC
+                         integrity, monotone ordering);
                          exits non-zero on any finding
     faults               fault-injection demo: run fault-free, re-run under
                          a seeded fault plan with recovery enabled, print
@@ -301,6 +349,18 @@ OPTIONS:
                          (interleaved ablation baseline); bit-identical
                          outputs either way
                          [default: $BQSIM_LAYOUT or planar]
+    --model-check        (analyze) bounded model check of the schedule
+                         space: DPOR over per-task effect lists, per-buffer
+                         RwLock acquisition order, worker-pool wake
+                         accounting, and buffer-pool event-log replay
+    --dpor-budget <N>    (analyze) max inequivalent serializations the
+                         DPOR exploration enumerates before truncating
+                         with a warning                     [default: 4096]
+    --inject-defect <d>  (analyze) seed a known defect before checking so
+                         the pass that owns it must fire:
+                         race|lock-order|wake|pool|journal
+    --format <f>         (analyze) report format: `text` or `json`
+                         [default: text]
     --stream             disable the task graph (stream launches)
     --skip-fusion        disable BQCS-aware gate fusion
     --zero-input         use |0…0> inputs instead of random states
@@ -385,8 +445,25 @@ fn main() -> ExitCode {
     }
 }
 
+/// Prints `report` in the requested format and maps it to an exit code
+/// (failure on any finding at all — warnings gate too, matching the CI
+/// contract that an analyzed artifact is either clean or suspect).
+fn emit_report(report: &AnalysisReport, format: OutputFormat) -> ExitCode {
+    match format {
+        OutputFormat::Json => println!("{}", report.to_json()),
+        OutputFormat::Text => print!("{}", report.render_text()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// `bqsim analyze`: run the whole compile pipeline and statically check
-/// every artifact it produces. Exit code 1 if anything is reported.
+/// every artifact it produces; with `--model-check`, additionally explore
+/// the schedule space (DPOR), lock order, wake accounting, and pool
+/// discipline. Exit code 1 if anything is reported.
 fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
     let opts = BqSimOptions {
         tau: args.tau,
@@ -395,31 +472,27 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
         layout: effective_layout(args),
         ..BqSimOptions::default()
     };
-    let report = bqsim_core::analyze_pipeline(circuit, &opts, args.batches, args.batch_size)
+    let mut report = AnalysisReport::new();
+    let pipeline = bqsim_core::analyze_pipeline(circuit, &opts, args.batches, args.batch_size)
         .map_err(|e| e.to_string())?;
-    println!(
-        "analyzed {} fused gates ({} with dense NZRV cross-check), \
-         {} tasks over {} batches, {} DD nodes",
-        report.gates_checked,
-        report.nzrv_checked,
-        report.tasks_checked,
-        args.batches,
-        report.dd_nodes,
+    report.push_section(
+        "pipeline artifacts",
+        format!(
+            "analyzed {} fused gate(s) ({} with dense NZRV cross-check), \
+             {} task(s) over {} batch(es), {} DD node(s)",
+            pipeline.gates_checked,
+            pipeline.nzrv_checked,
+            pipeline.tasks_checked,
+            args.batches,
+            pipeline.dd_nodes,
+        ),
+        pipeline.diagnostics.clone(),
     );
-    let mut clean = report.diagnostics.is_clean();
-    if !clean {
-        println!(
-            "\n{} error(s), {} warning(s):\n{}",
-            report.diagnostics.error_count(),
-            report.diagnostics.warning_count(),
-            report.diagnostics
-        );
-    }
 
     // With a fault plan, also execute the schedule under injection and
     // verify the *recovery* schedule introduces no hazards.
     if let Some(fa) = &args.fault_plan {
-        let tasks_per_device = args.batches * (report.gates_checked + 2);
+        let tasks_per_device = args.batches * (pipeline.gates_checked + 2);
         let (plan, policy) = build_fault_setup(fa, tasks_per_device, args.seed);
         let diags = bqsim_core::analyze_recovery(
             circuit,
@@ -430,18 +503,11 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
             &policy,
         )
         .map_err(|e| e.to_string())?;
-        if diags.is_clean() {
-            println!(
-                "recovery schedule under {} injected fault(s): hazard-free",
-                plan.len()
-            );
-        } else {
-            println!(
-                "\nrecovery schedule under {} injected fault(s) has findings:\n{diags}",
-                plan.len()
-            );
-            clean = false;
-        }
+        report.push_section(
+            "recovery schedule",
+            format!("executed under {} injected fault(s)", plan.len()),
+            diags,
+        );
     }
 
     // With more than one worker thread, execute the schedule on the
@@ -450,7 +516,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
     if opts.threads > 1 {
         let (plan, policy) = match &args.fault_plan {
             Some(fa) => {
-                let tasks_per_device = args.batches * (report.gates_checked + 2);
+                let tasks_per_device = args.batches * (pipeline.gates_checked + 2);
                 build_fault_setup(fa, tasks_per_device, args.seed)
             }
             None => (FaultPlan::new(), RecoveryPolicy::default()),
@@ -464,26 +530,33 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
             &policy,
         )
         .map_err(|e| e.to_string())?;
-        if diags.is_clean() {
-            println!(
-                "parallel schedule on {} threads: race-free and dependency-preserving",
-                opts.threads
-            );
-        } else {
-            println!(
-                "\nparallel schedule on {} threads has findings:\n{diags}",
-                opts.threads
-            );
-            clean = false;
+        report.push_section(
+            "parallel schedule",
+            format!("executed on {} worker thread(s)", opts.threads),
+            diags,
+        );
+    }
+
+    // `--model-check`: bounded exploration of the schedule space plus the
+    // executor's lock-order, wake, and pool disciplines.
+    if args.model_check {
+        let mc = ModelCheckOptions {
+            budget: args
+                .dpor_budget
+                .map(ModelCheckBudget::with_max_traces)
+                .unwrap_or_default(),
+            workers: opts.threads,
+            defect: args.inject_defect,
+        };
+        let checked =
+            bqsim_core::model_check_pipeline(circuit, &opts, args.batches, args.batch_size, &mc)
+                .map_err(|e| e.to_string())?;
+        for s in checked.report.sections() {
+            report.push_section(s.title.clone(), s.summary.clone(), s.diagnostics.clone());
         }
     }
 
-    if clean {
-        println!("analysis clean: no findings");
-        Ok(ExitCode::SUCCESS)
-    } else {
-        Ok(ExitCode::FAILURE)
-    }
+    Ok(emit_report(&report, args.format))
 }
 
 /// `bqsim faults`: the fault-injection demo. Runs the circuit fault-free,
@@ -571,20 +644,26 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
 /// `bqsim analyze --journal`: authenticate and conformance-check a
 /// campaign journal. Exit code 1 on any error-severity finding or
 /// envelope damage (CRC failure, corruption, missing header).
-fn run_journal_audit(path: &Path) -> Result<ExitCode, String> {
+fn run_journal_audit(path: &Path, format: OutputFormat) -> Result<ExitCode, String> {
     let diags = audit_journal(path).map_err(|e| e.to_string())?;
-    if diags.is_clean() {
-        println!("journal {}: clean (exactly-once, ordered)", path.display());
-        return Ok(ExitCode::SUCCESS);
-    }
-    println!(
-        "journal {}: {} error(s), {} warning(s):\n{}",
-        path.display(),
-        diags.error_count(),
-        diags.warning_count(),
-        diags
+    let errors = diags.error_count();
+    let mut report = AnalysisReport::new();
+    report.push_section(
+        "journal state machine",
+        format!(
+            "journal {}: checked against the header → batch* → final automaton",
+            path.display()
+        ),
+        diags,
     );
-    Ok(if diags.error_count() == 0 {
+    match format {
+        OutputFormat::Json => println!("{}", report.to_json()),
+        OutputFormat::Text => print!("{}", report.render_text()),
+    }
+    // Unlike artifact analysis, warnings (pending batches, torn tails) are
+    // the normal state of an interrupted-but-resumable journal: only
+    // error-severity findings gate the exit code.
+    Ok(if errors == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -700,7 +779,7 @@ fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     if args.analyze {
         if let Some(journal) = args.journal.clone() {
-            return run_journal_audit(&journal);
+            return run_journal_audit(&journal, args.format);
         }
     }
     let mut circuit = build_circuit(&args)?;

@@ -50,7 +50,8 @@ pub mod schedule;
 pub mod simulator;
 
 pub use analysis::{
-    analyze_parallel_execution, analyze_pipeline, analyze_recovery, PipelineAnalysis,
+    analyze_parallel_execution, analyze_pipeline, analyze_recovery, model_check_pipeline,
+    ModelCheckOptions, ModelCheckReport, PipelineAnalysis, SeededDefect,
 };
 pub use convert::{
     ConversionMethod, ConvertedGate, EllCache, HybridConverter, DEFAULT_ELL_CACHE_CAPACITY,
@@ -66,7 +67,11 @@ pub use simulator::{
 // Re-exported so layout selection composes without a direct `bqsim-ell`
 // dependency (mirrors the fault-plan re-exports below).
 pub use bqsim_ell::Layout;
-pub use bqsim_gpu::PoolStats;
+pub use bqsim_gpu::{PoolEvent, PoolEventKind, PoolStats};
+
+// Re-exported so the CLI can size the DPOR exploration without a direct
+// `bqsim-analyze` dependency on the flag-parsing path.
+pub use bqsim_analyze::{AnalysisReport, ModelCheckBudget};
 
 // Re-exported so downstream users (CLI, tests) can build fault plans and
 // policies without depending on `bqsim-faults` directly.

@@ -302,6 +302,14 @@ impl BqSimulator {
         self.pool.stats()
     }
 
+    /// The pool's shelf-transition event log (serialised under the
+    /// shelves mutex, so log order is occupancy order) plus its
+    /// truncation counter — the input to the analyzer's pool-aliasing
+    /// audit (`bqsim analyze --model-check`).
+    pub fn pool_events(&self) -> (Vec<bqsim_gpu::PoolEvent>, u64) {
+        (self.pool.events(), self.pool.events_dropped())
+    }
+
     /// Compile-time stage durations (both in modelled virtual time).
     pub fn compile_breakdown(&self) -> RunBreakdown {
         RunBreakdown {

@@ -63,7 +63,7 @@ pub use engine::{
 };
 pub use memory::{
     AllocDeviceError, AmpStore, BufferId, BufferPool, BufferRef, BufferRefMut, DeviceMemory,
-    HostBufId, HostMemory, PoolStats,
+    HostBufId, HostMemory, PoolEvent, PoolEventKind, PoolStats,
 };
-pub use parallel::TaskSpan;
-pub use task::{Kernel, KernelProfile, TaskGraph, TaskId, TaskKind};
+pub use parallel::{TaskSpan, WakeDiscipline, WAKE_DISCIPLINE};
+pub use task::{Kernel, KernelProfile, LockMode, LockSite, TaskGraph, TaskId, TaskKind};

@@ -418,6 +418,62 @@ pub struct PoolStats {
     pub idle_buffers: u64,
 }
 
+/// What a [`PoolEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEventKind {
+    /// A checkout served by recycling a shelved buffer.
+    CheckoutHit,
+    /// A checkout that built a fresh buffer because its shelf was empty.
+    CheckoutMiss,
+    /// A buffer returned to its shelf.
+    Return,
+}
+
+/// One entry in a [`BufferPool`]'s event log: which shelf was touched and
+/// how. Events are recorded *inside* the shelves critical section, so the
+/// log order is exactly the order in which the shelf occupancy changed —
+/// the property the pool-aliasing analysis in `bqsim-analyze` relies on to
+/// replay occupancy without false positives under concurrency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolEvent {
+    /// Monotonic sequence number (0-based, gap-free until the log cap).
+    pub seq: u64,
+    /// The shelf's size class (power-of-two amplitude count).
+    pub class: usize,
+    /// The shelf's buffer layout.
+    pub layout: Layout,
+    /// What happened.
+    pub kind: PoolEventKind,
+}
+
+/// Cap on retained pool events: generous for any analyzable run, small
+/// enough that a long campaign cannot grow the log without bound.
+const POOL_EVENT_CAP: usize = 1 << 16;
+
+#[derive(Debug, Default)]
+struct PoolEventLog {
+    seq: u64,
+    entries: Vec<PoolEvent>,
+    dropped: u64,
+}
+
+impl PoolEventLog {
+    fn record(&mut self, class: usize, layout: Layout, kind: PoolEventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.entries.len() < POOL_EVENT_CAP {
+            self.entries.push(PoolEvent {
+                seq,
+                class,
+                layout,
+                kind,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
 /// Size-classed recycling pool for [`AmpStore`] buffers, shared by the
 /// device and host arenas of consecutive batch runs.
 ///
@@ -433,6 +489,7 @@ pub struct PoolStats {
 #[derive(Debug, Default)]
 pub struct BufferPool {
     shelves: Mutex<HashMap<(usize, Layout), Vec<AmpStore>>>,
+    events: Mutex<PoolEventLog>,
     hits: AtomicU64,
     misses: AtomicU64,
     idle_bytes: AtomicU64,
@@ -462,13 +519,33 @@ impl BufferPool {
         }
     }
 
+    /// Appends a pool event. Must be called while the shelves guard is
+    /// held so the log order matches the shelf-occupancy order (the lock
+    /// order is always shelves → events, never the reverse).
+    fn log_event(&self, class: usize, layout: Layout, kind: PoolEventKind) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(class, layout, kind);
+    }
+
     /// Takes a zeroed buffer of `len` amplitudes in `layout`, recycling a
     /// shelved one when possible.
     fn checkout(&self, len: usize, layout: Layout) -> AmpStore {
         let class = Self::class_of(len);
         let recycled = {
             let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
-            shelves.get_mut(&(class, layout)).and_then(Vec::pop)
+            let popped = shelves.get_mut(&(class, layout)).and_then(Vec::pop);
+            self.log_event(
+                class,
+                layout,
+                if popped.is_some() {
+                    PoolEventKind::CheckoutHit
+                } else {
+                    PoolEventKind::CheckoutMiss
+                },
+            );
+            popped
         };
         match recycled {
             Some(mut store) => {
@@ -495,6 +572,27 @@ impl BufferPool {
         self.idle_buffers.fetch_add(1, Ordering::Relaxed);
         let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
         shelves.entry((shelf, layout)).or_default().push(store);
+        self.log_event(shelf, layout, PoolEventKind::Return);
+    }
+
+    /// A snapshot of the event log, in shelf-occupancy order (see
+    /// [`PoolEvent`]). Consumed by the pool-aliasing analysis pass.
+    pub fn events(&self) -> Vec<PoolEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .clone()
+    }
+
+    /// Events discarded after the log filled (0 in any run the analyzer
+    /// should trust end-to-end; a non-zero value downgrades the pool
+    /// pass to a truncation warning).
+    pub fn events_dropped(&self) -> u64 {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped
     }
 
     /// Current counters.

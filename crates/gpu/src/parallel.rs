@@ -62,6 +62,31 @@ pub struct TaskSpan {
     pub abandoned: bool,
 }
 
+/// How a worker pool issues condvar wake-ups when tasks complete — the
+/// machine-checkable contract of the wake accounting in [`execute_graph`].
+///
+/// `bqsim-analyze`'s lost-wakeup pass explores an abstract worker-pool
+/// state machine parameterised by this struct; [`WAKE_DISCIPLINE`]
+/// describes what the real executor does, and tests feed deliberately
+/// weakened variants to prove the pass catches them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeDiscipline {
+    /// One `notify_one` per task that became ready when a task completed
+    /// (a notify with no parked waiter is lost — that is safe only
+    /// because any non-parked worker re-checks the queue before waiting).
+    pub notify_per_newly_ready: bool,
+    /// A `notify_all` when the last task completes, so every parked
+    /// worker observes `remaining == 0` and exits.
+    pub final_broadcast: bool,
+}
+
+/// The wake discipline [`execute_graph`] implements: per-newly-ready
+/// `notify_one`s during the drain plus a final `notify_all` broadcast.
+pub const WAKE_DISCIPLINE: WakeDiscipline = WakeDiscipline {
+    notify_per_newly_ready: true,
+    final_broadcast: true,
+};
+
 struct ReadyState {
     ready: VecDeque<usize>,
     indegree: Vec<usize>,

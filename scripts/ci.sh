@@ -78,6 +78,36 @@ for layout in aos planar; do
     done
 done
 
+echo "==> schedule-space model check (DPOR + lock order + wake + pool; threads 1 and 4)"
+for threads in 1 4; do
+    echo "    --threads $threads"
+    run_bqsim analyze --family ghz --qubits 4 --batches 4 --threads "$threads" --model-check
+done
+
+echo "==> model-check JSON output is machine-readable and clean"
+mc_json="$(run_bqsim analyze --family ghz --qubits 4 --batches 4 --model-check --format json)"
+case "$mc_json" in
+    '{"sections":'*'"errors":0'*) echo "    ok: ${#mc_json} bytes, 0 errors" ;;
+    *) echo "FAIL: unexpected model-check JSON: $mc_json" >&2; exit 1 ;;
+esac
+
+echo "==> seeded-defect corpus (every injected defect must fail the analyzer, exit 1)"
+for defect in race lock-order wake pool journal; do
+    if run_bqsim analyze --family ghz --qubits 4 --batches 4 --model-check \
+        --inject-defect "$defect" >/dev/null 2>&1; then
+        echo "FAIL: --inject-defect $defect passed the model check" >&2
+        exit 1
+    fi
+    echo "    --inject-defect $defect rejected (exit 1)"
+done
+
+echo "==> miri pass over unsafe-adjacent crates (skipped when nightly miri is absent)"
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test -p bqsim-ell -p bqsim-num
+else
+    echo "    skipped: cargo +nightly miri is not installed in this environment"
+fi
+
 echo "==> planar layout report smoke (report_pr5 --quick)"
 cargo run -q -p bqsim-bench --release --bin report_pr5 -- --quick --out /dev/null
 
