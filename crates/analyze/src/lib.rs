@@ -35,6 +35,12 @@
 //!   `RwLock` acquisitions, a lost-wakeup search over the worker pool's
 //!   wake accounting, and a retire-before-reuse audit of the buffer
 //!   pool's event log.
+//! * **Service schedules** ([`check_service_schedule`]) — replays the
+//!   multi-tenant campaign service's recorded schedule trace and
+//!   certifies the robustness contract: bounded admission queue, no
+//!   per-tenant quota overshoot, weighted-fair picks, the documented
+//!   starvation bound, per-campaign shard ordering/exactly-once, and
+//!   device-loss retry discipline.
 //!
 //! Every pass consumes a plain-data *facts* snapshot ([`GraphFacts`],
 //! [`DdFacts`], [`EllFacts`]) extractable from the live structures, so
@@ -59,6 +65,7 @@ mod modelcheck;
 mod parallel;
 mod pool;
 mod recovery;
+mod service;
 mod wake;
 
 pub use dd::{
@@ -80,4 +87,8 @@ pub use modelcheck::{model_check_graph, ModelCheckBudget, ModelCheckOutcome};
 pub use parallel::{check_parallel_schedule, parallel_attempt_facts};
 pub use pool::check_pool_discipline;
 pub use recovery::{check_recovery_schedule, recovery_attempt_facts, AttemptFacts};
+pub use service::{
+    check_service_schedule, parse_schedule_trace, render_schedule_trace, ScheduleEvent,
+    ShardOutcome, VT_SCALE,
+};
 pub use wake::{check_wake_discipline, WakeFacts};

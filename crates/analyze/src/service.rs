@@ -1,0 +1,1072 @@
+//! Scheduler-invariant analysis for the multi-tenant campaign service.
+//!
+//! `bqsim-serve`'s fleet scheduler records every admission decision and
+//! shard placement as a line-oriented *schedule trace* (one
+//! [`ScheduleEvent`] per line, written in decision order under the
+//! scheduler lock, so trace order is decision order). This pass replays a
+//! recorded trace and certifies the service's robustness contract after
+//! the fact — `bqsim analyze --service-schedule <trace>` exits non-zero
+//! if any invariant is violated:
+//!
+//! * **`svc-queue`** — the admission queue is bounded: the number of
+//!   admitted-but-not-yet-started jobs never exceeds the configured
+//!   capacity, and every rejection names a depth at (or beyond) capacity.
+//! * **`svc-quota`** — no quota overshoot: per tenant, the sum of
+//!   admission-charged amp-buffer bytes never exceeds the tenant's byte
+//!   quota, and concurrently admitted campaigns never exceed its
+//!   in-flight quota.
+//! * **`svc-fair`** — every placement picks a tenant whose virtual time
+//!   is minimal among runnable tenants at decision time (weighted fair
+//!   queueing's pick rule; the recorded `minvt` is the decision-time
+//!   minimum).
+//! * **`svc-starvation`** — the documented starvation bound: a runnable
+//!   tenant of weight `w` observes at most `ceil(W / w) + A + D`
+//!   other-tenant shard starts before its own next start, where `W` is
+//!   the total weight and `A` the count of active tenants (each may take
+//!   one boundary start at equal virtual time) and `D` the fleet size
+//!   (in-flight slack).
+//! * **`svc-order`** — per-tenant shard discipline: shards start in
+//!   ascending order, one in flight at a time, each start preceded by the
+//!   previous shard's finish or an explicit requeue, and no shard
+//!   finishes successfully twice (exactly-once).
+//! * **`svc-device`** — device-loss discipline: a lost device never
+//!   starts another shard, and requeue attempts stay within the
+//!   configured retry bound.
+
+use crate::diag::Diagnostics;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Virtual-time fixed-point scale: per-shard virtual-time increments are
+/// `VT_SCALE / weight`, which is exact for every weight dividing 840
+/// (in particular the service's priority weights 1, 2, and 4).
+pub const VT_SCALE: u64 = 840;
+
+/// How one shard execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Completed and integrity-checked; journaled.
+    Ok,
+    /// Failed the integrity check; journaled as quarantined.
+    Quarantined,
+    /// Cancelled (deadline or shutdown) before completing.
+    Cancelled,
+    /// The simulation failed unrecoverably; the submission is dead.
+    Failed,
+}
+
+impl fmt::Display for ShardOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardOutcome::Ok => "ok",
+            ShardOutcome::Quarantined => "quarantine",
+            ShardOutcome::Cancelled => "cancelled",
+            ShardOutcome::Failed => "failed",
+        })
+    }
+}
+
+impl ShardOutcome {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(ShardOutcome::Ok),
+            "quarantine" => Some(ShardOutcome::Quarantined),
+            "cancelled" => Some(ShardOutcome::Cancelled),
+            "failed" => Some(ShardOutcome::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded scheduler decision. The trace is the service's flight
+/// recorder: every variant is emitted under the scheduler lock, in the
+/// order the decisions were taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleEvent {
+    /// Trace header: the fleet/queue shape every later invariant is
+    /// checked against.
+    Config {
+        /// Fleet size (device worker count).
+        devices: usize,
+        /// Bounded admission-queue capacity.
+        queue_capacity: usize,
+        /// Maximum device-loss requeue attempts per shard.
+        max_retries: u32,
+    },
+    /// A submission passed admission control.
+    Admit {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id (unique per tenant).
+        id: String,
+        /// Fair-share weight (priority).
+        weight: u32,
+        /// The tenant's amp-buffer byte quota at admission.
+        quota_bytes: u64,
+        /// The tenant's max-in-flight-campaigns quota at admission.
+        quota_inflight: u32,
+        /// Amp-buffer bytes this admission charges against the quota.
+        charged_bytes: u64,
+        /// `true` when the overload ladder downgraded this admission
+        /// from full-state to checksum-only journaling.
+        downgraded: bool,
+    },
+    /// A submission was rejected by the bounded queue (overload).
+    Reject {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id.
+        id: String,
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+    },
+    /// A queued submission was shed to make room for higher-priority
+    /// work (overload ladder, first rung).
+    Shed {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id.
+        id: String,
+    },
+    /// A shard (one campaign batch) was placed on a device.
+    Start {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id.
+        id: String,
+        /// Executing device.
+        device: usize,
+        /// Batch index within the campaign.
+        shard: usize,
+        /// The tenant's virtual time at the decision ([`VT_SCALE`]
+        /// fixed-point).
+        vt: u64,
+        /// The minimum virtual time over all runnable tenants at the
+        /// decision ([`VT_SCALE`] fixed-point).
+        min_runnable_vt: u64,
+    },
+    /// A started shard finished.
+    Finish {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id.
+        id: String,
+        /// Executing device.
+        device: usize,
+        /// Batch index within the campaign.
+        shard: usize,
+        /// How it ended.
+        outcome: ShardOutcome,
+    },
+    /// A shard was requeued after a device loss, to retry on a survivor.
+    Requeue {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id.
+        id: String,
+        /// Batch index within the campaign.
+        shard: usize,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff applied before the retry, in clock nanoseconds.
+        backoff_ns: u64,
+    },
+    /// A fleet device was lost.
+    DeviceLost {
+        /// The lost device.
+        device: usize,
+    },
+    /// A submission released its quota charge (completed, failed, or
+    /// shed).
+    Release {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id.
+        id: String,
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// A submission reached a terminal state with a campaign digest.
+    Done {
+        /// Tenant name.
+        tenant: String,
+        /// Submission id.
+        id: String,
+        /// FNV-1a campaign digest over completed batch checksums.
+        digest: u64,
+    },
+}
+
+impl ScheduleEvent {
+    /// Renders the event as one trace line (the inverse of
+    /// [`parse_line`](Self::parse_line)).
+    pub fn render_line(&self) -> String {
+        match self {
+            ScheduleEvent::Config {
+                devices,
+                queue_capacity,
+                max_retries,
+            } => {
+                format!("config devices={devices} queue-cap={queue_capacity} retries={max_retries}")
+            }
+            ScheduleEvent::Admit {
+                tenant,
+                id,
+                weight,
+                quota_bytes,
+                quota_inflight,
+                charged_bytes,
+                downgraded,
+            } => format!(
+                "admit tenant={tenant} id={id} weight={weight} quota-bytes={quota_bytes} \
+                 quota-inflight={quota_inflight} charged-bytes={charged_bytes} downgraded={}",
+                u8::from(*downgraded)
+            ),
+            ScheduleEvent::Reject {
+                tenant,
+                id,
+                queue_depth,
+            } => format!("reject tenant={tenant} id={id} depth={queue_depth}"),
+            ScheduleEvent::Shed { tenant, id } => format!("shed tenant={tenant} id={id}"),
+            ScheduleEvent::Start {
+                tenant,
+                id,
+                device,
+                shard,
+                vt,
+                min_runnable_vt,
+            } => format!(
+                "start tenant={tenant} id={id} device={device} shard={shard} vt={vt} \
+                 minvt={min_runnable_vt}"
+            ),
+            ScheduleEvent::Finish {
+                tenant,
+                id,
+                device,
+                shard,
+                outcome,
+            } => format!(
+                "finish tenant={tenant} id={id} device={device} shard={shard} outcome={outcome}"
+            ),
+            ScheduleEvent::Requeue {
+                tenant,
+                id,
+                shard,
+                attempt,
+                backoff_ns,
+            } => format!(
+                "requeue tenant={tenant} id={id} shard={shard} attempt={attempt} \
+                 backoff-ns={backoff_ns}"
+            ),
+            ScheduleEvent::DeviceLost { device } => format!("device-lost device={device}"),
+            ScheduleEvent::Release { tenant, id, bytes } => {
+                format!("release tenant={tenant} id={id} bytes={bytes}")
+            }
+            ScheduleEvent::Done { tenant, id, digest } => {
+                format!("done tenant={tenant} id={id} digest={digest:016x}")
+            }
+        }
+    }
+
+    /// Parses one trace line. Returns `Err` with a description on any
+    /// malformed line (unknown keyword, missing or unparsable field).
+    pub fn parse_line(line: &str) -> Result<ScheduleEvent, String> {
+        let mut parts = line.split_whitespace();
+        let kw = parts.next().ok_or_else(|| "empty line".to_string())?;
+        let mut kv: HashMap<&str, &str> = HashMap::new();
+        for p in parts {
+            let (k, v) = p
+                .split_once('=')
+                .ok_or_else(|| format!("bad field `{p}` (want key=value)"))?;
+            kv.insert(k, v);
+        }
+        let get = |k: &str| -> Result<&str, String> {
+            kv.get(k)
+                .copied()
+                .ok_or_else(|| format!("`{kw}` line missing `{k}=`"))
+        };
+        let num = |k: &str| -> Result<u64, String> {
+            get(k)?.parse::<u64>().map_err(|e| format!("{k}: {e}"))
+        };
+        let ev = match kw {
+            "config" => ScheduleEvent::Config {
+                devices: num("devices")? as usize,
+                queue_capacity: num("queue-cap")? as usize,
+                max_retries: num("retries")? as u32,
+            },
+            "admit" => ScheduleEvent::Admit {
+                tenant: get("tenant")?.to_string(),
+                id: get("id")?.to_string(),
+                weight: num("weight")? as u32,
+                quota_bytes: num("quota-bytes")?,
+                quota_inflight: num("quota-inflight")? as u32,
+                charged_bytes: num("charged-bytes")?,
+                downgraded: num("downgraded")? != 0,
+            },
+            "reject" => ScheduleEvent::Reject {
+                tenant: get("tenant")?.to_string(),
+                id: get("id")?.to_string(),
+                queue_depth: num("depth")? as usize,
+            },
+            "shed" => ScheduleEvent::Shed {
+                tenant: get("tenant")?.to_string(),
+                id: get("id")?.to_string(),
+            },
+            "start" => ScheduleEvent::Start {
+                tenant: get("tenant")?.to_string(),
+                id: get("id")?.to_string(),
+                device: num("device")? as usize,
+                shard: num("shard")? as usize,
+                vt: num("vt")?,
+                min_runnable_vt: num("minvt")?,
+            },
+            "finish" => {
+                let raw = get("outcome")?;
+                ScheduleEvent::Finish {
+                    tenant: get("tenant")?.to_string(),
+                    id: get("id")?.to_string(),
+                    device: num("device")? as usize,
+                    shard: num("shard")? as usize,
+                    outcome: ShardOutcome::parse(raw)
+                        .ok_or_else(|| format!("bad outcome `{raw}`"))?,
+                }
+            }
+            "requeue" => ScheduleEvent::Requeue {
+                tenant: get("tenant")?.to_string(),
+                id: get("id")?.to_string(),
+                shard: num("shard")? as usize,
+                attempt: num("attempt")? as u32,
+                backoff_ns: num("backoff-ns")?,
+            },
+            "device-lost" => ScheduleEvent::DeviceLost {
+                device: num("device")? as usize,
+            },
+            "release" => ScheduleEvent::Release {
+                tenant: get("tenant")?.to_string(),
+                id: get("id")?.to_string(),
+                bytes: num("bytes")?,
+            },
+            "done" => ScheduleEvent::Done {
+                tenant: get("tenant")?.to_string(),
+                id: get("id")?.to_string(),
+                digest: u64::from_str_radix(get("digest")?, 16)
+                    .map_err(|e| format!("digest: {e}"))?,
+            },
+            other => return Err(format!("unknown trace keyword `{other}`")),
+        };
+        Ok(ev)
+    }
+}
+
+/// Renders a whole trace, one line per event.
+pub fn render_schedule_trace(events: &[ScheduleEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.render_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a whole trace (blank lines and `#` comments are skipped).
+///
+/// # Errors
+///
+/// Returns the 1-based line number and reason of the first malformed
+/// line.
+pub fn parse_schedule_trace(text: &str) -> Result<Vec<ScheduleEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        events.push(
+            ScheduleEvent::parse_line(line).map_err(|e| format!("trace line {}: {e}", i + 1))?,
+        );
+    }
+    Ok(events)
+}
+
+/// Per-job replay state for the invariant checks.
+#[derive(Debug)]
+struct JobState {
+    tenant: String,
+    weight: u32,
+    charged_bytes: u64,
+    /// `Some(shard)` while a shard is in flight.
+    inflight: Option<usize>,
+    last_started: Option<usize>,
+    finished_ok: Vec<usize>,
+    /// Index into `events` where the job last became runnable (admitted,
+    /// or its previous shard finished), for the starvation window.
+    runnable_since: Option<usize>,
+    /// Other-tenant starts observed while runnable.
+    waited_starts: usize,
+    done: bool,
+    released: bool,
+}
+
+/// Replays a recorded schedule trace and checks every service invariant
+/// (see the module docs for the list). Returns one diagnostic per
+/// violation; an empty report certifies the schedule.
+pub fn check_service_schedule(events: &[ScheduleEvent]) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let mut config: Option<(usize, usize, u32)> = None;
+    for e in events {
+        if let ScheduleEvent::Config {
+            devices,
+            queue_capacity,
+            max_retries,
+        } = e
+        {
+            if config.is_some() {
+                diags.error("svc-queue", "config", "duplicate config header");
+            }
+            config = Some((*devices, *queue_capacity, *max_retries));
+        }
+    }
+    let Some((devices, queue_capacity, max_retries)) = config else {
+        diags.error("svc-queue", "config", "trace has no config header");
+        return diags;
+    };
+
+    // job key = (tenant, id)
+    let mut jobs: HashMap<(String, String), JobState> = HashMap::new();
+    // tenant -> (quota_bytes, quota_inflight) from its latest admit
+    let mut quotas: HashMap<String, (u64, u32)> = HashMap::new();
+    let mut lost_devices: Vec<usize> = Vec::new();
+    // Jobs admitted but with no shard started yet (the queue replay).
+    let mut queued: usize = 0;
+
+    // (total weight, count) over active (admitted, not-done) jobs.
+    let active = |jobs: &HashMap<(String, String), JobState>| -> (u64, usize) {
+        jobs.values()
+            .filter(|j| !j.done)
+            .fold((0u64, 0usize), |(w, c), j| (w + u64::from(j.weight), c + 1))
+    };
+
+    for (at, e) in events.iter().enumerate() {
+        match e {
+            ScheduleEvent::Config { .. } => {}
+            ScheduleEvent::Admit {
+                tenant,
+                id,
+                weight,
+                quota_bytes,
+                quota_inflight,
+                charged_bytes,
+                ..
+            } => {
+                let loc = format!("tenant {tenant} id {id}");
+                quotas.insert(tenant.clone(), (*quota_bytes, *quota_inflight));
+                // Quota replay: bytes and in-flight count across the
+                // tenant's live (admitted, unreleased) jobs.
+                let live_bytes: u64 = jobs
+                    .values()
+                    .filter(|j| j.tenant == *tenant && !j.released)
+                    .map(|j| j.charged_bytes)
+                    .sum();
+                let live_jobs = jobs
+                    .values()
+                    .filter(|j| j.tenant == *tenant && !j.released)
+                    .count();
+                if live_bytes + charged_bytes > *quota_bytes {
+                    diags.error(
+                        "svc-quota",
+                        loc.clone(),
+                        format!(
+                            "amp-buffer quota overshoot: {} in use + {} admitted > quota {}",
+                            live_bytes, charged_bytes, quota_bytes
+                        ),
+                    );
+                }
+                if live_jobs + 1 > *quota_inflight as usize {
+                    diags.error(
+                        "svc-quota",
+                        loc.clone(),
+                        format!(
+                            "in-flight quota overshoot: {} campaigns live + 1 admitted > quota {}",
+                            live_jobs, quota_inflight
+                        ),
+                    );
+                }
+                queued += 1;
+                if queued > queue_capacity {
+                    diags.error(
+                        "svc-queue",
+                        loc.clone(),
+                        format!(
+                            "admission queue overflowed its bound: {queued} queued > \
+                             capacity {queue_capacity}"
+                        ),
+                    );
+                }
+                jobs.insert(
+                    (tenant.clone(), id.clone()),
+                    JobState {
+                        tenant: tenant.clone(),
+                        weight: (*weight).max(1),
+                        charged_bytes: *charged_bytes,
+                        inflight: None,
+                        last_started: None,
+                        finished_ok: Vec::new(),
+                        runnable_since: Some(at),
+                        waited_starts: 0,
+                        done: false,
+                        released: false,
+                    },
+                );
+            }
+            ScheduleEvent::Reject {
+                tenant,
+                id,
+                queue_depth,
+            } => {
+                if *queue_depth < queue_capacity {
+                    diags.error(
+                        "svc-queue",
+                        format!("tenant {tenant} id {id}"),
+                        format!(
+                            "rejected below the bound: depth {queue_depth} < \
+                             capacity {queue_capacity} (spurious overload)"
+                        ),
+                    );
+                }
+            }
+            ScheduleEvent::Shed { tenant, id } => {
+                let key = (tenant.clone(), id.clone());
+                match jobs.get_mut(&key) {
+                    Some(j) if j.last_started.is_none() => {
+                        j.done = true;
+                        j.runnable_since = None;
+                        queued = queued.saturating_sub(1);
+                    }
+                    Some(_) => diags.error(
+                        "svc-queue",
+                        format!("tenant {tenant} id {id}"),
+                        "shed a job that had already started (only queued work may be shed)",
+                    ),
+                    None => diags.error(
+                        "svc-queue",
+                        format!("tenant {tenant} id {id}"),
+                        "shed a job that was never admitted",
+                    ),
+                }
+            }
+            ScheduleEvent::Start {
+                tenant,
+                id,
+                device,
+                shard,
+                vt,
+                min_runnable_vt,
+            } => {
+                let loc = format!("tenant {tenant} id {id} shard {shard} device {device}");
+                if lost_devices.contains(device) {
+                    diags.error(
+                        "svc-device",
+                        loc.clone(),
+                        "shard placed on a device already reported lost",
+                    );
+                }
+                if vt > min_runnable_vt {
+                    diags.error(
+                        "svc-fair",
+                        loc.clone(),
+                        format!(
+                            "unfair pick: started at virtual time {vt} while a runnable \
+                             tenant sat at {min_runnable_vt} (weighted-fair pick rule \
+                             requires the minimum)"
+                        ),
+                    );
+                }
+                // Starvation windows of everyone else still waiting. The
+                // bound is ceil(W/w) + A + D: while a weight-w tenant
+                // waits with virtual time v, each other active tenant u
+                // can start at most w_u/w shards before its virtual time
+                // passes v, plus one boundary start at equal virtual time
+                // (A of those), plus one already-claimed shard per device
+                // (D in-flight slack).
+                let (total_w, active_count) = active(&jobs);
+                for (k, j) in jobs.iter_mut() {
+                    if (k.0.as_str(), k.1.as_str()) == (tenant.as_str(), id.as_str()) {
+                        continue;
+                    }
+                    if j.runnable_since.is_some() && !j.done {
+                        j.waited_starts += 1;
+                        let bound = (total_w.div_ceil(u64::from(j.weight)) as usize)
+                            + active_count
+                            + devices;
+                        if j.waited_starts > bound {
+                            diags.error(
+                                "svc-starvation",
+                                format!("tenant {} id {}", k.0, k.1),
+                                format!(
+                                    "starved: {} other-tenant shard starts while runnable \
+                                     exceeds the fair-share bound ceil(W/w)+A+D = \
+                                     ceil({}/{})+{}+{} = {}",
+                                    j.waited_starts,
+                                    total_w,
+                                    j.weight,
+                                    active_count,
+                                    devices,
+                                    bound
+                                ),
+                            );
+                            // Report once per window.
+                            j.runnable_since = None;
+                        }
+                    }
+                }
+                if let Some(j) = jobs.get_mut(&(tenant.clone(), id.clone())) {
+                    if j.last_started.is_none() {
+                        queued = queued.saturating_sub(1);
+                    }
+                    if let Some(infl) = j.inflight {
+                        diags.error(
+                            "svc-order",
+                            loc.clone(),
+                            format!(
+                                "started shard {shard} while shard {infl} of the same \
+                                 campaign was still in flight (one shard per tenant \
+                                 campaign at a time)"
+                            ),
+                        );
+                    }
+                    if let Some(last) = j.last_started {
+                        if *shard < last {
+                            diags.error(
+                                "svc-order",
+                                loc.clone(),
+                                format!(
+                                    "shard {shard} started after shard {last}: per-campaign \
+                                     starts must be non-decreasing (journal record order)"
+                                ),
+                            );
+                        }
+                    }
+                    if j.finished_ok.contains(shard) {
+                        diags.error(
+                            "svc-order",
+                            loc.clone(),
+                            format!("shard {shard} restarted after completing (exactly-once)"),
+                        );
+                    }
+                    j.inflight = Some(*shard);
+                    j.last_started = Some(*shard);
+                    j.runnable_since = None;
+                    j.waited_starts = 0;
+                } else {
+                    diags.error("svc-order", loc, "shard start for a job never admitted");
+                }
+            }
+            ScheduleEvent::Finish {
+                tenant,
+                id,
+                device: _,
+                shard,
+                outcome,
+            } => {
+                let loc = format!("tenant {tenant} id {id} shard {shard}");
+                if let Some(j) = jobs.get_mut(&(tenant.clone(), id.clone())) {
+                    if j.inflight != Some(*shard) {
+                        diags.error(
+                            "svc-order",
+                            loc.clone(),
+                            format!(
+                                "finish for shard {shard} but in-flight shard was {:?}",
+                                j.inflight
+                            ),
+                        );
+                    }
+                    j.inflight = None;
+                    if matches!(outcome, ShardOutcome::Ok | ShardOutcome::Quarantined) {
+                        j.finished_ok.push(*shard);
+                    }
+                    if !j.done {
+                        j.runnable_since = Some(at);
+                        j.waited_starts = 0;
+                    }
+                } else {
+                    diags.error("svc-order", loc, "finish for a job never admitted");
+                }
+            }
+            ScheduleEvent::Requeue {
+                tenant,
+                id,
+                shard,
+                attempt,
+                ..
+            } => {
+                let loc = format!("tenant {tenant} id {id} shard {shard}");
+                if *attempt > max_retries {
+                    diags.error(
+                        "svc-device",
+                        loc.clone(),
+                        format!(
+                            "requeue attempt {attempt} exceeds the configured retry \
+                             bound {max_retries}"
+                        ),
+                    );
+                }
+                if let Some(j) = jobs.get_mut(&(tenant.clone(), id.clone())) {
+                    if j.inflight != Some(*shard) {
+                        diags.error(
+                            "svc-order",
+                            loc,
+                            format!(
+                                "requeue for shard {shard} but in-flight shard was {:?}",
+                                j.inflight
+                            ),
+                        );
+                    }
+                    // The shard goes back to runnable; restarting the same
+                    // index is legal (non-decreasing, not strictly
+                    // increasing), so `last_started` stands.
+                    j.inflight = None;
+                    j.runnable_since = Some(at);
+                    j.waited_starts = 0;
+                } else {
+                    diags.error("svc-order", loc, "requeue for a job never admitted");
+                }
+            }
+            ScheduleEvent::DeviceLost { device } => {
+                if lost_devices.contains(device) {
+                    diags.warning(
+                        "svc-device",
+                        format!("device {device}"),
+                        "device reported lost twice",
+                    );
+                }
+                lost_devices.push(*device);
+                if lost_devices.len() >= devices {
+                    diags.warning(
+                        "svc-device",
+                        format!("device {device}"),
+                        "every fleet device is lost; remaining work cannot complete",
+                    );
+                }
+            }
+            ScheduleEvent::Release { tenant, id, bytes } => {
+                let loc = format!("tenant {tenant} id {id}");
+                if let Some(j) = jobs.get_mut(&(tenant.clone(), id.clone())) {
+                    if j.released {
+                        diags.error("svc-quota", loc.clone(), "quota released twice");
+                    }
+                    if *bytes != j.charged_bytes {
+                        diags.error(
+                            "svc-quota",
+                            loc.clone(),
+                            format!(
+                                "released {} bytes but {} were charged (quota leak)",
+                                bytes, j.charged_bytes
+                            ),
+                        );
+                    }
+                    j.released = true;
+                } else {
+                    diags.error("svc-quota", loc, "release for a job never admitted");
+                }
+            }
+            ScheduleEvent::Done { tenant, id, .. } => {
+                if let Some(j) = jobs.get_mut(&(tenant.clone(), id.clone())) {
+                    j.done = true;
+                    j.runnable_since = None;
+                } else {
+                    diags.error(
+                        "svc-order",
+                        format!("tenant {tenant} id {id}"),
+                        "done for a job never admitted",
+                    );
+                }
+            }
+        }
+    }
+
+    // End-of-trace hygiene: every admitted job must have reached a
+    // terminal state and released its quota charge.
+    for ((tenant, id), j) in &jobs {
+        let loc = format!("tenant {tenant} id {id}");
+        if let Some(shard) = j.inflight {
+            diags.warning(
+                "svc-order",
+                loc.clone(),
+                format!("trace ends with shard {shard} still in flight"),
+            );
+        }
+        if !j.released {
+            diags.error(
+                "svc-quota",
+                loc.clone(),
+                "trace ends with the job's quota charge never released",
+            );
+        }
+        if !j.done {
+            diags.warning("svc-order", loc, "trace ends before the job reached `done`");
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScheduleEvent {
+        ScheduleEvent::Config {
+            devices: 2,
+            queue_capacity: 4,
+            max_retries: 3,
+        }
+    }
+
+    fn admit(tenant: &str, id: &str, weight: u32) -> ScheduleEvent {
+        ScheduleEvent::Admit {
+            tenant: tenant.into(),
+            id: id.into(),
+            weight,
+            quota_bytes: 1 << 20,
+            quota_inflight: 4,
+            charged_bytes: 4096,
+            downgraded: false,
+        }
+    }
+
+    fn start(tenant: &str, id: &str, device: usize, shard: usize, vt: u64) -> ScheduleEvent {
+        ScheduleEvent::Start {
+            tenant: tenant.into(),
+            id: id.into(),
+            device,
+            shard,
+            vt,
+            min_runnable_vt: vt,
+        }
+    }
+
+    fn finish(tenant: &str, id: &str, device: usize, shard: usize) -> ScheduleEvent {
+        ScheduleEvent::Finish {
+            tenant: tenant.into(),
+            id: id.into(),
+            device,
+            shard,
+            outcome: ShardOutcome::Ok,
+        }
+    }
+
+    fn release(tenant: &str, id: &str) -> ScheduleEvent {
+        ScheduleEvent::Release {
+            tenant: tenant.into(),
+            id: id.into(),
+            bytes: 4096,
+        }
+    }
+
+    fn done(tenant: &str, id: &str) -> ScheduleEvent {
+        ScheduleEvent::Done {
+            tenant: tenant.into(),
+            id: id.into(),
+            digest: 0xdead_beef,
+        }
+    }
+
+    #[test]
+    fn well_formed_trace_is_clean() {
+        let events = vec![
+            cfg(),
+            admit("a", "j1", 2),
+            admit("b", "j2", 1),
+            start("a", "j1", 0, 0, 0),
+            start("b", "j2", 1, 0, 0),
+            finish("a", "j1", 0, 0),
+            finish("b", "j2", 1, 0),
+            start("a", "j1", 0, 1, 420),
+            finish("a", "j1", 0, 1),
+            done("a", "j1"),
+            release("a", "j1"),
+            done("b", "j2"),
+            release("b", "j2"),
+        ];
+        let d = check_service_schedule(&events);
+        assert!(d.is_clean(), "{d}");
+    }
+
+    #[test]
+    fn trace_round_trips_through_text() {
+        let events = vec![
+            cfg(),
+            admit("alice", "a1", 4),
+            ScheduleEvent::Reject {
+                tenant: "bob".into(),
+                id: "b9".into(),
+                queue_depth: 4,
+            },
+            start("alice", "a1", 0, 0, 0),
+            ScheduleEvent::Requeue {
+                tenant: "alice".into(),
+                id: "a1".into(),
+                shard: 0,
+                attempt: 1,
+                backoff_ns: 5000,
+            },
+            ScheduleEvent::DeviceLost { device: 1 },
+            ScheduleEvent::Shed {
+                tenant: "carol".into(),
+                id: "c1".into(),
+            },
+            finish("alice", "a1", 0, 0),
+            done("alice", "a1"),
+            release("alice", "a1"),
+        ];
+        let text = render_schedule_trace(&events);
+        let back = parse_schedule_trace(&text).unwrap();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn quota_overshoot_is_detected() {
+        let over = ScheduleEvent::Admit {
+            tenant: "a".into(),
+            id: "j2".into(),
+            weight: 1,
+            quota_bytes: 5000,
+            quota_inflight: 4,
+            charged_bytes: 4096,
+            downgraded: false,
+        };
+        let mut first = over.clone();
+        if let ScheduleEvent::Admit { id, .. } = &mut first {
+            *id = "j1".into();
+        }
+        let d = check_service_schedule(&[cfg(), first, over]);
+        assert!(d.error_count() > 0);
+        assert!(d.mentions("quota overshoot"), "{d}");
+    }
+
+    #[test]
+    fn inflight_quota_overshoot_is_detected() {
+        let mut events = vec![cfg()];
+        for i in 0..3 {
+            events.push(ScheduleEvent::Admit {
+                tenant: "a".into(),
+                id: format!("j{i}"),
+                weight: 1,
+                quota_bytes: 1 << 30,
+                quota_inflight: 2,
+                charged_bytes: 16,
+                downgraded: false,
+            });
+        }
+        // Queue capacity 4 is not hit; the in-flight quota of 2 is.
+        let d = check_service_schedule(&events);
+        assert!(d.mentions("in-flight quota overshoot"), "{d}");
+    }
+
+    #[test]
+    fn unfair_pick_is_detected() {
+        let events = vec![
+            cfg(),
+            admit("a", "j1", 1),
+            ScheduleEvent::Start {
+                tenant: "a".into(),
+                id: "j1".into(),
+                device: 0,
+                shard: 0,
+                vt: 840,
+                min_runnable_vt: 0, // someone needier was waiting
+            },
+        ];
+        let d = check_service_schedule(&events);
+        assert!(d.mentions("unfair pick"), "{d}");
+    }
+
+    #[test]
+    fn start_on_lost_device_is_detected() {
+        let events = vec![
+            cfg(),
+            admit("a", "j1", 1),
+            ScheduleEvent::DeviceLost { device: 0 },
+            start("a", "j1", 0, 0, 0),
+        ];
+        let d = check_service_schedule(&events);
+        assert!(d.mentions("already reported lost"), "{d}");
+    }
+
+    #[test]
+    fn queue_overflow_is_detected() {
+        let mut events = vec![cfg()];
+        for i in 0..5 {
+            // Capacity is 4; the fifth queued admission breaks the bound.
+            events.push(ScheduleEvent::Admit {
+                tenant: format!("t{i}"),
+                id: "j".into(),
+                weight: 1,
+                quota_bytes: 1 << 30,
+                quota_inflight: 8,
+                charged_bytes: 16,
+                downgraded: false,
+            });
+        }
+        let d = check_service_schedule(&events);
+        assert!(d.mentions("queue overflowed"), "{d}");
+    }
+
+    #[test]
+    fn double_completion_is_detected() {
+        let events = vec![
+            cfg(),
+            admit("a", "j1", 1),
+            start("a", "j1", 0, 0, 0),
+            finish("a", "j1", 0, 0),
+            start("a", "j1", 0, 0, 840),
+        ];
+        let d = check_service_schedule(&events);
+        assert!(d.mentions("exactly-once"), "{d}");
+    }
+
+    #[test]
+    fn starvation_beyond_bound_is_detected() {
+        // Tenant b admitted and runnable, never started, while tenant a
+        // starts far more shards than the bound allows. Keep a's picks
+        // "fair" by lying minvt = vt so only the starvation pass fires.
+        let mut events = vec![cfg(), admit("a", "j1", 4), admit("b", "j2", 1)];
+        for s in 0..12 {
+            events.push(start("a", "j1", 0, s, s as u64 * 210));
+            events.push(finish("a", "j1", 0, s));
+        }
+        let d = check_service_schedule(&events);
+        assert!(d.mentions("starved"), "{d}");
+    }
+
+    #[test]
+    fn retry_bound_violation_is_detected() {
+        let events = vec![
+            cfg(),
+            admit("a", "j1", 1),
+            start("a", "j1", 0, 0, 0),
+            ScheduleEvent::Requeue {
+                tenant: "a".into(),
+                id: "j1".into(),
+                shard: 0,
+                attempt: 4, // config says max 3
+                backoff_ns: 0,
+            },
+        ];
+        let d = check_service_schedule(&events);
+        assert!(d.mentions("retry"), "{d}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_schedule_trace("bogus line").is_err());
+        assert!(parse_schedule_trace("start tenant=a").is_err());
+        assert!(ScheduleEvent::parse_line("admit tenant=a id=j weight=x").is_err());
+        // Comments and blanks are fine.
+        assert_eq!(
+            parse_schedule_trace("# comment\n\nconfig devices=1 queue-cap=1 retries=0\n")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+}

@@ -49,6 +49,22 @@ pub fn state_checksum(batch: &[Vec<Complex>]) -> u64 {
     hash
 }
 
+/// FNV-1a fold of every completed batch's output checksum, in batch
+/// order — the cheap cross-process bit-identity witness printed by
+/// `bqsim run`, reported per tenant by the `bqsim serve` service, and
+/// compared by the CI interrupt-resume and chaos gates. Built from
+/// [`CampaignResult::checksums`](crate::CampaignResult), so it is
+/// identical across plain, journaled, resumed, checksum-only, and
+/// service-scheduled runs of the same plan.
+pub fn campaign_digest(checksums: &[Option<u64>]) -> u64 {
+    let mut hash = fnv1a(b"campaign");
+    for cs in checksums.iter().flatten() {
+        hash ^= cs;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// Number of sidecar bytes one batch of `vectors` state vectors of `amps`
 /// amplitudes occupies: 16 bytes per amplitude (real bits then imaginary
 /// bits, little-endian).

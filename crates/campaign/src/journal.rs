@@ -360,7 +360,15 @@ impl JournalWriter {
                 Some(state)
             }
             StateMode::ChecksumOnly => {
-                let _ = std::fs::remove_file(state_path(path));
+                // A stale full-mode sidecar must not survive next to a
+                // checksum-only journal: a later full-mode resume at the
+                // same path would find slots from a different plan.
+                // Only "it was never there" is benign.
+                if let Err(e) = std::fs::remove_file(state_path(path)) {
+                    if e.kind() != std::io::ErrorKind::NotFound {
+                        return Err(JournalError::Io(e));
+                    }
+                }
                 None
             }
         };

@@ -43,11 +43,13 @@ mod resume;
 mod runner;
 
 pub use audit::{audit_journal, journal_facts};
+pub use checksum::campaign_digest;
 pub use integrity::{check_batch, IntegrityBudget, IntegrityVerdict};
 pub use journal::{
     read_journal, state_path, Fingerprint, JournalContents, JournalError, JournalWriter, Record,
     StateMode,
 };
 pub use runner::{
-    plan_fingerprint, run_campaign, BatchOutcome, CampaignError, CampaignOptions, CampaignResult,
+    execute_campaign_batch, plan_fingerprint, run_campaign, BatchOutcome, CampaignError,
+    CampaignOptions, CampaignResult, ExecutedBatch,
 };

@@ -447,6 +447,67 @@ impl Committer {
     }
 }
 
+/// The result of executing one campaign batch via
+/// [`execute_campaign_batch`]: the batch's output states plus the
+/// fault/recovery accounting the run accrued.
+#[derive(Debug)]
+pub struct ExecutedBatch {
+    /// One output state vector per input in the batch.
+    pub outputs: Vec<Vec<Complex>>,
+    /// Fault/recovery accounting for this batch alone (empty without a
+    /// fault seed).
+    pub health: RunHealth,
+}
+
+/// Executes one batch of a campaign plan — the re-entrant core of
+/// [`run_campaign`]'s loop, exposed so external schedulers (the
+/// `bqsim-serve` fleet) can interleave batches of *different* campaigns
+/// while preserving the resume proof.
+///
+/// The computation is a pure function of the compiled plan and the batch
+/// index: with a fault seed, batch `index` draws its plan from
+/// `fault_seed ^ index` exactly as [`run_campaign`] does, so the same
+/// batch executed here — on any thread, in any order, interleaved with
+/// any other tenant's work — produces bit-identical outputs to a serial
+/// campaign of the same fingerprint.
+///
+/// # Errors
+///
+/// [`BqsimError::Cancelled`] when `cancel` fires before the batch
+/// completes (the partial work is discarded; the batch stays pending);
+/// any other [`BqsimError`] is an unrecoverable simulation failure.
+pub fn execute_campaign_batch(
+    sim: &BqSimulator,
+    batch: &[Vec<Complex>],
+    index: usize,
+    copts: &CampaignOptions,
+    cancel: &CancelToken,
+) -> Result<ExecutedBatch, BqsimError> {
+    let owned = batch.to_vec();
+    let one = std::slice::from_ref(&owned);
+    let tasks = schedule::tasks_per_batch(sim.gates().len());
+    if let Some(seed) = copts.fault_seed {
+        let plan = FaultPlan::seeded(
+            seed ^ index as u64,
+            1,
+            tasks,
+            ALLOCS_PER_RUN,
+            &copts.fault_budget,
+        );
+        let rec = sim.run_batches_recovering_cancellable(one, &plan, &copts.recovery, cancel)?;
+        Ok(ExecutedBatch {
+            outputs: rec.run.outputs.into_iter().next().unwrap_or_default(),
+            health: rec.health,
+        })
+    } else {
+        let run = sim.run_batches_cancellable(one, cancel)?;
+        Ok(ExecutedBatch {
+            outputs: run.outputs.into_iter().next().unwrap_or_default(),
+            health: RunHealth::new(),
+        })
+    }
+}
+
 /// Computes the campaign's plan [`Fingerprint`].
 ///
 /// The circuit and option hashes are FNV-1a over canonical debug
@@ -584,7 +645,6 @@ pub fn run_campaign(
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
-    let tasks = schedule::tasks_per_batch(sim.gates().len());
     let mut executed = 0usize;
     let mut quarantined = Vec::new();
     let mut cancelled = false;
@@ -612,35 +672,16 @@ pub fn run_campaign(
             break;
         }
 
-        let one = std::slice::from_ref(batch_in);
-        let out = if let Some(seed) = copts.fault_seed {
-            let plan = FaultPlan::seeded(
-                seed ^ b as u64,
-                1,
-                tasks,
-                ALLOCS_PER_RUN,
-                &copts.fault_budget,
-            );
-            match sim.run_batches_recovering_cancellable(one, &plan, &copts.recovery, &cancel) {
-                Ok(rec) => {
-                    health.merge(rec.health);
-                    rec.run.outputs.into_iter().next().unwrap_or_default()
-                }
-                Err(BqsimError::Cancelled) => {
-                    cancelled = true;
-                    break;
-                }
-                Err(e) => return Err(e.into()),
+        let out = match execute_campaign_batch(&sim, batch_in, b, copts, &cancel) {
+            Ok(exec) => {
+                health.merge(exec.health);
+                exec.outputs
             }
-        } else {
-            match sim.run_batches_cancellable(one, &cancel) {
-                Ok(run) => run.outputs.into_iter().next().unwrap_or_default(),
-                Err(BqsimError::Cancelled) => {
-                    cancelled = true;
-                    break;
-                }
-                Err(e) => return Err(e.into()),
+            Err(BqsimError::Cancelled) => {
+                cancelled = true;
+                break;
             }
+            Err(e) => return Err(e.into()),
         };
         executed += 1;
 

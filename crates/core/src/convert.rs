@@ -90,6 +90,22 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// One coherent snapshot of an [`EllCache`]'s counters.
+///
+/// The three counts are captured together (one struct copy, taken while
+/// the cache is borrowed) rather than read field-by-field, so a status
+/// reporter polling a simulator from another thread can never see a
+/// hit/miss/eviction combination that no instant of the compile ever had.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EllCacheStats {
+    /// Lookups that returned an already-converted gate.
+    pub hits: u64,
+    /// Lookups that had to convert (== number of distinct gates seen).
+    pub misses: u64,
+    /// Entries displaced by the LRU capacity bound.
+    pub evictions: u64,
+}
+
 /// Default [`EllCache`] capacity: far above the distinct-gate count of
 /// every bundled circuit family, small enough to bound residency on
 /// adversarial workloads.
@@ -156,6 +172,15 @@ impl EllCache {
     /// recurs converts again (and counts a fresh miss).
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// All three counters as one coherent [`EllCacheStats`] snapshot.
+    pub fn stats(&self) -> EllCacheStats {
+        EllCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
     }
 
     /// Total modelled conversion time of the distinct conversions only —

@@ -54,7 +54,8 @@ pub use analysis::{
     ModelCheckOptions, ModelCheckReport, PipelineAnalysis, SeededDefect,
 };
 pub use convert::{
-    ConversionMethod, ConvertedGate, EllCache, HybridConverter, DEFAULT_ELL_CACHE_CAPACITY,
+    ConversionMethod, ConvertedGate, EllCache, EllCacheStats, HybridConverter,
+    DEFAULT_ELL_CACHE_CAPACITY,
 };
 pub use error::BqsimError;
 pub use fusion::{bqcs_aware_fusion, greedy_fusion, FusedGate};

@@ -1,6 +1,6 @@
 //! The top-level BQSim simulator API.
 
-use crate::convert::{ConversionMethod, ConvertedGate, EllCache, HybridConverter};
+use crate::convert::{ConversionMethod, ConvertedGate, EllCache, EllCacheStats, HybridConverter};
 use crate::error::BqsimError;
 use crate::fusion::{self, FusedGate};
 use crate::kernels::{DdSpmvKernel, EllSpmmKernel};
@@ -186,9 +186,7 @@ pub struct BqSimulator {
     fusion_ns: u64,
     fusion_wall_ns: u64,
     conversion_ns: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    cache_evictions: u64,
+    cache_stats: EllCacheStats,
     // One pool per compiled simulator: buffers recycled across every
     // `run_*` call, so steady-state batch runs allocate nothing.
     pool: Arc<BufferPool>,
@@ -258,9 +256,7 @@ impl BqSimulator {
             fusion_ns,
             fusion_wall_ns,
             conversion_ns,
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
-            cache_evictions: cache.evictions(),
+            cache_stats: cache.stats(),
             pool: Arc::new(BufferPool::new()),
         })
     }
@@ -286,12 +282,14 @@ impl BqSimulator {
         self.fusion_wall_ns
     }
 
-    /// Compile-time conversion-cache stats: `(hits, misses, evictions)`.
-    /// Misses count the distinct gates actually converted; hits are repeats
-    /// served from the cache; evictions count entries displaced by the
-    /// cache's LRU capacity bound.
-    pub fn conversion_cache_stats(&self) -> (u64, u64, u64) {
-        (self.cache_hits, self.cache_misses, self.cache_evictions)
+    /// Compile-time conversion-cache stats, as one coherent
+    /// [`EllCacheStats`] snapshot (captured once at compile, immutable
+    /// afterwards — safe for a concurrent status reporter to read).
+    /// `misses` counts the distinct gates actually converted; `hits` are
+    /// repeats served from the cache; `evictions` count entries displaced
+    /// by the cache's LRU capacity bound.
+    pub fn conversion_cache_stats(&self) -> EllCacheStats {
+        self.cache_stats
     }
 
     /// Stats of the simulator's buffer pool: checkout hits/misses and the

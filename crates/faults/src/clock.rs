@@ -1,0 +1,154 @@
+//! A pluggable clock, so timeout/backoff logic can run against virtual
+//! time in tests and wall time in production.
+//!
+//! [`RecoveryPolicy`](crate::RecoveryPolicy) already computes backoff as
+//! *virtual nanoseconds* — a pure function, deliberately decoupled from
+//! any real clock. What was missing was the other half of that
+//! discipline: the thing that *waits* a backoff out. [`Clock`] is that
+//! half. Production code holds a [`WallClock`] and actually sleeps;
+//! deterministic tests hold a [`VirtualClock`] whose `sleep` merely
+//! advances an atomic counter, so a scheduler exercising thousands of
+//! retry/backoff cycles finishes in microseconds and replays
+//! identically.
+//!
+//! The service scheduler in `bqsim-serve` threads an `Arc<dyn Clock>`
+//! through its requeue/backoff path; nothing in this crate (or any
+//! consumer) needs to know which face of the clock it is holding.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock that can also wait.
+///
+/// `now_ns` is monotone non-decreasing and starts near zero at clock
+/// creation (it is an *elapsed* clock, not an epoch clock). `sleep_ns`
+/// returns only once at least `ns` nanoseconds of this clock's time have
+/// passed — by actually sleeping ([`WallClock`]) or by advancing the
+/// counter ([`VirtualClock`]).
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Nanoseconds elapsed on this clock.
+    fn now_ns(&self) -> u64;
+
+    /// Blocks (or advances) until `ns` more nanoseconds have elapsed.
+    fn sleep_ns(&self, ns: u64);
+}
+
+/// The production clock: `now_ns` is wall time since construction,
+/// `sleep_ns` is a real `thread::sleep`.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep_ns(&self, ns: u64) {
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+}
+
+/// The test clock: a shared atomic nanosecond counter. `sleep_ns`
+/// advances it and returns immediately, so backoff-heavy schedules run
+/// deterministically and at full speed. Safe to share across threads —
+/// time only moves forward, and concurrent sleepers simply accumulate.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances the clock without a sleeper (e.g. to model elapsed
+    /// compute time in a test harness).
+    pub fn advance_ns(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ns(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn virtual_clock_sleep_advances_without_waiting() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        let before = Instant::now();
+        clock.sleep_ns(3_600_000_000_000); // one virtual hour
+        assert!(before.elapsed() < Duration::from_secs(1));
+        assert_eq!(clock.now_ns(), 3_600_000_000_000);
+        clock.advance_ns(5);
+        assert_eq!(clock.now_ns(), 3_600_000_000_005);
+    }
+
+    #[test]
+    fn virtual_clock_is_monotone_across_threads() {
+        let clock = Arc::new(VirtualClock::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&clock);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.sleep_ns(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now_ns(), 4 * 1000 * 3);
+    }
+
+    #[test]
+    fn wall_clock_reports_elapsed_time() {
+        let clock = WallClock::new();
+        let t0 = clock.now_ns();
+        clock.sleep_ns(1_000_000); // 1 ms
+        let t1 = clock.now_ns();
+        assert!(t1 >= t0 + 1_000_000);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Arc<dyn Clock>> =
+            vec![Arc::new(WallClock::new()), Arc::new(VirtualClock::new())];
+        for c in &clocks {
+            c.sleep_ns(0);
+            let _ = c.now_ns();
+        }
+    }
+}

@@ -22,6 +22,10 @@
 //!   optional wall-clock deadline) polled at task boundaries by the
 //!   engine's sweep, the parallel executor's workers, and the campaign
 //!   runner's batch loop.
+//! * [`Clock`] — the waiting half of the virtual-time discipline:
+//!   production code sleeps a backoff out on a [`WallClock`], tests
+//!   replay the same schedule instantly and deterministically on a
+//!   [`VirtualClock`].
 //!
 //! The degradation ladder itself (GPU-ELL → re-split + CPU conversion →
 //! dense host reference) is implemented in `bqsim-core`, which owns the
@@ -32,12 +36,14 @@
 #![warn(missing_docs)]
 
 mod cancel;
+mod clock;
 mod health;
 mod inject;
 mod plan;
 mod policy;
 
 pub use cancel::CancelToken;
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use health::{FaultEvent, Resolution, RunHealth};
 pub use inject::FaultInjector;
 pub use plan::{FaultBudget, FaultKind, FaultPlan, FaultSpec};

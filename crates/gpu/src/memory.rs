@@ -9,7 +9,6 @@ use core::fmt;
 use std::collections::HashMap;
 use std::error::Error;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// One arena buffer's amplitude storage, in whichever layout the pipeline
@@ -488,12 +487,22 @@ impl PoolEventLog {
 /// identically either way).
 #[derive(Debug, Default)]
 pub struct BufferPool {
-    shelves: Mutex<HashMap<(usize, Layout), Vec<AmpStore>>>,
+    shelves: Mutex<Shelves>,
     events: Mutex<PoolEventLog>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    idle_bytes: AtomicU64,
-    idle_buffers: AtomicU64,
+}
+
+/// The pool's mutable core: shelf occupancy *and* its counters live under
+/// one mutex, updated in the same critical section that moves a buffer.
+/// That makes [`BufferPool::stats`] a true snapshot — a concurrent reader
+/// (the service's `status` reporter polls mid-run) can never observe a
+/// hit counted whose buffer still shows as idle, or an `idle_buffers`
+/// decrement whose `idle_bytes` has not moved yet. With the counters on
+/// separate relaxed atomics (the previous design) every one of those torn
+/// combinations was observable.
+#[derive(Debug, Default)]
+struct Shelves {
+    map: HashMap<(usize, Layout), Vec<AmpStore>>,
+    stats: PoolStats,
 }
 
 impl BufferPool {
@@ -535,7 +544,14 @@ impl BufferPool {
         let class = Self::class_of(len);
         let recycled = {
             let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
-            let popped = shelves.get_mut(&(class, layout)).and_then(Vec::pop);
+            let popped = shelves.map.get_mut(&(class, layout)).and_then(Vec::pop);
+            if popped.is_some() {
+                shelves.stats.hits += 1;
+                shelves.stats.idle_bytes -= class as u64 * 16;
+                shelves.stats.idle_buffers -= 1;
+            } else {
+                shelves.stats.misses += 1;
+            }
             self.log_event(
                 class,
                 layout,
@@ -549,17 +565,10 @@ impl BufferPool {
         };
         match recycled {
             Some(mut store) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.idle_bytes
-                    .fetch_sub(class as u64 * 16, Ordering::Relaxed);
-                self.idle_buffers.fetch_sub(1, Ordering::Relaxed);
                 store.reset_zeroed(len);
                 store
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                AmpStore::zeroed_with_capacity(len, class, layout)
-            }
+            None => AmpStore::zeroed_with_capacity(len, class, layout),
         }
     }
 
@@ -567,11 +576,10 @@ impl BufferPool {
     fn give_back(&self, store: AmpStore) {
         let shelf = Self::shelf_for(store.capacity());
         let layout = store.layout();
-        self.idle_bytes
-            .fetch_add(shelf as u64 * 16, Ordering::Relaxed);
-        self.idle_buffers.fetch_add(1, Ordering::Relaxed);
         let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
-        shelves.entry((shelf, layout)).or_default().push(store);
+        shelves.stats.idle_bytes += shelf as u64 * 16;
+        shelves.stats.idle_buffers += 1;
+        shelves.map.entry((shelf, layout)).or_default().push(store);
         self.log_event(shelf, layout, PoolEventKind::Return);
     }
 
@@ -595,14 +603,15 @@ impl BufferPool {
             .dropped
     }
 
-    /// Current counters.
+    /// A consistent snapshot of the counters: taken under the shelves
+    /// mutex, so the four fields always describe one instant of shelf
+    /// occupancy even when a concurrent status reporter races active
+    /// checkouts (no torn hit/miss or idle reads).
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            idle_bytes: self.idle_bytes.load(Ordering::Relaxed),
-            idle_buffers: self.idle_buffers.load(Ordering::Relaxed),
-        }
+        self.shelves
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
     }
 }
 

@@ -7,9 +7,30 @@
 //! bqsim run --family routing --qubits 6 --journal camp.journal --deadline-ms 5000
 //! bqsim run --family routing --qubits 6 --journal camp.journal --resume
 //! bqsim analyze --journal camp.journal
+//! bqsim submit --submissions jobs.cmd tenant=alice id=j1 qubits=4 batches=3 batch-size=8
+//! bqsim serve --state-dir svc --submissions jobs.cmd --devices 2
+//! bqsim status --state-dir svc
+//! bqsim analyze --service-schedule svc/schedule.trace
 //! ```
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0 | success |
+//! | 1 | analysis findings, shed/cancelled submissions, or a generic failure |
+//! | 2 | usage error (bad flags, malformed spec or circuit) |
+//! | 3 | journal error (I/O, corruption, CRC) |
+//! | 4 | journal fingerprint mismatch on resume |
+//! | 5 | unrecoverable simulation failure |
+//! | 6 | service overloaded — bounded queue rejected a submission |
+//! | 7 | tenant quota exceeded |
 
-use bqsim_campaign::{audit_journal, run_campaign, BatchOutcome, CampaignOptions, IntegrityBudget};
+use bqsim_analyze::{check_service_schedule, parse_schedule_trace};
+use bqsim_campaign::{
+    audit_journal, campaign_digest, run_campaign, BatchOutcome, CampaignError, CampaignOptions,
+    IntegrityBudget, JournalError,
+};
 use bqsim_core::{
     random_input_batch, AnalysisReport, BqSimOptions, BqSimulator, FaultBudget, FaultPlan,
     ModelCheckBudget, ModelCheckOptions, RecoveryPolicy, SeededDefect,
@@ -17,11 +38,92 @@ use bqsim_core::{
 use bqsim_gpu::LaunchMode;
 use bqsim_qcir::observable::{expectation, sample_counts, PauliString};
 use bqsim_qcir::{dense, generators, qasm, Circuit};
+use bqsim_serve::{
+    read_status, run_service, DeviceLossSpec, ServeError, ServiceConfig, StatusState,
+    SubmissionOutcome, SubmitSpec, TenantQuota,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// A CLI failure with a distinct exit code per failure class (see the
+/// module docs' exit-code table).
+enum CliError {
+    /// Exit 1: anything without a more specific class.
+    Generic(String),
+    /// Exit 2: the invocation itself is wrong.
+    Usage(String),
+    /// Exit 3: journal I/O, corruption, or CRC damage.
+    Journal(String),
+    /// Exit 4: a resume hit a journal recorded under a different plan.
+    Fingerprint(String),
+    /// Exit 5: the simulation failed unrecoverably.
+    Sim(String),
+    /// Exit 6: the service's bounded admission queue rejected work.
+    Overloaded(String),
+    /// Exit 7: a tenant quota rejected work.
+    Quota(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Generic(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Journal(_) => 3,
+            CliError::Fingerprint(_) => 4,
+            CliError::Sim(_) => 5,
+            CliError::Overloaded(_) => 6,
+            CliError::Quota(_) => 7,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Generic(m)
+            | CliError::Usage(m)
+            | CliError::Journal(m)
+            | CliError::Fingerprint(m)
+            | CliError::Sim(m)
+            | CliError::Overloaded(m)
+            | CliError::Quota(m) => m,
+        }
+    }
+}
+
+impl From<CampaignError> for CliError {
+    fn from(e: CampaignError) -> CliError {
+        match e {
+            CampaignError::Journal(JournalError::FingerprintMismatch { .. }) => {
+                CliError::Fingerprint(e.to_string())
+            }
+            CampaignError::Journal(_) => CliError::Journal(e.to_string()),
+            CampaignError::Sim(_) => CliError::Sim(e.to_string()),
+        }
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> CliError {
+        match &e {
+            ServeError::Overloaded { .. } => CliError::Overloaded(e.to_string()),
+            ServeError::QuotaExceeded { .. } => CliError::Quota(e.to_string()),
+            ServeError::InvalidSpec(_) => CliError::Usage(e.to_string()),
+            ServeError::Journal(JournalError::FingerprintMismatch { .. }) => {
+                CliError::Fingerprint(e.to_string())
+            }
+            ServeError::Journal(_) => CliError::Journal(e.to_string()),
+            ServeError::Sim(_) => CliError::Sim(e.to_string()),
+            ServeError::State(_) => CliError::Generic(e.to_string()),
+        }
+    }
+}
 
 /// Parsed `--fault-plan` spec: fault counts per kind plus recovery-policy
 /// overrides. The actual [`FaultPlan`] is seeded after compilation, when
@@ -51,6 +153,19 @@ enum OutputFormat {
 
 struct Args {
     analyze: bool,
+    serve: bool,
+    submit: bool,
+    status: bool,
+    state_dir: Option<PathBuf>,
+    submissions: Option<PathBuf>,
+    devices: Option<usize>,
+    queue_cap: Option<usize>,
+    degrade_watermark: Option<usize>,
+    max_requeues: Option<u32>,
+    device_loss: Option<String>,
+    quotas: Vec<String>,
+    service_schedule: Option<PathBuf>,
+    spec_parts: Vec<String>,
     model_check: bool,
     dpor_budget: Option<usize>,
     inject_defect: Option<SeededDefect>,
@@ -86,6 +201,19 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         analyze: false,
+        serve: false,
+        submit: false,
+        status: false,
+        state_dir: None,
+        submissions: None,
+        devices: None,
+        queue_cap: None,
+        degrade_watermark: None,
+        max_requeues: None,
+        device_loss: None,
+        quotas: Vec::new(),
+        service_schedule: None,
+        spec_parts: Vec::new(),
         model_check: false,
         dpor_budget: None,
         inject_defect: None,
@@ -212,14 +340,39 @@ fn parse_args() -> Result<Args, String> {
                 print_help();
                 std::process::exit(0);
             }
-            "analyze" if !args.analyze && !args.faults && args.source.is_none() => {
-                args.analyze = true
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value(&mut i)?)),
+            "--submissions" => args.submissions = Some(PathBuf::from(value(&mut i)?)),
+            "--devices" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--devices must be at least 1".to_string());
+                }
+                args.devices = Some(n);
             }
-            "faults" if !args.faults && !args.analyze && args.source.is_none() => {
-                args.faults = true
+            "--queue-cap" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--queue-cap must be at least 1".to_string());
+                }
+                args.queue_cap = Some(n);
             }
-            "run" if !args.campaign && !args.analyze && !args.faults && args.source.is_none() => {
-                args.campaign = true
+            "--degrade-watermark" => {
+                args.degrade_watermark = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--max-requeues" => {
+                args.max_requeues = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--device-loss" => args.device_loss = Some(value(&mut i)?),
+            "--quota" => args.quotas.push(value(&mut i)?),
+            "--service-schedule" => args.service_schedule = Some(PathBuf::from(value(&mut i)?)),
+            "analyze" if !subcommand_chosen(&args) && args.source.is_none() => args.analyze = true,
+            "faults" if !subcommand_chosen(&args) && args.source.is_none() => args.faults = true,
+            "run" if !subcommand_chosen(&args) && args.source.is_none() => args.campaign = true,
+            "serve" if !subcommand_chosen(&args) && args.source.is_none() => args.serve = true,
+            "submit" if !subcommand_chosen(&args) && args.source.is_none() => args.submit = true,
+            "status" if !subcommand_chosen(&args) && args.source.is_none() => args.status = true,
+            part if args.submit && part.contains('=') && !part.starts_with('-') => {
+                args.spec_parts.push(part.to_string())
             }
             path if !path.starts_with('-') => args.source = Some(path.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -227,6 +380,12 @@ fn parse_args() -> Result<Args, String> {
         i += 1;
     }
     Ok(args)
+}
+
+/// Whether a subcommand keyword has already been consumed (subcommands
+/// are mutually exclusive and must precede positional arguments).
+fn subcommand_chosen(args: &Args) -> bool {
+    args.analyze || args.faults || args.campaign || args.serve || args.submit || args.status
 }
 
 /// Parses a `--fault-plan` spec like `seed=7,kernel=2,hang=1,oom=1,retries=3`.
@@ -302,7 +461,11 @@ USAGE:
     bqsim run [OPTIONS] --journal <path>
     bqsim analyze [circuit.qasm] [OPTIONS]
     bqsim analyze --journal <path>
+    bqsim analyze --service-schedule <path>
     bqsim faults [OPTIONS]
+    bqsim submit --submissions <file> key=value...
+    bqsim serve --state-dir <dir> --submissions <file> [OPTIONS]
+    bqsim status --state-dir <dir>
 
 SUBCOMMANDS:
     run                  durable campaign: journal every completed batch
@@ -331,6 +494,44 @@ SUBCOMMANDS:
                          a seeded fault plan with recovery enabled, print
                          the health report, and verify transient recovery
                          reproduces the fault-free outputs bit-for-bit
+    submit               validate one submission spec (key=value fields:
+                         tenant, id, family, qubits, batches, batch-size,
+                         seed, fault-seed, priority, deadline-ms) and
+                         append it to the --submissions command file
+    serve                one multi-tenant service session: admit every
+                         spec in --submissions through the bounded queue
+                         and per-tenant quotas, schedule shards fair-share
+                         across --devices workers, journal every batch,
+                         and exit 6/7 (never OOM) when overload/quota
+                         rejects work; --resume re-admits interrupted
+                         submissions from the state dir bit-identically
+    status               render the state dir's manifest: which
+                         submissions are done (with digests), in flight,
+                         shed, cancelled, failed, or rejected
+
+SERVICE OPTIONS (serve/submit/status):
+    --state-dir <dir>    service state: manifest, per-submission journals,
+                         schedule trace
+    --submissions <f>    command file, one key=value spec per line
+                         (# comments and blank lines ignored)
+    --devices <n>        fleet size                          [default: 2]
+    --queue-cap <n>      bounded admission-queue capacity    [default: 16]
+    --degrade-watermark <n> queue depth at which new admissions downgrade
+                         to checksum-only journaling [default: queue-cap]
+    --max-requeues <n>   device-loss requeues per shard      [default: 3]
+    --device-loss <spec> deterministic loss injection: dev=<d>,after=<k>
+    --quota <spec>       per-tenant quota override (repeatable):
+                         tenant=<name>,bytes=<B>,inflight=<K>
+    --resume             (serve) replay the manifest and finish every
+                         non-terminal submission before taking new work
+    --service-schedule <p> (analyze) replay a recorded schedule trace and
+                         verify quota accounting, fair picks, the
+                         starvation bound, and bounded queue/retries
+
+EXIT CODES:
+    0 success; 1 findings/degraded; 2 usage; 3 journal error;
+    4 fingerprint mismatch; 5 simulation failure; 6 overloaded;
+    7 quota exceeded
 
 OPTIONS:
     --family <name>      built-in circuit instead of a QASM file
@@ -439,8 +640,8 @@ fn main() -> ExitCode {
     match run() {
         Ok(code) => code,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.code())
         }
     }
 }
@@ -464,7 +665,7 @@ fn emit_report(report: &AnalysisReport, format: OutputFormat) -> ExitCode {
 /// every artifact it produces; with `--model-check`, additionally explore
 /// the schedule space (DPOR), lock order, wake accounting, and pool
 /// discipline. Exit code 1 if anything is reported.
-fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
+fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError> {
     let opts = BqSimOptions {
         tau: args.tau,
         skip_fusion: args.skip_fusion,
@@ -474,7 +675,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
     };
     let mut report = AnalysisReport::new();
     let pipeline = bqsim_core::analyze_pipeline(circuit, &opts, args.batches, args.batch_size)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Sim(e.to_string()))?;
     report.push_section(
         "pipeline artifacts",
         format!(
@@ -502,7 +703,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
             &plan,
             &policy,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Sim(e.to_string()))?;
         report.push_section(
             "recovery schedule",
             format!("executed under {} injected fault(s)", plan.len()),
@@ -529,7 +730,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
             &plan,
             &policy,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Sim(e.to_string()))?;
         report.push_section(
             "parallel schedule",
             format!("executed on {} worker thread(s)", opts.threads),
@@ -550,7 +751,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
         };
         let checked =
             bqsim_core::model_check_pipeline(circuit, &opts, args.batches, args.batch_size, &mc)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Sim(e.to_string()))?;
         for s in checked.report.sections() {
             report.push_section(s.title.clone(), s.summary.clone(), s.diagnostics.clone());
         }
@@ -562,7 +763,7 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
 /// `bqsim faults`: the fault-injection demo. Runs the circuit fault-free,
 /// re-runs it under a seeded plan with recovery enabled, prints the health
 /// report, and (for transient plans) verifies bit-identical recovery.
-fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
+fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError> {
     let n = circuit.num_qubits();
     let opts = BqSimOptions {
         tau: args.tau,
@@ -576,11 +777,13 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
         layout: effective_layout(args),
         ..BqSimOptions::default()
     };
-    let sim = BqSimulator::compile(circuit, opts).map_err(|e| e.to_string())?;
+    let sim = BqSimulator::compile(circuit, opts).map_err(|e| CliError::Sim(e.to_string()))?;
     let batches: Vec<_> = (0..args.batches)
         .map(|b| random_input_batch(n, args.batch_size, args.seed ^ b as u64))
         .collect();
-    let clean = sim.run_batches(&batches).map_err(|e| e.to_string())?;
+    let clean = sim
+        .run_batches(&batches)
+        .map_err(|e| CliError::Sim(e.to_string()))?;
     println!(
         "fault-free run: {} batches x {} inputs in {:.3} ms virtual",
         args.batches,
@@ -608,7 +811,7 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
 
     let rec = sim
         .run_batches_recovering(&batches, &plan, &policy)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Sim(e.to_string()))?;
     println!(
         "\nfaulted run: {:.3} ms virtual\nhealth: {}",
         rec.run.timeline.total_ms(),
@@ -644,8 +847,8 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
 /// `bqsim analyze --journal`: authenticate and conformance-check a
 /// campaign journal. Exit code 1 on any error-severity finding or
 /// envelope damage (CRC failure, corruption, missing header).
-fn run_journal_audit(path: &Path, format: OutputFormat) -> Result<ExitCode, String> {
-    let diags = audit_journal(path).map_err(|e| e.to_string())?;
+fn run_journal_audit(path: &Path, format: OutputFormat) -> Result<ExitCode, CliError> {
+    let diags = audit_journal(path).map_err(|e| CliError::Journal(e.to_string()))?;
     let errors = diags.error_count();
     let mut report = AnalysisReport::new();
     report.push_section(
@@ -670,23 +873,8 @@ fn run_journal_audit(path: &Path, format: OutputFormat) -> Result<ExitCode, Stri
     })
 }
 
-/// FNV-1a fold of every completed batch's output checksum, in batch
-/// order — the cheap cross-process bit-identity witness printed by
-/// `bqsim run` and compared by the CI interrupt-resume gate. Built from
-/// [`CampaignResult::checksums`](bqsim_campaign::CampaignResult), so it is
-/// identical across plain, journaled, resumed, and checksum-only runs of
-/// the same plan.
-fn campaign_digest(checksums: &[Option<u64>]) -> u64 {
-    let mut hash = bqsim_campaign::checksum::fnv1a(b"campaign");
-    for cs in checksums.iter().flatten() {
-        hash ^= cs;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 /// `bqsim run`: the durable campaign runner.
-fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> {
+fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError> {
     let n = circuit.num_qubits();
     let opts = BqSimOptions {
         tau: args.tau,
@@ -741,7 +929,7 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> 
         }
     }
 
-    let result = run_campaign(circuit, opts, &batches, &copts).map_err(|e| e.to_string())?;
+    let result = run_campaign(circuit, opts, &batches, &copts).map_err(CliError::from)?;
     println!(
         "campaign: {} batches x {} inputs — {} resumed from journal, {} executed, \
          {} quarantined",
@@ -775,14 +963,269 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, String> 
     Ok(ExitCode::SUCCESS)
 }
 
-fn run() -> Result<ExitCode, String> {
-    let args = parse_args()?;
+/// `bqsim serve`: one multi-tenant service session over a submissions
+/// command file. The exit code reports the worst thing that happened:
+/// overload rejections (6) and quota rejections (7) dominate, then
+/// failures (5), then shed/cancelled work (1).
+fn run_serve(args: &Args) -> Result<ExitCode, CliError> {
+    let state_dir = args
+        .state_dir
+        .clone()
+        .ok_or_else(|| CliError::usage("serve needs --state-dir <dir>"))?;
+    let mut cfg = ServiceConfig::new(state_dir);
+    if let Some(d) = args.devices {
+        cfg.devices = d;
+    }
+    if let Some(c) = args.queue_cap {
+        cfg.queue_capacity = c;
+        cfg.degrade_watermark = c;
+    }
+    if let Some(w) = args.degrade_watermark {
+        cfg.degrade_watermark = w;
+    }
+    if let Some(m) = args.max_requeues {
+        cfg.max_requeues = m;
+    }
+    if let Some(dl) = &args.device_loss {
+        cfg.device_loss =
+            Some(DeviceLossSpec::parse(dl).map_err(|e| CliError::usage(e.to_string()))?);
+    }
+    for q in &args.quotas {
+        let (tenant, quota) = parse_quota(q).map_err(CliError::usage)?;
+        cfg.quotas.insert(tenant, quota);
+    }
+    cfg.resume = args.resume;
+
+    let mut specs = Vec::new();
+    if let Some(path) = &args.submissions {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::usage(format!("{}: {e}", path.display())))?;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let spec = SubmitSpec::parse_line(line)
+                .map_err(|e| CliError::usage(format!("{} line {}: {e}", path.display(), i + 1)))?;
+            specs.push(spec);
+        }
+    }
+    if specs.is_empty() && !cfg.resume {
+        return Err(CliError::usage(
+            "serve needs --submissions <file> with at least one spec (or --resume)",
+        ));
+    }
+
+    let report = run_service(&cfg, &specs).map_err(CliError::from)?;
+
+    let mut overloaded = 0usize;
+    let mut quota_rejected = 0usize;
+    let mut failed = 0usize;
+    let mut degraded = 0usize;
+    for sub in &report.submissions {
+        match &sub.outcome {
+            SubmissionOutcome::Completed {
+                digest,
+                executed,
+                resumed,
+                quarantined,
+                downgraded,
+            } => println!(
+                "{}/{}: completed digest={digest:016x} executed={executed} \
+                 resumed={resumed} quarantined={quarantined} downgraded={}",
+                sub.tenant,
+                sub.id,
+                u8::from(*downgraded),
+            ),
+            SubmissionOutcome::Rejected(e) => {
+                match e {
+                    ServeError::Overloaded { .. } => overloaded += 1,
+                    ServeError::QuotaExceeded { .. } => quota_rejected += 1,
+                    _ => failed += 1,
+                }
+                println!("{}/{}: rejected ({e})", sub.tenant, sub.id);
+            }
+            SubmissionOutcome::Shed => {
+                degraded += 1;
+                println!("{}/{}: shed by the overload ladder", sub.tenant, sub.id);
+            }
+            SubmissionOutcome::Cancelled { completed } => {
+                degraded += 1;
+                println!(
+                    "{}/{}: cancelled by deadline ({completed} batch(es) journaled)",
+                    sub.tenant, sub.id
+                );
+            }
+            SubmissionOutcome::Failed { reason } => {
+                failed += 1;
+                println!("{}/{}: failed ({reason})", sub.tenant, sub.id);
+            }
+        }
+    }
+    for (tenant, h) in &report.tenants {
+        println!(
+            "tenant {tenant}: admitted={} completed={} downgraded={} shed={} \
+             rejected-overload={} rejected-quota={} cancelled={} failed={} peak-bytes={}",
+            h.admitted,
+            h.completed,
+            h.downgraded,
+            h.shed,
+            h.rejected_overload,
+            h.rejected_quota,
+            h.cancelled,
+            h.failed,
+            h.peak_bytes,
+        );
+    }
+    if report.devices_lost > 0 {
+        println!(
+            "devices lost: {} of {} (shards requeued to survivors)",
+            report.devices_lost, cfg.devices
+        );
+    }
+    println!("schedule trace: {}", report.trace_path.display());
+
+    Ok(if overloaded > 0 {
+        ExitCode::from(6)
+    } else if quota_rejected > 0 {
+        ExitCode::from(7)
+    } else if failed > 0 {
+        ExitCode::from(5)
+    } else if degraded > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Parses a `--quota` spec: `tenant=<name>,bytes=<B>,inflight=<K>`
+/// (either limit may be omitted to keep the default).
+fn parse_quota(spec: &str) -> Result<(String, TenantQuota), String> {
+    let mut tenant = None;
+    let mut quota = TenantQuota::default();
+    for part in spec.split(',') {
+        match part.split_once('=') {
+            Some(("tenant", v)) => tenant = Some(v.to_string()),
+            Some(("bytes", v)) => {
+                quota.max_amp_bytes = v.parse().map_err(|e| format!("quota bytes: {e}"))?;
+            }
+            Some(("inflight", v)) => {
+                quota.max_inflight = v.parse().map_err(|e| format!("quota inflight: {e}"))?;
+            }
+            _ => {
+                return Err(format!(
+                    "bad quota entry `{part}` (want tenant=<name>,bytes=<B>,inflight=<K>)"
+                ))
+            }
+        }
+    }
+    let tenant = tenant.ok_or("quota needs tenant=<name>")?;
+    Ok((tenant, quota))
+}
+
+/// `bqsim submit`: validate a submission spec and append it to the
+/// command file a later `bqsim serve` session will admit from.
+fn run_submit(args: &Args) -> Result<ExitCode, CliError> {
+    let path = args
+        .submissions
+        .clone()
+        .ok_or_else(|| CliError::usage("submit needs --submissions <file>"))?;
+    if args.spec_parts.is_empty() {
+        return Err(CliError::usage(
+            "submit needs a spec: tenant=<t> id=<i> qubits=<n> batches=<N> batch-size=<B> …",
+        ));
+    }
+    let spec = SubmitSpec::parse_line(&args.spec_parts.join(" "))
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let mut line = spec.render_line();
+    line.push('\n');
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| CliError::Generic(format!("{}: {e}", path.display())))?;
+    f.write_all(line.as_bytes())
+        .and_then(|()| f.sync_data())
+        .map_err(|e| CliError::Generic(format!("{}: {e}", path.display())))?;
+    println!(
+        "submitted {}/{} to {}",
+        spec.tenant,
+        spec.id,
+        path.display()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `bqsim status`: render the service manifest's per-submission states.
+fn run_status(args: &Args) -> Result<ExitCode, CliError> {
+    let state_dir = args
+        .state_dir
+        .clone()
+        .ok_or_else(|| CliError::usage("status needs --state-dir <dir>"))?;
+    let entries = read_status(&state_dir).map_err(CliError::from)?;
+    if entries.is_empty() {
+        println!("no submissions recorded in {}", state_dir.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+    for e in &entries {
+        let state = match &e.state {
+            StatusState::InFlight => "in-flight (resumable)".to_string(),
+            StatusState::Done(digest) => format!("done digest={digest:016x}"),
+            StatusState::Shed => "shed".to_string(),
+            StatusState::Cancelled => "cancelled".to_string(),
+            StatusState::Failed(reason) => format!("failed ({reason})"),
+            StatusState::Rejected(reason) => format!("rejected ({reason})"),
+        };
+        println!("{}/{}: {state}", e.tenant, e.id);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `bqsim analyze --service-schedule`: replay a recorded schedule trace
+/// through the scheduler-invariant checker (quota accounting, fair
+/// picks, the starvation bound, bounded queue/retries, device-loss
+/// placement). Exit 1 on any finding.
+fn run_schedule_check(path: &Path, format: OutputFormat) -> Result<ExitCode, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Generic(format!("{}: {e}", path.display())))?;
+    let events = parse_schedule_trace(&text)
+        .map_err(|e| CliError::Generic(format!("{}: {e}", path.display())))?;
+    let diags = check_service_schedule(&events);
+    let mut report = AnalysisReport::new();
+    report.push_section(
+        "service schedule",
+        format!(
+            "trace {}: replayed {} event(s) against admission, quota, \
+             fair-share, starvation, and retry invariants",
+            path.display(),
+            events.len()
+        ),
+        diags,
+    );
+    Ok(emit_report(&report, format))
+}
+
+fn run() -> Result<ExitCode, CliError> {
+    let args = parse_args().map_err(CliError::Usage)?;
+    if args.serve {
+        return run_serve(&args);
+    }
+    if args.submit {
+        return run_submit(&args);
+    }
+    if args.status {
+        return run_status(&args);
+    }
     if args.analyze {
+        if let Some(trace) = args.service_schedule.clone() {
+            return run_schedule_check(&trace, args.format);
+        }
         if let Some(journal) = args.journal.clone() {
             return run_journal_audit(&journal, args.format);
         }
     }
-    let mut circuit = build_circuit(&args)?;
+    let mut circuit = build_circuit(&args).map_err(CliError::Usage)?;
     if args.analyze {
         return run_analysis(&args, &circuit);
     }
@@ -825,7 +1268,7 @@ fn run() -> Result<ExitCode, String> {
         layout: effective_layout(&args),
         ..BqSimOptions::default()
     };
-    let sim = BqSimulator::compile(&circuit, opts).map_err(|e| e.to_string())?;
+    let sim = BqSimulator::compile(&circuit, opts).map_err(|e| CliError::Sim(e.to_string()))?;
     println!(
         "compiled: {} fused gates, {} MAC/input, fusion {:.3} ms + conversion {:.3} ms (virtual)",
         sim.gates().len(),
@@ -848,11 +1291,12 @@ fn run() -> Result<ExitCode, String> {
         let (plan, policy) = build_fault_setup(fa, tasks_per_device, args.seed);
         let rec = sim
             .run_batches_recovering(&batches, &plan, &policy)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Sim(e.to_string()))?;
         println!("injected {} fault(s); health: {}", plan.len(), rec.health);
         rec.run
     } else {
-        sim.run_batches(&batches).map_err(|e| e.to_string())?
+        sim.run_batches(&batches)
+            .map_err(|e| CliError::Sim(e.to_string()))?
     };
     println!(
         "simulated {} inputs in {:.3} ms virtual device time ({:.0} W GPU avg)",
@@ -874,18 +1318,28 @@ fn run() -> Result<ExitCode, String> {
     }
 
     if let Some(p) = &args.observable {
-        let obs = PauliString::parse(p).map_err(|c| format!("bad Pauli `{c}` in {p}"))?;
-        let values: Vec<f64> = result.outputs[0]
-            .iter()
-            .map(|s| expectation(&obs, s))
-            .collect();
+        let obs = PauliString::parse(p)
+            .map_err(|c| CliError::usage(format!("bad Pauli `{c}` in {p}")))?;
+        let first = result.outputs.first().filter(|b| !b.is_empty()).ok_or_else(|| {
+            CliError::usage("--observable needs at least one batch with one input (see --batches/--batch-size)")
+        })?;
+        let values: Vec<f64> = first.iter().map(|s| expectation(&obs, s)).collect();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         println!("<{obs}> over batch 0: mean {mean:+.6}");
     }
 
     if args.shots > 0 {
+        let first_state = result
+            .outputs
+            .first()
+            .and_then(|b| b.first())
+            .ok_or_else(|| {
+                CliError::usage(
+                    "--shots needs at least one batch with one input (see --batches/--batch-size)",
+                )
+            })?;
         let mut rng = SmallRng::seed_from_u64(args.seed);
-        let counts = sample_counts(&result.outputs[0][0], args.shots, &mut rng);
+        let counts = sample_counts(first_state, args.shots, &mut rng);
         println!("\ntop outcomes of output state 0 ({} shots):", args.shots);
         let mut ranked: Vec<(usize, usize)> = counts
             .into_iter()

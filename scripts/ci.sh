@@ -32,17 +32,18 @@ for threads in 1 4; do
 done
 
 echo "==> bqsim analyze under injected faults (recovery schedule must be hazard-free)"
-cargo run -q -p bqsim-campaign --release --bin bqsim -- analyze \
+cargo run -q -p bqsim-serve --release --bin bqsim -- analyze \
     --family vqe --qubits 6 --batches 4 --fault-plan seed=42,kernel=2,copy=1,hang=1
 
 echo "==> bqsim analyze parallel schedule (4 threads must be race-free and dependency-preserving)"
-cargo run -q -p bqsim-campaign --release --bin bqsim -- analyze \
+cargo run -q -p bqsim-serve --release --bin bqsim -- analyze \
     --family vqe --qubits 6 --batches 4 --threads 4
 
 echo "==> durable campaign interrupt-resume gate (digest must be bit-identical)"
 journal="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-XXXXXX.journal")"
-trap 'rm -f "$journal" "$journal.state" "$journal.ref" "$journal.ref.state"' EXIT
-run_bqsim() { cargo run -q -p bqsim-campaign --release --bin bqsim -- "$@"; }
+svc_root="$(mktemp -d "${TMPDIR:-/tmp}/bqsim-ci-serve-XXXXXX")"
+trap 'rm -f "$journal" "$journal.state" "$journal.ref" "$journal.ref.state"; rm -rf "$svc_root"' EXIT
+run_bqsim() { cargo run -q -p bqsim-serve --release --bin bqsim -- "$@"; }
 ref_digest="$(run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
     --journal "$journal.ref" | grep 'campaign digest:')"
 run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
@@ -100,6 +101,75 @@ for defect in race lock-order wake pool journal; do
     fi
     echo "    --inject-defect $defect rejected (exit 1)"
 done
+
+echo "==> multi-tenant service chaos gate (8 tenants, device loss, SIGKILL, resume)"
+sv_fams=(qft ghz graph vqe supremacy qft graph vqe)
+sv_qubits=(12 10 9 8 10 12 10 9)
+sv_batches=(8 6 6 4 4 8 6 4)
+sv_bs=(64 32 32 32 32 64 32 32)
+sv_prios=(low normal high low normal high normal high)
+sv_expect=()
+cmds="$svc_root/jobs.cmd"
+for i in 0 1 2 3 4 5 6 7; do
+    n=$((i + 1))
+    run_bqsim submit --submissions "$cmds" \
+        "tenant=t$n" "id=j$n" "family=${sv_fams[$i]}" "qubits=${sv_qubits[$i]}" \
+        "batches=${sv_batches[$i]}" "batch-size=${sv_bs[$i]}" "seed=$((10 + n))" \
+        "fault-seed=$((100 + n))" "priority=${sv_prios[$i]}" >/dev/null
+    # Serial twin: the same campaign submitted alone must yield the
+    # digest the service reports for this tenant.
+    d="$(run_bqsim run --family "${sv_fams[$i]}" --qubits "${sv_qubits[$i]}" \
+        --batches "${sv_batches[$i]}" --batch-size "${sv_bs[$i]}" --seed "$((10 + n))" \
+        --fault-plan "seed=$((100 + n))" | grep 'campaign digest:' | awk '{print $NF}')"
+    sv_expect+=("$d")
+done
+for threads in 1 4; do
+    echo "    BQSIM_THREADS=$threads"
+    sd="$svc_root/threads$threads"
+    # Run the service binary directly (not via `cargo run`) so the
+    # SIGKILL hits the service process itself, not a wrapper.
+    BQSIM_THREADS=$threads target/release/bqsim serve --state-dir "$sd" \
+        --submissions "$cmds" --devices 2 --queue-cap 16 \
+        --device-loss dev=1,after=3 >/dev/null &
+    svc_pid=$!
+    sleep 0.25
+    kill -9 "$svc_pid" 2>/dev/null || true
+    wait "$svc_pid" 2>/dev/null || true
+    # Resume with the same command file: in-flight work resumes from
+    # its journal, finished work reports its settled digest, and any
+    # spec the crash preempted before admission is admitted fresh.
+    BQSIM_THREADS=$threads run_bqsim serve --state-dir "$sd" --resume \
+        --submissions "$cmds" --devices 2 >/dev/null
+    status_out="$(run_bqsim status --state-dir "$sd")"
+    for i in 0 1 2 3 4 5 6 7; do
+        n=$((i + 1))
+        want="t$n/j$n: done digest=${sv_expect[$i]}"
+        if ! printf '%s\n' "$status_out" | grep -qF "$want"; then
+            echo "FAIL: threads=$threads missing '$want' in service status:" >&2
+            printf '%s\n' "$status_out" >&2
+            exit 1
+        fi
+    done
+    run_bqsim analyze --service-schedule "$sd/schedule.trace"
+done
+echo "    all 8 tenants bit-identical to serial submission across threads {1,4}"
+
+echo "==> service overload gate (bounded queue rejects with exit 6, never OOM)"
+ovcmds="$svc_root/overload.cmd"
+for i in 1 2 3 4; do
+    run_bqsim submit --submissions "$ovcmds" "tenant=ov" "id=j$i" "family=ghz" \
+        "qubits=4" "batches=2" "batch-size=8" "seed=$i" >/dev/null
+done
+set +e
+run_bqsim serve --state-dir "$svc_root/overload" --submissions "$ovcmds" \
+    --devices 1 --queue-cap 1 >/dev/null
+ov_rc=$?
+set -e
+if [ "$ov_rc" -ne 6 ]; then
+    echo "FAIL: overloaded service exited $ov_rc, want 6 (structured rejection)" >&2
+    exit 1
+fi
+echo "    saturated queue rejected with exit 6"
 
 echo "==> miri pass over unsafe-adjacent crates (skipped when nightly miri is absent)"
 if cargo +nightly miri --version >/dev/null 2>&1; then

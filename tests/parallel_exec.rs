@@ -134,12 +134,19 @@ fn layered_circuit_converts_each_distinct_gate_once() {
         ..BqSimOptions::default()
     };
     let sim = BqSimulator::compile(&circuit, opts).unwrap();
-    let (hits, misses, evictions) = sim.conversion_cache_stats();
+    let stats = sim.conversion_cache_stats();
     let total = (5 + 4) * layers as u64;
     let distinct = 5 + 4; // one H per qubit + one CX per pair
-    assert_eq!(misses, distinct, "each distinct gate converts exactly once");
-    assert_eq!(hits, total - distinct, "every repeat must hit the cache");
-    assert_eq!(evictions, 0, "well under the default capacity bound");
+    assert_eq!(
+        stats.misses, distinct,
+        "each distinct gate converts exactly once"
+    );
+    assert_eq!(
+        stats.hits,
+        total - distinct,
+        "every repeat must hit the cache"
+    );
+    assert_eq!(stats.evictions, 0, "well under the default capacity bound");
     assert_eq!(sim.gates().len() as u64, total);
 }
 
