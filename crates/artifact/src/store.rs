@@ -1,0 +1,339 @@
+//! The content-addressed artifact store: one directory, one file per
+//! circuit executable, named by its 64-bit content key.
+//!
+//! # Guarantees
+//!
+//! * **Atomic publication** — artifacts are written to a temp file,
+//!   fsync'd, and `rename`d into place, so a crashed or concurrent
+//!   writer can never leave a half-written `.bqc` visible.
+//! * **Graceful corruption handling** — a load that fails validation
+//!   (CRC, version, truncation, structure) is reported as
+//!   [`LoadOutcome::Corrupt`], never an error: the caller recompiles
+//!   and republishes, and the corrupt file is unlinked so it cannot
+//!   poison later processes.
+//! * **Single-flight compilation** — [`ArtifactStore::begin_flight`]
+//!   elects one compiling leader per key via an exclusive lock file;
+//!   followers wait for the leader's publication instead of burning the
+//!   same compile. The lock is purely an optimisation: compilation is
+//!   deterministic and publication atomic, so losing the election race
+//!   (stale lock, timeout) degrades to a duplicate compile of identical
+//!   bytes, never to corruption.
+//! * **Bounded occupancy** — past [`ArtifactStore::with_capacity`]'s
+//!   entry bound, publication evicts the oldest-modified artifacts
+//!   (they are caches; re-creating one costs a compile).
+
+use crate::format::{decode_artifact, encode_artifact, ArtifactError, CircuitArtifact};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+/// Default store occupancy bound (entries, not bytes): generous for a
+/// service's working set of distinct circuits while still bounding a
+/// shared directory that millions of submissions funnel through.
+pub const DEFAULT_STORE_CAPACITY: usize = 512;
+
+/// How long a follower waits for a compiling leader before giving up
+/// and compiling itself; also the age past which an orphaned lock file
+/// (leader crashed mid-compile) is broken.
+pub const FLIGHT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Cumulative store traffic counters, readable at any time (mirrors
+/// the conversion `EllCacheStats` discipline one layer down).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Loads that returned a valid artifact.
+    pub hits: u64,
+    /// Loads that found no artifact for the key.
+    pub misses: u64,
+    /// Loads that found a file but rejected it (CRC/version/structure);
+    /// each one was unlinked and recompiled.
+    pub corrupt: u64,
+    /// Artifacts atomically published.
+    pub published: u64,
+    /// Artifacts evicted by the occupancy bound.
+    pub evictions: u64,
+}
+
+/// One entry of a store inventory scan.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// The content key parsed from the file name.
+    pub key: u64,
+    /// Absolute path of the `.bqc` file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Result of one keyed load.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// Valid artifact found.
+    Hit(Box<CircuitArtifact>),
+    /// No artifact for this key.
+    Miss,
+    /// A file existed but failed validation; it has been unlinked. The
+    /// string names the first failed check — callers surface it as a
+    /// warning and recompile.
+    Corrupt(String),
+}
+
+/// Election result of [`ArtifactStore::begin_flight`].
+#[derive(Debug)]
+pub enum Flight {
+    /// This process compiles (and should publish). Holds the lock until
+    /// dropped.
+    Leader(FlightGuard),
+    /// Another process published while we waited — reload the key.
+    Follower,
+}
+
+/// Exclusive compile lock for one key; removes the lock file on drop.
+#[derive(Debug)]
+pub struct FlightGuard {
+    lock_path: Option<PathBuf>,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if let Some(p) = &self.lock_path {
+            let _ = fs::remove_file(p);
+        }
+    }
+}
+
+/// A content-addressed directory of circuit executables shared across
+/// processes and service tenants.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    max_entries: usize,
+    stats: Mutex<StoreStats>,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store at `dir` with the default
+    /// occupancy bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_capacity(dir, DEFAULT_STORE_CAPACITY)
+    }
+
+    /// Opens the store with an explicit entry bound (`0` disables
+    /// eviction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn with_capacity(dir: impl Into<PathBuf>, max_entries: usize) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore {
+            dir,
+            max_entries,
+            stats: Mutex::new(StoreStats::default()),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical artifact path for a key.
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.bqc"))
+    }
+
+    fn lock_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.lock"))
+    }
+
+    /// A traffic-counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.lock().expect("store stats lock")
+    }
+
+    /// Loads the artifact for `key`, validating header, CRC, and every
+    /// structural invariant. A file that fails validation is unlinked
+    /// (so the corruption cannot poison later processes) and reported
+    /// as [`LoadOutcome::Corrupt`] for the caller to recompile past.
+    pub fn load(&self, key: u64) -> LoadOutcome {
+        let path = self.path_for(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.stats.lock().expect("store stats lock").misses += 1;
+                return LoadOutcome::Miss;
+            }
+            Err(e) => {
+                // An unreadable file is as useless as a corrupt one;
+                // recompiling is always available.
+                self.stats.lock().expect("store stats lock").corrupt += 1;
+                return LoadOutcome::Corrupt(format!("{}: {e}", path.display()));
+            }
+        };
+        match decode_artifact(&bytes, Some(key)) {
+            Ok(a) => {
+                self.stats.lock().expect("store stats lock").hits += 1;
+                LoadOutcome::Hit(Box::new(a))
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&path);
+                self.stats.lock().expect("store stats lock").corrupt += 1;
+                LoadOutcome::Corrupt(format!("{}: {e}", path.display()))
+            }
+        }
+    }
+
+    /// Atomically publishes an artifact: temp file in the store
+    /// directory, fsync, rename to the canonical name, then occupancy
+    /// eviction. Safe against concurrent publishers of the same key —
+    /// compilation is deterministic, so whichever rename lands last
+    /// installs identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] if the temp file cannot be written or
+    /// renamed. Callers treat publication failure as non-fatal (the
+    /// compiled simulator in memory is unaffected).
+    pub fn publish(&self, artifact: &CircuitArtifact) -> Result<PathBuf, ArtifactError> {
+        let bytes = encode_artifact(artifact);
+        let final_path = self.path_for(artifact.key);
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{:016x}-{}", artifact.key, std::process::id()));
+        let res = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &final_path)
+        })();
+        if let Err(e) = res {
+            let _ = fs::remove_file(&tmp);
+            return Err(ArtifactError::Io(e));
+        }
+        {
+            let mut s = self.stats.lock().expect("store stats lock");
+            s.published += 1;
+        }
+        self.evict_excess();
+        Ok(final_path)
+    }
+
+    /// Enforces the entry bound by unlinking the oldest-modified
+    /// artifacts. Best-effort: scan errors are ignored (eviction is a
+    /// hygiene pass, not a correctness requirement).
+    fn evict_excess(&self) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let Ok(mut entries) = self.scan() else {
+            return;
+        };
+        if entries.len() <= self.max_entries {
+            return;
+        }
+        entries.sort_by_key(|(mtime, _)| *mtime);
+        let excess = entries.len() - self.max_entries;
+        let mut removed = 0u64;
+        for (_, path) in entries.into_iter().take(excess) {
+            if fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        self.stats.lock().expect("store stats lock").evictions += removed;
+    }
+
+    fn scan(&self) -> std::io::Result<Vec<(SystemTime, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "bqc") {
+                let mtime = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(SystemTime::UNIX_EPOCH);
+                out.push((mtime, path));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inventory of every artifact currently published (keys parsed
+    /// from file names; files with unparseable names are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-scan failure.
+    pub fn entries(&self) -> std::io::Result<Vec<StoreEntry>> {
+        let mut out = Vec::new();
+        for (_, path) in self.scan()? {
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            out.push(StoreEntry { key, path, bytes });
+        }
+        out.sort_by_key(|e| e.key);
+        Ok(out)
+    }
+
+    /// Elects a compiling leader for `key`, or waits (bounded by
+    /// `timeout`) for another process's publication.
+    ///
+    /// Protocol: atomically create `<key>.lock` — success makes this
+    /// process the leader (guard removes the lock on drop, publish
+    /// before dropping). On failure, poll: if the artifact appears,
+    /// return [`Flight::Follower`]; if the lock grows older than
+    /// `timeout` (leader died), break it and run for leader again; if
+    /// `timeout` elapses with neither, become a lockless leader — the
+    /// duplicate compile produces identical bytes and publication is
+    /// atomic, so this is waste, never corruption.
+    pub fn begin_flight(&self, key: u64, timeout: Duration) -> Flight {
+        let lock = self.lock_path(key);
+        let started = Instant::now();
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock)
+            {
+                Ok(_) => {
+                    return Flight::Leader(FlightGuard {
+                        lock_path: Some(lock),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {}
+                // A store we cannot lock in (read-only dir, races on
+                // unlinked dirs) still works: compile locklessly.
+                Err(_) => return Flight::Leader(FlightGuard { lock_path: None }),
+            }
+            if self.path_for(key).exists() {
+                return Flight::Follower;
+            }
+            if started.elapsed() >= timeout {
+                return Flight::Leader(FlightGuard { lock_path: None });
+            }
+            let stale = fs::metadata(&lock)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age >= timeout);
+            if stale {
+                let _ = fs::remove_file(&lock);
+                continue;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}

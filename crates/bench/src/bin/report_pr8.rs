@@ -1,0 +1,287 @@
+//! PR 8 artifact-store report: cold compile vs warm load of circuit
+//! executables, in **real host wall-clock** (compile and decode both
+//! run on the host, so `Instant` is the honest meter).
+//!
+//! Each workload is swept cold-vs-warm **interleaved per round**: every
+//! round evicts the artifact, times a cold start (fusion + DD-to-ELL
+//! conversion + publish), then times a warm start (open store, decode
+//! the executable) back-to-back, so minute-scale host load drift hits
+//! both sides equally. Absolute times report the per-side minimum
+//! across rounds; the headline speedups additionally use the
+//! paired-delta estimator from `report_pr4`/`report_pr5`.
+//!
+//! Two meters per side:
+//!
+//! * `time_to_first_batch` — from "nothing in memory" to the first
+//!   batch's outputs: store open + compile-or-load + first spMM chain.
+//!   This is the latency a service admission or campaign resume feels.
+//! * `e2e` — the same plus the remaining batches, showing how the
+//!   compile win dilutes as execution amortises it.
+//!
+//! Warm outputs are asserted bit-identical to cold outputs before any
+//! number is reported — the store is a cache, not an approximation.
+//!
+//! The acceptance target for this PR is warm `time_to_first_batch`
+//! ≥ 5× lower than cold on qft-14.
+
+use bqsim_bench::table::Table;
+use bqsim_core::{random_input_batch, ArtifactStore, BqSimOptions, BqSimulator, CompileSource};
+use bqsim_qcir::{generators, Circuit};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct CwResult {
+    name: String,
+    qubits: usize,
+    gates: usize,
+    batches: usize,
+    batch_size: usize,
+    artifact_bytes: u64,
+    cold_ttfb_ns: u128,
+    warm_ttfb_ns: u128,
+    cold_e2e_ns: u128,
+    warm_e2e_ns: u128,
+    paired_ttfb_speedup: f64,
+    paired_e2e_speedup: f64,
+}
+
+/// Paired-delta speedup estimator (shared with `report_pr5`): each round
+/// times baseline and candidate back-to-back so the per-round delta
+/// cancels load drift; the median delta over rounds, against the median
+/// baseline, gives `baseline / candidate` as the drift-immune speedup.
+fn paired_speedup(baseline: &[u128], candidate: &[u128]) -> f64 {
+    let mut deltas: Vec<i128> = baseline
+        .iter()
+        .zip(candidate)
+        .map(|(&b, &c)| b as i128 - c as i128)
+        .collect();
+    deltas.sort_unstable();
+    let mut base: Vec<u128> = baseline.to_vec();
+    base.sort_unstable();
+    let saved = deltas[deltas.len() / 2] as f64;
+    let base = base[base.len() / 2] as f64;
+    base / (base - saved).max(1.0)
+}
+
+/// One timed start: open the store, compile-or-load, run the first
+/// batch (→ `time_to_first_batch`), run the rest (→ `e2e`). Returns the
+/// outputs so the caller can assert cold/warm bit-identity.
+#[allow(clippy::type_complexity)]
+fn timed_start(
+    dir: &PathBuf,
+    circuit: &Circuit,
+    batches: &[Vec<Vec<bqsim_num::Complex>>],
+) -> (u128, u128, CompileSource, Vec<Vec<Vec<bqsim_num::Complex>>>) {
+    let t = Instant::now();
+    let store = ArtifactStore::open(dir).expect("open store");
+    let (sim, source) =
+        BqSimulator::compile_or_load(circuit, BqSimOptions::default(), &store).expect("compile");
+    let mut outputs = sim.run_batches(&batches[..1]).expect("first batch").outputs;
+    let ttfb = t.elapsed().as_nanos();
+    if batches.len() > 1 {
+        outputs.extend(sim.run_batches(&batches[1..]).expect("rest").outputs);
+    }
+    (ttfb, t.elapsed().as_nanos(), source, outputs)
+}
+
+fn measure(
+    name: &str,
+    circuit: &Circuit,
+    num_batches: usize,
+    batch_size: usize,
+    reps: usize,
+) -> CwResult {
+    let n = circuit.num_qubits();
+    let batches: Vec<_> = (0..num_batches)
+        .map(|b| random_input_batch(n, batch_size, 42 ^ b as u64))
+        .collect();
+    let dir = std::env::temp_dir().join(format!("bqsim-pr8-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Seed the store once so artifact size and the warm path's file are
+    // in place, and pin the reference outputs.
+    let (_, _, source, reference) = timed_start(&dir, circuit, &batches);
+    assert!(
+        matches!(source, CompileSource::Cold { published: true }),
+        "{name}: seeding start must publish, got {source:?}"
+    );
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let entries = store.entries().expect("inventory");
+    assert_eq!(entries.len(), 1, "{name}: one executable expected");
+    let artifact_bytes = entries[0].bytes;
+    let gates = {
+        let (sim, _) =
+            BqSimulator::compile_or_load(circuit, BqSimOptions::default(), &store).expect("warm");
+        sim.gates().len()
+    };
+
+    let mut cold_ttfb = Vec::with_capacity(reps);
+    let mut warm_ttfb = Vec::with_capacity(reps);
+    let mut cold_e2e = Vec::with_capacity(reps);
+    let mut warm_e2e = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        // Cold: evict the artifact so this start pays the full compile.
+        std::fs::remove_file(&entries[0].path).expect("evict");
+        let (ttfb, e2e, source, outs) = timed_start(&dir, circuit, &batches);
+        assert!(!source.is_warm(), "{name}: evicted start must be cold");
+        assert_eq!(outs, reference, "{name}: cold outputs changed");
+        cold_ttfb.push(ttfb);
+        cold_e2e.push(e2e);
+        // Warm, back-to-back: the cold start just republished.
+        let (ttfb, e2e, source, outs) = timed_start(&dir, circuit, &batches);
+        assert!(source.is_warm(), "{name}: populated start must be warm");
+        assert_eq!(outs, reference, "{name}: warm outputs changed");
+        warm_ttfb.push(ttfb);
+        warm_e2e.push(e2e);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    CwResult {
+        name: name.to_string(),
+        qubits: n,
+        gates,
+        batches: num_batches,
+        batch_size,
+        artifact_bytes,
+        cold_ttfb_ns: *cold_ttfb.iter().min().expect("reps > 0"),
+        warm_ttfb_ns: *warm_ttfb.iter().min().expect("reps > 0"),
+        cold_e2e_ns: *cold_e2e.iter().min().expect("reps > 0"),
+        warm_e2e_ns: *warm_e2e.iter().min().expect("reps > 0"),
+        paired_ttfb_speedup: paired_speedup(&cold_ttfb, &warm_ttfb),
+        paired_e2e_speedup: paired_speedup(&cold_e2e, &warm_e2e),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 7 };
+
+    // routing-6 at campaign shape (many cheap batches: the e2e column
+    // shows the compile win amortising); qft-14 is the acceptance
+    // workload — deep fusion + 16k-row conversions make its compile the
+    // dominant cost of a short session; ansatz-8 (real_amplitudes) is
+    // the PR 3/5 headline workload carried forward for continuity.
+    let (routing_batches, qft_batches) = if quick { (4, 2) } else { (16, 3) };
+    let workloads = vec![
+        measure(
+            "routing-6",
+            &generators::routing(6, 42),
+            routing_batches,
+            64,
+            reps,
+        ),
+        measure("qft-14", &generators::qft(14), qft_batches, 4, reps),
+        measure(
+            "ansatz-8",
+            &generators::real_amplitudes(8, 3, 42),
+            4,
+            64,
+            reps,
+        ),
+    ];
+
+    println!("# PR 8 — circuit-executable store: cold compile vs warm load (host wall-clock)\n");
+    let mut t = Table::new(&[
+        "workload",
+        "n",
+        "gates",
+        "N x B",
+        "bytes",
+        "cold ttfb ms",
+        "warm ttfb ms",
+        "ttfb x",
+        "cold e2e ms",
+        "warm e2e ms",
+        "e2e x",
+    ]);
+    for r in &workloads {
+        t.add(vec![
+            r.name.clone(),
+            r.qubits.to_string(),
+            r.gates.to_string(),
+            format!("{} x {}", r.batches, r.batch_size),
+            r.artifact_bytes.to_string(),
+            format!("{:.3}", r.cold_ttfb_ns as f64 / 1e6),
+            format!("{:.3}", r.warm_ttfb_ns as f64 / 1e6),
+            format!("{:.2}", r.cold_ttfb_ns as f64 / r.warm_ttfb_ns as f64),
+            format!("{:.3}", r.cold_e2e_ns as f64 / 1e6),
+            format!("{:.3}", r.warm_e2e_ns as f64 / 1e6),
+            format!("{:.2}", r.cold_e2e_ns as f64 / r.warm_e2e_ns as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let qft = workloads
+        .iter()
+        .find(|r| r.name == "qft-14")
+        .expect("qft-14 measured");
+    let qft_ttfb = qft.cold_ttfb_ns as f64 / qft.warm_ttfb_ns as f64;
+    println!(
+        "qft-14 warm time_to_first_batch {qft_ttfb:.2}x lower than cold \
+         (paired {:.2}x; acceptance target >= 5x)",
+        qft.paired_ttfb_speedup
+    );
+
+    // Hand-formatted JSON artifact (no serde in the bench crate).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"report\": \"pr8\",");
+    let _ = writeln!(json, "  \"unit\": \"ns_wall_clock\",");
+    let _ = writeln!(json, "  \"ttfb_speedup_target\": 5.0,");
+    let _ = writeln!(json, "  \"target_workload\": \"qft-14\",");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, r) in workloads.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"qubits\": {},", r.qubits);
+        let _ = writeln!(json, "      \"gates\": {},", r.gates);
+        let _ = writeln!(json, "      \"batches\": {},", r.batches);
+        let _ = writeln!(json, "      \"batch_size\": {},", r.batch_size);
+        let _ = writeln!(json, "      \"artifact_bytes\": {},", r.artifact_bytes);
+        let _ = writeln!(
+            json,
+            "      \"cold_time_to_first_batch_ns\": {},",
+            r.cold_ttfb_ns
+        );
+        let _ = writeln!(
+            json,
+            "      \"warm_time_to_first_batch_ns\": {},",
+            r.warm_ttfb_ns
+        );
+        let _ = writeln!(json, "      \"cold_e2e_ns\": {},", r.cold_e2e_ns);
+        let _ = writeln!(json, "      \"warm_e2e_ns\": {},", r.warm_e2e_ns);
+        let _ = writeln!(
+            json,
+            "      \"time_to_first_batch_speedup\": {:.4},",
+            r.cold_ttfb_ns as f64 / r.warm_ttfb_ns as f64
+        );
+        let _ = writeln!(
+            json,
+            "      \"e2e_speedup\": {:.4},",
+            r.cold_e2e_ns as f64 / r.warm_e2e_ns as f64
+        );
+        let _ = writeln!(
+            json,
+            "      \"paired_time_to_first_batch_speedup\": {:.4},",
+            r.paired_ttfb_speedup
+        );
+        let _ = writeln!(
+            json,
+            "      \"paired_e2e_speedup\": {:.4}",
+            r.paired_e2e_speedup
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_pr8.json");
+    println!("\nwrote {path}");
+}

@@ -99,6 +99,7 @@ mod tests {
             circuit: 1,
             options: 2,
             inputs: 3,
+            artifact: 4,
             fault_seed: None,
             threads: 1,
             layout: bqsim_core::Layout::Planar,

@@ -70,6 +70,13 @@ pub struct Fingerprint {
     pub options: u64,
     /// FNV-1a over the raw bit patterns of every input amplitude.
     pub inputs: u64,
+    /// The compile's content address (`bqsim_core::artifact_key`) — the
+    /// same key that names the circuit executable in an artifact store.
+    /// Recorded whether or not a store is in use, so a resume can refuse
+    /// a journal whose compile came from a different circuit/option
+    /// combination even when `circuit` and `options` hash-collide, and so
+    /// an operator can correlate a journal with its store entry.
+    pub artifact: u64,
     /// Fault-injection seed, or `None` for a fault-free campaign.
     pub fault_seed: Option<u64>,
     /// Host worker threads (`BqSimOptions::threads`). Recorded because
@@ -101,6 +108,9 @@ impl Fingerprint {
         }
         if self.inputs != other.inputs {
             return Some("inputs");
+        }
+        if self.artifact != other.artifact {
+            return Some("artifact");
         }
         if self.fault_seed != other.fault_seed {
             return Some("fault_seed");
@@ -268,11 +278,12 @@ fn render_header(fp: &Fingerprint, mode: StateMode) -> String {
         None => "none".to_string(),
     };
     format!(
-        "plan circuit={:016x} options={:016x} inputs={:016x} fault_seed={} \
+        "plan circuit={:016x} options={:016x} inputs={:016x} artifact={:016x} fault_seed={} \
          threads={} layout={} batches={} batch_size={} amps={} state={}",
         fp.circuit,
         fp.options,
         fp.inputs,
+        fp.artifact,
         seed,
         fp.threads,
         fp.layout.token(),
@@ -541,6 +552,7 @@ fn parse_header(payload: &str) -> Option<(Fingerprint, StateMode)> {
     let circuit = parse_hex_u64(parse_kv(t.next()?, "circuit")?.as_bytes())?;
     let options = parse_hex_u64(parse_kv(t.next()?, "options")?.as_bytes())?;
     let inputs = parse_hex_u64(parse_kv(t.next()?, "inputs")?.as_bytes())?;
+    let artifact = parse_hex_u64(parse_kv(t.next()?, "artifact")?.as_bytes())?;
     let seed = parse_kv(t.next()?, "fault_seed")?;
     let fault_seed = if seed == "none" {
         None
@@ -561,6 +573,7 @@ fn parse_header(payload: &str) -> Option<(Fingerprint, StateMode)> {
             circuit,
             options,
             inputs,
+            artifact,
             fault_seed,
             threads,
             layout,
@@ -698,6 +711,7 @@ mod tests {
             circuit: 0x1111,
             options: 0x2222,
             inputs: 0x3333,
+            artifact: 0x4444,
             fault_seed: Some(42),
             threads: 4,
             layout: Layout::Planar,

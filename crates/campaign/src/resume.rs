@@ -127,6 +127,7 @@ mod tests {
             circuit: 0,
             options: 0,
             inputs: 0,
+            artifact: 0,
             fault_seed: None,
             threads: 1,
             layout: bqsim_core::Layout::Planar,

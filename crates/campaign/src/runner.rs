@@ -61,8 +61,8 @@ use crate::integrity::{check_batch, IntegrityBudget, IntegrityVerdict};
 use crate::journal::{read_journal, Fingerprint, JournalError, JournalWriter, Record, StateMode};
 use crate::resume::load_journal_state;
 use bqsim_core::{
-    schedule, BqSimOptions, BqSimulator, BqsimError, FaultBudget, FaultPlan, RecoveryPolicy,
-    RunHealth,
+    artifact_key, schedule, ArtifactStore, BqSimOptions, BqSimulator, BqsimError, CompileSource,
+    EllCacheStats, FaultBudget, FaultPlan, RecoveryPolicy, RunHealth, StoreStats,
 };
 use bqsim_faults::CancelToken;
 use bqsim_gpu::ExecMode;
@@ -129,6 +129,12 @@ pub struct CampaignOptions {
     /// trades a negligible recompute exposure for an order of magnitude
     /// fewer fsyncs on the critical path.
     pub commit_interval: Duration,
+    /// Artifact-store directory for compile-once circuit executables.
+    /// When set, the campaign loads its compiled simulator from the
+    /// store (publishing on a cold miss) instead of re-running fusion
+    /// and conversion; the store is shared across processes, and the
+    /// artifact key is part of the journal fingerprint either way.
+    pub artifact_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -145,6 +151,7 @@ impl Default for CampaignOptions {
             retry_quarantined: true,
             persist_state: true,
             commit_interval: Duration::from_millis(100),
+            artifact_dir: None,
         }
     }
 }
@@ -199,6 +206,17 @@ pub struct CampaignResult {
     pub cancelled: bool,
     /// Merged fault/recovery accounting across all executed batches.
     pub health: RunHealth,
+    /// Where the compiled simulator came from: `None` without an
+    /// artifact store, otherwise cold / warm / recompiled-after-
+    /// corruption (the digest output surfaces this alongside the
+    /// traffic counters below).
+    pub compile_source: Option<CompileSource>,
+    /// Artifact-store traffic counters for this session's store handle
+    /// (`None` without a store).
+    pub store_stats: Option<StoreStats>,
+    /// Compile-time ELL conversion-cache counters of the simulator the
+    /// campaign ran (loaded verbatim from the artifact on a warm start).
+    pub cache_stats: EllCacheStats,
 }
 
 impl CampaignResult {
@@ -551,6 +569,11 @@ pub fn plan_fingerprint(
         circuit: circuit_hash,
         options: fnv1a(opt_repr.as_bytes()),
         inputs,
+        // The same content address that names the compile in an artifact
+        // store — journals and stores stay correlatable, and a resume
+        // refuses a journal whose compile inputs differ even if the
+        // circuit/options digests above were to collide.
+        artifact: artifact_key(circuit, opts),
         fault_seed,
         threads: opts.threads,
         layout: opts.effective_layout(),
@@ -597,7 +620,22 @@ pub fn run_campaign(
          outputs to journal or integrity-check)"
     );
     let fingerprint = plan_fingerprint(circuit, &opts, batches, copts.fault_seed);
-    let sim = BqSimulator::compile(circuit, opts)?;
+    // Store-open failure is durability-infrastructure I/O, same class as
+    // a journal that cannot be created.
+    let store = match &copts.artifact_dir {
+        Some(dir) => Some(ArtifactStore::open(dir).map_err(JournalError::from)?),
+        None => None,
+    };
+    let (sim, compile_source) = match &store {
+        Some(store) => {
+            let (sim, source) = BqSimulator::compile_or_load(circuit, opts, store)?;
+            if let CompileSource::RecompiledCorrupt { warning } = &source {
+                eprintln!("warning: artifact store: {warning}; recompiled and republished");
+            }
+            (sim, Some(source))
+        }
+        None => (BqSimulator::compile(circuit, opts)?, None),
+    };
     let n = batches.len();
 
     let mut outputs: Vec<Option<Arc<Vec<Vec<Complex>>>>> = (0..n).map(|_| None).collect();
@@ -744,6 +782,9 @@ pub fn run_campaign(
         quarantined,
         cancelled,
         health,
+        compile_source,
+        store_stats: store.as_ref().map(ArtifactStore::stats),
+        cache_stats: sim.conversion_cache_stats(),
     })
 }
 
@@ -1016,5 +1057,39 @@ mod tests {
         .unwrap();
         assert!(resumed.is_complete());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn artifact_store_campaigns_are_digest_identical_cold_vs_warm() {
+        let dir = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("bqsim-runner-store-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&p);
+            p
+        };
+        let circuit = generators::qft(3);
+        let inputs = batches(3);
+        let copts = CampaignOptions {
+            artifact_dir: Some(dir.clone()),
+            ..CampaignOptions::default()
+        };
+        let cold = run_campaign(&circuit, BqSimOptions::default(), &inputs, &copts).unwrap();
+        assert_eq!(
+            cold.compile_source,
+            Some(bqsim_core::CompileSource::Cold { published: true })
+        );
+        let warm = run_campaign(&circuit, BqSimOptions::default(), &inputs, &copts).unwrap();
+        assert_eq!(warm.compile_source, Some(bqsim_core::CompileSource::Warm));
+        let stats = warm.store_stats.unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        // The campaign digest — the run's full identity — is unchanged by
+        // where the compile came from.
+        assert_eq!(
+            crate::campaign_digest(&cold.checksums),
+            crate::campaign_digest(&warm.checksums)
+        );
+        assert_eq!(cold.outputs, warm.outputs);
+        assert_eq!(cold.cache_stats, warm.cache_stats);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

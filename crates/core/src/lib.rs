@@ -42,6 +42,7 @@ mod error;
 
 pub mod ablation;
 pub mod analysis;
+pub mod artifact;
 pub mod convert;
 pub mod fusion;
 pub mod kernels;
@@ -52,6 +53,9 @@ pub mod simulator;
 pub use analysis::{
     analyze_parallel_execution, analyze_pipeline, analyze_recovery, model_check_pipeline,
     ModelCheckOptions, ModelCheckReport, PipelineAnalysis, SeededDefect,
+};
+pub use artifact::{
+    artifact_key, audit_store, AuditEntry, AuditVerdict, CompileSource, StoreAudit,
 };
 pub use convert::{
     ConversionMethod, ConvertedGate, EllCache, EllCacheStats, HybridConverter,
@@ -68,6 +72,11 @@ pub use simulator::{
 // Re-exported so layout selection composes without a direct `bqsim-ell`
 // dependency (mirrors the fault-plan re-exports below).
 pub use bqsim_ell::Layout;
+// Re-exported so campaign/serve/CLI open stores without depending on
+// `bqsim-artifact` directly.
+pub use bqsim_artifact::{
+    ArtifactStore, LoadOutcome, StoreEntry, StoreStats, DEFAULT_STORE_CAPACITY,
+};
 pub use bqsim_gpu::{PoolEvent, PoolEventKind, PoolStats};
 
 // Re-exported so the CLI can size the DPOR exploration without a direct

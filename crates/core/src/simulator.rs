@@ -261,6 +261,45 @@ impl BqSimulator {
         })
     }
 
+    /// Crate-internal: reassembles a simulator from artifact-loaded parts
+    /// (the warm half of [`BqSimulator::compile_or_load`]). The fused-gate
+    /// pipeline never runs; `fusion_wall_ns` records the artifact-load wall
+    /// time instead, keeping `fusion_wall_ns()` meaningful as "real host
+    /// time spent producing the gates".
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        num_qubits: usize,
+        gates: Vec<ConvertedGate>,
+        circuit: Circuit,
+        opts: BqSimOptions,
+        fusion_ns: u64,
+        fusion_wall_ns: u64,
+        conversion_ns: u64,
+        cache_stats: EllCacheStats,
+    ) -> Self {
+        BqSimulator {
+            num_qubits,
+            gates,
+            circuit,
+            opts,
+            fusion_ns,
+            fusion_wall_ns,
+            conversion_ns,
+            cache_stats,
+            pool: Arc::new(BufferPool::new()),
+        }
+    }
+
+    /// Crate-internal: the compile options (for artifact serialization).
+    pub(crate) fn opts(&self) -> &BqSimOptions {
+        &self.opts
+    }
+
+    /// Crate-internal: the source circuit (for artifact serialization).
+    pub(crate) fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
     /// The compiled fused gates.
     pub fn gates(&self) -> &[ConvertedGate] {
         &self.gates

@@ -84,6 +84,80 @@ impl EllMatrix {
         (&self.values, &self.cols, &self.row_nnz)
     }
 
+    /// The full raw slot arrays `(values, cols, row_nnz)` — the exact
+    /// bytes a serializer must persist to reproduce this matrix
+    /// bit-identically. `row_nnz` is included because it is *not*
+    /// derivable from the slots alone (it is a monotone bound that may
+    /// exceed the populated prefix after zero overwrites, and the hot
+    /// loops iterate exactly this bound), and [`PartialEq`] deliberately
+    /// ignores it.
+    #[inline]
+    pub fn raw_parts(&self) -> (&[Complex], &[u32], &[u32]) {
+        (&self.values, &self.cols, &self.row_nnz)
+    }
+
+    /// Reassembles a matrix from raw slot arrays — the deserialization
+    /// twin of [`EllMatrix::raw_parts`], validating every structural
+    /// invariant the incremental builders ([`EllMatrix::zeros`] +
+    /// [`EllMatrix::set_slot`]) enforce.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: non-power-
+    /// of-two or over-`u32` row count, mis-sized arrays, an out-of-range
+    /// column index or `row_nnz` bound, or a non-power-of-two / oversized
+    /// pattern period.
+    pub fn from_raw_parts(
+        rows: usize,
+        max_nzr: usize,
+        values: Vec<Complex>,
+        cols: Vec<u32>,
+        row_nnz: Vec<u32>,
+        pattern: Option<usize>,
+    ) -> Result<Self, String> {
+        if !rows.is_power_of_two() {
+            return Err(format!("row count {rows} is not a power of two"));
+        }
+        if u32::try_from(rows).is_err() {
+            return Err(format!("row count {rows} exceeds u32 range"));
+        }
+        let slots = rows
+            .checked_mul(max_nzr)
+            .ok_or_else(|| "rows x max_nzr overflows".to_string())?;
+        if values.len() != slots || cols.len() != slots {
+            return Err(format!(
+                "slot arrays sized {}/{} do not match rows x max_nzr = {slots}",
+                values.len(),
+                cols.len()
+            ));
+        }
+        if row_nnz.len() != rows {
+            return Err(format!(
+                "row_nnz has {} entries for {rows} rows",
+                row_nnz.len()
+            ));
+        }
+        if let Some(&c) = cols.iter().find(|&&c| c as usize >= rows) {
+            return Err(format!("column index {c} out of range for {rows} rows"));
+        }
+        if let Some(&n) = row_nnz.iter().find(|&&n| n as usize > max_nzr) {
+            return Err(format!("row_nnz bound {n} exceeds max_nzr {max_nzr}"));
+        }
+        if let Some(d) = pattern {
+            if !d.is_power_of_two() || d > rows {
+                return Err(format!("pattern period {d} invalid for {rows} rows"));
+            }
+        }
+        Ok(EllMatrix {
+            rows,
+            max_nzr,
+            values,
+            cols,
+            row_nnz,
+            pattern,
+        })
+    }
+
     /// Number of rows (= columns).
     #[inline]
     pub fn num_rows(&self) -> usize {
@@ -723,6 +797,54 @@ mod tests {
     #[should_panic(expected = "row count must be a power of two")]
     fn non_pow2_rows_panics() {
         let _ = EllMatrix::zeros(6, 1);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_preserves_everything() {
+        let mut ell = EllMatrix::zeros(4, 2);
+        ell.set_slot(0, 0, 1, Complex::ONE);
+        ell.set_slot(0, 1, 2, Complex::I);
+        ell.set_slot(2, 0, 0, Complex::ONE);
+        // A zero overwrite leaves row_nnz at its monotone bound — the
+        // case slot-replay cannot reproduce, but raw_parts must.
+        ell.set_slot(0, 1, 2, Complex::ZERO);
+        let (v, c, n) = ell.raw_parts();
+        let back = EllMatrix::from_raw_parts(
+            4,
+            2,
+            v.to_vec(),
+            c.to_vec(),
+            n.to_vec(),
+            ell.pattern_period(),
+        )
+        .unwrap();
+        assert_eq!(back, ell);
+        for r in 0..4 {
+            assert_eq!(back.row_nnz(r), ell.row_nnz(r));
+        }
+        assert_eq!(back.pattern_period(), ell.pattern_period());
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_invalid_structure() {
+        let bad_rows =
+            EllMatrix::from_raw_parts(3, 1, vec![Complex::ZERO; 3], vec![0; 3], vec![0; 3], None);
+        assert!(bad_rows.is_err());
+        let bad_col =
+            EllMatrix::from_raw_parts(2, 1, vec![Complex::ZERO; 2], vec![7, 0], vec![0; 2], None);
+        assert!(bad_col.unwrap_err().contains("column index"));
+        let bad_nnz =
+            EllMatrix::from_raw_parts(2, 1, vec![Complex::ZERO; 2], vec![0; 2], vec![2, 0], None);
+        assert!(bad_nnz.unwrap_err().contains("row_nnz"));
+        let bad_pattern = EllMatrix::from_raw_parts(
+            2,
+            1,
+            vec![Complex::ZERO; 2],
+            vec![0; 2],
+            vec![0; 2],
+            Some(4),
+        );
+        assert!(bad_pattern.unwrap_err().contains("pattern"));
     }
 
     #[test]

@@ -103,7 +103,13 @@ impl GpuDd {
         // (edges (5) and (8) of Fig. 1a are distinct arrows but a flattened
         // array can share one entry safely since entries are immutable).
         let mut edge_dedup: HashMap<(u32, u32), u32> = HashMap::new();
-        for (&dd_id, &flat_id) in node_index {
+        // Wire in node-interning order, not HashMap order: the map's
+        // randomised iteration would permute edge indices between two
+        // flattens of the same DD, and the artifact store's audit relies
+        // on flattening being a pure function of the DD's structure.
+        let mut by_flat: Vec<(MNodeId, u32)> = node_index.iter().map(|(&d, &f)| (d, f)).collect();
+        by_flat.sort_unstable_by_key(|&(_, flat_id)| flat_id);
+        for (dd_id, flat_id) in by_flat {
             let children = dd.mat_children(dd_id);
             for (slot, c) in children.into_iter().enumerate() {
                 if c.is_zero() {
@@ -126,6 +132,57 @@ impl GpuDd {
                 self.nodes[flat_id as usize].edges[slot] = edge_idx;
             }
         }
+    }
+
+    /// Reassembles a flattened DD from raw edge/node arrays — the
+    /// deserialization twin of [`GpuDd::edges`] / [`GpuDd::nodes`],
+    /// validating that every pointer is either [`NIL`] or in range so a
+    /// loaded diagram can never walk out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: an empty
+    /// edge array (every DD has a root edge), an edge pointing past the
+    /// node array, a node slot pointing past the edge array, or a node
+    /// level outside the qubit span.
+    pub fn from_raw_parts(
+        edges: Vec<GpuDdEdge>,
+        nodes: Vec<GpuDdNode>,
+        num_qubits: usize,
+    ) -> Result<Self, String> {
+        if edges.is_empty() {
+            return Err("edge array is empty (edge 0 must be the root)".to_string());
+        }
+        for (i, e) in edges.iter().enumerate() {
+            if e.node != NIL && e.node as usize >= nodes.len() {
+                return Err(format!(
+                    "edge {i} points at node {} of {}",
+                    e.node,
+                    nodes.len()
+                ));
+            }
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if n.qubit_lv as usize >= num_qubits.max(1) {
+                return Err(format!(
+                    "node {i} level {} outside {num_qubits}-qubit span",
+                    n.qubit_lv
+                ));
+            }
+            for &eidx in &n.edges {
+                if eidx != NIL && eidx as usize >= edges.len() {
+                    return Err(format!(
+                        "node {i} slot points at edge {eidx} of {}",
+                        edges.len()
+                    ));
+                }
+            }
+        }
+        Ok(GpuDd {
+            edges,
+            nodes,
+            num_qubits,
+        })
     }
 
     /// The edge array (edge 0 is the root).
@@ -206,6 +263,38 @@ mod tests {
         let root = g.edges()[0];
         assert!((root.node as usize) < g.nodes().len());
         assert_eq!(g.nodes()[root.node as usize].qubit_lv, 2);
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_and_validates() {
+        let mut dd = DdPackage::new();
+        let m = GateKind::H.matrix().kron(&GateKind::Cx.matrix());
+        let e = matrix_from_dense(&mut dd, &m);
+        let g = GpuDd::from_dd(&dd, e, 3);
+        let back =
+            GpuDd::from_raw_parts(g.edges().to_vec(), g.nodes().to_vec(), g.num_qubits()).unwrap();
+        assert_eq!(back, g);
+
+        assert!(GpuDd::from_raw_parts(vec![], vec![], 2).is_err());
+        let dangling = vec![GpuDdEdge {
+            weight: Complex::ONE,
+            node: 5,
+        }];
+        assert!(GpuDd::from_raw_parts(dangling, vec![], 2)
+            .unwrap_err()
+            .contains("node 5"));
+        let bad_node = GpuDd::from_raw_parts(
+            vec![GpuDdEdge {
+                weight: Complex::ONE,
+                node: 0,
+            }],
+            vec![GpuDdNode {
+                qubit_lv: 9,
+                edges: [NIL; 4],
+            }],
+            2,
+        );
+        assert!(bad_node.unwrap_err().contains("level"));
     }
 
     #[test]

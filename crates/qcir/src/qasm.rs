@@ -729,7 +729,11 @@ pub fn write(circuit: &Circuit) -> String {
         if params.is_empty() {
             out.push_str(g.kind().name());
         } else {
-            let ps: Vec<String> = params.iter().map(|p| format!("{p:.17}")).collect();
+            // `{}` is Rust's shortest exact representation: the parsed
+            // value is bit-identical to `p`, which the artifact store's
+            // recompile-from-QASM audit depends on (fixed-precision
+            // formatting loses ulps on small rotation angles).
+            let ps: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
             out.push_str(&format!("{}({})", g.kind().name(), ps.join(",")));
         }
         let qs: Vec<String> = g.qubits().iter().map(|q| format!("q[{q}]")).collect();
@@ -960,7 +964,7 @@ mod tests {
             assert_eq!(a.qubits(), b.qubits());
             assert_eq!(a.kind().name(), b.kind().name());
             for (pa, pb) in a.kind().params().iter().zip(b.kind().params()) {
-                assert!((pa - pb).abs() < 1e-12);
+                assert_eq!(pa.to_bits(), pb.to_bits(), "angles must round-trip exactly");
             }
         }
     }

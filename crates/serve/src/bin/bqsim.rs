@@ -32,8 +32,9 @@ use bqsim_campaign::{
     IntegrityBudget, JournalError,
 };
 use bqsim_core::{
-    random_input_batch, AnalysisReport, BqSimOptions, BqSimulator, FaultBudget, FaultPlan,
-    ModelCheckBudget, ModelCheckOptions, RecoveryPolicy, SeededDefect,
+    audit_store, random_input_batch, AnalysisReport, ArtifactStore, AuditVerdict, BqSimOptions,
+    BqSimulator, CompileSource, FaultBudget, FaultPlan, ModelCheckBudget, ModelCheckOptions,
+    RecoveryPolicy, SeededDefect, StoreStats,
 };
 use bqsim_gpu::LaunchMode;
 use bqsim_qcir::observable::{expectation, sample_counts, PauliString};
@@ -176,6 +177,8 @@ struct Args {
     journal_state_full: bool,
     journal_sync_ms: Option<u64>,
     resume: bool,
+    artifact_dir: Option<PathBuf>,
+    artifact_audit: Option<PathBuf>,
     deadline_ms: Option<u64>,
     stop_after: Option<usize>,
     integrity_budget: Option<f64>,
@@ -224,6 +227,8 @@ fn parse_args() -> Result<Args, String> {
         journal_state_full: true,
         journal_sync_ms: None,
         resume: false,
+        artifact_dir: None,
+        artifact_audit: None,
         deadline_ms: None,
         stop_after: None,
         integrity_budget: None,
@@ -322,6 +327,8 @@ fn parse_args() -> Result<Args, String> {
                 args.journal_sync_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
             }
             "--resume" => args.resume = true,
+            "--artifact-dir" => args.artifact_dir = Some(PathBuf::from(value(&mut i)?)),
+            "--artifact" => args.artifact_audit = Some(PathBuf::from(value(&mut i)?)),
             "--deadline-ms" => {
                 args.deadline_ms = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
             }
@@ -527,6 +534,19 @@ SERVICE OPTIONS (serve/submit/status):
     --service-schedule <p> (analyze) replay a recorded schedule trace and
                          verify quota accounting, fair picks, the
                          starvation bound, and bounded queue/retries
+
+ARTIFACT STORE:
+    --artifact-dir <dir> content-addressed store of compiled circuit
+                         executables; (run/serve) load the compile when a
+                         valid artifact exists — bit-identical digests,
+                         no fusion/conversion work — else compile and
+                         publish (atomic tmp+rename, on-disk single
+                         flight); corrupt artifacts are quarantined and
+                         recompiled with a warning, never fatal;
+                         (status) also list the store inventory
+    --artifact <dir>     (analyze) audit a store: recompile every entry
+                         from its embedded QASM and require bit-exact
+                         ELL/DD agreement; exit 1 on corruption/mismatch
 
 EXIT CODES:
     0 success; 1 findings/degraded; 2 usage; 3 journal error;
@@ -904,6 +924,7 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError
         deadline: args.deadline_ms.map(Duration::from_millis),
         stop_after: args.stop_after,
         persist_state: args.journal_state_full,
+        artifact_dir: args.artifact_dir.clone(),
         ..CampaignOptions::default()
     };
     if let Some(ms) = args.journal_sync_ms {
@@ -954,6 +975,18 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError
              (re-run with --resume)"
         );
     }
+    let cache = result.cache_stats;
+    println!(
+        "conversion cache: {} hit(s) / {} miss(es) / {} eviction(s)",
+        cache.hits, cache.misses, cache.evictions
+    );
+    if let Some(source) = &result.compile_source {
+        println!(
+            "artifact store: {} compile — {}",
+            compile_source_label(source),
+            render_store_stats(result.store_stats.unwrap_or_default()),
+        );
+    }
     if result.is_complete() {
         println!(
             "campaign digest: {:016x}",
@@ -961,6 +994,23 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// One-word provenance tag for a campaign/service compile.
+fn compile_source_label(source: &CompileSource) -> &'static str {
+    match source {
+        CompileSource::Warm => "warm",
+        CompileSource::Cold { .. } => "cold",
+        CompileSource::RecompiledCorrupt { .. } => "recompiled",
+    }
+}
+
+/// Renders the artifact-store traffic counters on one line.
+fn render_store_stats(s: StoreStats) -> String {
+    format!(
+        "{} hit(s) / {} miss(es) / {} corrupt / {} published / {} eviction(s)",
+        s.hits, s.misses, s.corrupt, s.published, s.evictions
+    )
 }
 
 /// `bqsim serve`: one multi-tenant service session over a submissions
@@ -995,6 +1045,7 @@ fn run_serve(args: &Args) -> Result<ExitCode, CliError> {
         cfg.quotas.insert(tenant, quota);
     }
     cfg.resume = args.resume;
+    cfg.artifact_dir = args.artifact_dir.clone();
 
     let mut specs = Vec::new();
     if let Some(path) = &args.submissions {
@@ -1083,6 +1134,14 @@ fn run_serve(args: &Args) -> Result<ExitCode, CliError> {
             report.devices_lost, cfg.devices
         );
     }
+    if let Some(stats) = report.store_stats {
+        println!(
+            "artifact store: {} warm / {} cold compile(s) — {}",
+            report.warm_compiles,
+            report.cold_compiles,
+            render_store_stats(stats),
+        );
+    }
     println!("schedule trace: {}", report.trace_path.display());
 
     Ok(if overloaded > 0 {
@@ -1157,29 +1216,86 @@ fn run_submit(args: &Args) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `bqsim status`: render the service manifest's per-submission states.
+/// `bqsim status`: render the service manifest's per-submission states
+/// and/or the artifact store's executable inventory.
 fn run_status(args: &Args) -> Result<ExitCode, CliError> {
-    let state_dir = args
-        .state_dir
-        .clone()
-        .ok_or_else(|| CliError::usage("status needs --state-dir <dir>"))?;
-    let entries = read_status(&state_dir).map_err(CliError::from)?;
-    if entries.is_empty() {
-        println!("no submissions recorded in {}", state_dir.display());
-        return Ok(ExitCode::SUCCESS);
+    if args.state_dir.is_none() && args.artifact_dir.is_none() {
+        return Err(CliError::usage(
+            "status needs --state-dir <dir> and/or --artifact-dir <dir>",
+        ));
     }
-    for e in &entries {
-        let state = match &e.state {
-            StatusState::InFlight => "in-flight (resumable)".to_string(),
-            StatusState::Done(digest) => format!("done digest={digest:016x}"),
-            StatusState::Shed => "shed".to_string(),
-            StatusState::Cancelled => "cancelled".to_string(),
-            StatusState::Failed(reason) => format!("failed ({reason})"),
-            StatusState::Rejected(reason) => format!("rejected ({reason})"),
-        };
-        println!("{}/{}: {state}", e.tenant, e.id);
+    if let Some(state_dir) = &args.state_dir {
+        let entries = read_status(state_dir).map_err(CliError::from)?;
+        if entries.is_empty() {
+            println!("no submissions recorded in {}", state_dir.display());
+        }
+        for e in &entries {
+            let state = match &e.state {
+                StatusState::InFlight => "in-flight (resumable)".to_string(),
+                StatusState::Done(digest) => format!("done digest={digest:016x}"),
+                StatusState::Shed => "shed".to_string(),
+                StatusState::Cancelled => "cancelled".to_string(),
+                StatusState::Failed(reason) => format!("failed ({reason})"),
+                StatusState::Rejected(reason) => format!("rejected ({reason})"),
+            };
+            println!("{}/{}: {state}", e.tenant, e.id);
+        }
+    }
+    if let Some(dir) = &args.artifact_dir {
+        let store = ArtifactStore::open(dir)
+            .map_err(|e| CliError::Generic(format!("{}: {e}", dir.display())))?;
+        let entries = store
+            .entries()
+            .map_err(|e| CliError::Generic(format!("{}: {e}", dir.display())))?;
+        let total: u64 = entries.iter().map(|e| e.bytes).sum();
+        println!(
+            "artifact store {}: {} executable(s), {} byte(s)",
+            dir.display(),
+            entries.len(),
+            total,
+        );
+        for e in &entries {
+            println!("  {:016x}  {:>10} bytes", e.key, e.bytes);
+        }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `bqsim analyze --artifact`: recompile every stored circuit executable
+/// from its embedded QASM and verify bit-exact agreement with the stored
+/// ELL/DD payloads. Exit 1 on any corrupt or diverging artifact.
+fn run_artifact_audit(dir: &Path, format: OutputFormat) -> Result<ExitCode, CliError> {
+    let audit =
+        audit_store(dir).map_err(|e| CliError::Generic(format!("{}: {e}", dir.display())))?;
+    let mut diags = bqsim_analyze::Diagnostics::new();
+    let mut gates = 0usize;
+    for e in &audit.entries {
+        match &e.verdict {
+            AuditVerdict::Ok { gates: g, .. } => gates += g,
+            AuditVerdict::Corrupt(why) => {
+                diags.error("artifact-store", format!("{:016x}", e.key), why.clone());
+            }
+            AuditVerdict::Mismatch(why) => {
+                diags.error("artifact-store", format!("{:016x}", e.key), why.clone());
+            }
+        }
+    }
+    let mut report = AnalysisReport::new();
+    report.push_section(
+        "artifact store",
+        format!(
+            "store {}: {} executable(s) recompiled from embedded QASM \
+             ({} ok / {} corrupt / {} mismatched, {} fused gate(s) cross-checked)",
+            dir.display(),
+            audit.entries.len(),
+            audit.ok(),
+            audit.corrupt(),
+            audit.mismatch(),
+            gates,
+        ),
+        diags,
+    );
+    Ok(emit_report(&report, format))
 }
 
 /// `bqsim analyze --service-schedule`: replay a recorded schedule trace
@@ -1223,6 +1339,9 @@ fn run() -> Result<ExitCode, CliError> {
         }
         if let Some(journal) = args.journal.clone() {
             return run_journal_audit(&journal, args.format);
+        }
+        if let Some(dir) = args.artifact_audit.clone() {
+            return run_artifact_audit(&dir, args.format);
         }
     }
     let mut circuit = build_circuit(&args).map_err(CliError::Usage)?;

@@ -62,7 +62,10 @@ use bqsim_campaign::{
     campaign_digest, check_batch, execute_campaign_batch, plan_fingerprint, read_journal,
     CampaignOptions, IntegrityVerdict, JournalWriter, Record, StateMode,
 };
-use bqsim_core::{BqSimOptions, BqSimulator, BqsimError, RecoveryPolicy, RunHealth};
+use bqsim_core::{
+    ArtifactStore, BqSimOptions, BqSimulator, BqsimError, CompileSource, RecoveryPolicy, RunHealth,
+    StoreStats,
+};
 use bqsim_faults::{CancelToken, Clock, WallClock};
 use bqsim_num::Complex;
 use std::collections::{BTreeMap, VecDeque};
@@ -158,6 +161,11 @@ pub struct ServiceConfig {
     /// Replay the manifest and re-admit non-terminal submissions before
     /// taking new ones.
     pub resume: bool,
+    /// Content-addressed circuit-executable store shared by every
+    /// admission this session (and, because the store is keyed by
+    /// compile inputs, by concurrent sessions pointed at the same
+    /// directory). `None` compiles from scratch per admission.
+    pub artifact_dir: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -175,6 +183,7 @@ impl ServiceConfig {
             device_loss: None,
             clock: Arc::new(WallClock::new()),
             resume: false,
+            artifact_dir: None,
         }
     }
 }
@@ -267,6 +276,14 @@ pub struct ServiceReport {
     /// Where the schedule trace was written (input to
     /// `bqsim analyze --service-schedule`).
     pub trace_path: PathBuf,
+    /// Artifact-store traffic counters for this session's handle, when
+    /// [`ServiceConfig::artifact_dir`] was set.
+    pub store_stats: Option<StoreStats>,
+    /// Admissions whose circuit executable was loaded from the store.
+    pub warm_compiles: usize,
+    /// Admissions that compiled from scratch (including corrupt-artifact
+    /// recompiles).
+    pub cold_compiles: usize,
 }
 
 impl ServiceReport {
@@ -602,6 +619,8 @@ struct Core {
     trace: File,
     manifest: File,
     fatal: Option<String>,
+    warm_compiles: usize,
+    cold_compiles: usize,
 }
 
 impl Core {
@@ -774,6 +793,7 @@ enum Admission {
 fn admit(
     core: &mut Core,
     cfg: &ServiceConfig,
+    store: Option<&ArtifactStore>,
     spec: SubmitSpec,
     readmit: Option<StateMode>,
 ) -> Admission {
@@ -888,9 +908,29 @@ fn admit(
     let opts = BqSimOptions::default();
     let inputs = spec.build_inputs();
     let fingerprint = plan_fingerprint(&circuit, &opts, &inputs, spec.fault_seed);
-    let sim = match BqSimulator::compile(&circuit, opts) {
-        Ok(s) => s,
-        Err(e) => return Admission::FailedAtAdmit(format!("compile failed: {e}")),
+    let sim = match store {
+        Some(store) => match BqSimulator::compile_or_load(&circuit, opts, store) {
+            Ok((sim, source)) => {
+                if let CompileSource::RecompiledCorrupt { warning } = &source {
+                    eprintln!(
+                        "warning: artifact store (tenant={} id={}): {warning}; \
+                         recompiled and republished",
+                        spec.tenant, spec.id
+                    );
+                }
+                if source.is_warm() {
+                    core.warm_compiles += 1;
+                } else {
+                    core.cold_compiles += 1;
+                }
+                sim
+            }
+            Err(e) => return Admission::FailedAtAdmit(format!("compile failed: {e}")),
+        },
+        None => match BqSimulator::compile(&circuit, opts) {
+            Ok(s) => s,
+            Err(e) => return Admission::FailedAtAdmit(format!("compile failed: {e}")),
+        },
     };
     let mut copts = CampaignOptions {
         fault_seed: spec.fault_seed,
@@ -1315,6 +1355,16 @@ pub fn run_service(cfg: &ServiceConfig, specs: &[SubmitSpec]) -> Result<ServiceR
     }
     std::fs::create_dir_all(&cfg.state_dir)
         .map_err(|e| ServeError::State(format!("{}: {e}", cfg.state_dir.display())))?;
+    // One store handle for the whole session: every admission shares its
+    // published executables, and the on-disk lock files single-flight
+    // concurrent sessions compiling the same circuit.
+    let store = match &cfg.artifact_dir {
+        Some(dir) => Some(
+            ArtifactStore::open(dir)
+                .map_err(|e| ServeError::State(format!("{}: {e}", dir.display())))?,
+        ),
+        None => None,
+    };
 
     // Resume: collect non-terminal admissions from the manifest before
     // truncating nothing — the manifest only ever appends.
@@ -1366,6 +1416,8 @@ pub fn run_service(cfg: &ServiceConfig, specs: &[SubmitSpec]) -> Result<ServiceR
         trace,
         manifest,
         fatal: None,
+        warm_compiles: 0,
+        cold_compiles: 0,
     };
     core.emit(&ScheduleEvent::Config {
         devices: cfg.devices,
@@ -1383,7 +1435,7 @@ pub fn run_service(cfg: &ServiceConfig, specs: &[SubmitSpec]) -> Result<ServiceR
 
     for (spec, mode) in readmits {
         let (tenant, id) = (spec.tenant.clone(), spec.id.clone());
-        match admit(&mut core, cfg, spec, Some(mode)) {
+        match admit(&mut core, cfg, store.as_ref(), spec, Some(mode)) {
             Admission::Admitted(idx) => slots.push(Slot::Job(idx)),
             Admission::Rejected(e) => slots.push(Slot::Immediate(SubmissionReport {
                 tenant,
@@ -1436,7 +1488,7 @@ pub fn run_service(cfg: &ServiceConfig, specs: &[SubmitSpec]) -> Result<ServiceR
                 continue;
             }
         }
-        match admit(&mut core, cfg, spec.clone(), None) {
+        match admit(&mut core, cfg, store.as_ref(), spec.clone(), None) {
             Admission::Admitted(idx) => slots.push(Slot::Job(idx)),
             Admission::Rejected(e) => slots.push(Slot::Immediate(SubmissionReport {
                 tenant,
@@ -1536,5 +1588,8 @@ pub fn run_service(cfg: &ServiceConfig, specs: &[SubmitSpec]) -> Result<ServiceR
             .collect(),
         devices_lost: core.lost.iter().filter(|l| **l).count(),
         trace_path: tpath,
+        store_stats: store.as_ref().map(ArtifactStore::stats),
+        warm_compiles: core.warm_compiles,
+        cold_compiles: core.cold_compiles,
     })
 }

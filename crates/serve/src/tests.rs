@@ -483,3 +483,47 @@ fn fair_trace_satisfies_the_analyzer_on_mixed_priorities() {
     let diags = check_service_schedule(&events);
     assert!(diags.is_clean(), "schedule diagnostics: {diags:?}");
 }
+
+#[test]
+fn artifact_store_is_shared_across_tenants_and_sessions() {
+    let store_dir = state_dir("artifact-store");
+    let mut cfg = test_config(state_dir("artifact-s1"));
+    cfg.artifact_dir = Some(store_dir.clone());
+    // Both tenants submit the same ghz-3 circuit: within one session the
+    // second admission must reuse the first one's published executable.
+    let specs = vec![
+        spec("alice", "a1", 2, Priority::Normal),
+        spec("bob", "b1", 2, Priority::Normal),
+    ];
+    let cold = run_service(&cfg, &specs).unwrap();
+    assert!(cold.all_completed(), "report: {cold:?}");
+    assert_eq!(
+        (cold.cold_compiles, cold.warm_compiles),
+        (1, 1),
+        "same circuit admitted twice should compile once: {cold:?}"
+    );
+    let stats = cold.store_stats.expect("store configured");
+    assert_eq!((stats.published, stats.hits, stats.misses), (1, 1, 1));
+
+    // A second session against the same store directory compiles nothing
+    // and reproduces the cold session's digests bit for bit.
+    let mut cfg2 = test_config(state_dir("artifact-s2"));
+    cfg2.artifact_dir = Some(store_dir);
+    let warm = run_service(&cfg2, &specs).unwrap();
+    assert!(warm.all_completed(), "report: {warm:?}");
+    assert_eq!((warm.cold_compiles, warm.warm_compiles), (0, 2));
+    for (c, w) in cold.submissions.iter().zip(&warm.submissions) {
+        let (
+            SubmissionOutcome::Completed { digest: d_cold, .. },
+            SubmissionOutcome::Completed { digest: d_warm, .. },
+        ) = (&c.outcome, &w.outcome)
+        else {
+            panic!("both sessions should complete {}/{}", c.tenant, c.id);
+        };
+        assert_eq!(
+            d_cold, d_warm,
+            "warm digest diverged for {}/{}",
+            c.tenant, c.id
+        );
+    }
+}

@@ -79,6 +79,79 @@ for layout in aos planar; do
     done
 done
 
+echo "==> artifact-store warm start (shared --artifact-dir; cold once, warm after, digests equal)"
+astore="$svc_root/astore"
+warm_digest=""
+first_run=1
+for threads in 1 4; do
+    for round in 1 2; do
+        aj="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-artifact-XXXXXX.journal")"
+        out="$(BQSIM_THREADS=$threads \
+            run_bqsim run --family qft --qubits 6 --batches 4 --batch-size 32 \
+            --journal "$aj" --artifact-dir "$astore")"
+        rm -f "$aj" "$aj.state"
+        d="$(echo "$out" | grep 'campaign digest:')"
+        src="$(echo "$out" | grep 'artifact store:')"
+        echo "    threads=$threads round=$round $d ($src)"
+        if [ "$first_run" = 1 ]; then
+            first_run=0
+            warm_digest="$d"
+            if ! echo "$out" | grep -q 'artifact store: cold compile'; then
+                echo "FAIL: first run against an empty store must compile cold" >&2
+                exit 1
+            fi
+        else
+            if ! echo "$out" | grep -q 'artifact store: warm compile'; then
+                echo "FAIL: threads=$threads round=$round did not warm-hit the shared store" >&2
+                exit 1
+            fi
+            if [ "$d" != "$warm_digest" ]; then
+                echo "FAIL: warm digest ($d) != cold digest ($warm_digest)" >&2
+                exit 1
+            fi
+        fi
+    done
+done
+if [ "$warm_digest" != "$matrix_digest" ]; then
+    echo "FAIL: artifact-store digest ($warm_digest) != storeless matrix digest ($matrix_digest)" >&2
+    exit 1
+fi
+
+echo "==> artifact-store corruption degrades to recompile (warning, same digest, then warm)"
+bqc="$(ls "$astore"/*.bqc | head -n 1)"
+size="$(wc -c < "$bqc")"
+at=$((size / 2))
+b="$(od -An -tu1 -j "$at" -N 1 "$bqc" | tr -d ' ')"
+printf "$(printf '\\%03o' $(((b + 1) % 256)))" \
+    | dd of="$bqc" bs=1 seek="$at" conv=notrunc status=none
+aj="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-corrupt-XXXXXX.journal")"
+out="$(run_bqsim run --family qft --qubits 6 --batches 4 --batch-size 32 \
+    --journal "$aj" --artifact-dir "$astore" 2>&1)"
+rm -f "$aj" "$aj.state"
+if ! echo "$out" | grep -q 'warning: artifact store'; then
+    echo "FAIL: corrupt artifact produced no warning" >&2
+    echo "$out" >&2
+    exit 1
+fi
+if ! echo "$out" | grep -q 'artifact store: recompiled compile'; then
+    echo "FAIL: corrupt artifact was not recompiled" >&2
+    echo "$out" >&2
+    exit 1
+fi
+if [ "$(echo "$out" | grep 'campaign digest:')" != "$warm_digest" ]; then
+    echo "FAIL: recompiled digest drifted from cold digest ($warm_digest)" >&2
+    exit 1
+fi
+aj="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-corrupt-XXXXXX.journal")"
+out="$(run_bqsim run --family qft --qubits 6 --batches 4 --batch-size 32 \
+    --journal "$aj" --artifact-dir "$astore")"
+rm -f "$aj" "$aj.state"
+if ! echo "$out" | grep -q 'artifact store: warm compile'; then
+    echo "FAIL: recompile did not republish a loadable artifact" >&2
+    exit 1
+fi
+run_bqsim analyze --artifact "$astore"
+
 echo "==> schedule-space model check (DPOR + lock order + wake + pool; threads 1 and 4)"
 for threads in 1 4; do
     echo "    --threads $threads"
@@ -180,6 +253,9 @@ fi
 
 echo "==> planar layout report smoke (report_pr5 --quick)"
 cargo run -q -p bqsim-bench --release --bin report_pr5 -- --quick --out /dev/null
+
+echo "==> artifact-store report smoke (report_pr8 --quick)"
+cargo run -q -p bqsim-bench --release --bin report_pr8 -- --quick --out /dev/null
 
 echo "==> journaling overhead on routing-6 (target < 2%, recorded in BENCH_pr4.json)"
 cargo run -q -p bqsim-bench --release --bin report_pr4
