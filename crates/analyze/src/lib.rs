@@ -16,6 +16,11 @@
 //!   shape, column-bounds, row-sorting, and padding discipline of the spMM
 //!   operand layout (§3.2), plus a bit-exact round-trip check that a
 //!   row-pattern annotation decodes to the tensor it compresses.
+//! * **Precision safety** ([`check_precision_safety`]) — verifies the
+//!   obligations of narrow-precision execution plans: every mixed-
+//!   precision measurement/integrity checkpoint is covered by an `f64`
+//!   renorm point, and the depth-derived error estimate fits the
+//!   campaign's integrity budget.
 //! * **Recovery schedules** ([`check_recovery_schedule`]) — given the
 //!   executed timeline of a fault-injected run, verifies retry attempts
 //!   keep per-task discipline, preserve happens-before across
@@ -64,6 +69,7 @@ mod lockorder;
 mod modelcheck;
 mod parallel;
 mod pool;
+mod precision;
 mod recovery;
 mod service;
 mod wake;
@@ -86,6 +92,7 @@ pub use lockorder::{check_lock_order, derive_lock_facts, TaskLockFacts};
 pub use modelcheck::{model_check_graph, ModelCheckBudget, ModelCheckOutcome};
 pub use parallel::{check_parallel_schedule, parallel_attempt_facts};
 pub use pool::check_pool_discipline;
+pub use precision::{check_precision_safety, PrecisionFacts};
 pub use recovery::{check_recovery_schedule, recovery_attempt_facts, AttemptFacts};
 pub use service::{
     check_service_schedule, parse_schedule_trace, render_schedule_trace, ScheduleEvent,

@@ -52,7 +52,7 @@ pub fn check_pool_discipline(
         checkouts: u64,
         returns: u64,
     }
-    let mut shelves: BTreeMap<(usize, String), Shelf> = BTreeMap::new();
+    let mut shelves: BTreeMap<(usize, String, usize), Shelf> = BTreeMap::new();
     let mut last_seq: Option<u64> = None;
     for ev in events {
         if let Some(prev) = last_seq {
@@ -71,9 +71,9 @@ pub fn check_pool_discipline(
             }
         }
         last_seq = Some(ev.seq);
-        let key = (ev.class, format!("{:?}", ev.layout));
+        let key = (ev.class, format!("{:?}", ev.layout), ev.width);
         let shelf = shelves.entry(key.clone()).or_default();
-        let shelf_name = format!("shelf (class {}, {})", ev.class, key.1);
+        let shelf_name = format!("shelf (class {}, {}, w{})", ev.class, key.1, ev.width);
         match ev.kind {
             PoolEventKind::Return => {
                 shelf.occupancy += 1;
@@ -116,11 +116,11 @@ pub fn check_pool_discipline(
     }
 
     if expect_drained && events_dropped == 0 {
-        for ((class, layout), shelf) in &shelves {
+        for ((class, layout, width), shelf) in &shelves {
             if shelf.checkouts > shelf.returns {
                 diags.warning(
                     "pool-leak",
-                    format!("shelf (class {class}, {layout})"),
+                    format!("shelf (class {class}, {layout}, w{width})"),
                     format!(
                         "{} checkout(s) never returned by the end of the \
                          log — live buffers leaked past the drain point",
@@ -143,8 +143,23 @@ mod tests {
             seq,
             class,
             layout: Layout::Aos,
+            width: 16,
             kind,
         }
+    }
+
+    /// The same class at different element widths replays as two
+    /// independent shelves: a hit on the w8 shelf is aliasing even if
+    /// the w16 shelf holds a buffer.
+    #[test]
+    fn widths_are_separate_shelves() {
+        use PoolEventKind::*;
+        let mut narrow_hit = ev(2, 64, CheckoutHit);
+        narrow_hit.width = 8;
+        let log = [ev(0, 64, CheckoutMiss), ev(1, 64, Return), narrow_hit];
+        let diags = check_pool_discipline(&log, 0, false);
+        assert_eq!(diags.error_count(), 1, "{diags}");
+        assert!(diags.mentions("w8"), "{diags}");
     }
 
     #[test]

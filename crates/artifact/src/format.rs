@@ -29,6 +29,10 @@
 //!            edge targets  num_edges x u32
 //!            node levels   num_nodes x u8
 //!            node edges    num_nodes x 4 x u32
+//!   tuning (version >= 2 only):
+//!     present u64 (0 = none, 1 = present), then when present:
+//!     precision u64 (0 f64 / 1 f32 / 2 mixed), layout u64 (0 aos /
+//!     1 planar), threads u64, use_pattern u64 (0/1), probe_ns u64
 //! ```
 //!
 //! Every multi-byte field is little-endian. Loading is
@@ -37,18 +41,22 @@
 //! per-element framing, no length prefixes inside arrays — so a warm
 //! load is dominated by the file read, not decoding.
 
-use bqsim_ell::{EllMatrix, GpuDd, GpuDdEdge, GpuDdNode};
+use bqsim_ell::{EllMatrix, GpuDd, GpuDdEdge, GpuDdNode, Layout, Precision};
 use bqsim_num::Complex;
 use std::fmt;
 
 /// File magic: "BQsim Artifact Format".
 pub const MAGIC: [u8; 4] = *b"BQAF";
 
-/// Current format version. Bump on any layout change: the loader
-/// refuses other versions (the store then recompiles and republishes,
-/// so a version bump costs one cold compile per circuit, never an
-/// error).
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Current format version. Version 2 appended the optional tuning
+/// section after the gate table; everything before it is byte-for-byte
+/// the version-1 layout, so the loader still reads version-1 files
+/// (they simply carry no [`TuningRecord`] — the caller probes on load
+/// instead of treating the artifact as corrupt).
+pub const ARTIFACT_VERSION: u32 = 2;
+
+/// Oldest format version [`decode_artifact`] still reads.
+pub const MIN_ARTIFACT_VERSION: u32 = 1;
 
 /// FNV-1a 64 offset basis (same constants as the campaign journal's
 /// checksum discipline; duplicated here because this crate sits below
@@ -141,6 +149,44 @@ pub struct GateRecord {
     pub work_max_row_steps: u64,
 }
 
+/// The empirically tuned execution configuration for one compiled
+/// circuit, persisted alongside it so a warm load skips the probe runs
+/// as well as the compile.
+///
+/// The record is keyed by the same content address as the artifact —
+/// execution tuning never forks the artifact key, it rides inside the
+/// existing file. A record only names axes that cannot change the f64
+/// result (precision aside, which the integrity budget polices at run
+/// time), so applying a stale record is a performance question, never a
+/// correctness one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningRecord {
+    /// Numeric precision the probes selected.
+    pub precision: Precision,
+    /// Amplitude memory layout the probes selected.
+    pub layout: Layout,
+    /// spMM lane count the probes selected (>= 1).
+    pub threads: usize,
+    /// Whether the pattern-compressed spMM arm won its probe.
+    pub use_pattern: bool,
+    /// Wall-clock nanoseconds of the winning probe (provenance for
+    /// reports; not consulted when applying the record).
+    pub probe_ns: u64,
+}
+
+impl fmt::Display for TuningRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "precision={} layout={} threads={} pattern={}",
+            self.precision.token(),
+            self.layout.token(),
+            self.threads,
+            if self.use_pattern { "on" } else { "off" }
+        )
+    }
+}
+
 /// A complete circuit executable: everything `BqSimulator` needs to go
 /// straight to batch execution without re-running fusion or conversion,
 /// plus the compile-time stats reports expect and the circuit's QASM
@@ -177,6 +223,10 @@ pub struct CircuitArtifact {
     pub qasm: String,
     /// The compiled gates, in execution order.
     pub gates: Vec<GateRecord>,
+    /// Empirically tuned execution configuration, if a probe pass ran.
+    /// `None` on version-1 files and on artifacts published before
+    /// tuning — the loader falls back to probe-on-load.
+    pub tuning: Option<TuningRecord>,
 }
 
 struct Writer {
@@ -243,6 +293,24 @@ pub fn encode_artifact(a: &CircuitArtifact) -> Vec<u8> {
         w.u32s(edges.iter().map(|e| e.node));
         w.buf.extend(nodes.iter().map(|n| n.qubit_lv));
         w.u32s(nodes.iter().flat_map(|n| n.edges.into_iter()));
+    }
+    match &a.tuning {
+        None => w.u64(0),
+        Some(t) => {
+            w.u64(1);
+            w.u64(match t.precision {
+                Precision::F64 => 0,
+                Precision::F32 => 1,
+                Precision::Mixed => 2,
+            });
+            w.u64(match t.layout {
+                Layout::Aos => 0,
+                Layout::Planar => 1,
+            });
+            w.u64(t.threads as u64);
+            w.u64(t.use_pattern as u64);
+            w.u64(t.probe_ns);
+        }
     }
     let payload = w.buf;
 
@@ -343,9 +411,10 @@ pub fn decode_artifact(
         return Err(corrupt("bad magic (not a BQAF file)"));
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
-    if version != ARTIFACT_VERSION {
+    if !(MIN_ARTIFACT_VERSION..=ARTIFACT_VERSION).contains(&version) {
         return Err(corrupt(format!(
-            "version {version} (this build reads {ARTIFACT_VERSION})"
+            "version {version} (this build reads \
+             {MIN_ARTIFACT_VERSION}..={ARTIFACT_VERSION})"
         )));
     }
     let key = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
@@ -461,9 +530,50 @@ pub fn decode_artifact(
             work_max_row_steps,
         });
     }
+    // Version 1 ends at the gate table; version 2 appends the tuning
+    // section. Each version enforces its own exact end so trailing
+    // bytes stay an error in both.
+    let tuning = if version >= 2 {
+        match r.u64()? {
+            0 => None,
+            1 => {
+                let precision = match r.u64()? {
+                    0 => Precision::F64,
+                    1 => Precision::F32,
+                    2 => Precision::Mixed,
+                    t => return Err(corrupt(format!("unknown tuning precision tag {t}"))),
+                };
+                let layout = match r.u64()? {
+                    0 => Layout::Aos,
+                    1 => Layout::Planar,
+                    t => return Err(corrupt(format!("unknown tuning layout tag {t}"))),
+                };
+                let threads = r.u64()? as usize;
+                if threads == 0 {
+                    return Err(corrupt("tuning thread count 0".to_string()));
+                }
+                let use_pattern = match r.u64()? {
+                    0 => false,
+                    1 => true,
+                    v => return Err(corrupt(format!("tuning use_pattern tag {v}"))),
+                };
+                let probe_ns = r.u64()?;
+                Some(TuningRecord {
+                    precision,
+                    layout,
+                    threads,
+                    use_pattern,
+                    probe_ns,
+                })
+            }
+            v => return Err(corrupt(format!("tuning presence flag {v}"))),
+        }
+    } else {
+        None
+    };
     if r.at != payload.len() {
         return Err(corrupt(format!(
-            "{} trailing bytes after the last gate",
+            "{} trailing bytes after the last section",
             payload.len() - r.at
         )));
     }
@@ -482,5 +592,6 @@ pub fn decode_artifact(
         force_conversion,
         qasm,
         gates,
+        tuning,
     })
 }

@@ -65,6 +65,9 @@ pub struct StoreEntry {
     pub path: PathBuf,
     /// File size in bytes.
     pub bytes: u64,
+    /// Format version from the file header (`0` if the header could
+    /// not be read — full validation happens at load time, not here).
+    pub version: u32,
 }
 
 /// Result of one keyed load.
@@ -102,6 +105,16 @@ impl Drop for FlightGuard {
             let _ = fs::remove_file(p);
         }
     }
+}
+
+/// Best-effort peek at a `.bqc` header's version field (bytes 4..8);
+/// `None` when the file is shorter than a header or unreadable.
+fn read_header_version(path: &Path) -> Option<u32> {
+    use std::io::Read;
+    let mut f = fs::File::open(path).ok()?;
+    let mut header = [0u8; 8];
+    f.read_exact(&mut header).ok()?;
+    Some(u32::from_le_bytes(header[4..8].try_into().ok()?))
 }
 
 /// A content-addressed directory of circuit executables shared across
@@ -282,7 +295,13 @@ impl ArtifactStore {
                 continue;
             };
             let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-            out.push(StoreEntry { key, path, bytes });
+            let version = read_header_version(&path).unwrap_or(0);
+            out.push(StoreEntry {
+                key,
+                path,
+                bytes,
+                version,
+            });
         }
         out.sort_by_key(|e| e.key);
         Ok(out)

@@ -103,6 +103,7 @@ mod tests {
             fault_seed: None,
             threads: 1,
             layout: bqsim_core::Layout::Planar,
+            precision: bqsim_core::Precision::F64,
             num_batches,
             batch_size: 1,
             amps: 2,

@@ -47,7 +47,7 @@
 //! [`JournalError::Corrupt`].
 
 use crate::checksum::{fnv1a, parse_hex_u64};
-use bqsim_core::Layout;
+use bqsim_core::{Layout, Precision};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
@@ -88,6 +88,13 @@ pub struct Fingerprint {
     /// report can name it: both layouts are proven bit-identical, but a
     /// resume must still replay the campaign it joined, not a variant.
     pub layout: Layout,
+    /// Effective amplitude precision
+    /// (`BqSimOptions::effective_precision()`). Named in the header for
+    /// the same reason as `layout`, and more so: narrow precisions are
+    /// *not* bit-identical to `f64`, so resuming a campaign under a
+    /// different precision would splice incompatible amplitudes into one
+    /// digest.
+    pub precision: Precision,
     /// Total batches in the campaign.
     pub num_batches: usize,
     /// State vectors per batch.
@@ -120,6 +127,9 @@ impl Fingerprint {
         }
         if self.layout != other.layout {
             return Some("layout");
+        }
+        if self.precision != other.precision {
+            return Some("precision");
         }
         if self.num_batches != other.num_batches {
             return Some("num_batches");
@@ -279,7 +289,7 @@ fn render_header(fp: &Fingerprint, mode: StateMode) -> String {
     };
     format!(
         "plan circuit={:016x} options={:016x} inputs={:016x} artifact={:016x} fault_seed={} \
-         threads={} layout={} batches={} batch_size={} amps={} state={}",
+         threads={} layout={} precision={} batches={} batch_size={} amps={} state={}",
         fp.circuit,
         fp.options,
         fp.inputs,
@@ -287,6 +297,7 @@ fn render_header(fp: &Fingerprint, mode: StateMode) -> String {
         seed,
         fp.threads,
         fp.layout.token(),
+        fp.precision.token(),
         fp.num_batches,
         fp.batch_size,
         fp.amps,
@@ -561,6 +572,7 @@ fn parse_header(payload: &str) -> Option<(Fingerprint, StateMode)> {
     };
     let threads = parse_kv(t.next()?, "threads")?.parse().ok()?;
     let layout = Layout::parse(parse_kv(t.next()?, "layout")?)?;
+    let precision = Precision::parse(parse_kv(t.next()?, "precision")?)?;
     let num_batches = parse_kv(t.next()?, "batches")?.parse().ok()?;
     let batch_size = parse_kv(t.next()?, "batch_size")?.parse().ok()?;
     let amps = parse_kv(t.next()?, "amps")?.parse().ok()?;
@@ -577,6 +589,7 @@ fn parse_header(payload: &str) -> Option<(Fingerprint, StateMode)> {
             fault_seed,
             threads,
             layout,
+            precision,
             num_batches,
             batch_size,
             amps,
@@ -715,6 +728,7 @@ mod tests {
             fault_seed: Some(42),
             threads: 4,
             layout: Layout::Planar,
+            precision: Precision::F64,
             num_batches: 3,
             batch_size: 2,
             amps: 8,

@@ -62,7 +62,7 @@ use crate::journal::{read_journal, Fingerprint, JournalError, JournalWriter, Rec
 use crate::resume::load_journal_state;
 use bqsim_core::{
     artifact_key, schedule, ArtifactStore, BqSimOptions, BqSimulator, BqsimError, CompileSource,
-    EllCacheStats, FaultBudget, FaultPlan, RecoveryPolicy, RunHealth, StoreStats,
+    EllCacheStats, FaultBudget, FaultPlan, Precision, RecoveryPolicy, RunHealth, StoreStats,
 };
 use bqsim_faults::CancelToken;
 use bqsim_gpu::ExecMode;
@@ -217,6 +217,11 @@ pub struct CampaignResult {
     /// Compile-time ELL conversion-cache counters of the simulator the
     /// campaign ran (loaded verbatim from the artifact on a warm start).
     pub cache_stats: EllCacheStats,
+    /// Batches whose narrow-precision run drifted past the integrity
+    /// budget and were transparently re-executed at the `f64` reference,
+    /// completing cleanly instead of quarantining. Always `0` for `f64`
+    /// campaigns (there is nothing wider to retry at).
+    pub precision_retries: usize,
 }
 
 impl CampaignResult {
@@ -577,6 +582,7 @@ pub fn plan_fingerprint(
         fault_seed,
         threads: opts.threads,
         layout: opts.effective_layout(),
+        precision: opts.effective_precision(),
         num_batches: batches.len(),
         batch_size,
         amps,
@@ -620,6 +626,7 @@ pub fn run_campaign(
          outputs to journal or integrity-check)"
     );
     let fingerprint = plan_fingerprint(circuit, &opts, batches, copts.fault_seed);
+    let run_precision = opts.effective_precision();
     // Store-open failure is durability-infrastructure I/O, same class as
     // a journal that cannot be created.
     let store = match &copts.artifact_dir {
@@ -687,6 +694,10 @@ pub fn run_campaign(
     let mut quarantined = Vec::new();
     let mut cancelled = false;
     let mut health = RunHealth::new();
+    let mut precision_retries = 0usize;
+    // Built lazily on the first narrow-precision quarantine; shares the
+    // compiled gates with `sim` (Arc), so the retry pays execution only.
+    let mut f64_retry: Option<BqSimulator> = None;
 
     for (b, batch_in) in batches.iter().enumerate() {
         if matches!(outcomes[b], BatchOutcome::Completed { .. }) {
@@ -742,21 +753,70 @@ pub fn run_campaign(
                 outcomes[b] = BatchOutcome::Completed { resumed: false };
             }
             IntegrityVerdict::Quarantine { reason, drift } => {
-                if let Some(c) = &mut committer {
-                    persist_dead = !c.commit(
-                        Record::Quarantine {
-                            index: b,
-                            reason: reason.to_string(),
-                            drift_bits: drift.to_bits(),
-                        },
-                        None,
-                    )?;
+                // A narrow-precision run that drifted past the budget is
+                // not evidence of a broken batch — the budget may simply
+                // be tighter than f32 can hold for this circuit. Retry
+                // once at the f64 reference before condemning the batch;
+                // f64 campaigns quarantine directly as before.
+                let mut rescued = false;
+                if run_precision != Precision::F64 {
+                    let retry_sim =
+                        f64_retry.get_or_insert_with(|| sim.with_precision(Precision::F64));
+                    let retry_out =
+                        match execute_campaign_batch(retry_sim, batch_in, b, copts, &cancel) {
+                            Ok(exec) => {
+                                health.merge(exec.health);
+                                Some(exec.outputs)
+                            }
+                            Err(BqsimError::Cancelled) => {
+                                cancelled = true;
+                                None
+                            }
+                            Err(e) => return Err(e.into()),
+                        };
+                    if cancelled {
+                        // Cancelled mid-retry: the batch stays pending
+                        // and a resume re-runs it from scratch.
+                        break;
+                    }
+                    if let Some(retry_out) = retry_out {
+                        if matches!(
+                            check_batch(batch_in, &retry_out, &copts.integrity),
+                            IntegrityVerdict::Ok
+                        ) {
+                            precision_retries += 1;
+                            let checksum = state_checksum(&retry_out);
+                            let retry_out = Arc::new(retry_out);
+                            if let Some(c) = &mut committer {
+                                persist_dead = !c.commit(
+                                    Record::Batch { index: b, checksum },
+                                    copts.persist_state.then(|| Arc::clone(&retry_out)),
+                                )?;
+                            }
+                            checksums[b] = Some(checksum);
+                            outputs[b] = Some(retry_out);
+                            outcomes[b] = BatchOutcome::Completed { resumed: false };
+                            rescued = true;
+                        }
+                    }
                 }
-                outcomes[b] = BatchOutcome::Quarantined {
-                    reason: reason.to_string(),
-                    drift,
-                };
-                quarantined.push(b);
+                if !rescued {
+                    if let Some(c) = &mut committer {
+                        persist_dead = !c.commit(
+                            Record::Quarantine {
+                                index: b,
+                                reason: reason.to_string(),
+                                drift_bits: drift.to_bits(),
+                            },
+                            None,
+                        )?;
+                    }
+                    outcomes[b] = BatchOutcome::Quarantined {
+                        reason: reason.to_string(),
+                        drift,
+                    };
+                    quarantined.push(b);
+                }
             }
         }
         if persist_dead {
@@ -785,6 +845,7 @@ pub fn run_campaign(
         compile_source,
         store_stats: store.as_ref().map(ArtifactStore::stats),
         cache_stats: sim.conversion_cache_stats(),
+        precision_retries,
     })
 }
 

@@ -119,7 +119,9 @@ pub struct PipelineAnalysis {
 }
 
 /// Compiles `circuit` for `num_batches` batches of `batch_size` inputs and
-/// statically analyzes every pipeline artifact.
+/// statically analyzes every pipeline artifact. `integrity_budget`, when
+/// supplied, additionally audits whether the plan's precision can meet
+/// that norm-drift budget (the campaign `--integrity-budget` value).
 ///
 /// # Errors
 ///
@@ -131,6 +133,7 @@ pub fn analyze_pipeline(
     opts: &BqSimOptions,
     num_batches: usize,
     batch_size: usize,
+    integrity_budget: Option<f64>,
 ) -> Result<PipelineAnalysis, BqsimError> {
     let n = circuit.num_qubits();
     if n == 0 {
@@ -189,6 +192,18 @@ pub fn analyze_pipeline(
         num_batches,
         converted.len(),
     ));
+
+    // Stage ④: precision obligations of the plan — renorm coverage for
+    // mixed precision and, when an integrity budget is supplied, the
+    // depth-derived tolerance audit (would this precision's worst-case
+    // drift fit the budget, or would every batch quarantine?).
+    let pfacts = analyze::PrecisionFacts::from_plan(
+        opts.effective_precision(),
+        converted.len(),
+        num_batches,
+        integrity_budget,
+    );
+    diags.merge(analyze::check_precision_safety(&pfacts));
 
     Ok(PipelineAnalysis {
         diagnostics: diags,
@@ -321,16 +336,20 @@ pub enum SeededDefect {
     Pool,
     /// Audit a journal whose record sequence completes a batch twice.
     Journal,
+    /// Check a mixed-precision plan whose final integrity checkpoint
+    /// lost its covering `f64` renorm point (renorm-coverage violation).
+    Renorm,
 }
 
 impl SeededDefect {
     /// Every defect, in the order the CI corpus iterates them.
-    pub const ALL: [SeededDefect; 5] = [
+    pub const ALL: [SeededDefect; 6] = [
         SeededDefect::Race,
         SeededDefect::LockOrder,
         SeededDefect::Wake,
         SeededDefect::Pool,
         SeededDefect::Journal,
+        SeededDefect::Renorm,
     ];
 
     /// The CLI name of the defect.
@@ -341,6 +360,7 @@ impl SeededDefect {
             SeededDefect::Wake => "wake",
             SeededDefect::Pool => "pool",
             SeededDefect::Journal => "journal",
+            SeededDefect::Renorm => "renorm",
         }
     }
 
@@ -547,12 +567,14 @@ pub fn model_check_pipeline(
                 seq: 0,
                 class: 64,
                 layout: crate::Layout::Aos,
+                width: 16,
                 kind: PoolEventKind::CheckoutMiss,
             },
             PoolEvent {
                 seq: 1,
                 class: 64,
                 layout: crate::Layout::Aos,
+                width: 16,
                 kind: PoolEventKind::CheckoutHit,
             },
         ];
@@ -602,6 +624,38 @@ pub fn model_check_pipeline(
         );
     }
 
+    // ⑥ Precision safety: renorm coverage of measurement/integrity
+    // checkpoints and the depth-derived tolerance estimate. The seeded
+    // defect forces a mixed-precision plan whose *last* checkpoint lost
+    // its covering renorm point.
+    let pfacts = if mc.defect == Some(SeededDefect::Renorm) {
+        let mut f = analyze::PrecisionFacts::from_plan(
+            crate::Precision::Mixed,
+            sim.gates().len(),
+            num_batches.max(1),
+            None,
+        );
+        f.renorm_points.pop();
+        f
+    } else {
+        analyze::PrecisionFacts::from_plan(
+            opts.effective_precision(),
+            sim.gates().len(),
+            num_batches,
+            None,
+        )
+    };
+    report.push_section(
+        "precision safety",
+        format!(
+            "precision {}; {} checkpoint(s), {} renorm point(s)",
+            pfacts.precision.token(),
+            pfacts.checkpoints.len(),
+            pfacts.renorm_points.len()
+        ),
+        analyze::check_precision_safety(&pfacts),
+    );
+
     Ok(ModelCheckReport {
         traces_explored: outcome.traces_explored,
         truncated: outcome.truncated,
@@ -620,8 +674,8 @@ mod tests {
     fn qft_pipeline_is_clean() {
         // The acceptance scenario: 8-qubit QFT, 6 batches.
         let circuit = generators::qft(8);
-        let report =
-            analyze_pipeline(&circuit, &BqSimOptions::default(), 6, 16).expect("analysis runs");
+        let report = analyze_pipeline(&circuit, &BqSimOptions::default(), 6, 16, None)
+            .expect("analysis runs");
         assert!(
             report.diagnostics.is_clean(),
             "expected a clean pipeline:\n{}",
@@ -639,8 +693,8 @@ mod tests {
     #[test]
     fn small_circuits_get_the_dense_nzrv_check() {
         let circuit = generators::ghz(4);
-        let report =
-            analyze_pipeline(&circuit, &BqSimOptions::default(), 2, 4).expect("analysis runs");
+        let report = analyze_pipeline(&circuit, &BqSimOptions::default(), 2, 4, None)
+            .expect("analysis runs");
         assert!(report.diagnostics.is_clean(), "{}", report.diagnostics);
         assert_eq!(report.nzrv_checked, report.gates_checked);
     }
@@ -779,7 +833,7 @@ mod tests {
                 ..BqSimOptions::default()
             },
         ] {
-            let report = analyze_pipeline(&circuit, &opts, 3, 8).expect("analysis runs");
+            let report = analyze_pipeline(&circuit, &opts, 3, 8, None).expect("analysis runs");
             assert!(report.diagnostics.is_clean(), "{}", report.diagnostics);
         }
     }

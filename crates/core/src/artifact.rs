@@ -15,8 +15,7 @@ use crate::convert::{ConversionMethod, ConvertedGate, EllCacheStats};
 use crate::error::BqsimError;
 use crate::simulator::{BqSimOptions, BqSimulator};
 use bqsim_artifact::{
-    fnv1a, ArtifactStore, CircuitArtifact, Flight, GateRecord, LoadOutcome, ARTIFACT_VERSION,
-    FLIGHT_TIMEOUT,
+    fnv1a, ArtifactStore, CircuitArtifact, Flight, GateRecord, LoadOutcome, FLIGHT_TIMEOUT,
 };
 use bqsim_ell::convert::ConversionWork;
 use bqsim_qcir::{qasm, Circuit};
@@ -24,21 +23,31 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The key schema version baked into [`artifact_key`]. Deliberately
+/// pinned *separately* from `ARTIFACT_VERSION`: the format grew a
+/// tuning section in version 2, but tuning is execution metadata — the
+/// compiled content is unchanged — so bumping the key with the format
+/// would have forked every existing artifact for no reason. Bump this
+/// only when the *compile inputs* that feed the key change meaning.
+const KEY_SCHEMA_VERSION: u32 = 1;
+
 /// The content address of a compilation: an FNV-1a 64 hash over the
-/// artifact format version, the canonical circuit representation, and
+/// key schema version, the canonical circuit representation, and
 /// every compile-relevant option.
 ///
 /// Included: τ, device and CPU specs (they parameterise the modelled
 /// conversion times stored in the artifact), the forced-conversion /
 /// skip-fusion / skip-ELL / generic-spMM ablation flags, and the
 /// *effective* amplitude layout. Excluded — deliberately — are `threads`,
-/// `launch_mode`, and `exec_mode`: they change how a compiled circuit is
-/// *executed*, never what the compile produces, so runs that differ only
-/// in those share one artifact (the bit-identity guarantee across threads
-/// and layouts is what makes this sound, and the proptest suite holds it).
+/// `launch_mode`, `exec_mode`, `precision`, and `use_pattern`: they
+/// change how a compiled circuit is *executed*, never what the compile
+/// produces, so runs that differ only in those share one artifact (the
+/// bit-identity guarantee across threads and layouts is what makes this
+/// sound, and the proptest suite holds it; precision rides as a tuning
+/// record inside the artifact rather than forking its key).
 pub fn artifact_key(circuit: &Circuit, opts: &BqSimOptions) -> u64 {
     let repr = format!(
-        "bqaf v{ARTIFACT_VERSION} circuit={circuit:?} tau={} device={:?} cpu={:?} \
+        "bqaf v{KEY_SCHEMA_VERSION} circuit={circuit:?} tau={} device={:?} cpu={:?} \
          force={:?} skip_fusion={} skip_ell={} generic_spmm={} layout={:?}",
         opts.tau,
         opts.device,
@@ -208,6 +217,7 @@ impl BqSimulator {
                     work_max_row_steps: g.work.max_row_steps,
                 })
                 .collect(),
+            tuning: self.stored_tuning(),
         }
     }
 
@@ -261,7 +271,7 @@ impl BqSimulator {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::from_parts(
+        let mut sim = Self::from_parts(
             n,
             gates,
             circuit.clone(),
@@ -274,7 +284,9 @@ impl BqSimulator {
                 misses: a.cache_misses,
                 evictions: a.cache_evictions,
             },
-        ))
+        );
+        sim.set_stored_tuning(a.tuning);
+        Ok(sim)
     }
 }
 
@@ -415,6 +427,8 @@ fn audit_one(path: &Path, key: u64) -> AuditVerdict {
 }
 
 /// The round-trip heart of the audit: stored executable vs. fresh compile.
+/// The tuning record is deliberately not compared — it is empirical
+/// execution metadata (a fresh compile has none), not compiled content.
 fn compare_compiles(a: &CircuitArtifact, fresh: &BqSimulator) -> Result<(), String> {
     if a.num_qubits != fresh.num_qubits() {
         return Err(format!(

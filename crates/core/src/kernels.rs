@@ -4,8 +4,8 @@
 //! for the timing model plus functional semantics against device buffers.
 
 use bqsim_ell::convert::{convert_row_algorithm1, ConversionWork};
-use bqsim_ell::{EllMatrix, GpuDd, Layout};
-use bqsim_gpu::{BufferId, DeviceMemory, Kernel, KernelProfile};
+use bqsim_ell::{EllMatrix, GpuDd, Precision};
+use bqsim_gpu::{AmpStore, BufferId, DeviceMemory, Kernel, KernelProfile};
 use bqsim_num::Complex;
 use std::sync::Arc;
 
@@ -26,6 +26,8 @@ pub struct EllSpmmKernel {
     batch: usize,
     lanes: usize,
     generic: bool,
+    precision: Precision,
+    use_pattern: bool,
 }
 
 /// Minimum output elements (`rows × batch`) each row-partition lane must
@@ -55,10 +57,12 @@ impl EllSpmmKernel {
         EllSpmmKernel::with_mode(gate, input, output, batch, lanes, false)
     }
 
-    /// Full constructor: `generic = true` routes execution through the
-    /// pre-optimisation [`EllMatrix::spmm_generic`] loop (the serial
-    /// ablation baseline benches compare against); it also disables lane
-    /// splitting so the baseline is exactly the historical code path.
+    /// [`EllSpmmKernel::with_tuning`] at the `f64` reference precision
+    /// with pattern compression on: `generic = true` routes execution
+    /// through the pre-optimisation [`EllMatrix::spmm_generic`] loop (the
+    /// serial ablation baseline benches compare against); it also
+    /// disables lane splitting so the baseline is exactly the historical
+    /// code path.
     pub fn with_mode(
         gate: Arc<EllMatrix>,
         input: BufferId,
@@ -67,6 +71,34 @@ impl EllSpmmKernel {
         lanes: usize,
         generic: bool,
     ) -> Self {
+        EllSpmmKernel::with_tuning(
+            gate,
+            input,
+            output,
+            batch,
+            lanes,
+            generic,
+            Precision::F64,
+            true,
+        )
+    }
+
+    /// Full constructor: additionally selects the amplitude precision of
+    /// the planar sweep (`f32`/mixed kernels run only against `f32`
+    /// planar buffers — the simulator's `effective_precision` guarantees
+    /// the buffer/precision pairing) and whether the planar arms exploit
+    /// the pattern-compression annotation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_tuning(
+        gate: Arc<EllMatrix>,
+        input: BufferId,
+        output: BufferId,
+        batch: usize,
+        lanes: usize,
+        generic: bool,
+        precision: Precision,
+        use_pattern: bool,
+    ) -> Self {
         EllSpmmKernel {
             gate,
             input,
@@ -74,6 +106,8 @@ impl EllSpmmKernel {
             batch,
             lanes: lanes.max(1),
             generic,
+            precision,
+            use_pattern,
         }
     }
 
@@ -104,14 +138,19 @@ impl Kernel for EllSpmmKernel {
     fn profile(&self) -> KernelProfile {
         let rows = self.gate.num_rows() as u64;
         let macs = self.macs();
+        // Amplitude traffic scales with the storage width: the narrow
+        // precisions halve both the streamed input reads and the output
+        // writes — the whole point of the adaptive-precision sweep on a
+        // bandwidth-bound kernel. Gate tables stay f64 in every mode.
+        let amp_width = self.precision.storage_bytes() as u64;
         KernelProfile {
             flops: macs * FLOPS_PER_CMAC,
             // Gate tables are read once (L2-resident across the batch);
             // each MAC pulls one input amplitude, each output is written
             // once. Model input reads at half rate for cache reuse across
             // rows sharing columns.
-            bytes_read: self.gate.byte_size() + macs * 16 / 2,
-            bytes_written: rows * self.batch as u64 * 16,
+            bytes_read: self.gate.byte_size() + macs * amp_width / 2,
+            bytes_written: rows * self.batch as u64 * amp_width,
             blocks: rows,
             threads_per_block: self.batch.min(256) as u32,
             divergence: 1.0,
@@ -132,15 +171,46 @@ impl Kernel for EllSpmmKernel {
         let chunk_rows = rows.div_ceil(lanes);
         let batch = self.batch;
         let gate = &*self.gate;
-        // Dispatch on the buffers' layout: the simulator allocates all
-        // four state buffers in one layout, so input and output always
-        // agree (the `as_*` accessors panic if a scheduling bug mixes
-        // them).
-        if input.store().layout() == Layout::Planar {
+        let use_pattern = self.use_pattern;
+        // Dispatch on the buffers' store variant: the simulator allocates
+        // all four state buffers in one layout and width, so input and
+        // output always agree (the `as_*` accessors panic if a
+        // scheduling bug mixes them).
+        if matches!(input.store(), AmpStore::PlanarF32(_)) {
+            let (ire, iim) = input.store().as_planar_f32().planes();
+            let (ore, oim) = output.store_mut().as_planar_f32_mut().planes_mut();
+            // Both narrow arms take the f64 gate values and make their
+            // dispatch decisions on them, so arm selection is identical
+            // to the reference; `mixed` additionally accumulates in f64.
+            let mixed = self.precision == Precision::Mixed;
+            let run = |cre: &mut [f32], cim: &mut [f32], first_row: usize| {
+                if mixed {
+                    gate.spmm_rows_planar_mixed(ire, iim, cre, cim, first_row, batch, use_pattern);
+                } else {
+                    gate.spmm_rows_planar_f32(ire, iim, cre, cim, first_row, batch, use_pattern);
+                }
+            };
+            if lanes == 1 {
+                run(ore, oim, 0);
+                return;
+            }
+            std::thread::scope(|scope| {
+                for (lane, (cre, cim)) in ore
+                    .chunks_mut(chunk_rows * batch)
+                    .zip(oim.chunks_mut(chunk_rows * batch))
+                    .enumerate()
+                {
+                    let run = &run;
+                    scope.spawn(move || run(cre, cim, lane * chunk_rows));
+                }
+            });
+            return;
+        }
+        if matches!(input.store(), AmpStore::Planar(_)) {
             let (ire, iim) = input.store().as_planar().planes();
             let (ore, oim) = output.store_mut().as_planar_mut().planes_mut();
             if lanes == 1 {
-                gate.spmm_rows_planar(ire, iim, ore, oim, 0, batch);
+                gate.spmm_rows_planar_cfg(ire, iim, ore, oim, 0, batch, use_pattern);
                 return;
             }
             // Row-partition as in the AoS path below; each worker owns the
@@ -152,7 +222,15 @@ impl Kernel for EllSpmmKernel {
                     .enumerate()
                 {
                     scope.spawn(move || {
-                        gate.spmm_rows_planar(ire, iim, cre, cim, lane * chunk_rows, batch)
+                        gate.spmm_rows_planar_cfg(
+                            ire,
+                            iim,
+                            cre,
+                            cim,
+                            lane * chunk_rows,
+                            batch,
+                            use_pattern,
+                        )
                     });
                 }
             });

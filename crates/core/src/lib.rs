@@ -49,6 +49,7 @@ pub mod kernels;
 pub mod multi_gpu;
 pub mod schedule;
 pub mod simulator;
+pub mod tune;
 
 pub use analysis::{
     analyze_parallel_execution, analyze_pipeline, analyze_recovery, model_check_pipeline,
@@ -65,17 +66,19 @@ pub use error::BqsimError;
 pub use fusion::{bqcs_aware_fusion, greedy_fusion, FusedGate};
 pub use multi_gpu::{MultiGpuRecoveredRun, MultiGpuRun, MultiGpuRunner};
 pub use simulator::{
-    default_layout, default_threads, random_input_batch, BqSimOptions, BqSimulator, RecoveredRun,
-    RunBreakdown, RunResult,
+    default_layout, default_precision, default_threads, random_input_batch, BqSimOptions,
+    BqSimulator, RecoveredRun, ResolvedExec, RunBreakdown, RunResult,
 };
+pub use tune::{tune_or_stored, ProbeSample, TuneOutcome, TuningSource, PROBE_BATCH};
 
-// Re-exported so layout selection composes without a direct `bqsim-ell`
-// dependency (mirrors the fault-plan re-exports below).
-pub use bqsim_ell::Layout;
+// Re-exported so layout/precision selection composes without a direct
+// `bqsim-ell` dependency (mirrors the fault-plan re-exports below).
+pub use bqsim_ell::{precision_tolerance, Layout, Precision};
 // Re-exported so campaign/serve/CLI open stores without depending on
 // `bqsim-artifact` directly.
 pub use bqsim_artifact::{
-    ArtifactStore, LoadOutcome, StoreEntry, StoreStats, DEFAULT_STORE_CAPACITY,
+    decode_artifact, ArtifactStore, LoadOutcome, StoreEntry, StoreStats, TuningRecord,
+    DEFAULT_STORE_CAPACITY,
 };
 pub use bqsim_gpu::{PoolEvent, PoolEventKind, PoolStats};
 

@@ -5,7 +5,7 @@ use crate::error::BqsimError;
 use crate::fusion::{self, FusedGate};
 use crate::kernels::{DdSpmvKernel, EllSpmmKernel};
 use crate::schedule;
-use bqsim_ell::Layout;
+use bqsim_ell::{Layout, Precision};
 use bqsim_faults::{
     CancelToken, FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryPolicy, Resolution,
     RunHealth,
@@ -62,6 +62,18 @@ pub struct BqSimOptions {
     /// ablation baseline. Both produce **bit-identical** amplitudes. The
     /// default honours `BQSIM_LAYOUT` and falls back to planar.
     pub layout: Layout,
+    /// Amplitude precision of the planar execution path: `f64` (the
+    /// bit-identity reference), `f32` (narrow storage and arithmetic),
+    /// or mixed (`f32` storage, `f64` accumulation, per-batch
+    /// renormalisation). Only the planar layout has narrow kernels, so
+    /// [`BqSimOptions::effective_precision`] falls back to `f64`
+    /// whenever the effective layout is AoS. The default honours
+    /// `BQSIM_PRECISION` and falls back to `f64`.
+    pub precision: Precision,
+    /// Whether the planar kernels exploit the ELL pattern-compression
+    /// annotation. Bit-identical either way (the annotation only dedups
+    /// dispatch decisions); the auto-tuner probes both settings.
+    pub use_pattern: bool,
 }
 
 impl BqSimOptions {
@@ -74,6 +86,19 @@ impl BqSimOptions {
             Layout::Aos
         } else {
             self.layout
+        }
+    }
+
+    /// The precision the run actually executes with. The narrow (`f32`
+    /// plane) kernels exist only on the planar spMM path, so any
+    /// configuration whose [`effective_layout`](Self::effective_layout)
+    /// is AoS — including the `skip_ell` and `generic_spmm` ablations —
+    /// silently runs the `f64` reference.
+    pub fn effective_precision(&self) -> Precision {
+        if self.effective_layout() == Layout::Planar {
+            self.precision
+        } else {
+            Precision::F64
         }
     }
 }
@@ -104,6 +129,19 @@ pub fn default_layout() -> Layout {
     Layout::default()
 }
 
+/// Default amplitude precision: `BQSIM_PRECISION` if set to a recognised
+/// token (`f64` / `f32` / `mixed`), else [`Precision::F64`]. The `auto`
+/// token is resolved by the CLI/auto-tuner before options are built and
+/// is not recognised here.
+pub fn default_precision() -> Precision {
+    if let Ok(s) = std::env::var("BQSIM_PRECISION") {
+        if let Some(p) = Precision::parse(s.trim()) {
+            return p;
+        }
+    }
+    Precision::default()
+}
+
 impl Default for BqSimOptions {
     fn default() -> Self {
         BqSimOptions {
@@ -118,6 +156,8 @@ impl Default for BqSimOptions {
             threads: default_threads(),
             generic_spmm: false,
             layout: default_layout(),
+            precision: default_precision(),
+            use_pattern: true,
         }
     }
 }
@@ -187,9 +227,28 @@ pub struct BqSimulator {
     fusion_wall_ns: u64,
     conversion_ns: u64,
     cache_stats: EllCacheStats,
+    // The tuning record that rode in with a warm artifact load or was
+    // installed by `apply_tuning` (None on cold, untuned compiles), so
+    // `to_artifact` republishes it and the tuner can skip its probes.
+    stored_tuning: Option<bqsim_artifact::TuningRecord>,
     // One pool per compiled simulator: buffers recycled across every
     // `run_*` call, so steady-state batch runs allocate nothing.
     pool: Arc<BufferPool>,
+}
+
+/// The execution configuration actually in effect for a simulator's next
+/// run: effective precision and layout plus the tunable execution axes.
+/// Rendered by the CLI's `resolved` summary line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedExec {
+    /// Effective amplitude precision.
+    pub precision: Precision,
+    /// Effective amplitude layout.
+    pub layout: Layout,
+    /// Host worker threads.
+    pub threads: usize,
+    /// Pattern-compression toggle of the planar kernels.
+    pub use_pattern: bool,
 }
 
 /// The result of a fault-injected run: the run itself plus a [`RunHealth`]
@@ -257,6 +316,7 @@ impl BqSimulator {
             fusion_wall_ns,
             conversion_ns,
             cache_stats: cache.stats(),
+            stored_tuning: None,
             pool: Arc::new(BufferPool::new()),
         })
     }
@@ -286,13 +346,113 @@ impl BqSimulator {
             fusion_wall_ns,
             conversion_ns,
             cache_stats,
+            stored_tuning: None,
             pool: Arc::new(BufferPool::new()),
         }
+    }
+
+    /// Crate-internal: attaches the tuning record a warm artifact load
+    /// carried (see [`BqSimulator::compile_or_load`]).
+    pub(crate) fn set_stored_tuning(&mut self, rec: Option<bqsim_artifact::TuningRecord>) {
+        self.stored_tuning = rec;
+    }
+
+    /// The tuning record this simulator carries — loaded with its
+    /// artifact or installed by [`BqSimulator::apply_tuning`]; `None`
+    /// until either happens. A `Some` here is what lets `--precision
+    /// auto` skip its probe runs on a warm store.
+    pub fn stored_tuning(&self) -> Option<bqsim_artifact::TuningRecord> {
+        self.stored_tuning
     }
 
     /// Crate-internal: the compile options (for artifact serialization).
     pub(crate) fn opts(&self) -> &BqSimOptions {
         &self.opts
+    }
+
+    /// A sibling simulator sharing this one's compiled gates (cheap: the
+    /// ELL matrices and GPU DDs sit behind `Arc`s) but executing at
+    /// `precision`. The campaign runner uses this to transparently retry
+    /// a quarantined batch at the `f64` reference when a narrow
+    /// precision drifted past its integrity budget. The sibling gets its
+    /// own buffer pool: its shelves are width-disjoint from the
+    /// parent's, so sharing would only interleave the event logs.
+    pub fn with_precision(&self, precision: Precision) -> BqSimulator {
+        BqSimulator {
+            num_qubits: self.num_qubits,
+            gates: self.gates.clone(),
+            circuit: self.circuit.clone(),
+            opts: BqSimOptions {
+                precision,
+                ..self.opts.clone()
+            },
+            fusion_ns: self.fusion_ns,
+            fusion_wall_ns: self.fusion_wall_ns,
+            conversion_ns: self.conversion_ns,
+            cache_stats: self.cache_stats,
+            stored_tuning: self.stored_tuning,
+            pool: Arc::new(BufferPool::new()),
+        }
+    }
+
+    /// Crate-internal probe harness for the auto-tuner: a sibling with
+    /// every tunable execution axis overridden explicitly and the exec
+    /// mode forced functional (probes must produce real amplitudes so
+    /// narrow precisions can be validated against the f64 reference).
+    pub(crate) fn with_exec(
+        &self,
+        precision: Precision,
+        layout: Layout,
+        threads: usize,
+        use_pattern: bool,
+        generic_spmm: bool,
+    ) -> BqSimulator {
+        BqSimulator {
+            num_qubits: self.num_qubits,
+            gates: self.gates.clone(),
+            circuit: self.circuit.clone(),
+            opts: BqSimOptions {
+                precision,
+                layout,
+                threads: threads.max(1),
+                use_pattern,
+                generic_spmm,
+                exec_mode: ExecMode::Functional,
+                ..self.opts.clone()
+            },
+            fusion_ns: self.fusion_ns,
+            fusion_wall_ns: self.fusion_wall_ns,
+            conversion_ns: self.conversion_ns,
+            cache_stats: self.cache_stats,
+            stored_tuning: None,
+            pool: Arc::new(BufferPool::new()),
+        }
+    }
+
+    /// Applies an auto-tuner decision to the execution-only options:
+    /// precision, layout, worker threads, and the pattern-compression
+    /// toggle. The compiled gates are untouched — none of these axes
+    /// affect compilation — so applying a tuning can never fork the
+    /// artifact key. The tuner never selects `generic_spmm` (probed for
+    /// honesty, ablation-only), so it is deliberately not applied.
+    pub fn apply_tuning(&mut self, rec: &bqsim_artifact::TuningRecord) {
+        self.opts.precision = rec.precision;
+        self.opts.layout = rec.layout;
+        self.opts.threads = rec.threads.max(1);
+        self.opts.use_pattern = rec.use_pattern;
+        self.stored_tuning = Some(*rec);
+    }
+
+    /// The execution configuration the next run will actually use, after
+    /// ablation overrides and any applied tuning — what `bqsim run`
+    /// prints as its `resolved` line.
+    pub fn resolved_options(&self) -> ResolvedExec {
+        ResolvedExec {
+            precision: self.opts.effective_precision(),
+            layout: self.opts.effective_layout(),
+            threads: self.opts.threads,
+            use_pattern: self.opts.use_pattern,
+        }
     }
 
     /// Crate-internal: the source circuit (for artifact serialization).
@@ -480,7 +640,9 @@ impl BqSimulator {
         assert!(num_batches > 0 && batch_size > 0, "empty batch run");
         let dim = 1usize << self.num_qubits;
         let elems = dim * batch_size;
-        let bytes_per_batch = (elems * 16) as u64;
+        let precision = self.opts.effective_precision();
+        let width = precision.storage_bytes();
+        let bytes_per_batch = (elems * width) as u64;
         let functional = !batches.is_empty() && self.opts.exec_mode == ExecMode::Functional;
 
         let layout = self.opts.effective_layout();
@@ -494,12 +656,16 @@ impl BqSimulator {
             batch: None,
             source,
         };
-        // Device residency: four state buffers plus the gate tables.
+        // Device residency: four state buffers plus the gate tables. The
+        // narrow precisions genuinely halve the state-buffer residency
+        // (and the H2D/D2H traffic `bytes_per_batch` models above); the
+        // allocation *sequence* is width-independent so injected OOM
+        // traps fire at the same indices in every precision.
         let buffers = [
-            mem.alloc_layout(elems, layout).map_err(oom)?,
-            mem.alloc_layout(elems, layout).map_err(oom)?,
-            mem.alloc_layout(elems, layout).map_err(oom)?,
-            mem.alloc_layout(elems, layout).map_err(oom)?,
+            mem.alloc_amp(elems, layout, width).map_err(oom)?,
+            mem.alloc_amp(elems, layout, width).map_err(oom)?,
+            mem.alloc_amp(elems, layout, width).map_err(oom)?,
+            mem.alloc_amp(elems, layout, width).map_err(oom)?,
         ];
         let gate_bytes: u64 = gates
             .iter()
@@ -511,9 +677,11 @@ impl BqSimulator {
             .map(|b| {
                 if functional {
                     // Transpose-pack each batch straight into a pooled host
-                    // buffer in the device layout: no intermediate packed
-                    // Vec, and the H2D copy becomes a plane memcpy.
-                    host.alloc_staged_from(&batches[b], layout)
+                    // buffer in the device layout and width: no intermediate
+                    // packed Vec, the H2D copy becomes a plane memcpy, and
+                    // in the narrow precisions each amplitude rounds exactly
+                    // once, here.
+                    host.alloc_staged_amp(&batches[b], layout, width)
                 } else {
                     host.alloc_zeroed(0)
                 }
@@ -522,7 +690,7 @@ impl BqSimulator {
         let outputs: Vec<_> = (0..num_batches)
             .map(|_| {
                 if functional {
-                    host.alloc_zeroed_layout(elems, layout)
+                    host.alloc_zeroed_amp(elems, layout, width)
                 } else {
                     host.alloc_zeroed(0)
                 }
@@ -547,7 +715,7 @@ impl BqSimulator {
                         batch_size,
                     ))
                 } else {
-                    Arc::new(EllSpmmKernel::with_mode(
+                    Arc::new(EllSpmmKernel::with_tuning(
                         Arc::clone(&g.ell),
                         src,
                         dst,
@@ -561,6 +729,8 @@ impl BqSimulator {
                             .threads
                             .min(std::thread::available_parallelism().map_or(1, |p| p.get())),
                         self.opts.generic_spmm,
+                        precision,
+                        self.opts.use_pattern,
                     ))
                 }
             },
@@ -583,7 +753,7 @@ impl BqSimulator {
         );
         let timeline = faulted.timeline.clone();
 
-        let outputs_data: Vec<Vec<Vec<Complex>>> = if functional {
+        let mut outputs_data: Vec<Vec<Vec<Complex>>> = if functional {
             outputs
                 .iter()
                 .map(|&h| host.buffer(h).store().unpack_states(batch_size))
@@ -591,6 +761,27 @@ impl BqSimulator {
         } else {
             Vec::new()
         };
+        // Mixed precision scrubs norm drift at every batch boundary: the
+        // gates are unitary, so each output state's true L2 norm equals
+        // its input's. Rescaling in f64 right after the widening unpack
+        // puts a renormalisation point in front of every downstream
+        // integrity checkpoint (the analyzer's precision-safety pass
+        // audits exactly this coverage). Pure f32 deliberately skips it —
+        // its drift is what the quarantine path is tested against.
+        if functional && precision == Precision::Mixed {
+            for (batch_out, batch_in) in outputs_data.iter_mut().zip(batches) {
+                for (state, input) in batch_out.iter_mut().zip(batch_in) {
+                    let want = bqsim_num::approx::l2_norm(input);
+                    let got = bqsim_num::approx::l2_norm(state);
+                    if got > 0.0 && want > 0.0 {
+                        let k = want / got;
+                        for z in state.iter_mut() {
+                            *z = z.scale(k);
+                        }
+                    }
+                }
+            }
+        }
 
         let breakdown = RunBreakdown {
             fusion_ns: self.fusion_ns,

@@ -41,6 +41,8 @@ mod csr;
 mod format;
 mod gpu_dd;
 mod planar;
+mod planar32;
+mod precision;
 
 pub mod convert;
 
@@ -48,3 +50,5 @@ pub use csr::CsrMatrix;
 pub use format::{pack_batch, unpack_batch, EllMatrix};
 pub use gpu_dd::{GpuDd, GpuDdEdge, GpuDdNode, NIL};
 pub use planar::{AmpBuffer, Layout, TILE};
+pub use planar32::AmpBufferF32;
+pub use precision::{precision_tolerance, Precision};

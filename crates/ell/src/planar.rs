@@ -426,6 +426,30 @@ impl EllMatrix {
         first_row: usize,
         batch: usize,
     ) {
+        self.spmm_rows_planar_cfg(in_re, in_im, out_re, out_im, first_row, batch, true);
+    }
+
+    /// [`EllMatrix::spmm_rows_planar`] with an explicit pattern-execution
+    /// toggle: `use_pattern = false` addresses every row's own slots even
+    /// when a pattern annotation exists. The annotation is template-exact
+    /// by construction, so both settings are bit-identical — the toggle
+    /// exists for the auto-tuner to *measure* the addressing variants on
+    /// a circuit's real shapes, not to change semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any size mismatch or window overrun.
+    #[allow(clippy::too_many_arguments)] // one slice per plane plus the toggle
+    pub fn spmm_rows_planar_cfg(
+        &self,
+        in_re: &[f64],
+        in_im: &[f64],
+        out_re: &mut [f64],
+        out_im: &mut [f64],
+        first_row: usize,
+        batch: usize,
+        use_pattern: bool,
+    ) {
         let rows = self.num_rows();
         let max_nzr = self.max_nzr();
         assert_eq!(in_re.len(), rows * batch, "input re plane size mismatch");
@@ -437,7 +461,11 @@ impl EllMatrix {
             "row window out of range"
         );
         let (values, cols, row_nnz) = self.slots();
-        let period = self.pattern_period();
+        let period = if use_pattern {
+            self.pattern_period()
+        } else {
+            None
+        };
         let src = |col: u32| -> Planes<'_> {
             let at = col as usize * batch;
             (&in_re[at..at + batch], &in_im[at..at + batch])

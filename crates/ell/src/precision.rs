@@ -1,0 +1,141 @@
+//! The amplitude-precision axis and its depth-derived error estimator.
+//!
+//! The planar spMM sweep is memory-bandwidth bound, so storing amplitude
+//! planes in `f32` halves the dominant traffic. Three modes:
+//!
+//! * [`Precision::F64`] — the reference: `f64` planes, bit-identical
+//!   across layouts and thread counts (the campaign-digest anchor).
+//! * [`Precision::F32`] — `f32` planes *and* `f32` arithmetic: fastest,
+//!   with round-off compounding per gate and no renormalisation.
+//! * [`Precision::Mixed`] — `f32` planes with `f64` accumulation inside
+//!   every kernel arm (one rounding per output element per gate) plus a
+//!   per-batch `f64` renormalisation, so norm drift is scrubbed at every
+//!   integrity checkpoint.
+//!
+//! Gate matrices, integrity checks, and renormalisation always stay in
+//! `f64`; only amplitude storage (and, for pure `F32`, the kernel
+//! arithmetic) narrows. [`precision_tolerance`] estimates the norm drift
+//! a clean run may exhibit, derived from circuit depth — the analyzer's
+//! tolerance audit compares it against the configured integrity budget.
+
+use core::fmt;
+
+/// Amplitude storage/arithmetic precision of the planar execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Double-precision planes and arithmetic (the default and the
+    /// bit-identity reference).
+    #[default]
+    F64,
+    /// Single-precision planes and arithmetic.
+    F32,
+    /// Single-precision planes, double-precision accumulation and
+    /// per-batch renormalisation.
+    Mixed,
+}
+
+impl Precision {
+    /// Stable lowercase token, used by the CLI, `BQSIM_PRECISION`, the
+    /// journal fingerprint header, and submission specs.
+    pub fn token(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a [`Precision::token`] back; `None` for anything else
+    /// (including `auto`, which is a tuner request, not a precision).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32" => Some(Precision::F32),
+            "mixed" => Some(Precision::Mixed),
+            _ => None,
+        }
+    }
+
+    /// Bytes one stored amplitude occupies (both component planes):
+    /// 16 for `f64` planes, 8 for `f32` planes.
+    pub fn storage_bytes(self) -> usize {
+        match self {
+            Precision::F64 => 16,
+            Precision::F32 | Precision::Mixed => 8,
+        }
+    }
+
+    /// Accuracy rank, higher is more accurate: `F64` > `Mixed` > `F32`.
+    /// Tenant quota floors compare ranks ("at least mixed").
+    pub fn rank(self) -> u8 {
+        match self {
+            Precision::F64 => 2,
+            Precision::Mixed => 1,
+            Precision::F32 => 0,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Estimated worst observed L2-norm drift of a clean (fault-free) run of
+/// a depth-`depth` circuit at `precision` — the bound the analyzer's
+/// tolerance audit holds the integrity budget against, and the default
+/// validity gate of the auto-tuner's precision probes.
+///
+/// The model is RMS round-off accumulation: each of the `depth` gate
+/// applications contributes an independent relative rounding of order
+/// the storage epsilon, so the drift grows like `ε·√(depth+1)`. The
+/// leading constants are calibrated loose (×16 for `f32`, whose
+/// arithmetic also rounds; ×8 for `mixed`, which rounds only at the
+/// per-element store and scrubs norms at every batch boundary) so a
+/// clean run never trips its own estimate. `F64` uses the same model at
+/// double epsilon.
+pub fn precision_tolerance(depth: usize, precision: Precision) -> f64 {
+    let gates = (depth + 1) as f64;
+    match precision {
+        Precision::F64 => 16.0 * f64::EPSILON * gates.sqrt(),
+        Precision::F32 => 16.0 * f64::from(f32::EPSILON) * gates.sqrt(),
+        Precision::Mixed => 8.0 * f64::from(f32::EPSILON) * gates.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_tokens_roundtrip() {
+        for p in [Precision::F64, Precision::F32, Precision::Mixed] {
+            assert_eq!(Precision::parse(p.token()), Some(p));
+            assert_eq!(format!("{p}"), p.token());
+        }
+        assert_eq!(Precision::parse("auto"), None);
+        assert_eq!(Precision::default(), Precision::F64);
+        assert_eq!(Precision::F64.storage_bytes(), 16);
+        assert_eq!(Precision::F32.storage_bytes(), 8);
+        assert_eq!(Precision::Mixed.storage_bytes(), 8);
+        assert!(Precision::F64.rank() > Precision::Mixed.rank());
+        assert!(Precision::Mixed.rank() > Precision::F32.rank());
+    }
+
+    #[test]
+    fn tolerance_grows_with_depth_and_tightens_with_precision() {
+        for p in [Precision::F64, Precision::F32, Precision::Mixed] {
+            assert!(precision_tolerance(64, p) > precision_tolerance(4, p));
+        }
+        let (f64t, mixed, f32t) = (
+            precision_tolerance(10, Precision::F64),
+            precision_tolerance(10, Precision::Mixed),
+            precision_tolerance(10, Precision::F32),
+        );
+        assert!(f64t < mixed && mixed < f32t);
+        // The f64 estimate stays within the repo's default integrity
+        // budget (1e-9) for any realistic circuit depth.
+        assert!(precision_tolerance(10_000, Precision::F64) < 1e-9);
+    }
+}

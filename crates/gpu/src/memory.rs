@@ -3,7 +3,8 @@
 //! allocation-free.
 
 use crate::DeviceSpec;
-use bqsim_ell::{AmpBuffer, Layout};
+use bqsim_ell::{AmpBuffer, AmpBufferF32, Layout};
+use bqsim_num::narrow::to_f32;
 use bqsim_num::Complex;
 use core::fmt;
 use std::collections::HashMap;
@@ -18,12 +19,19 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGua
 /// variant holds the same amplitudes as separate re/im planes
 /// ([`AmpBuffer`]). Conversions between the two are pure component moves
 /// (no arithmetic), so staging through either layout is bit-exact.
+///
+/// The `PlanarF32` variant backs the adaptive-precision execution arms
+/// (`Precision::{F32, Mixed}`): same planar layout, `f32` planes. Copies
+/// *into* it narrow (the staging path's intended one-rounding-per-entry
+/// precision-loss point); copies *out* widen exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AmpStore {
     /// Interleaved array-of-structures storage.
     Aos(Vec<Complex>),
     /// Planar structure-of-arrays storage.
     Planar(AmpBuffer),
+    /// Planar storage with single-precision planes.
+    PlanarF32(AmpBufferF32),
 }
 
 /// State-vector block width for the staging/unpacking transposes: small
@@ -32,24 +40,42 @@ pub enum AmpStore {
 const STAGE_TILE: usize = 64;
 
 impl AmpStore {
-    /// An all-zero store of `len` amplitudes in the given layout.
+    /// An all-zero store of `len` amplitudes in the given layout, with
+    /// `f64` amplitudes (16 bytes each).
     pub fn zeroed(len: usize, layout: Layout) -> Self {
-        match layout {
-            Layout::Aos => AmpStore::Aos(vec![Complex::ZERO; len]),
-            Layout::Planar => AmpStore::Planar(AmpBuffer::zeroed(len)),
+        AmpStore::zeroed_width(len, layout, 16)
+    }
+
+    /// An all-zero store of `len` amplitudes in the given layout and
+    /// element width (16 = `f64` planes/AoS, 8 = `f32` planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported width, or width 8 with AoS layout (the
+    /// narrow store is planar-only, like the kernels that read it).
+    pub fn zeroed_width(len: usize, layout: Layout, width: usize) -> Self {
+        match (layout, width) {
+            (Layout::Aos, 16) => AmpStore::Aos(vec![Complex::ZERO; len]),
+            (Layout::Planar, 16) => AmpStore::Planar(AmpBuffer::zeroed(len)),
+            (Layout::Planar, 8) => AmpStore::PlanarF32(AmpBufferF32::zeroed(len)),
+            (l, w) => panic!("unsupported amplitude store shape: {l:?} width {w}"),
         }
     }
 
-    /// Like [`AmpStore::zeroed`] but reserving capacity for `cap`
+    /// Like [`AmpStore::zeroed_width`] but reserving capacity for `cap`
     /// amplitudes, so pool reuse within a size class never reallocates.
-    fn zeroed_with_capacity(len: usize, cap: usize, layout: Layout) -> Self {
-        match layout {
-            Layout::Aos => {
+    fn zeroed_with_capacity(len: usize, cap: usize, layout: Layout, width: usize) -> Self {
+        match (layout, width) {
+            (Layout::Aos, 16) => {
                 let mut v = Vec::with_capacity(cap.max(len));
                 v.resize(len, Complex::ZERO);
                 AmpStore::Aos(v)
             }
-            Layout::Planar => AmpStore::Planar(AmpBuffer::zeroed_with_capacity(len, cap)),
+            (Layout::Planar, 16) => AmpStore::Planar(AmpBuffer::zeroed_with_capacity(len, cap)),
+            (Layout::Planar, 8) => {
+                AmpStore::PlanarF32(AmpBufferF32::zeroed_with_capacity(len, cap))
+            }
+            (l, w) => panic!("unsupported amplitude store shape: {l:?} width {w}"),
         }
     }
 
@@ -58,7 +84,18 @@ impl AmpStore {
     pub fn layout(&self) -> Layout {
         match self {
             AmpStore::Aos(_) => Layout::Aos,
-            AmpStore::Planar(_) => Layout::Planar,
+            AmpStore::Planar(_) | AmpStore::PlanarF32(_) => Layout::Planar,
+        }
+    }
+
+    /// Bytes one stored amplitude occupies: 16 for `f64` storage, 8 for
+    /// `f32` planes. Together with [`AmpStore::layout`] this identifies
+    /// the pool shelf a buffer recycles through.
+    #[inline]
+    pub fn elem_bytes(&self) -> usize {
+        match self {
+            AmpStore::Aos(_) | AmpStore::Planar(_) => 16,
+            AmpStore::PlanarF32(_) => 8,
         }
     }
 
@@ -68,6 +105,7 @@ impl AmpStore {
         match self {
             AmpStore::Aos(v) => v.len(),
             AmpStore::Planar(b) => b.len(),
+            AmpStore::PlanarF32(b) => b.len(),
         }
     }
 
@@ -83,6 +121,7 @@ impl AmpStore {
         match self {
             AmpStore::Aos(v) => v.capacity(),
             AmpStore::Planar(b) => b.capacity(),
+            AmpStore::PlanarF32(b) => b.capacity(),
         }
     }
 
@@ -94,6 +133,7 @@ impl AmpStore {
                 v.resize(len, Complex::ZERO);
             }
             AmpStore::Planar(b) => b.reset_zeroed(len),
+            AmpStore::PlanarF32(b) => b.reset_zeroed(len),
         }
     }
 
@@ -102,6 +142,7 @@ impl AmpStore {
         match self {
             AmpStore::Aos(vec) => vec.fill(v),
             AmpStore::Planar(b) => b.fill(v),
+            AmpStore::PlanarF32(b) => b.fill(v),
         }
     }
 
@@ -117,14 +158,20 @@ impl AmpStore {
                 let len = src.len().min(b.len());
                 b.copy_from_aos(&src[..len]);
             }
+            AmpStore::PlanarF32(b) => {
+                let len = src.len().min(b.len());
+                b.copy_from_aos(&src[..len]);
+            }
         }
     }
 
     /// Copies the leading `min(src.len(), self.len())` amplitudes from
-    /// another store. Layout-matched pairs move whole planes (plain
-    /// `memcpy`s); mixed pairs de/re-interleave on the fly. Pure
-    /// component moves in every combination, so the staged bytes are
-    /// bit-identical regardless of either side's layout.
+    /// another store. Layout-matched, width-matched pairs move whole
+    /// planes (plain `memcpy`s); layout-mixed pairs de/re-interleave on
+    /// the fly. Width-matched combinations are pure component moves, so
+    /// the staged bytes are bit-identical regardless of either side's
+    /// layout; copies *into* an `f32` store narrow (one rounding per
+    /// amplitude) and copies *out of* one widen exactly.
     pub fn copy_store_from(&mut self, src: &AmpStore) {
         match (self, src) {
             (AmpStore::Aos(d), AmpStore::Aos(s)) => {
@@ -145,6 +192,31 @@ impl AmpStore {
             (AmpStore::Aos(d), AmpStore::Planar(s)) => {
                 let len = s.len().min(d.len());
                 s.copy_to_aos(&mut d[..len]);
+            }
+            (AmpStore::PlanarF32(d), AmpStore::PlanarF32(s)) if s.len() <= d.len() => {
+                d.copy_prefix_from(s);
+            }
+            (AmpStore::PlanarF32(d), AmpStore::PlanarF32(s)) => {
+                let (sre, sim) = s.planes();
+                let (dre, dim) = d.planes_mut();
+                let len = dre.len();
+                dre.copy_from_slice(&sre[..len]);
+                dim.copy_from_slice(&sim[..len]);
+            }
+            (dst @ AmpStore::PlanarF32(_), AmpStore::Aos(s)) => dst.copy_prefix_from(s),
+            (AmpStore::PlanarF32(d), AmpStore::Planar(s)) => {
+                let len = s.len().min(d.len());
+                let (sre, sim) = s.planes();
+                d.copy_from_planes_f64(&sre[..len], &sim[..len]);
+            }
+            (AmpStore::Aos(d), AmpStore::PlanarF32(s)) => {
+                let len = s.len().min(d.len());
+                s.copy_to_aos(&mut d[..len]);
+            }
+            (AmpStore::Planar(d), AmpStore::PlanarF32(s)) => {
+                let len = s.len().min(d.len());
+                let (dre, dim) = d.planes_mut();
+                s.copy_to_planes_f64(&mut dre[..len], &mut dim[..len]);
             }
         }
     }
@@ -195,6 +267,16 @@ impl AmpStore {
                         }
                     }
                 }
+                AmpStore::PlanarF32(b) => {
+                    for r in 0..dim {
+                        let (re, im) = b.planes();
+                        let row_re = &re[r * batch + s0..r * batch + s0 + chunk.len()];
+                        let row_im = &im[r * batch + s0..r * batch + s0 + chunk.len()];
+                        for ((st, &a), &b) in chunk.iter_mut().zip(row_re).zip(row_im) {
+                            st.push(Complex::new(f64::from(a), f64::from(b)));
+                        }
+                    }
+                }
             }
         }
         states
@@ -209,6 +291,10 @@ impl AmpStore {
                 dst[..len].copy_from_slice(&v[..len]);
             }
             AmpStore::Planar(b) => {
+                let len = b.len().min(dst.len());
+                b.copy_to_aos(&mut dst[..len]);
+            }
+            AmpStore::PlanarF32(b) => {
                 let len = b.len().min(dst.len());
                 b.copy_to_aos(&mut dst[..len]);
             }
@@ -227,7 +313,9 @@ impl AmpStore {
     pub fn as_aos(&self) -> &[Complex] {
         match self {
             AmpStore::Aos(v) => v,
-            AmpStore::Planar(_) => panic!("planar amplitude store accessed as AoS"),
+            AmpStore::Planar(_) | AmpStore::PlanarF32(_) => {
+                panic!("planar amplitude store accessed as AoS")
+            }
         }
     }
 
@@ -237,7 +325,9 @@ impl AmpStore {
     pub fn as_aos_mut(&mut self) -> &mut [Complex] {
         match self {
             AmpStore::Aos(v) => v,
-            AmpStore::Planar(_) => panic!("planar amplitude store accessed as AoS"),
+            AmpStore::Planar(_) | AmpStore::PlanarF32(_) => {
+                panic!("planar amplitude store accessed as AoS")
+            }
         }
     }
 
@@ -250,7 +340,7 @@ impl AmpStore {
     pub fn as_planar(&self) -> &AmpBuffer {
         match self {
             AmpStore::Planar(b) => b,
-            AmpStore::Aos(_) => panic!("AoS amplitude store accessed as planar"),
+            _ => panic!("non-f64-planar amplitude store accessed as planar"),
         }
     }
 
@@ -259,7 +349,29 @@ impl AmpStore {
     pub fn as_planar_mut(&mut self) -> &mut AmpBuffer {
         match self {
             AmpStore::Planar(b) => b,
-            AmpStore::Aos(_) => panic!("AoS amplitude store accessed as planar"),
+            _ => panic!("non-f64-planar amplitude store accessed as planar"),
+        }
+    }
+
+    /// The `f32` planar buffer of an `f32` planar store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other store (width-mismatched kernel dispatch).
+    #[inline]
+    pub fn as_planar_f32(&self) -> &AmpBufferF32 {
+        match self {
+            AmpStore::PlanarF32(b) => b,
+            _ => panic!("non-f32 amplitude store accessed as f32 planar"),
+        }
+    }
+
+    /// Mutable `f32` planar buffer; see [`AmpStore::as_planar_f32`].
+    #[inline]
+    pub fn as_planar_f32_mut(&mut self) -> &mut AmpBufferF32 {
+        match self {
+            AmpStore::PlanarF32(b) => b,
+            _ => panic!("non-f32 amplitude store accessed as f32 planar"),
         }
     }
 }
@@ -441,6 +553,8 @@ pub struct PoolEvent {
     pub class: usize,
     /// The shelf's buffer layout.
     pub layout: Layout,
+    /// The shelf's element width in bytes (16 = `f64`, 8 = `f32`).
+    pub width: usize,
     /// What happened.
     pub kind: PoolEventKind,
 }
@@ -457,7 +571,7 @@ struct PoolEventLog {
 }
 
 impl PoolEventLog {
-    fn record(&mut self, class: usize, layout: Layout, kind: PoolEventKind) {
+    fn record(&mut self, class: usize, layout: Layout, width: usize, kind: PoolEventKind) {
         let seq = self.seq;
         self.seq += 1;
         if self.entries.len() < POOL_EVENT_CAP {
@@ -465,6 +579,7 @@ impl PoolEventLog {
                 seq,
                 class,
                 layout,
+                width,
                 kind,
             });
         } else {
@@ -476,8 +591,10 @@ impl PoolEventLog {
 /// Size-classed recycling pool for [`AmpStore`] buffers, shared by the
 /// device and host arenas of consecutive batch runs.
 ///
-/// Buffers are shelved by `(size class, layout)` where the size class is
-/// the next power of two of the amplitude count; fresh buffers reserve the
+/// Buffers are shelved by `(size class, layout, element width)` where the
+/// size class is the next power of two of the amplitude count and the
+/// width is [`AmpStore::elem_bytes`] (so a precision switch mid-campaign
+/// can never hand an `f32` buffer to an `f64` checkout); fresh buffers reserve the
 /// whole class up front, so any later checkout within the class resizes
 /// inside existing capacity — after one warm-up batch, the steady-state
 /// H2D/kernel/D2H cycle performs **zero heap allocations**. Checked-out
@@ -501,7 +618,7 @@ pub struct BufferPool {
 /// combinations was observable.
 #[derive(Debug, Default)]
 struct Shelves {
-    map: HashMap<(usize, Layout), Vec<AmpStore>>,
+    map: HashMap<(usize, Layout, usize), Vec<AmpStore>>,
     stats: PoolStats,
 }
 
@@ -531,23 +648,26 @@ impl BufferPool {
     /// Appends a pool event. Must be called while the shelves guard is
     /// held so the log order matches the shelf-occupancy order (the lock
     /// order is always shelves → events, never the reverse).
-    fn log_event(&self, class: usize, layout: Layout, kind: PoolEventKind) {
+    fn log_event(&self, class: usize, layout: Layout, width: usize, kind: PoolEventKind) {
         self.events
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .record(class, layout, kind);
+            .record(class, layout, width, kind);
     }
 
-    /// Takes a zeroed buffer of `len` amplitudes in `layout`, recycling a
-    /// shelved one when possible.
-    fn checkout(&self, len: usize, layout: Layout) -> AmpStore {
+    /// Takes a zeroed buffer of `len` amplitudes in `layout` with
+    /// `width`-byte elements, recycling a shelved one when possible.
+    fn checkout(&self, len: usize, layout: Layout, width: usize) -> AmpStore {
         let class = Self::class_of(len);
         let recycled = {
             let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
-            let popped = shelves.map.get_mut(&(class, layout)).and_then(Vec::pop);
+            let popped = shelves
+                .map
+                .get_mut(&(class, layout, width))
+                .and_then(Vec::pop);
             if popped.is_some() {
                 shelves.stats.hits += 1;
-                shelves.stats.idle_bytes -= class as u64 * 16;
+                shelves.stats.idle_bytes -= (class * width) as u64;
                 shelves.stats.idle_buffers -= 1;
             } else {
                 shelves.stats.misses += 1;
@@ -555,6 +675,7 @@ impl BufferPool {
             self.log_event(
                 class,
                 layout,
+                width,
                 if popped.is_some() {
                     PoolEventKind::CheckoutHit
                 } else {
@@ -568,7 +689,7 @@ impl BufferPool {
                 store.reset_zeroed(len);
                 store
             }
-            None => AmpStore::zeroed_with_capacity(len, class, layout),
+            None => AmpStore::zeroed_with_capacity(len, class, layout, width),
         }
     }
 
@@ -576,11 +697,16 @@ impl BufferPool {
     fn give_back(&self, store: AmpStore) {
         let shelf = Self::shelf_for(store.capacity());
         let layout = store.layout();
+        let width = store.elem_bytes();
         let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
-        shelves.stats.idle_bytes += shelf as u64 * 16;
+        shelves.stats.idle_bytes += (shelf * width) as u64;
         shelves.stats.idle_buffers += 1;
-        shelves.map.entry((shelf, layout)).or_default().push(store);
-        self.log_event(shelf, layout, PoolEventKind::Return);
+        shelves
+            .map
+            .entry((shelf, layout, width))
+            .or_default()
+            .push(store);
+        self.log_event(shelf, layout, width, PoolEventKind::Return);
     }
 
     /// A snapshot of the event log, in shelf-occupancy order (see
@@ -714,10 +840,29 @@ impl DeviceMemory {
         len: usize,
         layout: Layout,
     ) -> Result<BufferId, AllocDeviceError> {
-        self.charge(len as u64 * 16)?;
+        self.alloc_amp(len, layout, 16)
+    }
+
+    /// Allocates a zero-filled buffer of `len` amplitudes in the given
+    /// layout and element width, charging `len * width` device bytes —
+    /// the `f32` planes of the narrow-precision arms genuinely halve
+    /// device residency. The allocation *sequence* advances exactly as
+    /// for a 16-byte-wide allocation, so injected OOM traps fire at the
+    /// same indices regardless of precision.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceMemory::alloc`].
+    pub fn alloc_amp(
+        &mut self,
+        len: usize,
+        layout: Layout,
+        width: usize,
+    ) -> Result<BufferId, AllocDeviceError> {
+        self.charge((len * width) as u64)?;
         let store = match &self.pool {
-            Some(pool) => pool.checkout(len, layout),
-            None => AmpStore::zeroed(len, layout),
+            Some(pool) => pool.checkout(len, layout, width),
+            None => AmpStore::zeroed_width(len, layout, width),
         };
         self.buffers.push(RwLock::new(store));
         Ok(BufferId(self.buffers.len() - 1))
@@ -851,9 +996,17 @@ impl HostMemory {
     /// the H2D/D2H copies into plane `memcpy`s instead of per-batch
     /// de/re-interleave passes.
     pub fn alloc_zeroed_layout(&mut self, len: usize, layout: Layout) -> HostBufId {
+        self.alloc_zeroed_amp(len, layout, 16)
+    }
+
+    /// Allocates a zero-filled host buffer of `len` amplitudes in the
+    /// given layout and element width (see [`AmpStore::zeroed_width`]).
+    /// Staging hosts at the device buffers' width keeps the H2D/D2H
+    /// copies conversion-free in the narrow-precision arms too.
+    pub fn alloc_zeroed_amp(&mut self, len: usize, layout: Layout, width: usize) -> HostBufId {
         let store = match &self.pool {
-            Some(pool) => pool.checkout(len, layout),
-            None => AmpStore::zeroed(len, layout),
+            Some(pool) => pool.checkout(len, layout, width),
+            None => AmpStore::zeroed_width(len, layout, width),
         };
         self.buffers.push(RwLock::new(store));
         HostBufId(self.buffers.len() - 1)
@@ -875,6 +1028,24 @@ impl HostMemory {
     ///
     /// Panics if the vectors have differing lengths.
     pub fn alloc_staged_from(&mut self, vectors: &[Vec<Complex>], layout: Layout) -> HostBufId {
+        self.alloc_staged_amp(vectors, layout, 16)
+    }
+
+    /// Width-aware [`alloc_staged_from`](Self::alloc_staged_from): with
+    /// `width == 8` the transpose narrows each amplitude as it lands in
+    /// the `f32` planes — the single rounding the adaptive-precision
+    /// staging path performs per input amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have differing lengths, or on an
+    /// unsupported `(layout, width)` shape.
+    pub fn alloc_staged_amp(
+        &mut self,
+        vectors: &[Vec<Complex>],
+        layout: Layout,
+        width: usize,
+    ) -> HostBufId {
         let batch = vectors.len();
         assert!(batch > 0, "empty batch");
         let dim = vectors[0].len();
@@ -884,8 +1055,8 @@ impl HostMemory {
         );
         let len = dim * batch;
         let mut store = match &self.pool {
-            Some(pool) => pool.checkout(len, layout),
-            None => AmpStore::zeroed(len, layout),
+            Some(pool) => pool.checkout(len, layout, width),
+            None => AmpStore::zeroed_width(len, layout, width),
         };
         for (block, chunk) in vectors.chunks(STAGE_TILE).enumerate() {
             let s0 = block * STAGE_TILE;
@@ -911,6 +1082,19 @@ impl HostMemory {
                         }
                     }
                 }
+                AmpStore::PlanarF32(b) => {
+                    let (re, im) = b.planes_mut();
+                    for r in 0..dim {
+                        let row_re = &mut re[r * batch + s0..r * batch + s0 + chunk.len()];
+                        let row_im = &mut im[r * batch + s0..r * batch + s0 + chunk.len()];
+                        for ((o_re, o_im), v) in row_re.iter_mut().zip(row_im.iter_mut()).zip(chunk)
+                        {
+                            let a = v[r];
+                            *o_re = to_f32(a.re);
+                            *o_im = to_f32(a.im);
+                        }
+                    }
+                }
             }
         }
         self.buffers.push(RwLock::new(store));
@@ -931,7 +1115,7 @@ impl HostMemory {
     pub fn alloc_copy_of(&mut self, data: &[Complex]) -> HostBufId {
         let store = match &self.pool {
             Some(pool) => {
-                let mut store = pool.checkout(data.len(), Layout::Aos);
+                let mut store = pool.checkout(data.len(), Layout::Aos, 16);
                 store.copy_prefix_from(data);
                 store
             }
@@ -1156,6 +1340,109 @@ mod tests {
             assert_eq!(&host.buffer(h)[..], &data[..]);
             assert!(host.buffer(o).iter().all(|&c| c == Complex::ZERO));
         }
+    }
+
+    /// An `f32` device buffer charges half the bytes of an `f64` one,
+    /// shares the OOM trap sequence, and round-trips exactly-`f32`
+    /// values through the narrowing prefix copies.
+    #[test]
+    fn f32_buffers_charge_half_and_roundtrip_exact_values() {
+        let spec = DeviceSpec::tiny_test_gpu();
+        let mut mem = DeviceMemory::new(&spec);
+        let d = mem.alloc_amp(4, Layout::Planar, 8).unwrap();
+        assert_eq!(mem.used_bytes(), 4 * 8);
+        assert_eq!(mem.buffer(d).store().elem_bytes(), 8);
+        assert_eq!(mem.buffer(d).store().layout(), Layout::Planar);
+        // Exactly representable values survive the narrow/widen cycle.
+        let data: Vec<Complex> = (0..4).map(|i| Complex::new(i as f64, -0.5)).collect();
+        mem.buffer_mut(d).store_mut().copy_prefix_from(&data);
+        let mut back = vec![Complex::ZERO; 4];
+        mem.buffer(d).store().copy_prefix_to(&mut back);
+        assert_eq!(back, data);
+        // Trap sequence counts width-8 allocations like any other.
+        mem.inject_oom_at(&[1]);
+        assert!(mem.alloc_amp(4, Layout::Planar, 8).is_err());
+    }
+
+    /// `f32` and `f64` buffers of the same size class shelve separately:
+    /// a checkout at one width must never be served by the other.
+    #[test]
+    fn pool_shelves_are_width_disjoint() {
+        let pool = Arc::new(BufferPool::new());
+        let spec = DeviceSpec::tiny_test_gpu();
+        {
+            let mut mem = DeviceMemory::with_pool(&spec, Arc::clone(&pool));
+            mem.alloc_amp(64, Layout::Planar, 8).unwrap();
+        }
+        let warm = pool.stats();
+        assert_eq!((warm.misses, warm.idle_buffers), (1, 1));
+        assert_eq!(warm.idle_bytes, 64 * 8);
+        {
+            let mut mem = DeviceMemory::with_pool(&spec, Arc::clone(&pool));
+            // Same class, f64 width: must miss, not recycle the f32 store.
+            let d = mem.alloc_amp(64, Layout::Planar, 16).unwrap();
+            assert_eq!(mem.pool_stats().unwrap().hits, 0);
+            assert_eq!(mem.pool_stats().unwrap().misses, 2);
+            assert_eq!(mem.buffer(d).store().elem_bytes(), 16);
+        }
+        {
+            let mut mem = DeviceMemory::with_pool(&spec, Arc::clone(&pool));
+            // f32 width again: recycles the first arena's buffer.
+            let d = mem.alloc_amp(64, Layout::Planar, 8).unwrap();
+            assert_eq!(mem.pool_stats().unwrap().hits, 1);
+            assert_eq!(mem.buffer(d).store().elem_bytes(), 8);
+            let guard = mem.buffer(d);
+            let (re, im) = guard.store().as_planar_f32().planes();
+            assert!(re.iter().chain(im).all(|&x| x == 0.0));
+        }
+        let events = pool.events();
+        assert!(events.iter().all(|e| e.width == 8 || e.width == 16));
+        assert!(events.iter().any(|e| e.width == 8));
+    }
+
+    /// Cross-width `copy_store_from` narrows on the way in and widens
+    /// exactly on the way out, for every partner layout.
+    #[test]
+    fn copy_store_from_crosses_widths() {
+        let data: Vec<Complex> = (0..6).map(|i| Complex::new(i as f64, 0.25)).collect();
+        for partner in [Layout::Aos, Layout::Planar] {
+            let mut wide = AmpStore::zeroed(6, partner);
+            wide.copy_prefix_from(&data);
+            let mut narrow = AmpStore::zeroed_width(8, Layout::Planar, 8);
+            narrow.copy_store_from(&wide);
+            let mut back = AmpStore::zeroed(6, partner);
+            back.fill(Complex::new(f64::NAN, f64::NAN));
+            back.copy_store_from(&narrow);
+            let mut out = vec![Complex::ZERO; 6];
+            back.copy_prefix_to(&mut out);
+            assert_eq!(out, data, "{partner:?} via f32");
+        }
+        // f32 → f32 is a pure plane move.
+        let mut a = AmpStore::zeroed_width(6, Layout::Planar, 8);
+        a.copy_prefix_from(&data);
+        let mut b = AmpStore::zeroed_width(6, Layout::Planar, 8);
+        b.copy_store_from(&a);
+        assert_eq!(a, b);
+        assert_eq!(b.unpack_states(1), vec![data.clone()]);
+    }
+
+    /// Width-8 staging narrows exactly once per amplitude and unpacks
+    /// back through the widening gather.
+    #[test]
+    fn staged_f32_batch_roundtrips_exact_values() {
+        let vectors: Vec<Vec<Complex>> = (0..3)
+            .map(|b| {
+                (0..4)
+                    .map(|r| Complex::new((b * 4 + r) as f64, -0.125))
+                    .collect()
+            })
+            .collect();
+        let mut host = HostMemory::new();
+        let h = host.alloc_staged_amp(&vectors, Layout::Planar, 8);
+        let buf = host.buffer(h);
+        let store = buf.store();
+        assert_eq!(store.elem_bytes(), 8);
+        assert_eq!(store.unpack_states(3), vectors);
     }
 
     /// `copy_store_from` must be value-exact for every (dst, src) layout

@@ -36,6 +36,7 @@ mod complex;
 mod table;
 
 pub mod approx;
+pub mod narrow;
 
 pub use complex::Complex;
 pub use table::{CIdx, ComplexTable};

@@ -1,0 +1,63 @@
+//! The workspace's only sanctioned f64 ↔ f32 conversion points.
+//!
+//! Adaptive-precision kernels store amplitudes in `f32` planes while the
+//! gate matrices and integrity checks stay in `f64`. Every narrowing is a
+//! deliberate, auditable precision-loss point, so the CI lint wall denies
+//! bare `as` float casts in the `ell`/`num` kernel crates outside this
+//! module — all narrowing funnels through [`to_f32`] (and widening
+//! through [`widen`], which is exact and exists for symmetry of call
+//! sites).
+
+use crate::Complex;
+
+/// Narrows a double to single precision (round-to-nearest-even, the
+/// IEEE 754 default). The single sanctioned narrowing primitive.
+#[inline(always)]
+pub fn to_f32(v: f64) -> f32 {
+    v as f32
+}
+
+/// Widens a single back to double precision. Exact (every `f32` is
+/// representable as `f64`); provided so call sites read as conversions
+/// rather than casts.
+#[inline(always)]
+pub fn widen(v: f32) -> f64 {
+    f64::from(v)
+}
+
+/// Narrows a complex amplitude to its `(re, im)` single-precision
+/// component pair.
+#[inline(always)]
+pub fn complex_to_f32(z: Complex) -> (f32, f32) {
+    (to_f32(z.re), to_f32(z.im))
+}
+
+/// Widens a single-precision component pair back to a [`Complex`].
+#[inline(always)]
+pub fn complex_widen(re: f32, im: f32) -> Complex {
+    Complex::new(widen(re), widen(im))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_is_exact_and_narrow_rounds_to_nearest() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::MIN_POSITIVE, f32::MAX] {
+            assert_eq!(to_f32(widen(v)).to_bits(), v.to_bits());
+        }
+        // Round-to-nearest-even at the f32 precision boundary.
+        let exact = 1.0f64 + f64::from(f32::EPSILON);
+        assert_eq!(to_f32(exact), 1.0 + f32::EPSILON);
+        let below = 1.0f64 + f64::from(f32::EPSILON) / 4.0;
+        assert_eq!(to_f32(below), 1.0);
+    }
+
+    #[test]
+    fn complex_pair_roundtrip() {
+        let z = Complex::new(0.125, -7.5);
+        let (re, im) = complex_to_f32(z);
+        assert_eq!(complex_widen(re, im), z);
+    }
+}

@@ -32,9 +32,10 @@ use bqsim_campaign::{
     IntegrityBudget, JournalError,
 };
 use bqsim_core::{
-    audit_store, random_input_batch, AnalysisReport, ArtifactStore, AuditVerdict, BqSimOptions,
-    BqSimulator, CompileSource, FaultBudget, FaultPlan, ModelCheckBudget, ModelCheckOptions,
-    RecoveryPolicy, SeededDefect, StoreStats,
+    artifact_key, audit_store, random_input_batch, tune_or_stored, AnalysisReport, ArtifactStore,
+    AuditVerdict, BqSimOptions, BqSimulator, CompileSource, FaultBudget, FaultPlan,
+    ModelCheckBudget, ModelCheckOptions, Precision, RecoveryPolicy, SeededDefect, StoreStats,
+    TuneOutcome, TuningSource,
 };
 use bqsim_gpu::LaunchMode;
 use bqsim_qcir::observable::{expectation, sample_counts, PauliString};
@@ -152,6 +153,15 @@ enum OutputFormat {
     Json,
 }
 
+/// Parsed `--precision`: a concrete precision the run uses as-is, or
+/// `auto`, which resolves through the per-circuit tuner (stored record
+/// when the artifact store has one, probe sweep otherwise).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PrecisionArg {
+    Fixed(Precision),
+    Auto,
+}
+
 struct Args {
     analyze: bool,
     serve: bool,
@@ -199,6 +209,7 @@ struct Args {
     optimize: bool,
     threads: Option<usize>,
     layout: Option<bqsim_core::Layout>,
+    precision: Option<PrecisionArg>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -249,6 +260,7 @@ fn parse_args() -> Result<Args, String> {
         optimize: false,
         threads: None,
         layout: None,
+        precision: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -282,6 +294,15 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| format!("--layout must be `aos` or `planar`, got `{v}`"))?,
                 );
             }
+            "--precision" => {
+                let v = value(&mut i)?;
+                args.precision = Some(match v.as_str() {
+                    "auto" => PrecisionArg::Auto,
+                    other => PrecisionArg::Fixed(Precision::parse(other).ok_or_else(|| {
+                        format!("--precision must be `f64`, `f32`, `mixed`, or `auto`, got `{v}`")
+                    })?),
+                });
+            }
             "--model-check" => args.model_check = true,
             "--dpor-budget" => {
                 let n: usize = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
@@ -294,7 +315,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = value(&mut i)?;
                 args.inject_defect = Some(SeededDefect::parse(&v).ok_or_else(|| {
                     format!(
-                        "--inject-defect must be one of race|lock-order|wake|pool|journal, \
+                        "--inject-defect must be one of race|lock-order|wake|pool|journal|renorm, \
                          got `{v}`"
                     )
                 })?);
@@ -503,8 +524,9 @@ SUBCOMMANDS:
                          reproduces the fault-free outputs bit-for-bit
     submit               validate one submission spec (key=value fields:
                          tenant, id, family, qubits, batches, batch-size,
-                         seed, fault-seed, priority, deadline-ms) and
-                         append it to the --submissions command file
+                         seed, fault-seed, priority, deadline-ms,
+                         precision) and append it to the --submissions
+                         command file
     serve                one multi-tenant service session: admit every
                          spec in --submissions through the bounded queue
                          and per-tenant quotas, schedule shards fair-share
@@ -528,7 +550,10 @@ SERVICE OPTIONS (serve/submit/status):
     --max-requeues <n>   device-loss requeues per shard      [default: 3]
     --device-loss <spec> deterministic loss injection: dev=<d>,after=<k>
     --quota <spec>       per-tenant quota override (repeatable):
-                         tenant=<name>,bytes=<B>,inflight=<K>
+                         tenant=<name>,bytes=<B>,inflight=<K>,precision=<p>
+                         (`precision` pins the tenant's accuracy floor —
+                         f64 > mixed > f32; below-floor submissions are
+                         rejected with exit 7)
     --resume             (serve) replay the manifest and finish every
                          non-terminal submission before taking new work
     --service-schedule <p> (analyze) replay a recorded schedule trace and
@@ -556,6 +581,21 @@ EXIT CODES:
 OPTIONS:
     --family <name>      built-in circuit instead of a QASM file
                          (qnn|vqe|portfolio|graph|tsp|routing|supremacy|ghz|qft)
+    --precision <p>      amplitude precision of the planar kernels:
+                         `f64` (bit-exact baseline), `f32` (narrow
+                         storage and arithmetic), `mixed` (f32 storage,
+                         f64 accumulate + per-batch renorm), or `auto`
+                         (empirical per-circuit tuner: applies the
+                         artifact store's stored record with zero probes,
+                         else probes every valid candidate and — with
+                         --artifact-dir — republishes the winner under
+                         the same content key; pair with --artifact-dir
+                         when journaling so --resume re-resolves the
+                         same plan); f64 digests are bit-identical
+                         across layouts, threads, and tuning; narrow
+                         runs that drift past --integrity-budget are
+                         quarantined and (run) retried at f64
+                         [default: $BQSIM_PRECISION or f64]
     --qubits <n>         width for --family circuits        [default: 8]
     --batches <N>        number of input batches            [default: 2]
     --batch-size <B>     inputs per batch                   [default: 32]
@@ -579,7 +619,7 @@ OPTIONS:
                          with a warning                     [default: 4096]
     --inject-defect <d>  (analyze) seed a known defect before checking so
                          the pass that owns it must fire:
-                         race|lock-order|wake|pool|journal
+                         race|lock-order|wake|pool|journal|renorm
     --format <f>         (analyze) report format: `text` or `json`
                          [default: text]
     --stream             disable the task graph (stream launches)
@@ -632,6 +672,79 @@ fn effective_threads(args: &Args) -> usize {
 /// `BQSIM_LAYOUT` / planar default.
 fn effective_layout(args: &Args) -> bqsim_core::Layout {
     args.layout.unwrap_or_else(bqsim_core::default_layout)
+}
+
+/// Amplitude precision for this invocation: `--precision` wins, then
+/// `BQSIM_PRECISION` (which may also say `auto`), then the f64 default.
+fn effective_precision_arg(args: &Args) -> PrecisionArg {
+    if let Some(p) = args.precision {
+        return p;
+    }
+    if let Ok(v) = std::env::var("BQSIM_PRECISION") {
+        if v.trim() == "auto" {
+            return PrecisionArg::Auto;
+        }
+    }
+    PrecisionArg::Fixed(bqsim_core::default_precision())
+}
+
+/// The concrete precision for subcommands that never run the tuner.
+fn concrete_precision(args: &Args, ctx: &str) -> Result<Precision, CliError> {
+    match effective_precision_arg(args) {
+        PrecisionArg::Fixed(p) => Ok(p),
+        PrecisionArg::Auto => Err(CliError::usage(format!(
+            "--precision auto resolves through the run-time tuner; `{ctx}` \
+             needs a concrete precision (f64, f32, or mixed)"
+        ))),
+    }
+}
+
+/// `--precision auto`: compile the circuit (warm from the artifact store
+/// when one is given), then apply the artifact's stored tuning record —
+/// zero probes — or run the probe sweep and republish the winner under
+/// the same content key. Prints the one-line tuning provenance.
+fn compile_auto_tuned(
+    circuit: &Circuit,
+    opts: BqSimOptions,
+    artifact_dir: Option<&Path>,
+    integrity_budget: Option<f64>,
+) -> Result<(BqSimulator, TuneOutcome), CliError> {
+    let (sim, outcome) = match artifact_dir {
+        Some(dir) => {
+            let store = ArtifactStore::open(dir)
+                .map_err(|e| CliError::Generic(format!("{}: {e}", dir.display())))?;
+            let key = artifact_key(circuit, &opts);
+            let (mut sim, source) = BqSimulator::compile_or_load(circuit, opts, &store)
+                .map_err(|e| CliError::Sim(e.to_string()))?;
+            if let CompileSource::RecompiledCorrupt { warning } = &source {
+                eprintln!("warning: artifact store: {warning}; recompiled and republished");
+            }
+            let outcome = tune_or_stored(
+                &mut sim,
+                Precision::F32,
+                integrity_budget,
+                Some((&store, key)),
+            )
+            .map_err(|e| CliError::Sim(e.to_string()))?;
+            (sim, outcome)
+        }
+        None => {
+            let mut sim =
+                BqSimulator::compile(circuit, opts).map_err(|e| CliError::Sim(e.to_string()))?;
+            let outcome = tune_or_stored(&mut sim, Precision::F32, integrity_budget, None)
+                .map_err(|e| CliError::Sim(e.to_string()))?;
+            (sim, outcome)
+        }
+    };
+    println!(
+        "auto-tuned: {} — {}",
+        outcome.record,
+        match outcome.source {
+            TuningSource::Stored => "stored record, 0 probes".to_string(),
+            TuningSource::Probed => format!("{} probe execution(s) measured", outcome.probes),
+        },
+    );
+    Ok((sim, outcome))
 }
 
 fn build_circuit(args: &Args) -> Result<Circuit, String> {
@@ -691,11 +804,18 @@ fn run_analysis(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError> {
         skip_fusion: args.skip_fusion,
         threads: effective_threads(args),
         layout: effective_layout(args),
+        precision: concrete_precision(args, "analyze")?,
         ..BqSimOptions::default()
     };
     let mut report = AnalysisReport::new();
-    let pipeline = bqsim_core::analyze_pipeline(circuit, &opts, args.batches, args.batch_size)
-        .map_err(|e| CliError::Sim(e.to_string()))?;
+    let pipeline = bqsim_core::analyze_pipeline(
+        circuit,
+        &opts,
+        args.batches,
+        args.batch_size,
+        args.integrity_budget,
+    )
+    .map_err(|e| CliError::Sim(e.to_string()))?;
     report.push_section(
         "pipeline artifacts",
         format!(
@@ -795,6 +915,7 @@ fn run_faults_demo(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError>
         skip_fusion: args.skip_fusion,
         threads: effective_threads(args),
         layout: effective_layout(args),
+        precision: concrete_precision(args, "faults")?,
         ..BqSimOptions::default()
     };
     let sim = BqSimulator::compile(circuit, opts).map_err(|e| CliError::Sim(e.to_string()))?;
@@ -896,7 +1017,8 @@ fn run_journal_audit(path: &Path, format: OutputFormat) -> Result<ExitCode, CliE
 /// `bqsim run`: the durable campaign runner.
 fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError> {
     let n = circuit.num_qubits();
-    let opts = BqSimOptions {
+    let precision_arg = effective_precision_arg(args);
+    let mut opts = BqSimOptions {
         tau: args.tau,
         launch_mode: if args.stream {
             LaunchMode::Stream
@@ -906,6 +1028,11 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError
         skip_fusion: args.skip_fusion,
         threads: effective_threads(args),
         layout: effective_layout(args),
+        precision: match precision_arg {
+            PrecisionArg::Fixed(p) => p,
+            // Placeholder until the tuner resolves the record below.
+            PrecisionArg::Auto => Precision::F64,
+        },
         ..BqSimOptions::default()
     };
     let batches: Vec<_> = (0..args.batches)
@@ -950,15 +1077,39 @@ fn run_campaign_cmd(args: &Args, circuit: &Circuit) -> Result<ExitCode, CliError
         }
     }
 
+    if precision_arg == PrecisionArg::Auto {
+        let (_, outcome) = compile_auto_tuned(
+            circuit,
+            opts.clone(),
+            args.artifact_dir.as_deref(),
+            Some(copts.integrity.max_norm_drift),
+        )?;
+        opts.precision = outcome.record.precision;
+        opts.layout = outcome.record.layout;
+        opts.threads = outcome.record.threads.max(1);
+        opts.use_pattern = outcome.record.use_pattern;
+    }
+    println!(
+        "execution: precision={} layout={} threads={} ({})",
+        opts.effective_precision().token(),
+        opts.effective_layout().token(),
+        opts.threads.max(1),
+        match precision_arg {
+            PrecisionArg::Auto => "auto-tuned",
+            PrecisionArg::Fixed(_) => "requested",
+        },
+    );
+
     let result = run_campaign(circuit, opts, &batches, &copts).map_err(CliError::from)?;
     println!(
         "campaign: {} batches x {} inputs — {} resumed from journal, {} executed, \
-         {} quarantined",
+         {} quarantined, {} retried at f64",
         args.batches,
         args.batch_size,
         result.resumed,
         result.executed,
         result.quarantined.len(),
+        result.precision_retries,
     );
     for b in &result.quarantined {
         if let BatchOutcome::Quarantined { reason, drift } = &result.outcomes[*b] {
@@ -1157,8 +1308,10 @@ fn run_serve(args: &Args) -> Result<ExitCode, CliError> {
     })
 }
 
-/// Parses a `--quota` spec: `tenant=<name>,bytes=<B>,inflight=<K>`
-/// (either limit may be omitted to keep the default).
+/// Parses a `--quota` spec:
+/// `tenant=<name>,bytes=<B>,inflight=<K>,precision=<p>` (any limit may
+/// be omitted to keep the default; `precision` is the tenant's accuracy
+/// floor — submissions below it are rejected with exit 7).
 fn parse_quota(spec: &str) -> Result<(String, TenantQuota), String> {
     let mut tenant = None;
     let mut quota = TenantQuota::default();
@@ -1171,9 +1324,15 @@ fn parse_quota(spec: &str) -> Result<(String, TenantQuota), String> {
             Some(("inflight", v)) => {
                 quota.max_inflight = v.parse().map_err(|e| format!("quota inflight: {e}"))?;
             }
+            Some(("precision", v)) => {
+                quota.min_precision = Precision::parse(v).ok_or_else(|| {
+                    format!("quota precision: want f64, f32, or mixed, got `{v}`")
+                })?;
+            }
             _ => {
                 return Err(format!(
-                    "bad quota entry `{part}` (want tenant=<name>,bytes=<B>,inflight=<K>)"
+                    "bad quota entry `{part}` (want \
+                     tenant=<name>,bytes=<B>,inflight=<K>,precision=<p>)"
                 ))
             }
         }
@@ -1255,7 +1414,20 @@ fn run_status(args: &Args) -> Result<ExitCode, CliError> {
             total,
         );
         for e in &entries {
-            println!("  {:016x}  {:>10} bytes", e.key, e.bytes);
+            // Peek the tuning record without the load path's
+            // corrupt-unlink side effect: status reports, never repairs.
+            let tuning = std::fs::read(&e.path)
+                .ok()
+                .and_then(|bytes| bqsim_core::decode_artifact(&bytes, Some(e.key)).ok())
+                .map(|a| match a.tuning {
+                    Some(rec) => format!("tuned: {rec}"),
+                    None => "untuned (next `--precision auto` load probes)".to_string(),
+                })
+                .unwrap_or_else(|| "unreadable (quarantined on next load)".to_string());
+            println!(
+                "  {:016x}  v{}  {:>10} bytes  {tuning}",
+                e.key, e.version, e.bytes
+            );
         }
     }
     Ok(ExitCode::SUCCESS)
@@ -1375,6 +1547,7 @@ fn run() -> Result<ExitCode, CliError> {
         circuit.depth()
     );
 
+    let precision_arg = effective_precision_arg(&args);
     let opts = BqSimOptions {
         tau: args.tau,
         launch_mode: if args.stream {
@@ -1385,15 +1558,45 @@ fn run() -> Result<ExitCode, CliError> {
         skip_fusion: args.skip_fusion,
         threads: effective_threads(&args),
         layout: effective_layout(&args),
+        precision: match precision_arg {
+            PrecisionArg::Fixed(p) => p,
+            // Placeholder; the tuner picks the real precision below.
+            PrecisionArg::Auto => Precision::F64,
+        },
         ..BqSimOptions::default()
     };
-    let sim = BqSimulator::compile(&circuit, opts).map_err(|e| CliError::Sim(e.to_string()))?;
+    let sim = match precision_arg {
+        PrecisionArg::Auto => {
+            compile_auto_tuned(
+                &circuit,
+                opts,
+                args.artifact_dir.as_deref(),
+                args.integrity_budget,
+            )?
+            .0
+        }
+        PrecisionArg::Fixed(_) => {
+            BqSimulator::compile(&circuit, opts).map_err(|e| CliError::Sim(e.to_string()))?
+        }
+    };
     println!(
         "compiled: {} fused gates, {} MAC/input, fusion {:.3} ms + conversion {:.3} ms (virtual)",
         sim.gates().len(),
         sim.mac_per_input(),
         sim.compile_breakdown().fusion_ns as f64 / 1e6,
         sim.compile_breakdown().conversion_ns as f64 / 1e6,
+    );
+    let resolved = sim.resolved_options();
+    println!(
+        "execution: precision={} layout={} threads={} pattern={} ({})",
+        resolved.precision.token(),
+        resolved.layout.token(),
+        resolved.threads,
+        if resolved.use_pattern { "on" } else { "off" },
+        match precision_arg {
+            PrecisionArg::Auto => "auto-tuned",
+            PrecisionArg::Fixed(_) => "requested",
+        },
     );
 
     let batches: Vec<_> = (0..args.batches)

@@ -30,7 +30,9 @@ pub enum ServeError {
     QuotaExceeded {
         /// The tenant whose quota would be overshot.
         tenant: String,
-        /// `"amp-bytes"` or `"in-flight"`.
+        /// `"amp-bytes"`, `"in-flight"`, or `"precision-floor"` (for
+        /// the floor, `requested`/`limit` are accuracy ranks — f32=0,
+        /// mixed=1, f64=2 — not byte counts).
         resource: &'static str,
         /// What the submission asked for.
         requested: u64,

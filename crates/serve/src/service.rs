@@ -845,6 +845,23 @@ fn admit(
             ));
             return Admission::Rejected(err);
         }
+        // Precision floor: a tenant pinned to f64/mixed may not submit
+        // work below that accuracy rank (narrower than the floor).
+        if spec.precision.rank() < quota.min_precision.rank() {
+            let err = ServeError::QuotaExceeded {
+                tenant: spec.tenant.clone(),
+                resource: "precision-floor",
+                requested: u64::from(spec.precision.rank()),
+                limit: u64::from(quota.min_precision.rank()),
+                in_use: 0,
+            };
+            led.health.rejected_quota += 1;
+            core.manifest_line(&format!(
+                "rejected tenant={} id={} reason=quota",
+                spec.tenant, spec.id
+            ));
+            return Admission::Rejected(err);
+        }
     }
 
     // --- Bounded-queue ladder (new admissions only).
@@ -905,7 +922,10 @@ fn admit(
         Ok(c) => c,
         Err(e) => return Admission::Rejected(e),
     };
-    let opts = BqSimOptions::default();
+    let opts = BqSimOptions {
+        precision: spec.precision,
+        ..BqSimOptions::default()
+    };
     let inputs = spec.build_inputs();
     let fingerprint = plan_fingerprint(&circuit, &opts, &inputs, spec.fault_seed);
     let sim = match store {

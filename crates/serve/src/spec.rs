@@ -12,6 +12,7 @@
 //! digests are bit-identical to a serial `bqsim run` of the same spec.
 
 use crate::error::ServeError;
+use bqsim_core::Precision;
 use bqsim_faults::FaultBudget;
 use bqsim_num::Complex;
 use bqsim_qcir::{generators, Circuit};
@@ -71,11 +72,17 @@ impl fmt::Display for Priority {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TenantQuota {
     /// Total amplitude-buffer bytes the tenant's live submissions may
-    /// hold (16 bytes per amplitude across every batch of every live
-    /// campaign).
+    /// hold (one storage element per amplitude across every batch of
+    /// every live campaign, at the submission's precision width).
     pub max_amp_bytes: u64,
     /// Maximum concurrently live campaigns.
     pub max_inflight: u32,
+    /// Precision floor: submissions requesting a precision *less
+    /// accurate* than this (by [`Precision::rank`]) are rejected with a
+    /// quota error. The default, [`Precision::F32`], is fully
+    /// permissive; a tenant whose results feed accuracy-sensitive
+    /// consumers can be pinned to `f64` or `mixed`.
+    pub min_precision: Precision,
 }
 
 impl Default for TenantQuota {
@@ -83,6 +90,7 @@ impl Default for TenantQuota {
         TenantQuota {
             max_amp_bytes: 256 << 20,
             max_inflight: 8,
+            min_precision: Precision::F32,
         }
     }
 }
@@ -111,6 +119,11 @@ pub struct SubmitSpec {
     pub fault_seed: Option<u64>,
     /// Fair-share priority.
     pub priority: Priority,
+    /// Amplitude precision the campaign executes at (`f64`, `f32`, or
+    /// `mixed`; default `f64`). `auto` is a client-side resolution —
+    /// the service admits only concrete precisions, so the journal
+    /// fingerprint is fixed at admission.
+    pub precision: Precision,
     /// Wall-clock deadline for the whole submission, propagated through
     /// the campaign's `CancelToken`.
     pub deadline_ms: Option<u64>,
@@ -158,9 +171,14 @@ impl SubmitSpec {
 
     /// Amplitude-buffer bytes this submission charges against its
     /// tenant's quota: every batch's inputs stay resident for the
-    /// submission's lifetime, at 16 bytes per complex amplitude.
+    /// submission's lifetime, at the precision's storage width per
+    /// complex amplitude (16 bytes at `f64`, 8 at `f32`/`mixed` — a
+    /// narrow campaign really does hold half the device bytes).
     pub fn charged_bytes(&self) -> u64 {
-        (self.batches as u64) * (self.batch_size as u64) * (1u64 << self.qubits) * 16
+        (self.batches as u64)
+            * (self.batch_size as u64)
+            * (1u64 << self.qubits)
+            * self.precision.storage_bytes() as u64
     }
 
     /// Builds the spec's circuit.
@@ -222,6 +240,9 @@ impl SubmitSpec {
             self.seed,
             self.priority,
         );
+        if self.precision != Precision::F64 {
+            s.push_str(&format!(" precision={}", self.precision.token()));
+        }
         if let Some(fs) = self.fault_seed {
             s.push_str(&format!(" fault-seed={fs}"));
         }
@@ -279,6 +300,7 @@ impl SubmitSpec {
                     | "seed"
                     | "fault-seed"
                     | "priority"
+                    | "precision"
                     | "deadline-ms"
             ) {
                 return Err(ServeError::InvalidSpec(format!("unknown key `{k}`")));
@@ -288,6 +310,14 @@ impl SubmitSpec {
             Some(p) => Priority::parse(p)
                 .ok_or_else(|| ServeError::InvalidSpec(format!("bad priority `{p}`")))?,
             None => Priority::Normal,
+        };
+        let precision = match kv.get("precision") {
+            Some(p) => Precision::parse(p).ok_or_else(|| {
+                ServeError::InvalidSpec(format!(
+                    "bad precision `{p}` (want f64, f32, or mixed; resolve `auto` client-side)"
+                ))
+            })?,
+            None => Precision::F64,
         };
         let spec = SubmitSpec {
             tenant: get("tenant")?.to_string(),
@@ -299,6 +329,7 @@ impl SubmitSpec {
             seed: opt_num("seed")?.unwrap_or(0),
             fault_seed: opt_num("fault-seed")?,
             priority,
+            precision,
             deadline_ms: opt_num("deadline-ms")?,
         };
         spec.validate()?;
@@ -321,6 +352,7 @@ mod tests {
             seed: 7,
             fault_seed: Some(11),
             priority: Priority::High,
+            precision: Precision::F64,
             deadline_ms: None,
         }
     }
@@ -367,6 +399,38 @@ mod tests {
     fn charged_bytes_counts_every_amplitude() {
         // 4 batches × 2 vectors × 2^3 amps × 16 bytes
         assert_eq!(spec().charged_bytes(), 4 * 2 * 8 * 16);
+        // Narrow storage really is half the charge.
+        let narrow = SubmitSpec {
+            precision: Precision::F32,
+            ..spec()
+        };
+        assert_eq!(narrow.charged_bytes(), 4 * 2 * 8 * 8);
+    }
+
+    #[test]
+    fn precision_key_round_trips_and_defaults_to_f64() {
+        for (precision, rendered) in [
+            (Precision::F64, false),
+            (Precision::F32, true),
+            (Precision::Mixed, true),
+        ] {
+            let s = SubmitSpec {
+                precision,
+                ..spec()
+            };
+            let line = s.render_line();
+            assert_eq!(
+                line.contains("precision="),
+                rendered,
+                "f64 is the implicit default; narrow precisions are explicit: {line}"
+            );
+            assert_eq!(SubmitSpec::parse_line(&line).unwrap(), s);
+        }
+        // `auto` is a client-side resolution, never an admitted spec.
+        assert!(matches!(
+            SubmitSpec::parse_line("tenant=a id=j qubits=2 batches=1 batch-size=1 precision=auto"),
+            Err(ServeError::InvalidSpec(_))
+        ));
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn spec(tenant: &str, id: &str, batches: usize, priority: Priority) -> SubmitSpe
         seed: 7,
         fault_seed: Some(41),
         priority,
+        precision: bqsim_core::Precision::F64,
         deadline_ms: None,
     }
 }
@@ -113,6 +114,50 @@ fn overload_rejection_is_structured_and_bounded() {
 }
 
 #[test]
+fn precision_floor_rejects_below_floor_submissions() {
+    let dir = state_dir("precision-floor");
+    let mut cfg = test_config(dir);
+    cfg.quotas.insert(
+        "pinned".into(),
+        TenantQuota {
+            min_precision: bqsim_core::Precision::F64,
+            ..TenantQuota::default()
+        },
+    );
+    let narrow = SubmitSpec {
+        precision: bqsim_core::Precision::F32,
+        ..spec("pinned", "j1", 1, Priority::Normal)
+    };
+    let at_floor = spec("pinned", "j2", 1, Priority::Normal); // f64
+    let free = SubmitSpec {
+        precision: bqsim_core::Precision::F32,
+        ..spec("other", "j3", 1, Priority::Normal)
+    };
+    let report = run_service(&cfg, &[narrow, at_floor, free]).unwrap();
+    let SubmissionOutcome::Rejected(ServeError::QuotaExceeded {
+        resource,
+        requested,
+        limit,
+        ..
+    }) = &report.submissions[0].outcome
+    else {
+        panic!("f32 under an f64 floor must be a quota rejection: {report:?}");
+    };
+    assert_eq!((*resource, *requested, *limit), ("precision-floor", 0, 2));
+    // The floor is per tenant: the pinned tenant's f64 work and the
+    // unpinned tenant's f32 work both run.
+    assert!(matches!(
+        report.submissions[1].outcome,
+        SubmissionOutcome::Completed { .. }
+    ));
+    assert!(matches!(
+        report.submissions[2].outcome,
+        SubmissionOutcome::Completed { .. }
+    ));
+    assert_eq!(report.tenants["pinned"].rejected_quota, 1);
+}
+
+#[test]
 fn quota_rejections_name_the_exhausted_resource() {
     let dir = state_dir("quota");
     let mut cfg = test_config(dir);
@@ -121,6 +166,7 @@ fn quota_rejections_name_the_exhausted_resource() {
         TenantQuota {
             max_amp_bytes: 1 << 30,
             max_inflight: 1,
+            ..TenantQuota::default()
         },
     );
     cfg.quotas.insert(
@@ -128,6 +174,7 @@ fn quota_rejections_name_the_exhausted_resource() {
         TenantQuota {
             max_amp_bytes: 64, // less than any real submission
             max_inflight: 8,
+            ..TenantQuota::default()
         },
     );
     let specs = vec![
@@ -411,6 +458,7 @@ mod properties {
                     1 => Priority::Normal,
                     _ => Priority::High,
                 },
+                precision: bqsim_core::Precision::F64,
                 deadline_ms: None,
             })
             .collect()

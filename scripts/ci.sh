@@ -10,6 +10,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> precision lint wall (no bare 'as f32' narrowing outside the conversion helpers)"
+narrowing="$(grep -rn 'as f32' crates/ell/src crates/num/src --include='*.rs' \
+    | grep -v '^crates/num/src/narrow\.rs:' || true)"
+if [ -n "$narrowing" ]; then
+    echo "FAIL: bare 'as f32' narrowing outside crates/num/src/narrow.rs:" >&2
+    echo "$narrowing" >&2
+    exit 1
+fi
+echo "    clean: every f64->f32 narrowing goes through bqsim-num's narrow helpers"
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
@@ -77,6 +87,46 @@ for layout in aos planar; do
             exit 1
         fi
     done
+done
+
+echo "==> precision matrix gate ({f64,f32,mixed} x threads {1,4}; thread-stable, no quarantine at 1e-4)"
+declare -A prec_digest=()
+for precision in f64 f32 mixed; do
+    for threads in 1 4; do
+        pj="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-precision-XXXXXX.journal")"
+        out="$(BQSIM_THREADS=$threads \
+            run_bqsim run --family qft --qubits 6 --batches 4 --batch-size 32 \
+            --precision "$precision" --integrity-budget 1e-4 --journal "$pj")"
+        rm -f "$pj" "$pj.state"
+        d="$(echo "$out" | grep 'campaign digest:')"
+        echo "    precision=$precision threads=$threads $d"
+        if ! echo "$out" | grep -q ' 0 quarantined, 0 retried at f64'; then
+            echo "FAIL: precision=$precision threads=$threads quarantined inside a 1e-4 budget" >&2
+            exit 1
+        fi
+        if [ -z "${prec_digest[$precision]:-}" ]; then
+            prec_digest[$precision]="$d"
+        elif [ "${prec_digest[$precision]}" != "$d" ]; then
+            echo "FAIL: precision=$precision digest varies with threads (${prec_digest[$precision]} vs $d)" >&2
+            exit 1
+        fi
+    done
+done
+if [ "${prec_digest[f64]}" != "$matrix_digest" ]; then
+    echo "FAIL: explicit --precision f64 digest (${prec_digest[f64]}) != default reference ($matrix_digest)" >&2
+    exit 1
+fi
+
+echo "==> analyzer precision-tolerance audit (narrow fits a loose budget, trips a tight one)"
+for precision in f32 mixed; do
+    run_bqsim analyze --family qft --qubits 6 --batches 4 \
+        --precision "$precision" --integrity-budget 1e-4
+    if run_bqsim analyze --family qft --qubits 6 --batches 4 \
+        --precision "$precision" --integrity-budget 1e-9 >/dev/null 2>&1; then
+        echo "FAIL: $precision tolerance estimate passed a 1e-9 budget it cannot meet" >&2
+        exit 1
+    fi
+    echo "    $precision: passes at 1e-4, rejected at 1e-9 (exit 1)"
 done
 
 echo "==> artifact-store warm start (shared --artifact-dir; cold once, warm after, digests equal)"
@@ -152,6 +202,50 @@ if ! echo "$out" | grep -q 'artifact store: warm compile'; then
 fi
 run_bqsim analyze --artifact "$astore"
 
+echo "==> auto-tuner gate (cold probes once; warm stored record, 0 probes; tuned f64 digest stable)"
+tstore="$svc_root/tstore"
+tune_digest=""
+for round in cold warm; do
+    tj="$(mktemp -u "${TMPDIR:-/tmp}/bqsim-ci-tuner-XXXXXX.journal")"
+    # A 1e-9 budget prunes the narrow arms a priori, so the tuner must
+    # settle on f64 and the digest must match the untuned reference.
+    out="$(run_bqsim run --family qft --qubits 6 --batches 4 --batch-size 32 \
+        --precision auto --integrity-budget 1e-9 \
+        --artifact-dir "$tstore" --journal "$tj")"
+    rm -f "$tj" "$tj.state"
+    d="$(echo "$out" | grep 'campaign digest:')"
+    tuned="$(echo "$out" | grep 'auto-tuned:')"
+    echo "    $round: $tuned"
+    if [ "$round" = cold ]; then
+        if ! echo "$out" | grep -q 'probe execution(s) measured'; then
+            echo "FAIL: cold --precision auto run did not probe" >&2
+            exit 1
+        fi
+        tune_digest="$d"
+    else
+        if ! echo "$out" | grep -q 'stored record, 0 probes'; then
+            echo "FAIL: warm --precision auto run re-probed instead of using the stored record" >&2
+            exit 1
+        fi
+        if [ "$d" != "$tune_digest" ]; then
+            echo "FAIL: warm tuned digest ($d) != cold tuned digest ($tune_digest)" >&2
+            exit 1
+        fi
+    fi
+done
+if [ "$tune_digest" != "$matrix_digest" ]; then
+    echo "FAIL: tuned f64 digest ($tune_digest) != untuned reference ($matrix_digest)" >&2
+    exit 1
+fi
+# Capture, then grep: `grep -q` closing the pipe early would SIGPIPE
+# the status printer under pipefail.
+tstatus="$(run_bqsim status --artifact-dir "$tstore")"
+if ! echo "$tstatus" | grep -q 'tuned: precision='; then
+    echo "FAIL: bqsim status does not report the persisted tuning record" >&2
+    printf '%s\n' "$tstatus" >&2
+    exit 1
+fi
+
 echo "==> schedule-space model check (DPOR + lock order + wake + pool; threads 1 and 4)"
 for threads in 1 4; do
     echo "    --threads $threads"
@@ -166,7 +260,7 @@ case "$mc_json" in
 esac
 
 echo "==> seeded-defect corpus (every injected defect must fail the analyzer, exit 1)"
-for defect in race lock-order wake pool journal; do
+for defect in race lock-order wake pool journal renorm; do
     if run_bqsim analyze --family ghz --qubits 4 --batches 4 --model-check \
         --inject-defect "$defect" >/dev/null 2>&1; then
         echo "FAIL: --inject-defect $defect passed the model check" >&2
@@ -256,6 +350,9 @@ cargo run -q -p bqsim-bench --release --bin report_pr5 -- --quick --out /dev/nul
 
 echo "==> artifact-store report smoke (report_pr8 --quick)"
 cargo run -q -p bqsim-bench --release --bin report_pr8 -- --quick --out /dev/null
+
+echo "==> adaptive-precision report smoke (report_pr10 --quick)"
+cargo run -q -p bqsim-bench --release --bin report_pr10 -- --quick --out /dev/null
 
 echo "==> journaling overhead on routing-6 (target < 2%, recorded in BENCH_pr4.json)"
 cargo run -q -p bqsim-bench --release --bin report_pr4

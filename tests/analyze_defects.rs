@@ -128,6 +128,7 @@ fn broken_pool_lifetime_trips_aliasing_and_leak_passes() {
         seq,
         class: 64,
         layout,
+        width: 16,
         kind,
     };
     // A hit on an empty shelf: storage recycled before it was returned.

@@ -73,7 +73,7 @@ proptest! {
     ) {
         let circuit = generators::random_circuit(n, gates, seed);
         let report =
-            analyze_pipeline(&circuit, &BqSimOptions::default(), batches, 4).unwrap();
+            analyze_pipeline(&circuit, &BqSimOptions::default(), batches, 4, None).unwrap();
         prop_assert!(report.diagnostics.is_clean(), "{}", report.diagnostics);
         prop_assert_eq!(report.tasks_checked, batches * (report.gates_checked + 2));
     }
@@ -100,7 +100,7 @@ proptest! {
 fn qft_acceptance_scenario_is_clean() {
     let circuit = generators::qft(8);
     let report =
-        analyze_pipeline(&circuit, &BqSimOptions::default(), 6, 16).expect("analysis runs");
+        analyze_pipeline(&circuit, &BqSimOptions::default(), 6, 16, None).expect("analysis runs");
     assert!(report.diagnostics.is_clean(), "{}", report.diagnostics);
 }
 

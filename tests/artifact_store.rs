@@ -9,7 +9,8 @@
 
 use bqsim_campaign::{campaign_digest, run_campaign, CampaignOptions};
 use bqsim_core::{
-    random_input_batch, ArtifactStore, BqSimOptions, BqSimulator, CompileSource, Layout,
+    artifact_key, random_input_batch, tune_or_stored, ArtifactStore, BqSimOptions, BqSimulator,
+    CompileSource, Layout, Precision, TuningSource,
 };
 use bqsim_num::Complex;
 use bqsim_qcir::generators;
@@ -150,4 +151,57 @@ proptest! {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// A checked-in `.bqc` written by the version-1 (pre-tuning) build loads
+/// warm under the *same* content key — the key schema is pinned
+/// independently of the format version — carries no tuning record
+/// (probe-on-load, not corruption), and executes bit-identically to a
+/// fresh compile. Tuning it republishes a version-2 file in place.
+#[test]
+fn version1_fixture_loads_warm_and_upgrades_in_place() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/ghz3_v1.bqc");
+    let circuit = generators::ghz(3);
+    let opts = BqSimOptions::default();
+    let key = artifact_key(&circuit, &opts);
+    assert_eq!(
+        key, 0x84a7_7614_d7c4_4155,
+        "the artifact key schema moved: version-1 stores would recompile everything"
+    );
+
+    let dir = store_dir("v1-fixture");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(&fixture, dir.join(format!("{key:016x}.bqc"))).unwrap();
+    let store = ArtifactStore::open(&dir).unwrap();
+    let entries = store.entries().unwrap();
+    assert_eq!((entries.len(), entries[0].version), (1, 1));
+
+    let (mut sim, source) = BqSimulator::compile_or_load(&circuit, opts.clone(), &store).unwrap();
+    assert!(source.is_warm(), "v1 file must load warm, got {source:?}");
+    assert_eq!(sim.stored_tuning(), None, "v1 carries no tuning record");
+
+    let batches = vec![random_input_batch(3, 4, 21)];
+    let cold = BqSimulator::compile(&circuit, opts.clone()).unwrap();
+    assert_eq!(
+        output_bits(&sim.run_batches(&batches).unwrap().outputs),
+        output_bits(&cold.run_batches(&batches).unwrap().outputs),
+        "v1 artifact must execute bit-identically to a fresh compile"
+    );
+
+    // No stored record → the tuner probes, then upgrades the file to
+    // version 2 in place, still under the seed key.
+    let outcome =
+        tune_or_stored(&mut sim, Precision::F32, Some(1e-9), Some((&store, key))).unwrap();
+    assert_eq!(outcome.source, TuningSource::Probed);
+    assert!(outcome.probes > 0);
+    let entries = store.entries().unwrap();
+    assert_eq!(
+        (entries.len(), entries[0].version, entries[0].key),
+        (1, 2, key)
+    );
+
+    let (warm, source) = BqSimulator::compile_or_load(&circuit, opts, &store).unwrap();
+    assert!(source.is_warm());
+    assert_eq!(warm.stored_tuning(), Some(outcome.record));
+    let _ = std::fs::remove_dir_all(&dir);
 }
