@@ -13,10 +13,15 @@
 //! * **A priori**: a narrow precision whose depth-derived
 //!   [`precision_tolerance`] estimate already exceeds the configured
 //!   integrity budget is never probed — it would be quarantined at run
-//!   time anyway.
+//!   time anyway. A *stored* record is held to the same bar: one tuned
+//!   under a looser budget is re-probed, not replayed, when the current
+//!   budget is tighter than its precision can meet.
 //! * **Empirical**: the probe's observed L2-norm drift must stay within
-//!   its own tolerance estimate, and the outputs are compared against
-//!   the `f64` reference so a broken narrow kernel can never win.
+//!   its own tolerance estimate, **and** its outputs must agree
+//!   elementwise with the `f64` reference ([`candidate_valid`]'s
+//!   relative-error bound) — norm drift alone would wave through a
+//!   norm-preserving wrong kernel (sign, conjugation, and permutation
+//!   bugs all preserve norms), so a broken narrow kernel can never win.
 //!
 //! The winning [`TuningRecord`] is applied to the simulator and, when a
 //! store context is given, republished *inside* the existing artifact
@@ -43,6 +48,24 @@ pub const PROBE_REPEATS: usize = 2;
 
 /// Fixed probe-input seed: probing is deterministic given the circuit.
 const PROBE_SEED: u64 = 0x9e37_79b9;
+
+/// Headroom granted to the elementwise reference comparison over the
+/// norm-drift tolerance model: relative L2 distance against the `f64`
+/// reference lacks the cancellation that norm drift enjoys, so a clean
+/// narrow kernel may sit a small factor above the drift estimate.
+/// Broken-but-norm-preserving kernels produce O(1) relative error and
+/// stay orders of magnitude outside even this loosened bound.
+const REL_ERROR_HEADROOM: f64 = 4.0;
+
+/// The empirical validity gate: a candidate may win only when its
+/// observed norm drift stays inside `tolerance` *and* its outputs agree
+/// with the `f64` reference elementwise. The second check is what
+/// catches norm-preserving wrong kernels; the `f64` arms pass it with
+/// `rel_error == 0` exactly (bit-identity across layouts, threads, and
+/// the pattern toggle).
+fn candidate_valid(generic: bool, drift: f64, rel_error: f64, tolerance: f64) -> bool {
+    !generic && drift <= tolerance && rel_error <= tolerance * REL_ERROR_HEADROOM
+}
 
 /// Where a [`TuneOutcome`]'s record came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +119,10 @@ pub struct TuneOutcome {
 ///   cap). The stored record is re-probed, not trusted, when it falls
 ///   below the floor.
 /// * `integrity_budget` — the run-time norm-drift budget; candidates
-///   whose tolerance estimate exceeds it are excluded a priori.
+///   whose tolerance estimate exceeds it are excluded a priori, and a
+///   stored record whose precision cannot meet it is re-probed rather
+///   than replayed (replaying it would quarantine and re-execute every
+///   batch at `f64` — the double-execution the pruning exists to avoid).
 /// * `store` — when given `(store, key)`, a freshly probed record is
 ///   republished into the existing artifact under the **same** key.
 ///
@@ -114,7 +140,16 @@ pub fn tune_or_stored(
     store: Option<(&ArtifactStore, u64)>,
 ) -> Result<TuneOutcome, BqsimError> {
     if let Some(rec) = sim.stored_tuning() {
-        if rec.precision.rank() >= floor.rank() {
+        // A record tuned under a looser budget must not be replayed
+        // under a tighter one: a narrow precision whose tolerance
+        // estimate exceeds the current budget would make every batch
+        // run narrow, quarantine, and re-execute at f64. `f64` itself
+        // is exempt — it is the quarantine terminal and is never pruned.
+        let budget_ok = integrity_budget.is_none_or(|budget| {
+            rec.precision == Precision::F64
+                || precision_tolerance(sim.gates().len(), rec.precision) <= budget
+        });
+        if rec.precision.rank() >= floor.rank() && budget_ok {
             sim.apply_tuning(&rec);
             return Ok(TuneOutcome {
                 record: rec,
@@ -205,7 +240,12 @@ pub fn tune_or_stored(
             probes += 1;
         }
         let (drift, rel_error) = probe_errors(&probe_inputs, &reference, &outputs[0]);
-        let valid = !generic && drift <= precision_tolerance(depth, precision);
+        let valid = candidate_valid(
+            generic,
+            drift,
+            rel_error,
+            precision_tolerance(depth, precision),
+        );
         let improves = match &best {
             None => true,
             Some((t, _)) => ns < *t,
@@ -237,9 +277,18 @@ pub fn tune_or_stored(
         });
     }
 
-    // The f64 arms are always probed and cannot fail their own drift
-    // gate within the loose tolerance model, so a winner always exists.
-    let (_, record) = best.expect("at least one valid tuning candidate");
+    // The f64 arms are always probed and should not fail their gates
+    // within the loose tolerance model; if a pathological circuit ever
+    // defeats the model anyway, degrade to the conservative f64
+    // reference configuration instead of panicking — auto-tuning must
+    // never be the reason a run dies.
+    let record = best.map(|(_, rec)| rec).unwrap_or(TuningRecord {
+        precision: Precision::F64,
+        layout: Layout::Planar,
+        threads: 1,
+        use_pattern: true,
+        probe_ns: 0,
+    });
     sim.apply_tuning(&record);
     if let Some((store, key)) = store {
         // Republish under the *same* key: the payload grows a tuning
@@ -373,6 +422,70 @@ mod tests {
         assert_eq!(stored.probes, 0, "warm tuned load must not probe");
         assert_eq!(stored.record, probed.record);
         assert_eq!(warm.resolved_options().precision, probed.record.precision);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_norm_preserving_wrong_output_fails_the_validity_gate() {
+        // Swapping two amplitudes preserves the norm exactly — the bug
+        // class (sign, conjugation, permutation) a drift-only gate
+        // would wave through — but the elementwise reference
+        // comparison sees O(1) error.
+        let inputs = random_input_batch(3, 2, 5);
+        let reference = inputs.clone();
+        let mut got = inputs.clone();
+        for state in &mut got {
+            state.swap(0, 1);
+        }
+        let (drift, rel_error) = probe_errors(&inputs, &reference, &got);
+        let tolerance = precision_tolerance(64, Precision::F32);
+        assert!(drift <= tolerance, "permutation must be norm-preserving");
+        assert!(rel_error > tolerance * REL_ERROR_HEADROOM);
+        assert!(!candidate_valid(false, drift, rel_error, tolerance));
+        // The clean output passes both checks.
+        let (drift, rel_error) = probe_errors(&inputs, &reference, &reference);
+        assert!(candidate_valid(false, drift, rel_error, tolerance));
+    }
+
+    #[test]
+    fn a_stored_record_over_the_current_budget_is_reprobed() {
+        let dir = tmp_dir("budget-reprobe");
+        let store = bqsim_artifact::ArtifactStore::open(&dir).unwrap();
+        let circuit = generators::ghz(3);
+        let (mut sim, _) = BqSimulator::compile_or_load(&circuit, opts(), &store).unwrap();
+        let key = crate::artifact::artifact_key(&circuit, sim.opts());
+        // Forge a stored f32 record (tuned under some looser budget)...
+        sim.apply_tuning(&TuningRecord {
+            precision: Precision::F32,
+            layout: Layout::Planar,
+            threads: 1,
+            use_pattern: true,
+            probe_ns: 1,
+        });
+        store.publish(&sim.to_artifact(key)).unwrap();
+        // ...then replay it under a budget even `mixed` cannot meet:
+        // the record must be re-probed, not trusted, and only f64 arms
+        // may run — otherwise every batch would quarantine and
+        // double-execute at run time.
+        let (mut warm, src) = BqSimulator::compile_or_load(&circuit, opts(), &store).unwrap();
+        assert!(src.is_warm());
+        let budget = precision_tolerance(warm.gates().len(), Precision::Mixed) / 2.0;
+        let outcome = tune_or_stored(&mut warm, Precision::F32, Some(budget), None).unwrap();
+        assert_eq!(outcome.source, TuningSource::Probed);
+        assert!(outcome.probes > 0);
+        assert_eq!(outcome.record.precision, Precision::F64);
+        // A stored f64 record is exempt: f64 is the quarantine terminal.
+        let (mut f64_warm, _) = BqSimulator::compile_or_load(&circuit, opts(), &store).unwrap();
+        f64_warm.set_stored_tuning(Some(TuningRecord {
+            precision: Precision::F64,
+            layout: Layout::Planar,
+            threads: 1,
+            use_pattern: true,
+            probe_ns: 1,
+        }));
+        let outcome = tune_or_stored(&mut f64_warm, Precision::F32, Some(budget), None).unwrap();
+        assert_eq!(outcome.source, TuningSource::Stored);
+        assert_eq!(outcome.probes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -56,8 +56,11 @@ trap 'rm -f "$journal" "$journal.state" "$journal.ref" "$journal.ref.state"; rm 
 run_bqsim() { cargo run -q -p bqsim-serve --release --bin bqsim -- "$@"; }
 ref_digest="$(run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
     --journal "$journal.ref" | grep 'campaign digest:')"
-run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
-    --journal "$journal" --stop-after 3 | grep -q 'journal is resumable'
+# Capture, then grep: `grep -q` closing the pipe early would SIGPIPE
+# the still-printing run and flake the gate.
+interrupted_out="$(run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
+    --journal "$journal" --stop-after 3)"
+echo "$interrupted_out" | grep -q 'journal is resumable'
 resumed_digest="$(run_bqsim run --family routing --qubits 6 --batches 6 --batch-size 32 \
     --journal "$journal" --resume | grep 'campaign digest:')"
 if [ "$ref_digest" != "$resumed_digest" ]; then
